@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module regenerates one experiment from the
+per-experiment index in DESIGN.md. Experiments print their result tables
+(run pytest with ``-s`` to see them live; they are also captured in the
+benchmark output) and assert the *shape* the paper claims — who wins,
+in which direction — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one experiment's result table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(_fmt(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Target tracking with a multi-level consumer graph and location hints.
+
+A target crosses a field of acoustic sensors. The consumer graph is the
+Section 6 hierarchy made concrete:
+
+    acoustic sensors (level 0, physical streams)
+        -> TrackerConsumer  (level 1, publishes derived 'tracking.track')
+            -> AlertConsumer (level 2, consumes only the derived stream)
+
+On intrusion the Super Coordinator boosts the rates of the sensors
+nearest the estimate — application-level knowledge tuning unwittingly
+shared sensors, the paper's closing claim.
+
+Run:  python examples/target_tracking.py
+"""
+
+import statistics
+
+from repro.workloads.tracking import TrackingScenario
+
+
+def main() -> None:
+    scenario = TrackingScenario(grid=4, target_speed=6.0, seed=5)
+    deployment = scenario.deployment
+
+    print("target en route; tracking for 180 simulated seconds...")
+    scenario.run(180.0)
+
+    errors = scenario.tracking_errors()
+    print(f"\ntrack points published      : {len(scenario.tracker.track)}")
+    if errors:
+        print(
+            "tracking error              : "
+            f"mean {statistics.mean(errors):.1f} m, "
+            f"p90 {sorted(errors)[int(0.9 * (len(errors) - 1))]:.1f} m"
+        )
+
+    print(f"zone intrusions detected    : {len(scenario.alerting.alerts)} "
+          f"(at t={[round(t, 1) for t in scenario.alerting.alerts]})")
+
+    boosted = [
+        node.sensor_id
+        for node in scenario.sensor_nodes
+        if node.current_config(0).rate > 1.0
+    ]
+    print(f"sensors boosted to 5 Hz     : {boosted}")
+
+    # The derived stream is a first-class stream: show its registry entry.
+    derived = deployment.registry.match(kind="tracking.track")
+    for descriptor in derived:
+        print(
+            f"derived stream              : {descriptor.stream_id} "
+            f"({descriptor.stats.messages} messages, "
+            f"publisher={descriptor.publisher!r})"
+        )
+
+    # Location hints kept the mobile patrol sensor well-localised.
+    if scenario.patrol_node is not None:
+        estimate = deployment.location.try_estimate(
+            scenario.patrol_node.sensor_id
+        )
+        if estimate is not None:
+            error = estimate.position.distance_to(
+                scenario.patrol_node.position
+            )
+            print(
+                f"patrol sensor localisation  : {error:.0f} m off "
+                f"({deployment.location.hints_received} hints supplied)"
+            )
+
+
+if __name__ == "__main__":
+    main()

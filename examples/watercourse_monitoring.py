@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Water-course management: the Section 6.1 scenario, both coordinator modes.
+
+Stage gauges along a river watch flood waves roll downstream. Each gauge's
+flood-watcher consumer reports its state (normal / rising / flood) to the
+Super Coordinator, whose registered actions raise the gauge's sampling
+rate during events and relax it afterwards.
+
+Run twice — reactively and predictively — and compare how early the
+middleware has the higher rate in place relative to each flood detection.
+A negative latency means the predictive coordinator pre-armed the gauge
+before the flood was even reported (Section 6: "predictively anticipate
+changes ... reducing the effect of latencies").
+
+Run:  python examples/watercourse_monitoring.py
+"""
+
+import statistics
+
+from repro.workloads.watercourse import WatercourseScenario
+
+
+def run_mode(predictive: bool) -> None:
+    scenario = WatercourseScenario(
+        gauges=4,
+        drifters=2,
+        predictive=predictive,
+        wave_period=300.0,
+        wave_count=5,
+        seed=7,
+    )
+    report = scenario.run(1800.0)
+    latencies = report.detection_to_actuation_latencies()
+    coordinator = scenario.deployment.coordinator.stats
+
+    print(f"\n=== {report.mode} coordinator ===")
+    print(f"flood detections            : {len(report.rising_entries)}")
+    print(f"rate raises acknowledged    : {len(report.rate_raises)}")
+    if latencies:
+        print(
+            "detection->high-rate latency: "
+            f"mean {statistics.mean(latencies):+.2f}s  "
+            f"min {min(latencies):+.2f}s  max {max(latencies):+.2f}s"
+        )
+        early = sum(1 for latency in latencies if latency < 0)
+        print(f"pre-armed before detection  : {early}/{len(latencies)}")
+    if predictive:
+        print(
+            f"predictions (right/wrong)   : "
+            f"{coordinator.correct_predictions}/"
+            f"{coordinator.wrong_predictions}"
+        )
+
+    # The drifters are mobile, transmit-only sensors: show what the
+    # Location Service inferred about them purely from receptions.
+    location = scenario.deployment.location
+    for node in scenario.drifter_nodes:
+        estimate = location.try_estimate(node.sensor_id)
+        if estimate is not None:
+            actual = node.position
+            error = estimate.position.distance_to(actual)
+            print(
+                f"drifter {node.sensor_id}: inferred within {error:.0f} m "
+                f"(confidence radius {estimate.confidence_radius:.0f} m)"
+            )
+
+
+def main() -> None:
+    run_mode(predictive=False)
+    run_mode(predictive=True)
+
+
+if __name__ == "__main__":
+    main()

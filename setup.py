@@ -1,0 +1,5 @@
+"""Setuptools shim for environments without PEP 660 editable support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Garnet: middleware for distributing wireless-sensor data streams.
+
+A full Python reproduction of L. St. Ville and P. Dickman, "Garnet: A
+Middleware Architecture for Distributing Data Streams Originating in
+Wireless Sensor Networks" (ICDCSW 2003), including the discrete-event
+wireless substrate the original Java prototype ran over, every Figure 1
+middleware service, the Figure 2 wire format, and the Section 7
+comparison baselines.
+
+Quickstart::
+
+    from repro import Garnet, SensorStreamSpec, SampleCodec, SineSampler
+    from repro.core.operators import CollectingConsumer
+    from repro.core.dispatching import SubscriptionPattern
+
+    deployment = Garnet(seed=1)
+    deployment.define_sensor_type("thermometer", {"rate": "rate <= 10"})
+    codec = SampleCodec(-10.0, 40.0)
+    deployment.add_sensor(
+        "thermometer",
+        [SensorStreamSpec(0, SineSampler(15, 10, 3600), codec, kind="temp")],
+    )
+    sink = CollectingConsumer("sink", SubscriptionPattern(kind="temp"), codec)
+    deployment.add_consumer(sink)
+    deployment.run(60.0)
+    print(len(sink.values), "readings")
+"""
+
+from repro.core.adaptive import AdaptiveRateController
+from repro.core.config import GarnetConfig
+from repro.core.consumer import Consumer
+from repro.core.control import StreamUpdateCommand
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.middleware import Garnet
+from repro.core.resource import StreamConfig
+from repro.core.security import PayloadCipher, Permission
+from repro.core.streamid import StreamId
+from repro.sensors.node import SensorNode, SensorStreamSpec
+from repro.sensors.sampling import SampleCodec, SineSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveRateController",
+    "Consumer",
+    "DataMessage",
+    "Garnet",
+    "GarnetConfig",
+    "MessageCodec",
+    "PayloadCipher",
+    "Permission",
+    "SampleCodec",
+    "SensorNode",
+    "SensorStreamSpec",
+    "SineSampler",
+    "StreamConfig",
+    "StreamId",
+    "StreamUpdateCommand",
+    "SubscriptionPattern",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Comparison systems from the paper's Related Work (Section 7).
+
+Each baseline is a working implementation of the *mechanism* the paper
+compares Garnet against, sized to support the corresponding experiment:
+
+- :mod:`repro.baselines.retri` — Elson & Estrin's Random Ephemeral
+  TRansaction Identifiers: id-width vs. collision-probability vs.
+  energy-per-transaction trade (experiment E7);
+- :mod:`repro.baselines.fjords` — Madden & Franklin's sensor proxies
+  sharing one stream across simultaneous queries (experiment E8);
+- :mod:`repro.baselines.database_centric` — the query-only,
+  no-actuation access model of habitat-monitoring deployments
+  (experiments E8/E9);
+- :mod:`repro.baselines.corie` — CORIE-style close coupling between
+  high-rate sensor output and a small number of applications
+  (experiment E9);
+- :mod:`repro.baselines.diffusion` — directed diffusion's in-network
+  interest/gradient/reinforcement routing, which Garnet's address-free,
+  infrastructure-receiver design is contrasted against (experiment E13).
+"""
+
+from repro.baselines.corie import CoupledDeployment
+from repro.baselines.database_centric import SensorDatabase, TemplateQuery
+from repro.baselines.diffusion import (
+    DiffusionNetwork,
+    DiffusionNode,
+    Interest,
+)
+from repro.baselines.fjords import FjordEngine, FjordQuery, SensorProxy
+from repro.baselines.retri import (
+    RetriScheme,
+    collision_probability,
+    minimum_id_bits,
+)
+
+__all__ = [
+    "CoupledDeployment",
+    "DiffusionNetwork",
+    "DiffusionNode",
+    "FjordEngine",
+    "FjordQuery",
+    "Interest",
+    "RetriScheme",
+    "SensorDatabase",
+    "SensorProxy",
+    "TemplateQuery",
+    "collision_probability",
+    "minimum_id_bits",
+]

@@ -1,0 +1,130 @@
+"""CORIE-style close coupling between sensor output and applications.
+
+Section 7: CORIE's "sensor nodes are capable of generating megabytes of
+data per second ... the authors assume that at most a few competing
+applications will run concurrently. This suggests a close coupling
+between the output data and the applications, a shortcoming that Garnet
+is designed to address."
+
+The baseline models that coupling: applications bind *directly* to a
+high-rate sensor feed. The deployment has a fixed processing budget (the
+feed is heavy); each bound application must ingest the full feed, so the
+sustainable per-application throughput collapses as applications are
+added, and beyond ``slot_capacity`` new applications are refused
+outright. Garnet's decoupled dispatch, by contrast, fans a single
+middleware-side stream out to any number of subscribers and lets each
+subscribe to a *derived* (down-sampled, aggregated) stream instead of the
+raw feed.
+
+Experiment E9 sweeps application count against both designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GarnetError
+
+
+class CouplingLimitExceeded(GarnetError):
+    """The tightly-coupled deployment has no free application slot."""
+
+
+@dataclass(slots=True)
+class CoupledApplication:
+    """One application bound directly to the raw feed."""
+
+    name: str
+    tuples_ingested: int = 0
+    tuples_dropped: int = 0
+    results: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class CoupledRunReport:
+    applications: int
+    feed_tuples: int
+    total_processing: int
+    per_app_delivery_ratio: float
+    refused_applications: int
+
+
+class CoupledDeployment:
+    """A fixed-budget, directly-coupled sensor-to-application binding.
+
+    Parameters
+    ----------
+    slot_capacity:
+        Hard limit on concurrently bound applications ("at most a few").
+    processing_budget_per_tuple:
+        How many application-deliveries of one feed tuple the back end
+        can afford; with N bound applications each tuple needs N
+        deliveries, and the shortfall is dropped evenly.
+    """
+
+    def __init__(
+        self,
+        slot_capacity: int = 3,
+        processing_budget_per_tuple: int = 4,
+    ) -> None:
+        if slot_capacity < 1:
+            raise ValueError("slot_capacity must be at least 1")
+        if processing_budget_per_tuple < 1:
+            raise ValueError("processing budget must be at least 1")
+        self._capacity = slot_capacity
+        self._budget = processing_budget_per_tuple
+        self._applications: list[CoupledApplication] = []
+        self.refused = 0
+
+    @property
+    def application_count(self) -> int:
+        return len(self._applications)
+
+    def bind(self, name: str) -> CoupledApplication:
+        """Attach an application to the raw feed; may be refused."""
+        if len(self._applications) >= self._capacity:
+            self.refused += 1
+            raise CouplingLimitExceeded(
+                f"deployment supports at most {self._capacity} "
+                f"concurrently bound applications"
+            )
+        application = CoupledApplication(name)
+        self._applications.append(application)
+        return application
+
+    def unbind(self, application: CoupledApplication) -> None:
+        self._applications.remove(application)
+
+    def pump(self, tuples: list[float]) -> CoupledRunReport:
+        """Drive the raw feed through every bound application.
+
+        Each tuple can be delivered to at most ``budget`` applications;
+        with more applications bound, deliveries rotate so the shortfall
+        is shared (and visible as a delivery ratio below 1).
+        """
+        apps = self._applications
+        if not apps:
+            return CoupledRunReport(0, len(tuples), 0, 0.0, self.refused)
+        total_processing = 0
+        rotation = 0
+        for value in tuples:
+            deliveries = min(len(apps), self._budget)
+            for offset in range(len(apps)):
+                application = apps[(rotation + offset) % len(apps)]
+                if offset < deliveries:
+                    application.tuples_ingested += 1
+                    application.results.append(value)
+                    total_processing += 1
+                else:
+                    application.tuples_dropped += 1
+            rotation += 1
+        ideal = len(tuples) * len(apps)
+        return CoupledRunReport(
+            applications=len(apps),
+            feed_tuples=len(tuples),
+            total_processing=total_processing,
+            per_app_delivery_ratio=(
+                total_processing / ideal if ideal else 0.0
+            ),
+            refused_applications=self.refused,
+        )

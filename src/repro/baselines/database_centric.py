@@ -1,0 +1,133 @@
+"""The database-centric access model Garnet argues against (Section 2).
+
+"Our approach contrasts with others such as [14, 15], which adopt a
+database-centric view of querying and sharing sensor data, and where the
+extent of application-level involvement is restricted to issuing queries
+on the data. Such approaches lack the flexibility required to support a
+suitable abstraction for direct programmer manipulation. Also, the
+restricted view of the sensed data only allows specific combinations of
+queries to be answered."
+
+This baseline makes those restrictions executable:
+
+- sensor readings land in a central :class:`SensorDatabase`;
+- applications may only issue :class:`TemplateQuery` instances drawn
+  from a fixed template catalogue (latest / window-aggregate /
+  threshold-count) — arbitrary processing is *not expressible*;
+- there is no return path: :meth:`SensorDatabase.actuate` always raises
+  :class:`ActuationNotSupported`.
+
+Experiment E9 runs the same application workload against Garnet and this
+baseline and reports which application requirements each can satisfy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import GarnetError
+
+
+class ActuationNotSupported(GarnetError):
+    """Database-centric deployments expose no sensor control path."""
+
+
+class QueryTemplate(enum.Enum):
+    """The fixed query combinations the database can answer."""
+
+    LATEST = "latest"
+    WINDOW_MEAN = "window_mean"
+    WINDOW_MIN = "window_min"
+    WINDOW_MAX = "window_max"
+    COUNT_ABOVE = "count_above"
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateQuery:
+    """A query instance: a template plus its parameters."""
+
+    template: QueryTemplate
+    stream_key: str
+    window: int = 1
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class Reading:
+    time: float
+    value: float
+
+
+class SensorDatabase:
+    """Central store of recent readings, queryable by template only."""
+
+    def __init__(self, history_per_stream: int = 1024) -> None:
+        if history_per_stream < 1:
+            raise ValueError("history_per_stream must be at least 1")
+        self._history = history_per_stream
+        self._tables: dict[str, deque[Reading]] = {}
+        self.inserts = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, stream_key: str, time: float, value: float) -> None:
+        """Ingest one reading (called by the gateway consumer)."""
+        table = self._tables.get(stream_key)
+        if table is None:
+            table = deque(maxlen=self._history)
+            self._tables[stream_key] = table
+        table.append(Reading(time, value))
+        self.inserts += 1
+
+    def streams(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    def query(self, query: TemplateQuery) -> float | None:
+        """Answer one template query; None when no data matches."""
+        self.queries_served += 1
+        table = self._tables.get(query.stream_key)
+        if not table:
+            return None
+        if query.template is QueryTemplate.LATEST:
+            return table[-1].value
+        recent = [r.value for r in list(table)[-query.window :]]
+        if query.template is QueryTemplate.WINDOW_MEAN:
+            return sum(recent) / len(recent)
+        if query.template is QueryTemplate.WINDOW_MIN:
+            return min(recent)
+        if query.template is QueryTemplate.WINDOW_MAX:
+            return max(recent)
+        if query.template is QueryTemplate.COUNT_ABOVE:
+            return float(
+                sum(1 for value in recent if value > query.threshold)
+            )
+        raise ValueError(f"unknown template {query.template!r}")
+
+    # ------------------------------------------------------------------
+    def actuate(self, stream_key: str, command: str, value=None) -> None:
+        """The missing return path: always refused.
+
+        Habitat-monitoring deployments permit "only short-range, direct
+        diagnostic level network interfacing" (Section 7) — application-
+        level reconfiguration is simply not part of the model.
+        """
+        raise ActuationNotSupported(
+            "database-centric access provides no application-level "
+            f"control path (attempted {command!r} on {stream_key!r}); "
+            "reconfiguration requires direct diagnostic access to the node"
+        )
+
+    def supports(self, requirement: str) -> bool:
+        """Capability probe used by the E9 comparison matrix."""
+        return requirement in {
+            "query.latest",
+            "query.aggregate",
+            "query.threshold",
+        }

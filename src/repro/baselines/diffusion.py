@@ -1,0 +1,386 @@
+"""Directed diffusion (Intanagonwiwat, Govindan & Estrin, MobiCom 2000).
+
+Section 7: "The dynamic variation in consumers and our desire for
+multiple receivers requires that the sensor nodes do not participate in
+the routing of the data. Our approach differs from the data-diffusion
+technique in [13], which permits nodes to judge the best hop for data
+routing. Garnet transparently supports such node level activity,
+although no means are currently provided to process and route such
+multi hop data to its source."
+
+This is a compact two-phase-pull implementation of the mechanism Garnet
+is contrasted against, sufficient for experiment E13:
+
+1. **Interest propagation** — a sink floods a named interest through the
+   multi-hop radio graph; every node receiving it records a *gradient*
+   toward the neighbour it heard it from.
+2. **Exploratory data** — matching sources send low-rate exploratory
+   events along *all* gradients (flooding back toward the sink).
+3. **Reinforcement** — the sink reinforces the neighbour that delivered
+   the first exploratory event; reinforcement propagates hop-by-hop back
+   to the source, creating one preferred path.
+4. **Data delivery** — subsequent events travel only the reinforced
+   path at the requested rate.
+
+The implementation runs on the shared discrete-event kernel with
+per-link Bernoulli loss and per-node energy accounting, so its delivery
+ratio and energy-per-event are directly comparable with a Garnet
+deployment over the same node geometry.
+
+What the comparison surfaces (and E13 asserts): diffusion pays routing
+state and relay transmissions *inside the sensor field* and couples each
+data consumer to an in-network dissemination tree, whereas Garnet keeps
+nodes stateless, single-hop, and mutually unaware of consumers — at the
+price of requiring receiver infrastructure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sensors.energy import Battery, RadioEnergyModel
+from repro.simnet.geometry import Point
+from repro.simnet.kernel import PeriodicTask, Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class Interest:
+    """A named data request disseminated by a sink."""
+
+    name: str
+    interval: float
+    """Requested event interval in seconds (the full data rate)."""
+
+    exploratory_interval: float = 10.0
+
+
+@dataclass(slots=True)
+class _Gradient:
+    toward: int
+    """Neighbour node id the interest arrived from."""
+
+    reinforced: bool = False
+
+
+@dataclass(slots=True)
+class DiffusionStats:
+    interests_sent: int = 0
+    exploratory_sent: int = 0
+    data_sent: int = 0
+    reinforcements_sent: int = 0
+    events_generated: int = 0
+    events_delivered: int = 0
+    duplicates_suppressed: int = 0
+    link_losses: int = 0
+
+    @property
+    def transmissions(self) -> int:
+        return (
+            self.interests_sent
+            + self.exploratory_sent
+            + self.data_sent
+            + self.reinforcements_sent
+        )
+
+
+class DiffusionNode:
+    """One in-network node: sensor, router, or both."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        is_source: bool = False,
+        battery: Battery | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.is_source = is_source
+        self.battery = battery
+        self.gradients: dict[str, list[_Gradient]] = {}
+        self.seen_events: set[tuple[str, int]] = set()
+        self.seen_interests: set[str] = set()
+        self.last_upstream: dict[str, int] = {}
+        """Per interest, the neighbour the latest fresh event arrived
+        from — the reverse path reinforcement follows."""
+        self.reinforcement_done: set[str] = set()
+        self.energy_used = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.battery is None or not self.battery.depleted
+
+    def routing_entries(self) -> int:
+        """In-network state this node must hold (Garnet nodes hold none)."""
+        return sum(len(gradients) for gradients in self.gradients.values())
+
+
+class DiffusionNetwork:
+    """A multi-hop sensor field running directed diffusion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio_range: float = 180.0,
+        link_loss: float = 0.0,
+        per_hop_latency: float = 0.01,
+        energy_model: RadioEnergyModel | None = None,
+        frame_bits: int = 400,
+    ) -> None:
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        if not 0.0 <= link_loss < 1.0:
+            raise ValueError("link_loss must be in [0, 1)")
+        self._sim = sim
+        self._range = radio_range
+        self._loss = link_loss
+        self._latency = per_hop_latency
+        self._energy = energy_model or RadioEnergyModel()
+        self._frame_bits = frame_bits
+        self._rng = sim.fork_rng()
+        self.nodes: dict[int, DiffusionNode] = {}
+        self._neighbors: dict[int, list[int]] = {}
+        self._sinks: dict[str, int] = {}
+        self._event_counter = 0
+        self._source_tasks: list[PeriodicTask] = []
+        self._sink_deliveries: dict[str, list[tuple[float, int]]] = {}
+        self._first_exploratory_from: dict[tuple[str, int], int] = {}
+        self.stats = DiffusionStats()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        position: Point,
+        is_source: bool = False,
+        battery: Battery | None = None,
+    ) -> DiffusionNode:
+        node_id = len(self.nodes)
+        node = DiffusionNode(node_id, position, is_source, battery)
+        self.nodes[node_id] = node
+        self._neighbors[node_id] = []
+        for other_id, other in self.nodes.items():
+            if other_id == node_id:
+                continue
+            if position.distance_to(other.position) <= self._range:
+                self._neighbors[node_id].append(other_id)
+                self._neighbors[other_id].append(node_id)
+        return node
+
+    def neighbor_count(self, node_id: int) -> int:
+        return len(self._neighbors[node_id])
+
+    def is_connected_to(self, start: int, goal: int) -> bool:
+        """BFS reachability (topology sanity check for experiments)."""
+        frontier = [start]
+        visited = {start}
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            for neighbor in self._neighbors[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return False
+
+    # ------------------------------------------------------------------
+    # Radio primitive
+    # ------------------------------------------------------------------
+    def _transmit(self, sender: DiffusionNode, deliver, *args) -> None:
+        """Broadcast one frame from ``sender`` to all live neighbours."""
+        if not sender.alive:
+            return
+        cost = self._energy.tx_cost(self._frame_bits, self._range)
+        sender.energy_used += cost
+        if sender.battery is not None:
+            sender.battery.drain(cost)
+        for neighbor_id in self._neighbors[sender.node_id]:
+            neighbor = self.nodes[neighbor_id]
+            if not neighbor.alive:
+                continue
+            if self._loss > 0 and self._rng.random() < self._loss:
+                self.stats.link_losses += 1
+                continue
+            rx_cost = self._energy.rx_cost(self._frame_bits)
+            neighbor.energy_used += rx_cost
+            if neighbor.battery is not None:
+                neighbor.battery.drain(rx_cost)
+            self._sim.schedule(self._latency, deliver, neighbor, *args)
+
+    # ------------------------------------------------------------------
+    # Phase 1: interests
+    # ------------------------------------------------------------------
+    def inject_interest(self, sink_id: int, interest: Interest) -> None:
+        """A sink starts pulling named data."""
+        if sink_id not in self.nodes:
+            raise ValueError(f"unknown node {sink_id}")
+        self._sinks[interest.name] = sink_id
+        self._sink_deliveries.setdefault(interest.name, [])
+        sink = self.nodes[sink_id]
+        sink.seen_interests.add(interest.name)
+        self.stats.interests_sent += 1
+        self._transmit(sink, self._on_interest, interest, sink_id)
+        # Sources begin exploratory sampling once interests settle.
+        self._sim.schedule(1.0, self._start_sources, interest)
+
+    def _on_interest(
+        self, node: DiffusionNode, interest: Interest, from_id: int
+    ) -> None:
+        gradients = node.gradients.setdefault(interest.name, [])
+        if all(g.toward != from_id for g in gradients):
+            gradients.append(_Gradient(toward=from_id))
+        if interest.name in node.seen_interests:
+            return
+        node.seen_interests.add(interest.name)
+        self.stats.interests_sent += 1
+        self._transmit(node, self._on_interest, interest, node.node_id)
+
+    def _start_sources(self, interest: Interest) -> None:
+        for node in self.nodes.values():
+            if not node.is_source:
+                continue
+            task = PeriodicTask(
+                self._sim,
+                interest.interval,
+                lambda n=node, i=interest: self._generate_event(n, i),
+            )
+            self._source_tasks.append(task)
+
+    def stop(self) -> None:
+        for task in self._source_tasks:
+            task.stop()
+
+    # ------------------------------------------------------------------
+    # Phases 2-4: data, reinforcement, delivery
+    # ------------------------------------------------------------------
+    def _generate_event(self, source: DiffusionNode, interest: Interest) -> None:
+        if not source.alive:
+            return
+        self._event_counter += 1
+        event_id = self._event_counter
+        self.stats.events_generated += 1
+        source.seen_events.add((interest.name, event_id))
+        reinforced = [
+            g
+            for g in source.gradients.get(interest.name, [])
+            if g.reinforced
+        ]
+        if reinforced:
+            self.stats.data_sent += 1
+            self._transmit(
+                source, self._on_data, interest, event_id, source.node_id, True
+            )
+        elif source.gradients.get(interest.name):
+            # Exploratory phase: flood along all gradients.
+            self.stats.exploratory_sent += 1
+            self._transmit(
+                source, self._on_data, interest, event_id, source.node_id, False
+            )
+
+    def _on_data(
+        self,
+        node: DiffusionNode,
+        interest: Interest,
+        event_id: int,
+        from_id: int,
+        reinforced_path: bool,
+    ) -> None:
+        key = (interest.name, event_id)
+        if key in node.seen_events:
+            self.stats.duplicates_suppressed += 1
+            return
+        node.seen_events.add(key)
+        node.last_upstream[interest.name] = from_id
+        if self._sinks.get(interest.name) == node.node_id:
+            self._sink_deliveries[interest.name].append(
+                (self._sim.now, event_id)
+            )
+            self.stats.events_delivered += 1
+            # Reinforce the first neighbour to deliver an exploratory
+            # event (two-phase pull's positive reinforcement); once the
+            # path is reinforced, deliveries stop triggering this.
+            if (
+                not reinforced_path
+                and interest.name not in node.reinforcement_done
+            ):
+                node.reinforcement_done.add(interest.name)
+                self._send_reinforcement(node, interest, from_id)
+            return
+        gradients = node.gradients.get(interest.name, [])
+        if not gradients:
+            return
+        if reinforced_path:
+            chosen = [g for g in gradients if g.reinforced]
+            if not chosen:
+                return
+            self.stats.data_sent += 1
+        else:
+            self.stats.exploratory_sent += 1
+        self._transmit(
+            node, self._on_data, interest, event_id, node.node_id,
+            reinforced_path,
+        )
+
+    def _send_reinforcement(
+        self, node: DiffusionNode, interest: Interest, toward: int
+    ) -> None:
+        self.stats.reinforcements_sent += 1
+        neighbor = self.nodes[toward]
+        self._sim.schedule(
+            self._latency, self._on_reinforce, neighbor, interest,
+            node.node_id,
+        )
+
+    def _on_reinforce(
+        self, node: DiffusionNode, interest: Interest, from_id: int
+    ) -> None:
+        if interest.name in node.reinforcement_done:
+            return  # idempotent: one reinforced path per interest
+        node.reinforcement_done.add(interest.name)
+        # Mark the downstream gradient (toward the sink) as reinforced:
+        # this node now forwards full-rate data only toward from_id. In
+        # directed diffusion a reinforcement *is* a (higher-rate)
+        # interest, so it (re)creates the gradient if the original
+        # interest frame was lost on this link.
+        gradients = node.gradients.setdefault(interest.name, [])
+        if all(g.toward != from_id for g in gradients):
+            gradients.append(_Gradient(toward=from_id))
+        for gradient in gradients:
+            gradient.reinforced = gradient.toward == from_id
+        if node.is_source:
+            return
+        # Follow the reverse of the exploratory data path toward the
+        # source (the neighbour the first fresh event arrived from).
+        upstream = node.last_upstream.get(interest.name)
+        if upstream is not None:
+            self._send_reinforcement(node, interest, upstream)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def deliveries(self, name: str) -> list[tuple[float, int]]:
+        return list(self._sink_deliveries.get(name, []))
+
+    def delivery_ratio(self, name: str) -> float:
+        if self.stats.events_generated == 0:
+            return 0.0
+        return len(self._sink_deliveries.get(name, [])) / (
+            self.stats.events_generated
+        )
+
+    def total_energy(self) -> float:
+        return sum(node.energy_used for node in self.nodes.values())
+
+    def energy_per_delivered_event(self, name: str) -> float:
+        delivered = len(self._sink_deliveries.get(name, []))
+        if delivered == 0:
+            return float("inf")
+        return self.total_energy() / delivered
+
+    def total_routing_state(self) -> int:
+        """Gradient entries across the field — the in-network state cost
+        Garnet's stateless sensors avoid entirely."""
+        return sum(node.routing_entries() for node in self.nodes.values())

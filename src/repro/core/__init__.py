@@ -1,0 +1,33 @@
+"""Garnet core: the paper's contribution.
+
+Every box in Figure 1 is implemented as a service in this package, all of
+them joined by the Figure 2 data-message format:
+
+- wire formats: :mod:`repro.core.message`, :mod:`repro.core.control`,
+  :mod:`repro.core.streamid`, :mod:`repro.core.flags`
+- data path: :mod:`repro.core.filtering`, :mod:`repro.core.dispatching`,
+  :mod:`repro.core.pubsub`, :mod:`repro.core.orphanage`,
+  :mod:`repro.core.streams`
+- control path: :mod:`repro.core.resource`, :mod:`repro.core.actuation`,
+  :mod:`repro.core.replicator`
+- cross-cutting: :mod:`repro.core.location`, :mod:`repro.core.coordinator`,
+  :mod:`repro.core.security`
+- applications: :mod:`repro.core.consumer`, :mod:`repro.core.operators`
+- assembly: :mod:`repro.core.middleware`, :mod:`repro.core.config`
+"""
+
+from repro.core.config import GarnetConfig
+from repro.core.flags import HeaderFlags, PROTOCOL_VERSION
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.middleware import Garnet
+from repro.core.streamid import StreamId
+
+__all__ = [
+    "DataMessage",
+    "Garnet",
+    "GarnetConfig",
+    "HeaderFlags",
+    "MessageCodec",
+    "PROTOCOL_VERSION",
+    "StreamId",
+]

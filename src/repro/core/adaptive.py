@@ -1,0 +1,180 @@
+"""Closed-loop adaptive sampling: a consumer that tunes its sensor.
+
+The paper's opening argument for the return path (Section 1): "Garnet
+permits mutually unaware consumers to undertake dynamic control of the
+sensors and influence the data delivery process, which is desirable
+since application-level knowledge can be used to improve the overall
+operation of the network."
+
+:class:`AdaptiveRateController` is that argument as a working consumer.
+It watches one stream, estimates the signal's current *activity* (mean
+absolute slope over a sliding window, normalised by a configured scale),
+maps activity onto a sampling rate between a floor and a ceiling, and —
+when the desired rate differs enough from what it last asked for —
+issues a ``SET_RATE`` through the normal mediated control path. A quiet
+signal is sampled slowly (saving the sensor's battery, experiment E14);
+an active one is sampled quickly (bounding reconstruction error,
+experiment E15). The Resource Manager still mediates: other consumers'
+demands and the sensor type's constraints bound what the controller can
+actually get.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.consumer import Consumer
+from repro.core.control import StreamUpdateCommand
+from repro.core.envelopes import StreamArrival
+from repro.core.streamid import StreamId
+from repro.errors import CodecError
+from repro.sensors.sampling import SampleCodec
+
+
+@dataclass(slots=True)
+class ControllerStats:
+    evaluations: int = 0
+    rate_requests: int = 0
+    denied_requests: int = 0
+    rate_trace: list = field(default_factory=list)
+    """(time, requested_rate) for each actuated change."""
+
+
+class AdaptiveRateController(Consumer):
+    """Drives one stream's sampling rate from its observed activity.
+
+    Parameters
+    ----------
+    stream_id:
+        The (physical) stream to watch and control.
+    codec:
+        Payload codec shared with the sensor.
+    min_rate, max_rate:
+        The rate band the controller moves within (further clipped by
+        the sensor type's constraints at admission time).
+    activity_scale:
+        Mean |d value / d t| that should map to the top of the band, in
+        value-units per second. Below ~0 activity the controller sits at
+        ``min_rate``.
+    window:
+        Samples per activity estimate.
+    hysteresis:
+        Minimum relative change versus the last requested rate before a
+        new request is issued (keeps control traffic quiet near a
+        steady state).
+    priority:
+        Demand priority used at the Resource Manager.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stream_id: StreamId,
+        codec: SampleCodec,
+        min_rate: float = 0.2,
+        max_rate: float = 5.0,
+        activity_scale: float = 1.0,
+        window: int = 6,
+        hysteresis: float = 0.25,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if not 0 < min_rate <= max_rate:
+            raise ValueError(
+                f"invalid rate band [{min_rate}, {max_rate}]"
+            )
+        if activity_scale <= 0:
+            raise ValueError("activity_scale must be positive")
+        if window < 3:
+            raise ValueError("window must be at least 3")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self._stream_id = stream_id
+        self._codec = codec
+        self._min_rate = min_rate
+        self._max_rate = max_rate
+        self._activity_scale = activity_scale
+        self._window = window
+        self._hysteresis = hysteresis
+        self._priority = priority
+        self._samples: deque[tuple[float, float]] = deque(maxlen=window)
+        self._requested_rate: float | None = None
+        self._last_denied: float | None = None
+        self.decode_failures = 0
+        self.controller_stats = ControllerStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def requested_rate(self) -> float | None:
+        """The rate last asked of the Resource Manager (None = never)."""
+        return self._requested_rate
+
+    def on_start(self) -> None:
+        self.subscribe_stream(self._stream_id)
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        if not arrival.message.payload:
+            return
+        try:
+            sample = self._codec.decode(arrival.message.payload)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        self._samples.append((sample.time_seconds, sample.value))
+        if len(self._samples) == self._window:
+            self._evaluate()
+
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        self.controller_stats.evaluations += 1
+        desired = self._desired_rate(self._activity())
+        reference = (
+            self._requested_rate
+            if self._requested_rate is not None
+            else 0.0
+        )
+        if reference > 0:
+            relative_change = abs(desired - reference) / reference
+            if relative_change < self._hysteresis:
+                return
+        self._request(desired)
+
+    def _activity(self) -> float:
+        """Mean |slope| over the window, in value-units per second."""
+        pairs = list(self._samples)
+        slopes = []
+        for (t0, v0), (t1, v1) in zip(pairs, pairs[1:]):
+            dt = t1 - t0
+            if dt > 0:
+                slopes.append(abs(v1 - v0) / dt)
+        if not slopes:
+            return 0.0
+        return sum(slopes) / len(slopes)
+
+    def _desired_rate(self, activity: float) -> float:
+        fraction = min(1.0, activity / self._activity_scale)
+        return self._min_rate + fraction * (
+            self._max_rate - self._min_rate
+        )
+
+    def _request(self, rate: float) -> None:
+        rounded = round(rate, 3)
+        if rounded == self._last_denied:
+            return  # re-asking the exact denied value just spams the RM
+        decision = self.request_update(
+            self._stream_id,
+            StreamUpdateCommand.SET_RATE,
+            rounded,
+            priority=self._priority,
+        )
+        self.controller_stats.rate_requests += 1
+        if decision.approved:
+            self._requested_rate = rounded
+            self._last_denied = None
+            self.controller_stats.rate_trace.append(
+                (self.now, self._requested_rate)
+            )
+        else:
+            self._last_denied = rounded
+            self.controller_stats.denied_requests += 1

@@ -1,0 +1,79 @@
+"""Deployment configuration for a Garnet instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.simnet.geometry import Rect
+from repro.simnet.wireless import LossModel
+
+
+@dataclass(slots=True)
+class GarnetConfig:
+    """Everything needed to stand up one simulated Garnet deployment.
+
+    The defaults describe a 1 km x 1 km field with a 4x4 receiver grid at
+    1.5x coverage overlap — enough duplication to make the Filtering
+    Service earn its keep, matching the Section 4.2 design intent.
+    """
+
+    area: Rect = field(default_factory=lambda: Rect(0.0, 0.0, 1000.0, 1000.0))
+
+    # Radio arrays
+    receiver_rows: int = 4
+    receiver_cols: int = 4
+    receiver_overlap: float = 1.5
+    transmitter_rows: int = 2
+    transmitter_cols: int = 2
+    transmitter_overlap: float = 1.5
+
+    # Wireless medium
+    bitrate: float = 250_000.0
+    loss_model: LossModel | None = field(default_factory=LossModel)
+    per_hop_latency: float = 0.001
+
+    # Fixed network
+    message_latency: float = 0.0005
+    rpc_latency: float = 0.001
+
+    # Wire format
+    checksum: bool = True
+
+    # Filtering Service
+    filtering_window: int = 1024
+    reorder_timeout: float = 0.0
+
+    # Orphanage
+    orphanage_backlog: int = 256
+
+    # Location Service
+    location_decay_tau: float = 30.0
+    location_max_observations: int = 32
+    location_min_confidence_radius: float = 10.0
+    publish_location_stream: bool = True
+    location_stream_period: float = 10.0
+
+    # Actuation Service
+    ack_timeout: float = 2.0
+    ack_max_attempts: int = 3
+    replicator_margin: float = 25.0
+
+    # Super Coordinator
+    predictive_coordinator: bool = False
+    prediction_confidence: float = 0.6
+    prediction_lead_fraction: float = 0.5
+
+    # Security
+    deployment_secret: bytes = b"garnet-deployment-secret"
+    require_auth: bool = True
+
+    def validate(self) -> "GarnetConfig":
+        """Sanity-check cross-field consistency; returns self."""
+        if self.receiver_rows < 1 or self.receiver_cols < 1:
+            raise ConfigurationError("receiver grid must be at least 1x1")
+        if self.transmitter_rows < 1 or self.transmitter_cols < 1:
+            raise ConfigurationError("transmitter grid must be at least 1x1")
+        if self.area.width <= 0 or self.area.height <= 0:
+            raise ConfigurationError("deployment area must have extent")
+        return self

@@ -1,0 +1,183 @@
+"""Mediation policies for conflicting consumer demands.
+
+Section 2: mutually-unaware consumers "may lead to conflicting interaction
+with the sensor field", and the middleware must mediate "among consumers
+with potentially conflicting demands for shared data". Section 1 stresses
+that Garnet supplies the *mechanism* and hooks; "only simple,
+straightforward policies are assumed".
+
+A :class:`MediationPolicy` answers one question: given every standing
+demand for one configuration parameter of one stream, what value should
+the sensor actually be set to? The Resource Manager applies the policy
+per parameter; the Super Coordinator may swap policies at run time
+(Figure 1's "Resource Strategy" arrow).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AdmissionError
+
+
+@dataclass(frozen=True, slots=True)
+class Demand:
+    """One consumer's standing request for one parameter of one stream."""
+
+    consumer: str
+    parameter: str
+    value: Any
+    priority: int = 0
+    placed_at: float = 0.0
+
+
+class MediationPolicy(ABC):
+    """Strategy deciding the effective value among conflicting demands."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def resolve(self, demands: list[Demand]) -> Any:
+        """The value the sensor should be configured to.
+
+        ``demands`` is non-empty and all entries target the same
+        parameter. May raise :class:`AdmissionError` to refuse the
+        combination outright.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class PriorityWins(MediationPolicy):
+    """Highest-priority demand wins; ties broken by most recent placement.
+
+    The natural policy where some consumers are more trusted (Section 9:
+    "support for trusted applications to ... override sensor management
+    policies").
+    """
+
+    name = "priority"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        best = max(demands, key=lambda d: (d.priority, d.placed_at))
+        return best.value
+
+
+class LatestWins(MediationPolicy):
+    """Most recently placed demand wins — last-writer-wins semantics."""
+
+    name = "latest"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        return max(demands, key=lambda d: d.placed_at).value
+
+
+class FirstComeFirstServed(MediationPolicy):
+    """The earliest demand holds until its consumer releases it."""
+
+    name = "fcfs"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        return min(demands, key=lambda d: d.placed_at).value
+
+
+class MaxDemand(MediationPolicy):
+    """Numeric maximum: serve the hungriest consumer.
+
+    The canonical rate policy — a sensor sampling at the fastest demanded
+    rate satisfies every slower consumer too (they can subsample), which
+    is how Fjords-style proxies adjust "sensor output based on user
+    demand" (Section 7).
+    """
+
+    name = "max"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        return max(_numeric(d) for d in demands)
+
+
+class MinDemand(MediationPolicy):
+    """Numeric minimum: the most conservative demand wins.
+
+    Appropriate for power-sensitive parameters where overshooting drains
+    batteries (e.g. transmit precision on energy-constrained nodes).
+    """
+
+    name = "min"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        return min(_numeric(d) for d in demands)
+
+
+class FairShare(MediationPolicy):
+    """Priority-weighted mean of numeric demands.
+
+    A compromise policy: every consumer moves the outcome in proportion
+    to its priority (minimum weight 1), so no single demand dominates.
+    """
+
+    name = "fair"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        weights = [max(1, d.priority + 1) for d in demands]
+        total = sum(weights)
+        return sum(_numeric(d) * w for d, w in zip(demands, weights)) / total
+
+
+class DenyConflicts(MediationPolicy):
+    """Refuse any disagreement: all demands must ask for the same value.
+
+    The strictest policy — useful where a wrong setting is worse than no
+    change (e.g. switching a chemical sensor's reagent mode mid-assay).
+    """
+
+    name = "deny"
+
+    def resolve(self, demands: list[Demand]) -> Any:
+        values = {d.value for d in demands}
+        if len(values) > 1:
+            holders = sorted({d.consumer for d in demands})
+            raise AdmissionError(
+                f"conflicting demands for {demands[0].parameter!r} from "
+                f"{holders}: {sorted(map(repr, values))}"
+            )
+        return demands[0].value
+
+
+def _numeric(demand: Demand) -> float:
+    if isinstance(demand.value, bool) or not isinstance(
+        demand.value, (int, float)
+    ):
+        raise AdmissionError(
+            f"policy requires numeric demands; {demand.consumer!r} asked "
+            f"for {demand.value!r} on {demand.parameter!r}"
+        )
+    return float(demand.value)
+
+
+BUILTIN_POLICIES: dict[str, type[MediationPolicy]] = {
+    policy.name: policy
+    for policy in (
+        PriorityWins,
+        LatestWins,
+        FirstComeFirstServed,
+        MaxDemand,
+        MinDemand,
+        FairShare,
+        DenyConflicts,
+    )
+}
+
+
+def make_policy(name: str) -> MediationPolicy:
+    """Instantiate a built-in policy by its short name."""
+    try:
+        return BUILTIN_POLICIES[name]()
+    except KeyError as exc:
+        raise AdmissionError(
+            f"unknown mediation policy {name!r}; "
+            f"available: {sorted(BUILTIN_POLICIES)}"
+        ) from exc

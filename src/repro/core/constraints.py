@@ -1,0 +1,417 @@
+"""A small expressive language for codifying sensor constraints.
+
+Section 8 lists as ongoing work the "codification of sensor constraints
+via the development of an expressive language. This would facilitate the
+operation of the resource manager in automatically enforcing such
+limits." This module implements that language; the Resource Manager
+evaluates each sensor type's constraints against a proposed configuration
+before admitting a stream update request.
+
+Grammar (a conventional boolean-expression language)::
+
+    expr       := or_expr
+    or_expr    := and_expr ( 'or' and_expr )*
+    and_expr   := unary ( 'and' unary )*
+    unary      := 'not' unary | comparison
+    comparison := operand ( ('<='|'<'|'>='|'>'|'=='|'!='|'in') operand )?
+                | '(' expr ')'
+    operand    := NUMBER | IDENT | set_literal | '(' expr ')'
+    set_literal:= '{' operand ( ',' operand )* '}'
+
+Identifiers are resolved from an environment mapping at evaluation time;
+bare identifiers that are *not* in the environment evaluate to themselves
+as symbols, so mode names can be written naturally::
+
+    rate <= 10 and mode in {low, high}
+    not (precision > 12) or rate < 1
+    rate * duty <= 5        -- arithmetic: + - * /
+
+Arithmetic on numbers is supported inside comparisons, with the usual
+precedence below comparison level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.errors import ConstraintError, ConstraintSyntaxError
+
+Value = Union[float, int, str, frozenset]
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_PUNCT = {
+    "<=": "LE",
+    ">=": "GE",
+    "==": "EQ",
+    "!=": "NE",
+    "<": "LT",
+    ">": "GT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+}
+_KEYWORDS = {"and", "or", "not", "in", "true", "false"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT:
+            tokens.append(_Token(_PUNCT[two], two, i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(_Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < length and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(_Token("NUMBER", text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] in "._"):
+                i += 1
+            word = text[start:i]
+            kind = "KEYWORD" if word in _KEYWORDS else "IDENT"
+            tokens.append(_Token(kind, word, start))
+            continue
+        raise ConstraintSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(_Token("EOF", "", length))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+class _Node:
+    __slots__ = ()
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True, slots=True)
+class _Literal(_Node):
+    value: Value
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class _Name(_Node):
+    name: str
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        # Unknown identifiers evaluate to their own name (a symbol), so
+        # `mode == low` works whether or not `low` is a bound variable.
+        return env.get(self.name, self.name)
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True, slots=True)
+class _SetLiteral(_Node):
+    items: tuple[_Node, ...]
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return frozenset(item.evaluate(env) for item in self.items)
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        for item in self.items:
+            result |= item.variables()
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class _Binary(_Node):
+    op: str
+    left: _Node
+    right: _Node
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        if self.op == "and":
+            return bool(self.left.evaluate(env)) and bool(
+                self.right.evaluate(env)
+            )
+        if self.op == "or":
+            return bool(self.left.evaluate(env)) or bool(
+                self.right.evaluate(env)
+            )
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        try:
+            if self.op == "<":
+                return left < right
+            if self.op == "<=":
+                return left <= right
+            if self.op == ">":
+                return left > right
+            if self.op == ">=":
+                return left >= right
+            if self.op == "==":
+                return left == right
+            if self.op == "!=":
+                return left != right
+            if self.op == "in":
+                return left in right
+            if self.op == "+":
+                return left + right
+            if self.op == "-":
+                return left - right
+            if self.op == "*":
+                return left * right
+            if self.op == "/":
+                if right == 0:
+                    raise ConstraintError("division by zero in constraint")
+                return left / right
+        except TypeError as exc:
+            raise ConstraintError(
+                f"cannot apply {self.op!r} to {left!r} and {right!r}"
+            ) from exc
+        raise ConstraintError(f"unknown operator {self.op!r}")
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True, slots=True)
+class _Not(_Node):
+    operand: _Node
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return not bool(self.operand.evaluate(env))
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ConstraintSyntaxError(
+                f"expected {kind}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def parse(self) -> _Node:
+        node = self._or_expr()
+        trailing = self._peek()
+        if trailing.kind != "EOF":
+            raise ConstraintSyntaxError(
+                f"unexpected trailing input {trailing.text!r}",
+                trailing.position,
+            )
+        return node
+
+    def _or_expr(self) -> _Node:
+        node = self._and_expr()
+        while self._peek().text == "or":
+            self._advance()
+            node = _Binary("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> _Node:
+        node = self._unary()
+        while self._peek().text == "and":
+            self._advance()
+            node = _Binary("and", node, self._unary())
+        return node
+
+    def _unary(self) -> _Node:
+        if self._peek().text == "not":
+            self._advance()
+            return _Not(self._unary())
+        return self._comparison()
+
+    _COMPARATORS = {"LE", "GE", "EQ", "NE", "LT", "GT"}
+
+    def _comparison(self) -> _Node:
+        left = self._additive()
+        token = self._peek()
+        if token.kind in self._COMPARATORS:
+            self._advance()
+            return _Binary(token.text, left, self._additive())
+        if token.text == "in":
+            self._advance()
+            return _Binary("in", left, self._additive())
+        return left
+
+    def _additive(self) -> _Node:
+        node = self._multiplicative()
+        while self._peek().kind in ("PLUS", "MINUS"):
+            op = self._advance().text
+            node = _Binary(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> _Node:
+        node = self._operand()
+        while self._peek().kind in ("STAR", "SLASH"):
+            op = self._advance().text
+            node = _Binary(op, node, self._operand())
+        return node
+
+    def _operand(self) -> _Node:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.text
+            return _Literal(float(text) if "." in text else int(text))
+        if token.kind == "IDENT":
+            self._advance()
+            return _Name(token.text)
+        if token.text in ("true", "false"):
+            self._advance()
+            return _Literal(token.text == "true")
+        if token.kind == "LPAREN":
+            self._advance()
+            node = self._or_expr()
+            self._expect("RPAREN")
+            return node
+        if token.kind == "LBRACE":
+            return self._set_literal()
+        raise ConstraintSyntaxError(
+            f"expected a value, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+    def _set_literal(self) -> _Node:
+        self._expect("LBRACE")
+        items: list[_Node] = [self._operand()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            items.append(self._operand())
+        self._expect("RBRACE")
+        return _SetLiteral(tuple(items))
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+class Constraint:
+    """A compiled constraint expression.
+
+    >>> c = Constraint("rate <= 10 and mode in {low, high}")
+    >>> c.check({"rate": 5, "mode": "low"})
+    True
+    >>> c.check({"rate": 50, "mode": "low"})
+    False
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._ast = _Parser(_tokenize(text)).parse()
+
+    def check(self, environment: dict[str, Any]) -> bool:
+        """Evaluate against a configuration environment; returns a bool."""
+        return bool(self._ast.evaluate(dict(environment)))
+
+    def variables(self) -> set[str]:
+        """Every identifier the expression references."""
+        return self._ast.variables()
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.text!r})"
+
+
+class ConstraintSet:
+    """The named constraints governing one sensor type.
+
+    The Resource Manager keeps one per sensor model and calls
+    :meth:`violations` with the configuration a stream update request
+    would produce.
+    """
+
+    def __init__(self, constraints: dict[str, str] | None = None) -> None:
+        self._constraints: dict[str, Constraint] = {}
+        for name, text in (constraints or {}).items():
+            self.add(name, text)
+
+    def add(self, name: str, text: str) -> Constraint:
+        if name in self._constraints:
+            raise ConstraintError(f"constraint {name!r} already defined")
+        constraint = Constraint(text)
+        self._constraints[name] = constraint
+        return constraint
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._constraints
+
+    def names(self) -> list[str]:
+        return sorted(self._constraints)
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        for constraint in self._constraints.values():
+            result |= constraint.variables()
+        return result
+
+    def violations(self, environment: dict[str, Any]) -> list[str]:
+        """Names of constraints the environment violates (empty = admitted)."""
+        return [
+            name
+            for name, constraint in sorted(self._constraints.items())
+            if not constraint.check(environment)
+        ]
+
+    def satisfied_by(self, environment: dict[str, Any]) -> bool:
+        return not self.violations(environment)

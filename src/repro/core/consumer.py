@@ -1,0 +1,259 @@
+"""The consumer-process framework, including multi-level consumers.
+
+Consumers are the applications of Section 4.2: mutually unaware of each
+other, they discover and subscribe to streams through the broker, may
+attempt to influence sensors through the Resource Manager, may supply
+location hints, and may report state changes to the Super Coordinator.
+
+**Multi-level consumption** (Sections 4.2 and 6): a consumer "may
+generate further derived data streams by performing additional processing
+on received data", so consumers form "an essentially arbitrary graph of
+consumer processes and data streams over the Garnet middleware". A
+consumer that publishes is allocated a *virtual sensor id* (top of the
+24-bit space) and its derived messages re-enter the normal dispatching
+path — downstream consumers cannot tell them from sensor data.
+
+Subclass :class:`Consumer` and override :meth:`on_start` /
+:meth:`on_data`; the :class:`~repro.core.middleware.Garnet` facade wires
+the runtime in when the consumer is added to a deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.control import StreamUpdateCommand
+from repro.core.dispatching import INBOX as DISPATCH_INBOX
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import (
+    LocationHint,
+    StateChangeReport,
+    StreamArrival,
+)
+from repro.core.location import HINT_INBOX
+from repro.core.message import DataMessage
+from repro.core.resource import Decision
+from repro.core.security import Token
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamDescriptor
+from repro.errors import GarnetError, RegistrationError
+from repro.util.ids import WrappingCounter
+
+COORDINATOR_INBOX = "garnet.coordinator"
+
+
+@dataclass(slots=True)
+class ConsumerStats:
+    received: int = 0
+    published: int = 0
+    state_reports: int = 0
+    hints_supplied: int = 0
+    update_requests: int = 0
+
+
+class Consumer:
+    """Base class for Garnet consumer processes.
+
+    The runtime (fixed-network access, broker session, virtual publisher
+    identity) is injected by ``Garnet.add_consumer``; until then the
+    consumer is inert and every middleware operation raises.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise RegistrationError("consumer name must be non-empty")
+        self.name = name
+        self.stats = ConsumerStats()
+        self._runtime: Any = None
+        self._token: Token | None = None
+        self._publisher_id: int | None = None
+        self._publish_sequences: dict[int, WrappingCounter] = {}
+        self._subscription_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the middleware facade)
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        return f"consumer.{self.name}"
+
+    @property
+    def attached(self) -> bool:
+        return self._runtime is not None
+
+    def _attach(self, runtime: Any, token: Token) -> None:
+        if self._runtime is not None:
+            raise RegistrationError(
+                f"consumer {self.name!r} is already attached"
+            )
+        self._runtime = runtime
+        self._token = token
+
+    def _require_runtime(self) -> Any:
+        if self._runtime is None:
+            raise GarnetError(
+                f"consumer {self.name!r} is not attached to a deployment; "
+                "add it with Garnet.add_consumer() first"
+            )
+        return self._runtime
+
+    def _deliver(self, arrival: StreamArrival) -> None:
+        self.stats.received += 1
+        self.on_data(arrival)
+
+    # ------------------------------------------------------------------
+    # Behaviour hooks (override these)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once, after attachment; subscribe and discover here."""
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        """Called for every delivered message of a subscribed stream."""
+
+    # ------------------------------------------------------------------
+    # Middleware operations available to subclasses
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._require_runtime().network.sim.now
+
+    def subscribe(self, pattern: SubscriptionPattern) -> int:
+        runtime = self._require_runtime()
+        subscription_id = runtime.broker.subscribe(
+            self._token, self.endpoint, pattern
+        )
+        self._subscription_ids.append(subscription_id)
+        return subscription_id
+
+    def subscribe_stream(self, stream_id: StreamId) -> int:
+        return self.subscribe(SubscriptionPattern(stream_id=stream_id))
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        runtime = self._require_runtime()
+        runtime.broker.unsubscribe(self._token, subscription_id)
+        self._subscription_ids.remove(subscription_id)
+
+    def discover(
+        self,
+        kind: str | None = None,
+        sensor_id: int | None = None,
+        derived: bool | None = None,
+    ) -> list[StreamDescriptor]:
+        runtime = self._require_runtime()
+        return runtime.broker.discover(
+            self._token, kind=kind, sensor_id=sensor_id, derived=derived
+        )
+
+    def request_update(
+        self,
+        stream_id: StreamId,
+        command: StreamUpdateCommand,
+        value: Any = None,
+        priority: int = 0,
+    ) -> Decision:
+        """Ask the middleware to reconfigure a sensor stream.
+
+        Returns the Resource Manager's decision; when approved and a real
+        change results, the actuation path (Actuation Service → Message
+        Replicator → Transmitters) is engaged automatically.
+        """
+        runtime = self._require_runtime()
+        self.stats.update_requests += 1
+        return runtime.control.request_update(
+            consumer=self.name,
+            token=self._token,
+            stream_id=stream_id,
+            command=command,
+            value=value,
+            priority=priority,
+        )
+
+    def release_demands(self, stream_id: StreamId | None = None) -> None:
+        """Withdraw standing demands (call when interest ends)."""
+        runtime = self._require_runtime()
+        runtime.control.release_demands(self.name, stream_id)
+
+    def supply_hint(
+        self, sensor_id: int, x: float, y: float, confidence_radius: float
+    ) -> None:
+        """Give the Location Service an application-level hint (Section 5)."""
+        runtime = self._require_runtime()
+        self.stats.hints_supplied += 1
+        runtime.network.send(
+            HINT_INBOX,
+            LocationHint(
+                sensor_id=sensor_id,
+                x=x,
+                y=y,
+                confidence_radius=confidence_radius,
+                supplied_by=self.name,
+                supplied_at=self.now,
+            ),
+        )
+
+    def report_state(self, state: str, detail: dict | None = None) -> None:
+        """Forward a state change to the Super Coordinator (Section 4.2)."""
+        runtime = self._require_runtime()
+        self.stats.state_reports += 1
+        runtime.network.send(
+            COORDINATOR_INBOX,
+            StateChangeReport(
+                consumer=self.name,
+                state=state,
+                reported_at=self.now,
+                detail=detail,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived-stream publication (multi-level consumers)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        stream_index: int,
+        payload: bytes,
+        kind: str = "",
+        fused: bool = False,
+        encrypted: bool = False,
+        extensions: tuple[tuple[int, bytes], ...] = (),
+    ) -> StreamId:
+        """Publish one message on this consumer's derived stream.
+
+        The first publication on a stream index advertises it through the
+        broker with ``kind``. Returns the derived stream's id.
+        """
+        runtime = self._require_runtime()
+        if self._publisher_id is None:
+            self._publisher_id = runtime.allocate_publisher_id()
+        stream_id = StreamId(self._publisher_id, stream_index)
+        counter = self._publish_sequences.get(stream_index)
+        if counter is None:
+            counter = WrappingCounter(16)
+            self._publish_sequences[stream_index] = counter
+            if kind:
+                runtime.broker.advertise(
+                    self._token, stream_id, kind=kind, encrypted=encrypted
+                )
+        message = DataMessage(
+            stream_id=stream_id,
+            sequence=counter.next(),
+            payload=payload,
+            fused=fused,
+            encrypted=encrypted,
+            extensions=extensions,
+        )
+        now = self.now
+        runtime.network.send(
+            DISPATCH_INBOX,
+            StreamArrival(
+                message=message, received_at=now, receiver_id=-1
+            ),
+        )
+        self.stats.published += 1
+        return stream_id
+
+    @property
+    def publisher_id(self) -> int | None:
+        """This consumer's virtual sensor id (None until first publish)."""
+        return self._publisher_id

@@ -1,0 +1,226 @@
+"""Stream update requests: the control messages of Garnet's return path.
+
+Section 4.2 describes the pathway: a consumer's request is vetted by the
+Resource Manager, then "the Actuation Service next processes the request
+with timestamps, and checksums, before forwarding to the message
+replicator", whose transmitters broadcast it toward the target sensor.
+
+The paper does not print the control wire format; this layout mirrors the
+data format's conventions (big-endian fixed header + opaque parameter
+block) and carries exactly the fields Section 4.2 names:
+
+```
+byte 0        : control header — 0b110 marker + 3-bit version (a frame's
+                top bits distinguish control from data on a shared radio)
+bytes 1-2     : 16-bit request id (ephemeral, Section 7 compares it to a
+                RETRI transaction identifier)
+bytes 3-6     : 32-bit target StreamID
+byte 7        : command code
+bytes 8-15    : 64-bit timestamp, microseconds of virtual time
+bytes 16-17   : 16-bit parameter block length
+...           : parameter block (command-specific)
+last 2 bytes  : CRC-16 (always present — the Actuation Service adds it)
+```
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.streamid import StreamId
+from repro.errors import ChecksumError, CodecError
+from repro.util.bitfields import check_range, read_uint, write_uint
+from repro.util.crc import crc16_ccitt
+
+PROTOCOL_VERSION = 1
+_CONTROL_MARKER = 0b110 << 5
+_MARKER_MASK = 0b111 << 5
+
+CONTROL_FIXED_HEADER_BYTES = 18
+MAX_REQUEST_ID = (1 << 16) - 1
+MAX_PARAMS_BYTES = (1 << 16) - 1
+
+
+class FrameKind(enum.Enum):
+    """What a raw radio frame contains, judged from its first byte."""
+
+    DATA = "data"
+    CONTROL = "control"
+    UNKNOWN = "unknown"
+
+
+def peek_frame_kind(data: bytes) -> FrameKind:
+    """Classify a frame without decoding it.
+
+    Receive-capable sensors share one radio for both directions and use
+    this to route incoming bytes to the right decoder.
+    """
+    if not data:
+        return FrameKind.UNKNOWN
+    top = data[0] & _MARKER_MASK
+    if top == _CONTROL_MARKER:
+        return FrameKind.CONTROL
+    if (data[0] >> 5) == PROTOCOL_VERSION:
+        return FrameKind.DATA
+    return FrameKind.UNKNOWN
+
+
+class StreamUpdateCommand(enum.IntEnum):
+    """Commands a consumer may direct at a sensor's stream (Section 4.2)."""
+
+    SET_RATE = 1
+    """Change the sampling rate. Params: 32-bit rate in milli-hertz."""
+
+    SET_MODE = 2
+    """Switch operating mode (e.g. low-power vs. high-fidelity). Params: 1 byte."""
+
+    ENABLE_STREAM = 3
+    """Start producing the target internal stream. No params."""
+
+    DISABLE_STREAM = 4
+    """Stop producing the target internal stream. No params."""
+
+    SET_PRECISION = 5
+    """Change the payload quantisation. Params: 1 byte (bits per sample)."""
+
+    PING = 6
+    """Solicit an acknowledgement without changing configuration. No params."""
+
+
+@dataclass(frozen=True, slots=True)
+class StreamUpdateRequest:
+    """A decoded control message addressed to one data stream's source."""
+
+    request_id: int
+    target: StreamId
+    command: StreamUpdateCommand
+    params: bytes = b""
+    timestamp_us: int = 0
+    version: int = PROTOCOL_VERSION
+
+    def describe(self) -> str:
+        return (
+            f"request#{self.request_id} {self.command.name} -> {self.target}"
+        )
+
+
+class ControlCodec:
+    """Encoder/decoder for :class:`StreamUpdateRequest` frames.
+
+    Unlike :class:`repro.core.message.MessageCodec`, the CRC-16 is not
+    optional: Section 4.2 states the Actuation Service always adds
+    checksums to control messages.
+    """
+
+    def encode(self, request: StreamUpdateRequest) -> bytes:
+        if request.version != PROTOCOL_VERSION:
+            raise CodecError(
+                f"unsupported control version {request.version}"
+            )
+        if len(request.params) > MAX_PARAMS_BYTES:
+            raise CodecError(
+                f"parameter block of {len(request.params)} bytes exceeds "
+                f"{MAX_PARAMS_BYTES}"
+            )
+        buffer = bytearray()
+        buffer.append(_CONTROL_MARKER | (request.version & 0b11111))
+        write_uint(buffer, request.request_id, 2, "request_id")
+        write_uint(buffer, request.target.pack(), 4, "target")
+        write_uint(buffer, int(request.command), 1, "command")
+        write_uint(buffer, request.timestamp_us, 8, "timestamp_us")
+        write_uint(buffer, len(request.params), 2, "params_length")
+        buffer.extend(request.params)
+        write_uint(buffer, crc16_ccitt(bytes(buffer)), 2, "checksum")
+        return bytes(buffer)
+
+    def decode(self, data: bytes) -> StreamUpdateRequest:
+        header, offset = read_uint(data, 0, 1, "control_header")
+        if header & _MARKER_MASK != _CONTROL_MARKER:
+            raise CodecError(
+                f"byte 0x{header:02x} is not a control frame marker"
+            )
+        version = header & 0b11111
+        if version != PROTOCOL_VERSION:
+            raise CodecError(f"unsupported control version {version}")
+        request_id, offset = read_uint(data, offset, 2, "request_id")
+        target_word, offset = read_uint(data, offset, 4, "target")
+        command_code, offset = read_uint(data, offset, 1, "command")
+        timestamp_us, offset = read_uint(data, offset, 8, "timestamp_us")
+        params_length, offset = read_uint(data, offset, 2, "params_length")
+        params_end = offset + params_length
+        if params_end + 2 > len(data):
+            raise CodecError("control frame truncated")
+        params = bytes(data[offset:params_end])
+        stated, final = read_uint(data, params_end, 2, "checksum")
+        computed = crc16_ccitt(bytes(data[:params_end]))
+        if stated != computed:
+            raise ChecksumError(
+                f"control CRC mismatch: stated 0x{stated:04x}, "
+                f"computed 0x{computed:04x}"
+            )
+        if final != len(data):
+            raise CodecError(
+                f"{len(data) - final} unexpected trailing bytes after frame"
+            )
+        try:
+            command = StreamUpdateCommand(command_code)
+        except ValueError as exc:
+            raise CodecError(f"unknown command code {command_code}") from exc
+        return StreamUpdateRequest(
+            request_id=request_id,
+            target=StreamId.from_word(target_word),
+            command=command,
+            params=params,
+            timestamp_us=timestamp_us,
+            version=version,
+        )
+
+
+# ----------------------------------------------------------------------
+# Command-specific parameter codecs
+# ----------------------------------------------------------------------
+
+def encode_rate_params(rate_hz: float) -> bytes:
+    """SET_RATE parameters: the rate in milli-hertz as a 32-bit integer."""
+    if rate_hz < 0:
+        raise CodecError(f"rate must be non-negative, got {rate_hz}")
+    millihertz = round(rate_hz * 1000.0)
+    check_range("rate_millihertz", millihertz, 32)
+    return millihertz.to_bytes(4, "big")
+
+
+def decode_rate_params(params: bytes) -> float:
+    if len(params) != 4:
+        raise CodecError(f"SET_RATE params must be 4 bytes, got {len(params)}")
+    return int.from_bytes(params, "big") / 1000.0
+
+
+def encode_mode_params(mode: int) -> bytes:
+    """SET_MODE parameters: a single mode byte."""
+    check_range("mode", mode, 8)
+    return bytes([mode])
+
+
+def decode_mode_params(params: bytes) -> int:
+    if len(params) != 1:
+        raise CodecError(f"SET_MODE params must be 1 byte, got {len(params)}")
+    return params[0]
+
+
+def encode_precision_params(bits: int) -> bytes:
+    """SET_PRECISION parameters: bits per sample, 1..32."""
+    if not 1 <= bits <= 32:
+        raise CodecError(f"precision bits must be in [1, 32], got {bits}")
+    return bytes([bits])
+
+
+def decode_precision_params(params: bytes) -> int:
+    if len(params) != 1:
+        raise CodecError(
+            f"SET_PRECISION params must be 1 byte, got {len(params)}"
+        )
+    bits = params[0]
+    if not 1 <= bits <= 32:
+        raise CodecError(f"precision bits must be in [1, 32], got {bits}")
+    return bits

@@ -1,0 +1,391 @@
+"""The Super Coordinator: global consumer view and predictive control.
+
+Section 4.2: "Suitably sophisticated consumer processes may forward
+state-change details to the Super Coordinator, which eventually amasses a
+global view of these consumers. In response to (or in anticipation of)
+global consumer states, the Super Coordinator may invoke policy changes
+in the strategy used by the Resource Manager."
+
+Section 6 sharpens the claim reproduced by experiment E6: from its
+"nearly correct" global view the coordinator can "predictively anticipate
+changes and invoke the services of the resource manager, reducing the
+effect of latencies arising from message-handling".
+
+Two operating modes are provided:
+
+- **reactive** — a registered action fires when a consumer *reports*
+  entering a state; the actuation then pays the full round trip
+  (report → action → Resource Manager → Actuation → radio → ack);
+- **predictive** — an online Markov model over each consumer's state
+  transitions (transition counts + mean dwell times) forecasts the next
+  state on every report; when the forecast is confident enough, the
+  action for the *predicted* state fires ahead of the actual transition,
+  hiding the actuation latency. Mispredictions fire wrong actions — the
+  experiment measures both the latency won and the spurious actuations
+  paid, which is precisely the trade the paper proposes policies for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.conflicts import MediationPolicy
+from repro.core.envelopes import StateChangeReport
+from repro.core.resource import ResourceManager
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.kernel import EventHandle
+
+INBOX = "garnet.coordinator"
+
+Action = Callable[[str], None]
+"""A state action; receives the consumer name it fired for."""
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """The model's forecast after one state entry."""
+
+    consumer: str
+    current_state: str
+    next_state: str
+    probability: float
+    expected_dwell: float
+
+
+class MarkovStateModel:
+    """Online first-order Markov model of one population of state machines.
+
+    Tracks, per consumer, transition counts between observed states and
+    the mean dwell time spent in each state before leaving it.
+    """
+
+    def __init__(self) -> None:
+        self._transitions: dict[
+            tuple[str, str], dict[str, int]
+        ] = defaultdict(lambda: defaultdict(int))
+        self._dwell_total: dict[tuple[str, str], float] = defaultdict(float)
+        self._dwell_count: dict[tuple[str, str], int] = defaultdict(int)
+
+    def record(
+        self, consumer: str, from_state: str, to_state: str, dwell: float
+    ) -> None:
+        key = (consumer, from_state)
+        self._transitions[key][to_state] += 1
+        self._dwell_total[key] += max(0.0, dwell)
+        self._dwell_count[key] += 1
+
+    def predict(self, consumer: str, state: str) -> Prediction | None:
+        """Most likely next state, or None before any observation."""
+        key = (consumer, state)
+        outcomes = self._transitions.get(key)
+        if not outcomes:
+            return None
+        total = sum(outcomes.values())
+        next_state, count = max(
+            outcomes.items(), key=lambda item: (item[1], item[0])
+        )
+        dwell_count = self._dwell_count[key]
+        expected_dwell = (
+            self._dwell_total[key] / dwell_count if dwell_count else 0.0
+        )
+        return Prediction(
+            consumer=consumer,
+            current_state=state,
+            next_state=next_state,
+            probability=count / total,
+            expected_dwell=expected_dwell,
+        )
+
+    def observed_states(self, consumer: str) -> set[str]:
+        states: set[str] = set()
+        for (c, from_state), outcomes in self._transitions.items():
+            if c == consumer:
+                states.add(from_state)
+                states.update(outcomes)
+        return states
+
+
+@dataclass(slots=True)
+class _ConsumerView:
+    state: str
+    entered_at: float
+    reports: int = 1
+    detail: dict | None = None
+
+
+@dataclass(slots=True)
+class CoordinatorStats:
+    reports: int = 0
+    reactive_actions: int = 0
+    predictive_actions: int = 0
+    correct_predictions: int = 0
+    wrong_predictions: int = 0
+    policy_changes: int = 0
+    global_rule_firings: int = 0
+
+
+@dataclass(slots=True)
+class _GlobalRule:
+    """An edge-triggered rule over the whole consumer population.
+
+    Section 4.2: "In response to (or in anticipation of) global consumer
+    states, the Super Coordinator may invoke policy changes". A rule's
+    predicate sees the current global view (consumer -> state); its
+    action fires on the False→True edge, then not again until the
+    predicate has gone False (plus any cooldown).
+    """
+
+    name: str
+    predicate: Callable[[dict[str, str]], bool]
+    action: Callable[[], None]
+    cooldown: float
+    anticipatory: bool = False
+    active: bool = False
+    last_fired_at: float = float("-inf")
+    firings: int = 0
+    anticipated_firings: int = 0
+
+
+class SuperCoordinator:
+    """Amasses the global consumer view; drives anticipatory policy.
+
+    Parameters
+    ----------
+    network:
+        Fixed network (listens on :data:`INBOX`).
+    resource_manager:
+        Optional; enables :meth:`set_resource_strategy` policy pushes.
+    predictive:
+        Enable the anticipatory mode.
+    confidence_threshold:
+        Minimum forecast probability before a predictive action fires.
+    lead_fraction:
+        When to fire, as a fraction of the expected dwell time in the
+        current state (0.5 = halfway through the expected stay).
+    """
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        resource_manager: ResourceManager | None = None,
+        predictive: bool = False,
+        confidence_threshold: float = 0.6,
+        lead_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 < confidence_threshold <= 1.0:
+            raise ValueError("confidence_threshold must be in (0, 1]")
+        if not 0.0 <= lead_fraction <= 1.0:
+            raise ValueError("lead_fraction must be in [0, 1]")
+        self._network = network
+        self._resource_manager = resource_manager
+        self.predictive = predictive
+        self._confidence = confidence_threshold
+        self._lead_fraction = lead_fraction
+        self.model = MarkovStateModel()
+        self._views: dict[str, _ConsumerView] = {}
+        self._actions: dict[str, list[Action]] = defaultdict(list)
+        self._global_rules: list[_GlobalRule] = []
+        self._pending_predictions: dict[str, tuple[str, EventHandle]] = {}
+        self.stats = CoordinatorStats()
+        network.register_inbox(INBOX, self.on_report)
+
+    # ------------------------------------------------------------------
+    # Policy surface
+    # ------------------------------------------------------------------
+    def register_state_action(self, state: str, action: Action) -> None:
+        """Run ``action(consumer)`` whenever a consumer enters ``state``
+        (reactively) or is predicted to (predictive mode)."""
+        self._actions[state].append(action)
+
+    def register_global_rule(
+        self,
+        name: str,
+        predicate: Callable[[dict[str, str]], bool],
+        action: Callable[[], None],
+        cooldown: float = 0.0,
+        anticipatory: bool = False,
+    ) -> None:
+        """Fire ``action`` when the *global* consumer view first satisfies
+        ``predicate`` (edge-triggered; re-arms when the predicate clears,
+        rate-limited by ``cooldown`` seconds).
+
+        With ``anticipatory=True`` (and the coordinator in predictive
+        mode), the rule is additionally evaluated against the
+        *anticipated* view — each consumer's state replaced by its
+        confidently-predicted next state — so the action can fire before
+        the global condition is actually reported. This is Section 4.2's
+        "in response to (or **in anticipation of**) global consumer
+        states" verbatim.
+        """
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self._global_rules.append(
+            _GlobalRule(
+                name=name,
+                predicate=predicate,
+                action=action,
+                cooldown=cooldown,
+                anticipatory=anticipatory,
+            )
+        )
+
+    def set_resource_strategy(
+        self, policy: MediationPolicy, parameter: str | None = None
+    ) -> None:
+        """Push a mediation-policy change into the Resource Manager
+        (Figure 1's "Resource Strategy" arrow)."""
+        if self._resource_manager is None:
+            raise ValueError("no resource manager wired to the coordinator")
+        self._resource_manager.set_policy(policy, parameter)
+        self.stats.policy_changes += 1
+
+    # ------------------------------------------------------------------
+    # Global view
+    # ------------------------------------------------------------------
+    def on_report(self, report: StateChangeReport) -> None:
+        self.stats.reports += 1
+        previous = self._views.get(report.consumer)
+        if previous is not None and previous.state == report.state:
+            previous.reports += 1
+            previous.detail = report.detail
+            return
+        if previous is not None:
+            dwell = report.reported_at - previous.entered_at
+            self.model.record(
+                report.consumer, previous.state, report.state, dwell
+            )
+            self._resolve_prediction(report.consumer, report.state)
+        self._views[report.consumer] = _ConsumerView(
+            state=report.state,
+            entered_at=report.reported_at,
+            detail=report.detail,
+        )
+        self._fire_reactive(report.consumer, report.state)
+        self._evaluate_global_rules()
+        if self.predictive:
+            self._arm_prediction(report.consumer, report.state)
+
+    def _evaluate_global_rules(self) -> None:
+        view = self.global_view()
+        now = self._network.sim.now
+        anticipated = (
+            self.anticipated_view()
+            if self.predictive
+            and any(rule.anticipatory for rule in self._global_rules)
+            else None
+        )
+        for rule in self._global_rules:
+            satisfied = bool(rule.predicate(view))
+            anticipatively = (
+                not satisfied
+                and rule.anticipatory
+                and anticipated is not None
+                and bool(rule.predicate(anticipated))
+            )
+            if (
+                (satisfied or anticipatively)
+                and not rule.active
+                and now - rule.last_fired_at >= rule.cooldown
+            ):
+                rule.active = True
+                rule.last_fired_at = now
+                rule.firings += 1
+                if anticipatively:
+                    rule.anticipated_firings += 1
+                self.stats.global_rule_firings += 1
+                rule.action()
+            elif not satisfied and not anticipatively:
+                rule.active = False
+
+    def global_rule_stats(self) -> dict[str, tuple[int, int]]:
+        """Per rule: ``(total firings, of which anticipated)``."""
+        return {
+            rule.name: (rule.firings, rule.anticipated_firings)
+            for rule in self._global_rules
+        }
+
+    def anticipated_view(self) -> dict[str, str]:
+        """The global view with each consumer advanced to its
+        confidently-predicted next state (unpredictable consumers keep
+        their current state)."""
+        anticipated: dict[str, str] = {}
+        for consumer, view in self._views.items():
+            prediction = self.model.predict(consumer, view.state)
+            if (
+                prediction is not None
+                and prediction.probability >= self._confidence
+            ):
+                anticipated[consumer] = prediction.next_state
+            else:
+                anticipated[consumer] = view.state
+        return anticipated
+
+    def consumer_state(self, consumer: str) -> str | None:
+        view = self._views.get(consumer)
+        return view.state if view is not None else None
+
+    def global_view(self) -> dict[str, str]:
+        """The (approximate) current state of every reporting consumer."""
+        return {name: view.state for name, view in self._views.items()}
+
+    def consumers_in_state(self, state: str) -> list[str]:
+        return sorted(
+            name
+            for name, view in self._views.items()
+            if view.state == state
+        )
+
+    # ------------------------------------------------------------------
+    # Action firing
+    # ------------------------------------------------------------------
+    def _fire_reactive(self, consumer: str, state: str) -> None:
+        for action in self._actions.get(state, ()):
+            self.stats.reactive_actions += 1
+            action(consumer)
+
+    def _arm_prediction(self, consumer: str, state: str) -> None:
+        self._cancel_prediction(consumer)
+        prediction = self.model.predict(consumer, state)
+        if prediction is None or prediction.probability < self._confidence:
+            return
+        if not self._actions.get(prediction.next_state):
+            return
+        delay = prediction.expected_dwell * self._lead_fraction
+        handle = self._network.sim.schedule(
+            max(0.0, delay),
+            self._fire_predictive,
+            consumer,
+            prediction.next_state,
+        )
+        self._pending_predictions[consumer] = (
+            prediction.next_state,
+            handle,
+        )
+
+    def _fire_predictive(self, consumer: str, predicted_state: str) -> None:
+        # Leave the entry so _resolve_prediction can score it when the
+        # actual transition is reported.
+        self.stats.predictive_actions += 1
+        for action in self._actions.get(predicted_state, ()):
+            action(consumer)
+
+    def _resolve_prediction(self, consumer: str, actual_state: str) -> None:
+        entry = self._pending_predictions.pop(consumer, None)
+        if entry is None:
+            return
+        predicted_state, handle = entry
+        fired = not handle.cancelled and handle.time <= self._network.sim.now
+        handle.cancel()
+        if not fired:
+            return
+        if predicted_state == actual_state:
+            self.stats.correct_predictions += 1
+        else:
+            self.stats.wrong_predictions += 1
+
+    def _cancel_prediction(self, consumer: str) -> None:
+        entry = self._pending_predictions.pop(consumer, None)
+        if entry is not None:
+            entry[1].cancel()

@@ -1,0 +1,300 @@
+"""The Dispatching Service: delivery of filtered streams to consumers.
+
+Section 4.2: filtered data is "forwarded to the Dispatching Service for
+delivery to subscribed consumer processes", while data no subscriber has
+claimed goes to the Orphanage, "a default consumer process which receives
+un-configured data".
+
+Delivery is *address-free* (Section 6, "Delayed delivery and distribution
+decisions"): messages carry only their source StreamID; the set of
+destinations is computed here, in the fixed network, from the current
+subscription table — never encoded by the sensor.
+
+Subscriptions are either exact (one StreamId) or pattern-based
+(:class:`SubscriptionPattern`: by sensor, stream index, advertised kind,
+derived/physical). Pattern matching is memoised per stream and
+invalidated whenever the subscription table or stream metadata changes,
+so steady-state dispatch is one dictionary lookup plus fan-out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.envelopes import StreamArrival, StreamAdvertisement
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamDescriptor, StreamRegistry
+from repro.errors import SubscriptionError
+from repro.simnet.fixednet import FixedNetwork
+
+INBOX = "garnet.dispatching"
+ORPHANAGE_INBOX = "garnet.orphanage"
+BROKER_INBOX = "garnet.broker.advertisements"
+
+
+@dataclass(frozen=True, slots=True)
+class SubscriptionPattern:
+    """A declarative description of the streams a consumer wants.
+
+    All specified fields must match (conjunction); unspecified fields
+    match anything. ``kind`` supports a trailing ``*`` wildcard against
+    the stream's advertised kind tag.
+    """
+
+    stream_id: StreamId | None = None
+    sensor_id: int | None = None
+    stream_index: int | None = None
+    kind: str | None = None
+    derived: bool | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.stream_id is None
+            and self.sensor_id is None
+            and self.stream_index is None
+            and self.kind is None
+            and self.derived is None
+        ):
+            # A fully-wild pattern is legal (the Orphanage effectively has
+            # one) but must be asked for explicitly via match_all().
+            raise SubscriptionError(
+                "empty pattern; use SubscriptionPattern.match_all() for a "
+                "catch-all subscription"
+            )
+
+    def matches(self, descriptor: StreamDescriptor) -> bool:
+        stream_id = descriptor.stream_id
+        if self.stream_id is not None and stream_id != self.stream_id:
+            return False
+        if self.sensor_id is not None and stream_id.sensor_id != self.sensor_id:
+            return False
+        if (
+            self.stream_index is not None
+            and stream_id.stream_index != self.stream_index
+        ):
+            return False
+        if self.derived is not None and stream_id.is_derived != self.derived:
+            return False
+        if self.kind is not None:
+            if self.kind.endswith("*"):
+                if not descriptor.kind.startswith(self.kind[:-1]):
+                    return False
+            elif descriptor.kind != self.kind:
+                return False
+        return True
+
+
+# A catch-all pattern must bypass __post_init__'s emptiness guard (the
+# guard exists to catch *accidentally* empty patterns); build the single
+# shared instance directly and expose it as a classmethod.
+def _build_match_all() -> SubscriptionPattern:
+    pattern = object.__new__(SubscriptionPattern)
+    object.__setattr__(pattern, "stream_id", None)
+    object.__setattr__(pattern, "sensor_id", None)
+    object.__setattr__(pattern, "stream_index", None)
+    object.__setattr__(pattern, "kind", None)
+    object.__setattr__(pattern, "derived", None)
+    return pattern
+
+
+_MATCH_ALL = _build_match_all()
+
+
+def _match_all(cls: type[SubscriptionPattern]) -> SubscriptionPattern:
+    """A catch-all pattern (matches every stream)."""
+    return _MATCH_ALL
+
+
+SubscriptionPattern.match_all = classmethod(_match_all)  # type: ignore[attr-defined]
+
+
+@dataclass(slots=True)
+class Subscription:
+    """One consumer's registered interest."""
+
+    subscription_id: int
+    endpoint: str
+    pattern: SubscriptionPattern
+    delivered: int = 0
+
+
+@dataclass(slots=True)
+class DispatchStats:
+    arrivals: int = 0
+    deliveries: int = 0
+    orphaned: int = 0
+    advertisements: int = 0
+
+
+class DispatchingService:
+    """Routes stream arrivals to subscribers; unclaimed data to the Orphanage."""
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        registry: StreamRegistry,
+        orphanage_inbox: str = ORPHANAGE_INBOX,
+    ) -> None:
+        self._network = network
+        self._registry = registry
+        self._orphanage_inbox = orphanage_inbox
+        self._subscriptions: dict[int, Subscription] = {}
+        self._exact: dict[StreamId, set[int]] = {}
+        self._patterned: dict[int, Subscription] = {}
+        self._next_subscription_id = 1
+        self._route_cache: dict[StreamId, tuple[int, ...]] = {}
+        self._advertised: set[StreamId] = set()
+        self._route_guard: Callable[[str, StreamDescriptor], bool] | None = None
+        self.stats = DispatchStats()
+        network.register_inbox(INBOX, self.on_arrival)
+
+    def set_route_guard(
+        self, guard: Callable[[str, StreamDescriptor], bool] | None
+    ) -> None:
+        """Install a data-path permission check.
+
+        ``guard(endpoint, descriptor)`` must return True for a delivery to
+        proceed; the broker uses this to keep restricted streams (e.g.
+        location data, Section 2) away from consumers without the right
+        permission, enforced on every route rather than only at
+        subscription time.
+        """
+        self._route_guard = guard
+        self._route_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Subscription management (driven by the broker)
+    # ------------------------------------------------------------------
+    def add_subscription(
+        self, endpoint: str, pattern: SubscriptionPattern
+    ) -> int:
+        """Register interest; returns the subscription id."""
+        if not self._network.has_inbox(endpoint):
+            raise SubscriptionError(
+                f"endpoint {endpoint!r} has no inbox on the fixed network"
+            )
+        subscription_id = self._next_subscription_id
+        self._next_subscription_id += 1
+        subscription = Subscription(subscription_id, endpoint, pattern)
+        self._subscriptions[subscription_id] = subscription
+        if pattern.stream_id is not None:
+            self._exact.setdefault(pattern.stream_id, set()).add(
+                subscription_id
+            )
+            self._route_cache.pop(pattern.stream_id, None)
+        else:
+            self._patterned[subscription_id] = subscription
+            self._route_cache.clear()
+        return subscription_id
+
+    def remove_subscription(self, subscription_id: int) -> None:
+        subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is None:
+            raise SubscriptionError(
+                f"unknown subscription {subscription_id}"
+            )
+        if subscription.pattern.stream_id is not None:
+            targets = self._exact.get(subscription.pattern.stream_id)
+            if targets is not None:
+                targets.discard(subscription_id)
+                if not targets:
+                    del self._exact[subscription.pattern.stream_id]
+            self._route_cache.pop(subscription.pattern.stream_id, None)
+        else:
+            self._patterned.pop(subscription_id, None)
+            self._route_cache.clear()
+
+    def remove_endpoint(self, endpoint: str) -> int:
+        """Drop every subscription held by ``endpoint``; returns the count."""
+        doomed = [
+            sid
+            for sid, sub in self._subscriptions.items()
+            if sub.endpoint == endpoint
+        ]
+        for sid in doomed:
+            self.remove_subscription(sid)
+        return len(doomed)
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def invalidate_routes(self, stream_id: StreamId | None = None) -> None:
+        """Flush memoised routing (called when stream metadata changes)."""
+        if stream_id is None:
+            self._route_cache.clear()
+        else:
+            self._route_cache.pop(stream_id, None)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def on_arrival(self, arrival: StreamArrival) -> None:
+        self.stats.arrivals += 1
+        stream_id = arrival.message.stream_id
+        if arrival.receiver_id < 0:
+            # Published directly on the fixed network (derived streams);
+            # the Filtering Service never saw it, so record stats here.
+            self._registry.detect(stream_id).stats.observe(
+                arrival.received_at,
+                len(arrival.message.payload),
+                arrival.message.sequence,
+            )
+        self._advertise_if_new(stream_id)
+        route = self._route_cache.get(stream_id)
+        if route is None:
+            route = self._compute_route(stream_id)
+            self._route_cache[stream_id] = route
+        if not route:
+            self.stats.orphaned += 1
+            self._network.send(self._orphanage_inbox, arrival)
+            return
+        delivered_at = self._network.sim.now
+        for subscription_id in route:
+            subscription = self._subscriptions.get(subscription_id)
+            if subscription is None:
+                continue
+            subscription.delivered += 1
+            self.stats.deliveries += 1
+            self._network.send(
+                subscription.endpoint,
+                StreamArrival(
+                    message=arrival.message,
+                    received_at=arrival.received_at,
+                    receiver_id=arrival.receiver_id,
+                    delivered_at=delivered_at,
+                ),
+            )
+
+    def _compute_route(self, stream_id: StreamId) -> tuple[int, ...]:
+        descriptor = self._registry.detect(stream_id)
+        targets = set(self._exact.get(stream_id, ()))
+        for subscription_id, subscription in self._patterned.items():
+            if subscription.pattern.matches(descriptor):
+                targets.add(subscription_id)
+        if self._route_guard is not None:
+            targets = {
+                sid
+                for sid in targets
+                if self._route_guard(
+                    self._subscriptions[sid].endpoint, descriptor
+                )
+            }
+        return tuple(sorted(targets))
+
+    def _advertise_if_new(self, stream_id: StreamId) -> None:
+        if stream_id in self._advertised:
+            return
+        self._advertised.add(stream_id)
+        descriptor = self._registry.detect(stream_id)
+        self.stats.advertisements += 1
+        if self._network.has_inbox(BROKER_INBOX):
+            self._network.send(
+                BROKER_INBOX,
+                StreamAdvertisement(
+                    stream_id=stream_id,
+                    kind=descriptor.kind,
+                    encrypted=descriptor.encrypted,
+                    advertised_at=self._network.sim.now,
+                ),
+            )

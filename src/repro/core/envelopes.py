@@ -1,0 +1,105 @@
+"""Envelope records exchanged between services over the fixed network.
+
+These are the in-network representations wrapping wire messages with the
+reception metadata that later services need (Figure 1's arrows). They are
+deliberately plain, immutable dataclasses: services stay decoupled by
+sharing only these shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.message import DataMessage
+from repro.core.streamid import StreamId
+
+
+@dataclass(frozen=True, slots=True)
+class Reception:
+    """One receiver's copy of a sensor transmission → Filtering Service."""
+
+    message: DataMessage
+    receiver_id: int
+    rssi: float
+    received_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class StreamArrival:
+    """A deduplicated, ordered message → Dispatching Service → consumers."""
+
+    message: DataMessage
+    received_at: float
+    """When the first surviving copy reached a receiver (virtual time)."""
+
+    receiver_id: int
+    """The receiver whose copy survived filtering (diagnostic only)."""
+
+    delivered_at: float = 0.0
+    """Stamped by the Dispatching Service on hand-off to each consumer."""
+
+
+@dataclass(frozen=True, slots=True)
+class LocationObservation:
+    """Reception metadata → Location Service (Section 4.2: location
+    information "inferred by the Receivers")."""
+
+    sensor_id: int
+    receiver_id: int
+    rssi: float
+    observed_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class LocationHint:
+    """An application-supplied location estimate for a sensor (Section 5:
+    "we allow consumer processes to provide location hints instead")."""
+
+    sensor_id: int
+    x: float
+    y: float
+    confidence_radius: float
+    supplied_by: str
+    supplied_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class AckNotice:
+    """A sensor's acknowledgement of a stream update request, extracted
+    from a data message by the Filtering Service → Actuation Service."""
+
+    request_id: int
+    sensor_id: int
+    observed_at: float
+    status: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class StateChangeReport:
+    """A sophisticated consumer's state-change detail → Super Coordinator
+    (Section 4.2)."""
+
+    consumer: str
+    state: str
+    reported_at: float
+    detail: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TransmitOrder:
+    """An encoded control frame → Message Replicator → Transmitters."""
+
+    frame: bytes
+    target_sensor_id: int
+    request_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamAdvertisement:
+    """Broker notification that a stream appeared or changed metadata."""
+
+    stream_id: StreamId
+    kind: str
+    encrypted: bool
+    advertised_at: float

@@ -1,0 +1,292 @@
+"""The Filtering Service: stream reconstruction from raw receptions.
+
+Section 4.2: "The Filtering Service reconstructs the data streams by
+eliminating duplicate data messages. Filtered data is then forwarded to
+the Dispatching Service for delivery to subscribed consumer processes."
+
+Duplicates arise because receiver reception areas overlap by design
+(better coverage at the price of multiple copies) and because sensors may
+retransmit. Elimination is per-stream sequence tracking with 16-bit
+wrap-around handled by serial-number arithmetic: a sequence is *new* when
+it is ahead of the newest seen by less than half the space and has not
+been recorded in the recent-set.
+
+The service additionally:
+
+- extracts stream-update-request acknowledgements (the ``ACK`` header
+  field, Section 4.3) and forwards them to the Actuation Service;
+- optionally reorders messages that arrived out of sequence, holding gaps
+  for a bounded time (delivery is never delayed unboundedly by a lost
+  message);
+- maintains per-stream statistics in the shared registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.envelopes import AckNotice, Reception, StreamArrival
+from repro.core.flags import ExtensionType
+from repro.core.message import parse_request_status_extension
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamRegistry
+from repro.errors import CodecError
+from repro.simnet.fixednet import FixedNetwork
+from repro.util.ids import sequence_is_newer
+
+SEQUENCE_BITS = 16
+
+INBOX = "garnet.filtering"
+DISPATCH_INBOX = "garnet.dispatching"
+ACK_INBOX = "garnet.actuation.acks"
+
+
+@dataclass(slots=True)
+class FilteringStats:
+    """Counters reported by experiment E2."""
+
+    received: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    stale: int = 0
+    reordered: int = 0
+    acks_extracted: int = 0
+    buffered_flushes: int = 0
+
+
+@dataclass(slots=True)
+class _StreamState:
+    """Per-stream duplicate and ordering state."""
+
+    newest: int | None = None
+    recent: OrderedDict = field(default_factory=OrderedDict)
+    # Reorder buffer: sequence -> (Reception, flush EventHandle)
+    held: dict = field(default_factory=dict)
+    next_expected: int | None = None
+
+
+class FilteringService:
+    """Reconstructs ordered, duplicate-free streams from receptions.
+
+    Parameters
+    ----------
+    network:
+        Fixed network; the service listens on :data:`INBOX` and forwards
+        to :data:`DISPATCH_INBOX` / :data:`ACK_INBOX`.
+    registry:
+        Shared stream catalogue; newly seen streams are detected into it.
+    window:
+        How many recent sequence numbers to remember per stream. Must be
+        well below half the 16-bit space so wrap-around stays sound.
+    reorder_timeout:
+        When positive, out-of-order messages are buffered until the gap
+        fills or this many seconds elapse; when zero, messages flow in
+        arrival order (duplicates still eliminated).
+    """
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        registry: StreamRegistry,
+        window: int = 1024,
+        reorder_timeout: float = 0.0,
+    ) -> None:
+        if not 1 <= window <= (1 << (SEQUENCE_BITS - 1)) - 1:
+            raise ValueError(
+                f"window must be in [1, {(1 << (SEQUENCE_BITS - 1)) - 1}]"
+            )
+        if reorder_timeout < 0:
+            raise ValueError("reorder_timeout must be non-negative")
+        self._network = network
+        self._registry = registry
+        self._window = window
+        self._reorder_timeout = reorder_timeout
+        self._states: dict[StreamId, _StreamState] = {}
+        self.stats = FilteringStats()
+        network.register_inbox(INBOX, self.on_reception)
+
+    # ------------------------------------------------------------------
+    def on_reception(self, reception: Reception) -> None:
+        """Entry point for one receiver copy of one message."""
+        if not isinstance(reception, Reception):
+            raise CodecError(
+                f"filtering inbox expects Reception, got {type(reception)!r}"
+            )
+        self.stats.received += 1
+        message = reception.message
+        stream_id = message.stream_id
+        state = self._states.get(stream_id)
+        if state is None:
+            state = _StreamState()
+            self._states[stream_id] = state
+            self._registry.detect(stream_id)
+
+        if not self._accept_sequence(state, message.sequence):
+            self.stats.duplicates += 1
+            descriptor = self._registry.find(stream_id)
+            if descriptor is not None:
+                descriptor.stats.duplicates_dropped += 1
+            return
+
+        self._extract_acks(reception)
+
+        if self._reorder_timeout > 0:
+            self._deliver_ordered(stream_id, state, reception)
+        else:
+            self._forward(reception)
+
+    # ------------------------------------------------------------------
+    # Duplicate elimination
+    # ------------------------------------------------------------------
+    def _accept_sequence(self, state: _StreamState, sequence: int) -> bool:
+        """True when ``sequence`` is fresh for this stream; records it."""
+        if state.newest is None:
+            state.newest = sequence
+            self._remember(state, sequence)
+            return True
+        if sequence in state.recent:
+            return False
+        if sequence_is_newer(sequence, state.newest, SEQUENCE_BITS):
+            state.newest = sequence
+            self._remember(state, sequence)
+            return True
+        # Behind the newest: fresh only if within the remembered window
+        # (a reordered straggler) and not already seen. Anything older is
+        # indistinguishable from a duplicate after wrap-around — treat as
+        # stale, mirroring the paper's tolerance for lossy streams.
+        behind = (state.newest - sequence) % (1 << SEQUENCE_BITS)
+        if behind <= self._window:
+            self._remember(state, sequence)
+            self.stats.reordered += 1
+            return True
+        self.stats.stale += 1
+        return False
+
+    def _remember(self, state: _StreamState, sequence: int) -> None:
+        state.recent[sequence] = True
+        while len(state.recent) > self._window:
+            state.recent.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Acknowledgement extraction (return-path support)
+    # ------------------------------------------------------------------
+    def _extract_acks(self, reception: Reception) -> None:
+        message = reception.message
+        sensor_id = message.stream_id.sensor_id
+        if message.ack_request_id is not None:
+            self.stats.acks_extracted += 1
+            self._network.send(
+                ACK_INBOX,
+                AckNotice(
+                    request_id=message.ack_request_id,
+                    sensor_id=sensor_id,
+                    observed_at=reception.received_at,
+                ),
+            )
+        for status_blob in message.find_extensions(
+            ExtensionType.REQUEST_STATUS
+        ):
+            request_id, status = parse_request_status_extension(status_blob)
+            self.stats.acks_extracted += 1
+            self._network.send(
+                ACK_INBOX,
+                AckNotice(
+                    request_id=request_id,
+                    sensor_id=sensor_id,
+                    observed_at=reception.received_at,
+                    status=status,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Ordered delivery (optional reorder buffer)
+    # ------------------------------------------------------------------
+    def _deliver_ordered(
+        self, stream_id: StreamId, state: _StreamState, reception: Reception
+    ) -> None:
+        sequence = reception.message.sequence
+        if state.next_expected is None:
+            state.next_expected = sequence
+        if sequence == state.next_expected:
+            self._forward(reception)
+            state.next_expected = (sequence + 1) % (1 << SEQUENCE_BITS)
+            self._drain_held(stream_id, state)
+        elif sequence_is_newer(sequence, state.next_expected, SEQUENCE_BITS):
+            handle = self._network.sim.schedule(
+                self._reorder_timeout, self._flush_through, stream_id, sequence
+            )
+            state.held[sequence] = (reception, handle)
+        else:
+            # Older than the delivery cursor: a straggler whose slot was
+            # already given up on. Deliver immediately rather than drop —
+            # dedup already vouched it is fresh data.
+            self._forward(reception)
+
+    def _drain_held(self, stream_id: StreamId, state: _StreamState) -> None:
+        while state.next_expected in state.held:
+            reception, handle = state.held.pop(state.next_expected)
+            handle.cancel()
+            self._forward(reception)
+            state.next_expected = (
+                state.next_expected + 1
+            ) % (1 << SEQUENCE_BITS)
+
+    def _flush_through(self, stream_id: StreamId, sequence: int) -> None:
+        """Give up waiting for gaps below ``sequence``; deliver what we hold."""
+        state = self._states.get(stream_id)
+        if state is None or sequence not in state.held:
+            return
+        self.stats.buffered_flushes += 1
+        # Advance the cursor to the stalled message, delivering any held
+        # messages we pass (their timers will find them gone).
+        reception, handle = state.held.pop(sequence)
+        handle.cancel()
+        # Deliver everything held below the stalled message, ordered by
+        # forward distance from the cursor (plain numeric order would
+        # misorder across a 16-bit wrap).
+        cursor = state.next_expected or 0
+        intermediate = sorted(
+            (
+                seq
+                for seq in state.held
+                if sequence_is_newer(sequence, seq, SEQUENCE_BITS)
+            ),
+            key=lambda seq: (seq - cursor) % (1 << SEQUENCE_BITS),
+        )
+        for seq in intermediate:
+            held_reception, held_handle = state.held.pop(seq)
+            held_handle.cancel()
+            self._forward(held_reception)
+        self._forward(reception)
+        state.next_expected = (sequence + 1) % (1 << SEQUENCE_BITS)
+        self._drain_held(stream_id, state)
+
+    # ------------------------------------------------------------------
+    def _forward(self, reception: Reception) -> None:
+        message = reception.message
+        descriptor = self._registry.detect(message.stream_id)
+        descriptor.stats.observe(
+            reception.received_at, len(message.payload), message.sequence
+        )
+        self.stats.delivered += 1
+        self._network.send(
+            DISPATCH_INBOX,
+            StreamArrival(
+                message=message,
+                received_at=reception.received_at,
+                receiver_id=reception.receiver_id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def tracked_streams(self) -> int:
+        """Number of streams with live dedup state (capacity diagnostics)."""
+        return len(self._states)
+
+    def forget_stream(self, stream_id: StreamId) -> None:
+        """Drop dedup state for a stream (e.g. after sensor retirement)."""
+        state = self._states.pop(stream_id, None)
+        if state is not None:
+            for _, handle in state.held.values():
+                handle.cancel()

@@ -1,0 +1,320 @@
+"""The Location Service: inferred sensor positions as a data stream.
+
+Section 4.2: "The Location Service receives location information which is
+inferred by the Receivers. This data is mainly used to target location
+areas when transmitting control messages to the sensor field. Consumers
+processing data from location-aware sensors may supply location hints to
+the location service."
+
+Section 5 explains the two deliberate generality choices reproduced here:
+location is *inferred* (no location field burdens the message header, and
+simple sensors need no positioning hardware) and *hint-augmented*
+(consumers that can infer or otherwise know a sensor's position feed that
+knowledge in).
+
+Inference model
+---------------
+Each reception contributes an observation ``(receiver position, RSSI,
+time)``. The estimate for a sensor is the weighted centroid of observing
+receiver positions, where a contribution's weight is its linearised
+signal strength times an exponential time decay — strong recent
+receptions dominate, stale ones fade. Hints act as extra observations
+with weight set by their stated confidence. The confidence radius is the
+weighted RMS spread of contributors (floored at a fraction of receiver
+range, since one receiver alone localises no better than its zone).
+
+Location data is sensitive (Section 2): reading it through the broker
+requires the dedicated ``LOCATION`` permission, and the service publishes
+estimates as a normal (restricted) data stream so "location data [is
+treated] as any other data stream".
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.core.envelopes import (
+    LocationHint,
+    LocationObservation,
+    StreamArrival,
+)
+from repro.core.message import DataMessage
+from repro.core.streamid import StreamId
+from repro.errors import LocationError, RegistrationError
+from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
+from repro.simnet.geometry import Circle, Point, weighted_centroid
+from repro.simnet.kernel import PeriodicTask
+from repro.util.ids import WrappingCounter
+
+OBSERVATION_INBOX = "garnet.location.observations"
+HINT_INBOX = "garnet.location.hints"
+SERVICE_NAME = "garnet.location"
+
+LOCATION_STREAM_KIND = "garnet.location"
+"""Kind tag of the derived stream of location estimates (restricted)."""
+
+_ESTIMATE_STRUCT = struct.Struct(">Iddd")
+
+
+@dataclass(frozen=True, slots=True)
+class LocationEstimate:
+    """The service's best guess at a sensor's position."""
+
+    sensor_id: int
+    position: Point
+    confidence_radius: float
+    observation_count: int
+    newest_observation_age: float
+
+    def as_circle(self) -> Circle:
+        """The target area the Message Replicator broadcasts into."""
+        return Circle(self.position, self.confidence_radius)
+
+    def pack(self) -> bytes:
+        """Serialise for the location data stream's (opaque) payload."""
+        return _ESTIMATE_STRUCT.pack(
+            self.sensor_id,
+            self.position.x,
+            self.position.y,
+            self.confidence_radius,
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "LocationEstimate":
+        sensor_id, x, y, radius = _ESTIMATE_STRUCT.unpack(payload)
+        return cls(
+            sensor_id=sensor_id,
+            position=Point(x, y),
+            confidence_radius=radius,
+            observation_count=0,
+            newest_observation_age=0.0,
+        )
+
+
+@dataclass(slots=True)
+class _Observation:
+    position: Point
+    weight: float
+    time: float
+
+
+class LocationService(RpcEndpoint):
+    """Maintains inferred location estimates for every heard sensor.
+
+    Parameters
+    ----------
+    network:
+        Fixed network (observation/hint inboxes + RPC registration).
+    decay_tau:
+        Time constant (seconds) of the exponential weight decay; after a
+        few tau without receptions a mobile sensor's stale position stops
+        anchoring the estimate.
+    max_observations:
+        Observations retained per sensor (newest kept).
+    min_confidence_radius:
+        Floor for the reported confidence radius, typically a fraction of
+        receiver zone radius.
+    """
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        decay_tau: float = 30.0,
+        max_observations: int = 32,
+        min_confidence_radius: float = 10.0,
+    ) -> None:
+        if decay_tau <= 0:
+            raise ValueError("decay_tau must be positive")
+        if max_observations < 1:
+            raise ValueError("max_observations must be at least 1")
+        self._network = network
+        self._decay_tau = decay_tau
+        self._max_observations = max_observations
+        self._min_radius = min_confidence_radius
+        self._receivers: dict[int, Point] = {}
+        self._observations: dict[int, list[_Observation]] = {}
+        self._hints: dict[int, list[_Observation]] = {}
+        self.observations_received = 0
+        self.hints_received = 0
+        network.register_inbox(OBSERVATION_INBOX, self.on_observation)
+        network.register_inbox(HINT_INBOX, self.on_hint)
+        network.register_service(SERVICE_NAME, self)
+
+    # ------------------------------------------------------------------
+    def register_receiver(self, receiver_id: int, position: Point) -> None:
+        """Teach the service where a receiver's antenna is."""
+        if receiver_id in self._receivers:
+            raise RegistrationError(
+                f"receiver {receiver_id} already registered"
+            )
+        self._receivers[receiver_id] = position
+
+    def on_observation(self, observation: LocationObservation) -> None:
+        """Fold in one reception report from a receiver."""
+        position = self._receivers.get(observation.receiver_id)
+        if position is None:
+            # A receiver we were never told about: ignore rather than
+            # guess — the estimate must only ever use known anchors.
+            return
+        self.observations_received += 1
+        weight = _rssi_to_weight(observation.rssi)
+        bucket = self._observations.setdefault(observation.sensor_id, [])
+        bucket.append(
+            _Observation(position, weight, observation.observed_at)
+        )
+        if len(bucket) > self._max_observations:
+            del bucket[: len(bucket) - self._max_observations]
+
+    def on_hint(self, hint: LocationHint) -> None:
+        """Fold in a consumer-supplied location hint (Section 5)."""
+        self.hints_received += 1
+        radius = max(hint.confidence_radius, 1.0)
+        # A tight hint should outweigh radio observations; weight scales
+        # with the implied precision (inverse area).
+        weight = 1000.0 / (radius * radius)
+        bucket = self._hints.setdefault(hint.sensor_id, [])
+        bucket.append(
+            _Observation(Point(hint.x, hint.y), weight, hint.supplied_at)
+        )
+        if len(bucket) > self._max_observations:
+            del bucket[: len(bucket) - self._max_observations]
+
+    # ------------------------------------------------------------------
+    def estimate(self, sensor_id: int) -> LocationEstimate:
+        """Best current estimate; raises :class:`LocationError` if unheard."""
+        now = self._network.sim.now
+        contributions = [
+            (obs.position, self._decayed(obs, now))
+            for obs in self._observations.get(sensor_id, ())
+        ]
+        contributions += [
+            (obs.position, self._decayed(obs, now))
+            for obs in self._hints.get(sensor_id, ())
+        ]
+        contributions = [(p, w) for p, w in contributions if w > 1e-12]
+        if not contributions:
+            raise LocationError(
+                f"no usable observations for sensor {sensor_id}"
+            )
+        points = [p for p, _ in contributions]
+        weights = [w for _, w in contributions]
+        center = weighted_centroid(points, weights)
+        total = sum(weights)
+        spread_sq = (
+            sum(w * center.distance_to(p) ** 2 for p, w in contributions)
+            / total
+        )
+        radius = max(math.sqrt(spread_sq), self._min_radius)
+        newest = max(
+            obs.time
+            for bucket in (
+                self._observations.get(sensor_id, ()),
+                self._hints.get(sensor_id, ()),
+            )
+            for obs in bucket
+        )
+        return LocationEstimate(
+            sensor_id=sensor_id,
+            position=center,
+            confidence_radius=radius,
+            observation_count=len(contributions),
+            newest_observation_age=now - newest,
+        )
+
+    def try_estimate(self, sensor_id: int) -> LocationEstimate | None:
+        """Like :meth:`estimate` but returns None instead of raising."""
+        try:
+            return self.estimate(sensor_id)
+        except LocationError:
+            return None
+
+    def known_sensors(self) -> list[int]:
+        """Sensors with at least one observation or hint."""
+        return sorted(set(self._observations) | set(self._hints))
+
+    def _decayed(self, observation: _Observation, now: float) -> float:
+        age = max(0.0, now - observation.time)
+        return observation.weight * math.exp(-age / self._decay_tau)
+
+    # ------------------------------------------------------------------
+    # RPC surface: the Message Replicator's "lookup" arrow in Figure 1.
+    # ------------------------------------------------------------------
+    def rpc_estimate(self, sensor_id: int) -> LocationEstimate | None:
+        return self.try_estimate(sensor_id)
+
+    def rpc_hint(self, hint: LocationHint) -> None:
+        self.on_hint(hint)
+
+
+def _rssi_to_weight(rssi_dbm: float) -> float:
+    """Linearise an RSSI (dBm) into a positive weight (milliwatts)."""
+    return 10.0 ** (rssi_dbm / 10.0)
+
+
+def stream_id_for_location_service(virtual_sensor_id: int) -> StreamId:
+    """The StreamId under which estimates are republished (stream index 0)."""
+    return StreamId(virtual_sensor_id, 0)
+
+
+class LocationPublisher:
+    """Republishes location estimates as a normal (restricted) data stream.
+
+    Section 2: "we provide a location service which treats location data
+    as any other data stream since, depending on the context, location
+    information may be regarded as sensitive and should be protected by
+    additional security mechanisms."
+
+    Every ``period`` seconds, the current estimate of every known sensor
+    is packed (:meth:`LocationEstimate.pack`) and published on one
+    derived stream whose descriptor carries a ``required_permission``
+    attribute — the Dispatching Service's route guard then keeps the
+    stream away from consumers lacking the LOCATION permission.
+    """
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        location: "LocationService",
+        stream_id: StreamId,
+        period: float = 10.0,
+        dispatch_inbox: str = "garnet.dispatching",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._network = network
+        self._location = location
+        self._stream_id = stream_id
+        self._dispatch_inbox = dispatch_inbox
+        self._sequence = WrappingCounter(16)
+        self.published = 0
+        self._task = PeriodicTask(
+            network.sim, period, self._publish_estimates
+        )
+
+    @property
+    def stream_id(self) -> StreamId:
+        return self._stream_id
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _publish_estimates(self) -> None:
+        now = self._network.sim.now
+        for sensor_id in self._location.known_sensors():
+            estimate = self._location.try_estimate(sensor_id)
+            if estimate is None:
+                continue
+            message = DataMessage(
+                stream_id=self._stream_id,
+                sequence=self._sequence.next(),
+                payload=estimate.pack(),
+            )
+            self._network.send(
+                self._dispatch_inbox,
+                StreamArrival(
+                    message=message, received_at=now, receiver_id=-1
+                ),
+            )
+            self.published += 1

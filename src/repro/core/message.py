@@ -1,0 +1,317 @@
+"""The Garnet data message and its bit-exact Figure 2 codec.
+
+Wire layout (big-endian, bit offsets as printed in Figure 2):
+
+```
+bit #    0         8                 40         56           72
+         +---------+-----------------+----------+------------+----------
+         | Msg     | Stream ID       | Sequence | Payload    | PAYLOAD
+         | Header  | (24+8 bits)     | (16 bit) | Size (16)  | (opaque)
+         +---------+-----------------+----------+------------+----------
+```
+
+Optional fields announced by header flag bits sit between the fixed
+header and the payload, in this fixed order:
+
+1. ``ACK`` → 16-bit stream-update-request acknowledgement id;
+2. ``RELAYED`` → 8-bit hop count;
+3. ``EXTENDED`` → TLV block: 8-bit entry count, then per entry an 8-bit
+   type, 8-bit length and that many value bytes.
+
+Section 4.3 notes that "for simplicity, we do not indicate the usual
+checksums associated with the data messages" — the checksums exist in the
+implementation but not the figure. :class:`MessageCodec` therefore appends
+a trailing CRC-16 by default and the whole deployment shares one codec
+configuration (checksums cannot be auto-detected from the bytes).
+
+The payload is opaque: the codec moves bytes and never interprets them
+(Section 4.3, "this provides a basic level of security").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.flags import (
+    ExtensionType,
+    HeaderFlags,
+    PROTOCOL_VERSION,
+    pack_header,
+    unpack_header,
+)
+from repro.core.streamid import StreamId
+from repro.errors import ChecksumError, CodecError, TruncatedMessageError
+from repro.util.bitfields import check_range, read_uint, write_uint
+from repro.util.crc import crc16_ccitt
+
+FIXED_HEADER_BYTES = 9
+MAX_SEQUENCE = (1 << 16) - 1
+MAX_PAYLOAD_BYTES = (1 << 16) - 1
+MAX_EXTENSION_VALUE_BYTES = 255
+MAX_EXTENSIONS = 255
+CHECKSUM_BYTES = 2
+
+
+@dataclass(frozen=True, slots=True)
+class DataMessage:
+    """One message of a Garnet data stream (Section 4.3).
+
+    Instances are immutable; derive variants with :func:`dataclasses.replace`
+    or the ``with_*`` helpers.
+    """
+
+    stream_id: StreamId
+    sequence: int
+    payload: bytes = b""
+    fused: bool = False
+    encrypted: bool = False
+    ack_request_id: int | None = None
+    hop_count: int | None = None
+    extensions: tuple[tuple[int, bytes], ...] = field(default_factory=tuple)
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def flags(self) -> HeaderFlags:
+        """The header flag bits implied by the populated optional fields."""
+        flags = HeaderFlags.NONE
+        if self.ack_request_id is not None:
+            flags |= HeaderFlags.ACK
+        if self.fused:
+            flags |= HeaderFlags.FUSED
+        if self.hop_count is not None:
+            flags |= HeaderFlags.RELAYED
+        if self.extensions:
+            flags |= HeaderFlags.EXTENDED
+        if self.encrypted:
+            flags |= HeaderFlags.ENCRYPTED
+        return flags
+
+    @property
+    def is_relayed(self) -> bool:
+        return self.hop_count is not None
+
+    def with_ack(self, request_id: int) -> "DataMessage":
+        """A copy acknowledging a stream update request (Section 4.3)."""
+        return replace(self, ack_request_id=request_id)
+
+    def with_relay_hop(self) -> "DataMessage":
+        """A copy tagged as having travelled one more wireless hop (§8)."""
+        hops = 1 if self.hop_count is None else self.hop_count + 1
+        return replace(self, hop_count=hops)
+
+    def with_extension(self, ext_type: int, value: bytes) -> "DataMessage":
+        return replace(self, extensions=self.extensions + ((int(ext_type), value),))
+
+    def with_replaced_extension(
+        self, ext_type: int, value: bytes
+    ) -> "DataMessage":
+        """A copy where ``ext_type``'s (single) entry is replaced/added."""
+        wanted = int(ext_type)
+        kept = tuple(
+            (etype, existing)
+            for etype, existing in self.extensions
+            if etype != wanted
+        )
+        return replace(self, extensions=kept + ((wanted, value),))
+
+    def find_extension(self, ext_type: int) -> bytes | None:
+        """The value of the first extension of ``ext_type``, if present."""
+        wanted = int(ext_type)
+        for etype, value in self.extensions:
+            if etype == wanted:
+                return value
+        return None
+
+    def find_extensions(self, ext_type: int) -> list[bytes]:
+        """Every extension value of ``ext_type``, in wire order.
+
+        Some types legitimately repeat — a message can carry several
+        REQUEST_STATUS acknowledgements at once.
+        """
+        wanted = int(ext_type)
+        return [
+            value for etype, value in self.extensions if etype == wanted
+        ]
+
+
+class MessageCodec:
+    """Encodes/decodes :class:`DataMessage` per the Figure 2 layout.
+
+    Parameters
+    ----------
+    checksum:
+        Append/verify a trailing CRC-16 (the checksums Section 4.3 elides
+        from the figure). All parties in a deployment must agree.
+    """
+
+    def __init__(self, checksum: bool = True) -> None:
+        self._checksum = checksum
+
+    @property
+    def uses_checksum(self) -> bool:
+        return self._checksum
+
+    def encoded_size(self, message: DataMessage) -> int:
+        """The exact on-wire size of ``message`` in bytes."""
+        size = FIXED_HEADER_BYTES + len(message.payload)
+        if message.ack_request_id is not None:
+            size += 2
+        if message.hop_count is not None:
+            size += 1
+        if message.extensions:
+            size += 1 + sum(2 + len(value) for _, value in message.extensions)
+        if self._checksum:
+            size += CHECKSUM_BYTES
+        return size
+
+    def encode(self, message: DataMessage) -> bytes:
+        """Serialise ``message``; raises :class:`CodecError` on bad fields."""
+        if len(message.payload) > MAX_PAYLOAD_BYTES:
+            raise CodecError(
+                f"payload of {len(message.payload)} bytes exceeds the "
+                f"16-bit size field maximum of {MAX_PAYLOAD_BYTES}"
+            )
+        if len(message.extensions) > MAX_EXTENSIONS:
+            raise CodecError(
+                f"{len(message.extensions)} extensions exceed the maximum "
+                f"of {MAX_EXTENSIONS}"
+            )
+        buffer = bytearray()
+        buffer.append(pack_header(message.version, message.flags))
+        write_uint(buffer, message.stream_id.pack(), 4, "stream_id")
+        write_uint(buffer, message.sequence, 2, "sequence")
+        write_uint(buffer, len(message.payload), 2, "payload_size")
+        if message.ack_request_id is not None:
+            write_uint(buffer, message.ack_request_id, 2, "ack_request_id")
+        if message.hop_count is not None:
+            write_uint(buffer, message.hop_count, 1, "hop_count")
+        if message.extensions:
+            buffer.append(len(message.extensions))
+            for ext_type, value in message.extensions:
+                check_range("extension_type", ext_type, 8)
+                if len(value) > MAX_EXTENSION_VALUE_BYTES:
+                    raise CodecError(
+                        f"extension value of {len(value)} bytes exceeds "
+                        f"{MAX_EXTENSION_VALUE_BYTES}"
+                    )
+                buffer.append(ext_type)
+                buffer.append(len(value))
+                buffer.extend(value)
+        buffer.extend(message.payload)
+        if self._checksum:
+            write_uint(buffer, crc16_ccitt(bytes(buffer)), 2, "checksum")
+        return bytes(buffer)
+
+    def decode(self, data: bytes) -> DataMessage:
+        """Parse one message; raises on truncation, bad CRC or trailing bytes."""
+        message, consumed = self.decode_prefix(data)
+        if consumed != len(data):
+            raise CodecError(
+                f"{len(data) - consumed} unexpected trailing bytes after message"
+            )
+        return message
+
+    def decode_prefix(self, data: bytes) -> tuple[DataMessage, int]:
+        """Parse one message from the front of ``data``.
+
+        Returns ``(message, bytes_consumed)`` so callers can unpack
+        back-to-back messages from one buffer.
+        """
+        header_byte, offset = read_uint(data, 0, 1, "header")
+        version, flags = unpack_header(header_byte)
+        if version != PROTOCOL_VERSION:
+            raise CodecError(
+                f"unsupported protocol version {version} "
+                f"(expected {PROTOCOL_VERSION})"
+            )
+        stream_word, offset = read_uint(data, offset, 4, "stream_id")
+        sequence, offset = read_uint(data, offset, 2, "sequence")
+        payload_size, offset = read_uint(data, offset, 2, "payload_size")
+
+        ack_request_id: int | None = None
+        if flags & HeaderFlags.ACK:
+            ack_request_id, offset = read_uint(data, offset, 2, "ack_request_id")
+        hop_count: int | None = None
+        if flags & HeaderFlags.RELAYED:
+            hop_count, offset = read_uint(data, offset, 1, "hop_count")
+        extensions: list[tuple[int, bytes]] = []
+        if flags & HeaderFlags.EXTENDED:
+            count, offset = read_uint(data, offset, 1, "extension_count")
+            if count == 0:
+                raise CodecError("EXTENDED flag set but extension count is 0")
+            for index in range(count):
+                ext_type, offset = read_uint(
+                    data, offset, 1, f"extension[{index}].type"
+                )
+                length, offset = read_uint(
+                    data, offset, 1, f"extension[{index}].length"
+                )
+                end = offset + length
+                if end > len(data):
+                    raise TruncatedMessageError(
+                        f"extension[{index}] value truncated"
+                    )
+                extensions.append((ext_type, bytes(data[offset:end])))
+                offset = end
+
+        payload_end = offset + payload_size
+        if payload_end > len(data):
+            raise TruncatedMessageError(
+                f"payload of {payload_size} bytes truncated at offset {offset}"
+            )
+        payload = bytes(data[offset:payload_end])
+        offset = payload_end
+
+        if self._checksum:
+            stated, new_offset = read_uint(data, offset, 2, "checksum")
+            computed = crc16_ccitt(bytes(data[:offset]))
+            if stated != computed:
+                raise ChecksumError(
+                    f"CRC mismatch: stated 0x{stated:04x}, "
+                    f"computed 0x{computed:04x}"
+                )
+            offset = new_offset
+
+        message = DataMessage(
+            stream_id=StreamId.from_word(stream_word),
+            sequence=sequence,
+            payload=payload,
+            fused=bool(flags & HeaderFlags.FUSED),
+            encrypted=bool(flags & HeaderFlags.ENCRYPTED),
+            ack_request_id=ack_request_id,
+            hop_count=hop_count,
+            extensions=tuple(extensions),
+            version=version,
+        )
+        return message, offset
+
+
+def make_request_status_extension(request_id: int, status: int) -> bytes:
+    """Encode a :data:`ExtensionType.REQUEST_STATUS` extension value."""
+    check_range("request_id", request_id, 16)
+    check_range("status", status, 8)
+    return request_id.to_bytes(2, "big") + bytes([status])
+
+
+def parse_request_status_extension(value: bytes) -> tuple[int, int]:
+    """Decode a REQUEST_STATUS extension into ``(request_id, status)``."""
+    if len(value) != 3:
+        raise CodecError(
+            f"REQUEST_STATUS extension must be 3 bytes, got {len(value)}"
+        )
+    return int.from_bytes(value[:2], "big"), value[2]
+
+
+__all__ = [
+    "CHECKSUM_BYTES",
+    "DataMessage",
+    "ExtensionType",
+    "FIXED_HEADER_BYTES",
+    "MAX_EXTENSIONS",
+    "MAX_EXTENSION_VALUE_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "MAX_SEQUENCE",
+    "MessageCodec",
+    "make_request_status_extension",
+    "parse_request_status_extension",
+]

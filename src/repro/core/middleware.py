@@ -1,0 +1,568 @@
+"""The Garnet facade: one object wiring every Figure 1 service together.
+
+``Garnet`` builds the whole deployment — simulation kernel, wireless
+medium, receiver/transmitter arrays, and all middleware services — and
+offers the high-level operations a deployment operator performs: defining
+sensor types, deploying sensors, admitting consumers, and running the
+simulation.
+
+It also owns the *control path* sequencing of Section 4.2: a consumer's
+stream update request goes Resource Manager (approval + mediation) →
+Actuation Service (timestamp, checksum, request id, retries) → Message
+Replicator (location lookup, transmitter selection) → Transmitters →
+sensor; the facade glues the approval to the issuance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.actuation import ActuationService
+from repro.core.config import GarnetConfig
+from repro.core.constraints import ConstraintSet
+from repro.core.consumer import Consumer
+from repro.core.control import StreamUpdateCommand
+from repro.core.coordinator import SuperCoordinator
+from repro.core.dispatching import DispatchingService
+from repro.core.filtering import FilteringService
+from repro.core.location import (
+    LOCATION_STREAM_KIND,
+    LocationPublisher,
+    LocationService,
+)
+from repro.core.message import MessageCodec
+from repro.core.orphanage import Orphanage
+from repro.core.pubsub import Broker
+from repro.core.replicator import MessageReplicator
+from repro.core.resource import (
+    Decision,
+    ResourceManager,
+    SensorTypeSpec,
+    StreamConfig,
+)
+from repro.core.security import AuthService, Permission, Token
+from repro.core.streamid import (
+    MAX_SENSOR_ID,
+    StreamId,
+    VIRTUAL_SENSOR_FLOOR,
+)
+from repro.core.streams import StreamRegistry
+from repro.errors import ConfigurationError, RegistrationError
+from repro.radio.array import ReceiverArray, TransmitterArray
+from repro.sensors.node import SensorNode, SensorStreamSpec
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.geometry import Point
+from repro.simnet.kernel import Simulator
+from repro.simnet.mobility import MobilityModel, Stationary
+from repro.simnet.wireless import WirelessMedium
+from repro.util.ids import IdPool
+
+#: Which command applies each configuration parameter on the wire.
+_PARAMETER_COMMANDS: dict[str, StreamUpdateCommand] = {
+    "rate": StreamUpdateCommand.SET_RATE,
+    "mode": StreamUpdateCommand.SET_MODE,
+    "precision": StreamUpdateCommand.SET_PRECISION,
+}
+
+
+class ControlPath:
+    """Glues Resource Manager approval to Actuation Service issuance."""
+
+    def __init__(
+        self, resource_manager: ResourceManager, actuation: ActuationService
+    ) -> None:
+        self._resource_manager = resource_manager
+        self._actuation = actuation
+        self._observers: list[Any] = []
+
+    def add_actuation_observer(self, observer) -> None:
+        """Observe actuation completions.
+
+        ``observer(stream_id, parameter, value, success)`` fires when a
+        request issued through this control path is acknowledged or gives
+        up; experiments use it to timestamp when a configuration change
+        actually landed on the sensor.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, stream_id: StreamId, pending, success: bool) -> None:
+        for observer in self._observers:
+            observer(stream_id, pending.parameter, pending.value, success)
+
+    def request_update(
+        self,
+        consumer: str,
+        stream_id: StreamId,
+        command: StreamUpdateCommand,
+        value: Any = None,
+        priority: int = 0,
+        token: Token | None = None,
+    ) -> Decision:
+        """The full Section 4.2 control sequence for one request."""
+        decision = self._resource_manager.request_update(
+            consumer=consumer,
+            stream_id=stream_id,
+            command=command,
+            value=value,
+            priority=priority,
+            token=token,
+        )
+        if decision.approved and decision.issue_actuation:
+            self._issue(stream_id, decision)
+        return decision
+
+    def release_demands(
+        self, consumer: str, stream_id: StreamId | None = None
+    ) -> int:
+        """Withdraw demands and actuate any resulting re-mediations."""
+        changes = self._resource_manager.release_demands(consumer, stream_id)
+        for sid, parameter, value in changes:
+            self._issue_parameter(sid, parameter, value)
+        return len(changes)
+
+    def _issue(self, stream_id: StreamId, decision: Decision) -> None:
+        if decision.parameter is None:
+            # PING and other parameterless commands go out verbatim.
+            self._actuation.issue(
+                stream_id,
+                StreamUpdateCommand.PING,
+                None,
+                parameter=None,
+                on_complete=lambda pending, ok: self._notify(
+                    stream_id, pending, ok
+                ),
+            )
+            return
+        self._issue_parameter(
+            stream_id, decision.parameter, decision.effective_value
+        )
+
+    def _issue_parameter(
+        self, stream_id: StreamId, parameter: str, value: Any
+    ) -> None:
+        if parameter == "enabled":
+            command = (
+                StreamUpdateCommand.ENABLE_STREAM
+                if value
+                else StreamUpdateCommand.DISABLE_STREAM
+            )
+        else:
+            command = _PARAMETER_COMMANDS[parameter]
+        self._actuation.issue(
+            stream_id,
+            command,
+            value,
+            parameter=parameter,
+            on_complete=lambda pending, ok: self._notify(
+                stream_id, pending, ok
+            ),
+        )
+
+
+@dataclass(slots=True)
+class ConsumerRuntime:
+    """Middleware access injected into each attached consumer."""
+
+    network: FixedNetwork
+    broker: Broker
+    control: ControlPath
+    _publisher_pool: IdPool
+
+    def allocate_publisher_id(self) -> int:
+        return self._publisher_pool.allocate()
+
+
+class Garnet:
+    """A complete simulated Garnet deployment.
+
+    Examples
+    --------
+    >>> from repro.core import Garnet
+    >>> deployment = Garnet(seed=42)
+    >>> deployment.sim.now
+    0.0
+    """
+
+    def __init__(
+        self, config: GarnetConfig | None = None, seed: int = 0
+    ) -> None:
+        self.config = (config or GarnetConfig()).validate()
+        cfg = self.config
+        self.sim = Simulator(seed=seed)
+        self.codec = MessageCodec(checksum=cfg.checksum)
+        self.network = FixedNetwork(
+            self.sim,
+            message_latency=cfg.message_latency,
+            rpc_latency=cfg.rpc_latency,
+        )
+        self.medium = WirelessMedium(
+            self.sim,
+            bitrate=cfg.bitrate,
+            loss_model=cfg.loss_model,
+            per_hop_latency=cfg.per_hop_latency,
+        )
+        self.registry = StreamRegistry()
+        self.auth = AuthService(cfg.deployment_secret)
+
+        # Data path services
+        self.filtering = FilteringService(
+            self.network,
+            self.registry,
+            window=cfg.filtering_window,
+            reorder_timeout=cfg.reorder_timeout,
+        )
+        self.dispatcher = DispatchingService(self.network, self.registry)
+        self.orphanage = Orphanage(
+            self.network, backlog_per_stream=cfg.orphanage_backlog
+        )
+        self.broker = Broker(
+            self.network, self.registry, self.dispatcher, self.auth
+        )
+        self.location = LocationService(
+            self.network,
+            decay_tau=cfg.location_decay_tau,
+            max_observations=cfg.location_max_observations,
+            min_confidence_radius=cfg.location_min_confidence_radius,
+        )
+
+        # Radio edge
+        self.receivers = ReceiverArray(
+            cfg.area,
+            cfg.receiver_rows,
+            cfg.receiver_cols,
+            medium=self.medium,
+            network=self.network,
+            codec=self.codec,
+            overlap=cfg.receiver_overlap,
+            location_service=self.location,
+        )
+        self.transmitters = TransmitterArray(
+            cfg.area,
+            cfg.transmitter_rows,
+            cfg.transmitter_cols,
+            medium=self.medium,
+            overlap=cfg.transmitter_overlap,
+        )
+
+        # Control path services
+        self.resource_manager = ResourceManager(
+            self.network,
+            auth=self.auth if cfg.require_auth else None,
+        )
+        self.actuation = ActuationService(
+            self.network,
+            resource_manager=self.resource_manager,
+            ack_timeout=cfg.ack_timeout,
+            max_attempts=cfg.ack_max_attempts,
+        )
+        self.replicator = MessageReplicator(
+            self.network, self.transmitters, margin=cfg.replicator_margin
+        )
+        self.coordinator = SuperCoordinator(
+            self.network,
+            resource_manager=self.resource_manager,
+            predictive=cfg.predictive_coordinator,
+            confidence_threshold=cfg.prediction_confidence,
+            lead_fraction=cfg.prediction_lead_fraction,
+        )
+        self.control = ControlPath(self.resource_manager, self.actuation)
+
+        self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
+        self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
+        self._sensors: dict[int, SensorNode] = {}
+        self._consumers: dict[str, Consumer] = {}
+
+        # Location data is itself a (restricted) data stream (Section 2):
+        # estimates are republished periodically under a derived StreamId
+        # whose required_permission keeps it away from consumers without
+        # LOCATION rights.
+        self.location_publisher: LocationPublisher | None = None
+        if cfg.publish_location_stream:
+            location_stream = StreamId(self._publisher_ids.allocate(), 0)
+            self.registry.advertise(
+                location_stream,
+                kind=LOCATION_STREAM_KIND,
+                publisher="garnet.location",
+                attributes={"required_permission": Permission.LOCATION},
+            )
+            self.location_publisher = LocationPublisher(
+                self.network,
+                self.location,
+                location_stream,
+                period=cfg.location_stream_period,
+            )
+
+    # ------------------------------------------------------------------
+    # Identity & types
+    # ------------------------------------------------------------------
+    def issue_token(
+        self, principal: str, permissions: Permission | None = None
+    ) -> Token:
+        """Issue an access token (standard consumer rights by default)."""
+        return self.auth.issue(
+            principal,
+            permissions
+            if permissions is not None
+            else Permission.standard_consumer(),
+        )
+
+    def define_sensor_type(
+        self,
+        name: str,
+        constraints: dict[str, str] | ConstraintSet | None = None,
+        default_config: StreamConfig | None = None,
+        actuatable: bool = True,
+    ) -> SensorTypeSpec:
+        """Register a sensor model with its constraint set."""
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet(constraints)
+        spec = SensorTypeSpec(
+            name=name,
+            constraints=constraints,
+            default_config=default_config or StreamConfig(),
+            actuatable=actuatable,
+        )
+        self.resource_manager.register_sensor_type(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def add_sensor(
+        self,
+        type_name: str,
+        streams: list[SensorStreamSpec],
+        mobility: MobilityModel | Point | None = None,
+        sensor_id: int | None = None,
+        tx_range: float | None = None,
+        receive_capable: bool = True,
+        relay: bool = False,
+        battery=None,
+        energy_model=None,
+        cipher=None,
+        attach_timestamps: bool = False,
+        start: bool = True,
+    ) -> SensorNode:
+        """Deploy one sensor into the field and register it everywhere.
+
+        ``mobility`` may be a :class:`MobilityModel`, a fixed
+        :class:`Point`, or None (stationary at the area centre). The
+        default transmit range is 1.2x the receiver zone radius so nodes
+        inside the field are heard by overlapping receivers.
+        """
+        if sensor_id is None:
+            sensor_id = self._sensor_ids.allocate()
+        else:
+            self._sensor_ids.reserve(sensor_id)
+        if mobility is None:
+            mobility = Stationary(self.config.area.center)
+        elif isinstance(mobility, Point):
+            mobility = Stationary(mobility)
+        if tx_range is None:
+            tx_range = self.receivers.reception_range * 1.2
+        if tx_range <= 0:
+            raise ConfigurationError("tx_range must be positive")
+        node = SensorNode(
+            sensor_id=sensor_id,
+            sim=self.sim,
+            medium=self.medium,
+            mobility=mobility,
+            streams=streams,
+            message_codec=self.codec,
+            tx_range=tx_range,
+            receive_capable=receive_capable,
+            relay=relay,
+            battery=battery,
+            energy_model=energy_model,
+            cipher=cipher,
+            attach_timestamps=attach_timestamps,
+        )
+        self._sensors[sensor_id] = node
+        self.resource_manager.register_sensor(
+            sensor_id,
+            type_name,
+            stream_indexes=tuple(
+                spec.stream_index for spec in streams
+            ),
+        )
+        for spec in streams:
+            if spec.kind:
+                self.registry.advertise(
+                    StreamId(sensor_id, spec.stream_index),
+                    kind=spec.kind,
+                    encrypted=cipher is not None,
+                )
+        if start:
+            node.start()
+        return node
+
+    def sensor(self, sensor_id: int) -> SensorNode:
+        try:
+            return self._sensors[sensor_id]
+        except KeyError as exc:
+            raise RegistrationError(f"unknown sensor {sensor_id}") from exc
+
+    def sensors(self) -> list[SensorNode]:
+        return [self._sensors[sid] for sid in sorted(self._sensors)]
+
+    def add_consumer(
+        self,
+        consumer: Consumer,
+        token: Token | None = None,
+        permissions: Permission | None = None,
+    ) -> Consumer:
+        """Admit a consumer process: inbox, registration, ``on_start``."""
+        if consumer.name in self._consumers:
+            raise RegistrationError(
+                f"consumer {consumer.name!r} already added"
+            )
+        if token is None:
+            token = self.issue_token(consumer.name, permissions)
+        self.network.register_inbox(consumer.endpoint, consumer._deliver)
+        runtime = ConsumerRuntime(
+            network=self.network,
+            broker=self.broker,
+            control=self.control,
+            _publisher_pool=self._publisher_ids,
+        )
+        consumer._attach(runtime, token)
+        self.broker.register_consumer(token, consumer.endpoint)
+        self._consumers[consumer.name] = consumer
+        consumer.on_start()
+        return consumer
+
+    def claim_orphans(
+        self, consumer: Consumer, kind: str | None = None
+    ) -> int:
+        """Replay and release orphaned backlogs matching the consumer.
+
+        For every stream the Orphanage currently holds whose advertised
+        kind matches ``kind`` (all orphan streams when None), the
+        retained backlog is replayed to ``consumer``'s inbox and the
+        orphan state discarded — the catch-up move a late subscriber
+        performs after its subscription is installed (Section 4.2's
+        "potentially stored" data put to use). Returns the number of
+        messages replayed.
+        """
+        if self._consumers.get(consumer.name) is not consumer:
+            raise RegistrationError(
+                f"consumer {consumer.name!r} is not part of this deployment"
+            )
+        replayed = 0
+        for stream_id in list(self.orphanage.orphan_streams()):
+            if kind is not None:
+                descriptor = self.registry.find(stream_id)
+                stream_kind = descriptor.kind if descriptor else ""
+                if not (
+                    stream_kind == kind
+                    or (kind.endswith("*") and stream_kind.startswith(kind[:-1]))
+                ):
+                    continue
+            replayed += self.orphanage.replay(stream_id, consumer.endpoint)
+            self.orphanage.discard(stream_id)
+        self.dispatcher.invalidate_routes()
+        return replayed
+
+    def remove_consumer(self, consumer: Consumer) -> None:
+        """Retire a consumer: demands released, subscriptions dropped."""
+        if self._consumers.get(consumer.name) is not consumer:
+            raise RegistrationError(
+                f"consumer {consumer.name!r} is not part of this deployment"
+            )
+        self.control.release_demands(consumer.name)
+        self.dispatcher.remove_endpoint(consumer.endpoint)
+        self.network.unregister_inbox(consumer.endpoint)
+        del self._consumers[consumer.name]
+
+    # ------------------------------------------------------------------
+    # Execution & reporting
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the deployment by ``duration`` simulated seconds."""
+        if duration < 0:
+            raise ConfigurationError("duration must be non-negative")
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_idle(self, max_events: int | None = None) -> None:
+        """Drain every pending event (sensors stopped beforehand)."""
+        self.sim.run(max_events=max_events)
+
+    def report(self) -> str:
+        """A multi-line operations report across every service.
+
+        The human-readable counterpart of :meth:`summary`, suitable for
+        logging at the end of a run or printing from an operator shell.
+        """
+        lines = [f"Garnet deployment report @ t={self.sim.now:.1f}s"]
+        lines.append(
+            f"  field    : {len(self._sensors)} sensors "
+            f"({sum(1 for n in self._sensors.values() if n.alive)} alive), "
+            f"{len(self.receivers)} receivers, "
+            f"{len(self.transmitters)} transmitters"
+        )
+        medium = self.medium.stats
+        lines.append(
+            f"  radio    : {medium.transmissions} transmissions, "
+            f"{medium.deliveries} deliveries, {medium.losses} lost, "
+            f"{medium.bytes_sent} B sent"
+        )
+        filtering = self.filtering.stats
+        lines.append(
+            f"  filtering: {filtering.received} received -> "
+            f"{filtering.delivered} delivered "
+            f"({filtering.duplicates} duplicates, {filtering.stale} stale, "
+            f"{filtering.acks_extracted} acks extracted)"
+        )
+        dispatch = self.dispatcher.stats
+        lines.append(
+            f"  dispatch : {dispatch.deliveries} deliveries to "
+            f"{len(self._consumers)} consumers "
+            f"({self.dispatcher.subscription_count()} subscriptions, "
+            f"{dispatch.orphaned} orphaned)"
+        )
+        actuation = self.actuation.stats
+        lines.append(
+            f"  actuation: {actuation.issued} issued, "
+            f"{actuation.acknowledged} acknowledged, "
+            f"{actuation.failed} failed, "
+            f"{actuation.retransmissions} retransmissions"
+        )
+        lines.append(
+            f"  location : {self.location.observations_received} "
+            f"observations, {self.location.hints_received} hints, "
+            f"{len(self.location.known_sensors())} sensors localised"
+        )
+        coordinator = self.coordinator.stats
+        lines.append(
+            f"  coord    : {coordinator.reports} reports, "
+            f"{coordinator.reactive_actions} reactive / "
+            f"{coordinator.predictive_actions} predictive actions, "
+            f"{coordinator.policy_changes} policy changes"
+        )
+        lines.append(
+            f"  streams  : {len(self.registry)} known, "
+            f"{len(self.orphanage.orphan_streams())} orphaned "
+            f"({self.orphanage.total_received} orphan messages)"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        """Cross-service counters for experiment reporting."""
+        return {
+            "time": self.sim.now,
+            "radio.transmissions": float(self.medium.stats.transmissions),
+            "radio.deliveries": float(self.medium.stats.deliveries),
+            "radio.losses": float(self.medium.stats.losses),
+            "filtering.received": float(self.filtering.stats.received),
+            "filtering.delivered": float(self.filtering.stats.delivered),
+            "filtering.duplicates": float(self.filtering.stats.duplicates),
+            "dispatch.deliveries": float(self.dispatcher.stats.deliveries),
+            "dispatch.orphaned": float(self.dispatcher.stats.orphaned),
+            "actuation.issued": float(self.actuation.stats.issued),
+            "actuation.acknowledged": float(
+                self.actuation.stats.acknowledged
+            ),
+            "actuation.failed": float(self.actuation.stats.failed),
+            "orphanage.received": float(self.orphanage.total_received),
+        }

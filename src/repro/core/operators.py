@@ -1,0 +1,299 @@
+"""Stream operators: ready-made multi-level consumers.
+
+Section 4.2 envisages "multi-level data consumption where each layer
+offers increasingly enhanced services to successive levels" building "an
+arbitrarily rich application infrastructure". These operator consumers
+are the building blocks: each subscribes to input streams, transforms,
+and republishes a derived stream. Chains and DAGs of them exercise the
+same publish/subscribe machinery as hand-written applications.
+
+All operators assume the standard sample payload format of
+:class:`repro.sensors.sampling.SampleCodec` (opaque to the middleware,
+shared by producer and consumer as Section 4.3 intends); undecodable
+payloads are counted and skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.core.consumer import Consumer
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.errors import CodecError
+from repro.sensors.sampling import Sample, SampleCodec
+
+
+class _SampleOperator(Consumer):
+    """Shared plumbing: decode inputs, publish transformed samples."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: SubscriptionPattern,
+        input_codec: SampleCodec,
+        output_codec: SampleCodec,
+        output_kind: str,
+        output_stream_index: int = 0,
+        output_precision: int = 16,
+    ) -> None:
+        super().__init__(name)
+        self._pattern = pattern
+        self._input_codec = input_codec
+        self._output_codec = output_codec
+        self._output_kind = output_kind
+        self._output_stream_index = output_stream_index
+        self._output_precision = output_precision
+        self.decode_failures = 0
+
+    def on_start(self) -> None:
+        self.subscribe(self._pattern)
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        try:
+            sample = self._input_codec.decode(arrival.message.payload)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        self.process(arrival, sample)
+
+    def process(self, arrival: StreamArrival, sample: Sample) -> None:
+        raise NotImplementedError
+
+    def emit(self, time_us: int, value: float, fused: bool = False) -> None:
+        payload = self._output_codec.encode(
+            time_us, value, self._output_precision
+        )
+        self.publish(
+            self._output_stream_index,
+            payload,
+            kind=self._output_kind,
+            fused=fused,
+        )
+
+    def emit_fused(
+        self, time_us: int, value: float, source_count: int
+    ) -> None:
+        """Emit a fused sample carrying a FUSION_COUNT extension
+        (Section 4.3: the header flags fused data; the extension says
+        how many source readings went in)."""
+        from repro.core.flags import ExtensionType
+
+        payload = self._output_codec.encode(
+            time_us, value, self._output_precision
+        )
+        self.publish(
+            self._output_stream_index,
+            payload,
+            kind=self._output_kind,
+            fused=True,
+            extensions=(
+                (
+                    int(ExtensionType.FUSION_COUNT),
+                    min(source_count, 0xFFFF).to_bytes(2, "big"),
+                ),
+            ),
+        )
+
+
+class MapOperator(_SampleOperator):
+    """Applies ``fn(value) -> value`` to every sample (unit conversion,
+    calibration, scaling...)."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: SubscriptionPattern,
+        fn: Callable[[float], float],
+        input_codec: SampleCodec,
+        output_codec: SampleCodec,
+        output_kind: str,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            name, pattern, input_codec, output_codec, output_kind, **kwargs
+        )
+        self._fn = fn
+
+    def process(self, arrival: StreamArrival, sample: Sample) -> None:
+        self.emit(sample.time_us, self._fn(sample.value))
+
+
+class FilterOperator(_SampleOperator):
+    """Forwards only samples where ``predicate(value)`` holds."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: SubscriptionPattern,
+        predicate: Callable[[float], bool],
+        input_codec: SampleCodec,
+        output_codec: SampleCodec,
+        output_kind: str,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            name, pattern, input_codec, output_codec, output_kind, **kwargs
+        )
+        self._predicate = predicate
+        self.dropped = 0
+
+    def process(self, arrival: StreamArrival, sample: Sample) -> None:
+        if self._predicate(sample.value):
+            self.emit(sample.time_us, sample.value)
+        else:
+            self.dropped += 1
+
+
+class WindowAggregator(_SampleOperator):
+    """Sliding-count-window aggregate (mean/min/max/...) per input stream.
+
+    Emits one derived sample per ``stride`` inputs once the window fills,
+    with the ``fused`` header flag set (Section 4.3 flags fused data).
+    """
+
+    AGGREGATES: dict[str, Callable[[list[float]], float]] = {
+        "mean": lambda xs: sum(xs) / len(xs),
+        "min": min,
+        "max": max,
+        "sum": sum,
+        "range": lambda xs: max(xs) - min(xs),
+    }
+
+    def __init__(
+        self,
+        name: str,
+        pattern: SubscriptionPattern,
+        window: int,
+        aggregate: str,
+        input_codec: SampleCodec,
+        output_codec: SampleCodec,
+        output_kind: str,
+        stride: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            name, pattern, input_codec, output_codec, output_kind, **kwargs
+        )
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        if aggregate not in self.AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; "
+                f"available: {sorted(self.AGGREGATES)}"
+            )
+        self._window = window
+        self._stride = stride
+        self._fn = self.AGGREGATES[aggregate]
+        self._buffers: dict[int, deque[float]] = {}
+        self._since_emit: dict[int, int] = {}
+
+    def process(self, arrival: StreamArrival, sample: Sample) -> None:
+        key = arrival.message.stream_id.pack()
+        buffer = self._buffers.setdefault(key, deque(maxlen=self._window))
+        buffer.append(sample.value)
+        count = self._since_emit.get(key, 0) + 1
+        if len(buffer) == self._window and count >= self._stride:
+            self._since_emit[key] = 0
+            self.emit_fused(
+                sample.time_us, self._fn(list(buffer)), self._window
+            )
+        else:
+            self._since_emit[key] = count
+
+
+class FusionOperator(Consumer):
+    """Fuses the latest sample from several input streams into one value.
+
+    Emits whenever every input has reported at least once and any input
+    updates — e.g. averaging the water-level readings of all gauges in a
+    river reach. Demonstrates fan-in in the consumer graph.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        patterns: list[SubscriptionPattern],
+        fuse: Callable[[list[float]], float],
+        input_codec: SampleCodec,
+        output_codec: SampleCodec,
+        output_kind: str,
+        min_inputs: int = 2,
+        output_stream_index: int = 0,
+        output_precision: int = 16,
+    ) -> None:
+        super().__init__(name)
+        if min_inputs < 1:
+            raise ValueError("min_inputs must be at least 1")
+        self._patterns = patterns
+        self._fuse = fuse
+        self._input_codec = input_codec
+        self._output_codec = output_codec
+        self._output_kind = output_kind
+        self._min_inputs = min_inputs
+        self._output_stream_index = output_stream_index
+        self._output_precision = output_precision
+        self._latest: dict[int, float] = {}
+        self.decode_failures = 0
+
+    def on_start(self) -> None:
+        for pattern in self._patterns:
+            self.subscribe(pattern)
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        try:
+            sample = self._input_codec.decode(arrival.message.payload)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        self._latest[arrival.message.stream_id.pack()] = sample.value
+        if len(self._latest) >= self._min_inputs:
+            fused_value = self._fuse(list(self._latest.values()))
+            payload = self._output_codec.encode(
+                sample.time_us, fused_value, self._output_precision
+            )
+            self.publish(
+                self._output_stream_index,
+                payload,
+                kind=self._output_kind,
+                fused=True,
+            )
+
+
+class CollectingConsumer(Consumer):
+    """A terminal consumer that simply records what it receives.
+
+    The workhorse of tests and benchmarks: subscribe it anywhere and
+    inspect ``arrivals`` / ``values`` afterwards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: SubscriptionPattern | None = None,
+        codec: SampleCodec | None = None,
+        max_kept: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        self._pattern = pattern
+        self._codec = codec
+        self.arrivals: deque[StreamArrival] = deque(maxlen=max_kept)
+        self.values: deque[float] = deque(maxlen=max_kept)
+        self.decode_failures = 0
+
+    def on_start(self) -> None:
+        if self._pattern is not None:
+            self.subscribe(self._pattern)
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        self.arrivals.append(arrival)
+        if self._codec is not None:
+            try:
+                sample = self._codec.decode(arrival.message.payload)
+            except CodecError:
+                self.decode_failures += 1
+                return
+            self.values.append(sample.value)

@@ -1,0 +1,238 @@
+"""The pub/sub broker: advertising, discovery, registration, authentication.
+
+Section 3: "the data is consumed by applications which use typical
+advertising, discovery, registration, authentication and publish/subscribe
+mechanisms to identify, subscribe to, and receive data streams of
+interest." The broker is the front door implementing all five:
+
+- **registration/authentication** — consumers present an
+  :class:`~repro.core.security.AuthService` token and register their
+  fixed-network endpoint;
+- **advertising** — publishers attach metadata (a kind tag, attributes,
+  encryption marker) to streams; the Dispatching Service also auto-
+  advertises streams first seen as raw data;
+- **discovery** — consumers query advertised metadata, never payloads;
+- **publish/subscribe** — subscriptions (exact or pattern) are installed
+  into the Dispatching Service, which owns the data path.
+
+Consumers remain mutually unaware: nothing the broker exposes reveals who
+else is subscribed (Section 2, "consumer processes are mutually unaware").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.dispatching import (
+    BROKER_INBOX,
+    DispatchingService,
+    SubscriptionPattern,
+)
+from repro.core.envelopes import StreamAdvertisement
+from repro.core.security import AuthService, Permission, Token
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamDescriptor, StreamRegistry
+from repro.errors import RegistrationError, SubscriptionError
+from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
+
+SERVICE_NAME = "garnet.broker"
+
+
+@dataclass(slots=True)
+class BrokerStats:
+    registrations: int = 0
+    advertisements: int = 0
+    discoveries: int = 0
+    subscriptions: int = 0
+    unsubscriptions: int = 0
+
+
+class Broker(RpcEndpoint):
+    """Authenticated front door to Garnet's stream catalogue and data path."""
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        registry: StreamRegistry,
+        dispatcher: DispatchingService,
+        auth: AuthService,
+    ) -> None:
+        self._network = network
+        self._registry = registry
+        self._dispatcher = dispatcher
+        self._auth = auth
+        self._endpoints: dict[str, str] = {}  # endpoint -> principal
+        self._permissions: dict[str, Permission] = {}  # endpoint -> perms
+        self._watchers: list[Callable[[StreamAdvertisement], None]] = []
+        self.stats = BrokerStats()
+        network.register_inbox(BROKER_INBOX, self._on_advertisement)
+        network.register_service(SERVICE_NAME, self)
+        dispatcher.set_route_guard(self._route_guard)
+
+    def _route_guard(self, endpoint: str, descriptor) -> bool:
+        """Data-path permission check for restricted streams.
+
+        A stream advertised with a ``required_permission`` attribute (the
+        location stream is the canonical case, Section 2) is only
+        delivered to endpoints whose registration token carries that
+        permission.
+        """
+        required = descriptor.attributes.get("required_permission")
+        if required is None:
+            return True
+        held = self._permissions.get(endpoint, Permission.NONE)
+        return held & required == required
+
+    # ------------------------------------------------------------------
+    # Registration & authentication
+    # ------------------------------------------------------------------
+    def register_consumer(self, token: Token, endpoint: str) -> str:
+        """Bind a consumer's fixed-network endpoint to its identity."""
+        principal = self._auth.require(token, Permission.SUBSCRIBE)
+        if not self._network.has_inbox(endpoint):
+            raise RegistrationError(
+                f"endpoint {endpoint!r} has no inbox on the fixed network"
+            )
+        existing = self._endpoints.get(endpoint)
+        if existing is not None and existing != principal:
+            raise RegistrationError(
+                f"endpoint {endpoint!r} already bound to {existing!r}"
+            )
+        self._endpoints[endpoint] = principal
+        self._permissions[endpoint] = token.permissions
+        self._dispatcher.invalidate_routes()
+        self.stats.registrations += 1
+        return principal
+
+    def deregister_consumer(self, token: Token, endpoint: str) -> int:
+        """Unbind an endpoint and drop all its subscriptions."""
+        principal = self._auth.require(token, Permission.SUBSCRIBE)
+        self._require_owner(principal, endpoint)
+        del self._endpoints[endpoint]
+        self._permissions.pop(endpoint, None)
+        self._dispatcher.invalidate_routes()
+        return self._dispatcher.remove_endpoint(endpoint)
+
+    def _require_owner(self, principal: str, endpoint: str) -> None:
+        owner = self._endpoints.get(endpoint)
+        if owner is None:
+            raise RegistrationError(f"endpoint {endpoint!r} is not registered")
+        if owner != principal:
+            raise RegistrationError(
+                f"endpoint {endpoint!r} belongs to {owner!r}, not {principal!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Advertising & discovery
+    # ------------------------------------------------------------------
+    def advertise(
+        self,
+        token: Token,
+        stream_id: StreamId,
+        kind: str,
+        encrypted: bool = False,
+        attributes: dict | None = None,
+    ) -> StreamDescriptor:
+        """Attach metadata to a stream (requires PUBLISH)."""
+        principal = self._auth.require(token, Permission.PUBLISH)
+        descriptor = self._registry.advertise(
+            stream_id,
+            kind=kind,
+            publisher=principal,
+            encrypted=encrypted,
+            attributes=attributes,
+        )
+        self._dispatcher.invalidate_routes(stream_id)
+        self.stats.advertisements += 1
+        notice = StreamAdvertisement(
+            stream_id=stream_id,
+            kind=kind,
+            encrypted=encrypted,
+            advertised_at=self._network.sim.now,
+        )
+        self._notify_watchers(notice)
+        return descriptor
+
+    def discover(
+        self,
+        token: Token,
+        kind: str | None = None,
+        sensor_id: int | None = None,
+        derived: bool | None = None,
+    ) -> list[StreamDescriptor]:
+        """Query advertised streams by metadata (requires SUBSCRIBE)."""
+        self._auth.require(token, Permission.SUBSCRIBE)
+        self.stats.discoveries += 1
+        return self._registry.match(
+            kind=kind, sensor_id=sensor_id, derived=derived
+        )
+
+    def watch_advertisements(
+        self, token: Token, callback: Callable[[StreamAdvertisement], None]
+    ) -> None:
+        """Be notified of every future advertisement (requires SUBSCRIBE)."""
+        self._auth.require(token, Permission.SUBSCRIBE)
+        self._watchers.append(callback)
+
+    def _on_advertisement(self, notice: StreamAdvertisement) -> None:
+        # Auto-advertisements from the Dispatching Service for streams
+        # first seen as arriving data.
+        self.stats.advertisements += 1
+        self._notify_watchers(notice)
+
+    def _notify_watchers(self, notice: StreamAdvertisement) -> None:
+        for watcher in self._watchers:
+            watcher(notice)
+
+    # ------------------------------------------------------------------
+    # Publish/subscribe
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, token: Token, endpoint: str, pattern: SubscriptionPattern
+    ) -> int:
+        """Install a subscription routing matching streams to ``endpoint``."""
+        principal = self._auth.require(token, Permission.SUBSCRIBE)
+        self._require_owner(principal, endpoint)
+        if not isinstance(pattern, SubscriptionPattern):
+            raise SubscriptionError(
+                f"pattern must be a SubscriptionPattern, got {type(pattern)!r}"
+            )
+        subscription_id = self._dispatcher.add_subscription(endpoint, pattern)
+        self.stats.subscriptions += 1
+        return subscription_id
+
+    def subscribe_stream(
+        self, token: Token, endpoint: str, stream_id: StreamId
+    ) -> int:
+        """Convenience: subscribe to exactly one stream."""
+        return self.subscribe(
+            token, endpoint, SubscriptionPattern(stream_id=stream_id)
+        )
+
+    def unsubscribe(self, token: Token, subscription_id: int) -> None:
+        self._auth.require(token, Permission.SUBSCRIBE)
+        self._dispatcher.remove_subscription(subscription_id)
+        self.stats.unsubscriptions += 1
+
+    # ------------------------------------------------------------------
+    # RPC surface (Figure 1 shows consumers reaching services by RPC)
+    # ------------------------------------------------------------------
+    def rpc_register_consumer(self, token: Token, endpoint: str) -> str:
+        return self.register_consumer(token, endpoint)
+
+    def rpc_discover(self, token: Token, **query) -> list[StreamDescriptor]:
+        return self.discover(token, **query)
+
+    def rpc_subscribe(
+        self, token: Token, endpoint: str, pattern: SubscriptionPattern
+    ) -> int:
+        return self.subscribe(token, endpoint, pattern)
+
+    def rpc_unsubscribe(self, token: Token, subscription_id: int) -> None:
+        self.unsubscribe(token, subscription_id)
+
+    def rpc_advertise(
+        self, token: Token, stream_id: StreamId, kind: str, **kwargs
+    ) -> StreamDescriptor:
+        return self.advertise(token, stream_id, kind, **kwargs)

@@ -1,0 +1,81 @@
+"""The Message Replicator: location-targeted control broadcast.
+
+Section 4.2: "The Message Replicator determines the expected location
+area of the target sensor. Based on the location area, the appropriate
+set of Transmitters broadcast the request, whereupon it may be received
+by the sensor node."
+
+The replicator queries the Location Service (the "lookup" arrow of
+Figure 1), pads the returned confidence area by a safety margin (the
+sensor keeps moving between estimate and broadcast), and hands the frame
+to every transmitter whose footprint intersects the padded area. With no
+usable estimate it floods all transmitters — correctness over economy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.envelopes import TransmitOrder
+from repro.core.location import SERVICE_NAME as LOCATION_SERVICE
+from repro.core.location import LocationEstimate
+from repro.radio.array import TransmitterArray
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.geometry import Circle
+
+INBOX = "garnet.replicator"
+
+
+@dataclass(slots=True)
+class ReplicatorStats:
+    orders: int = 0
+    targeted: int = 0
+    flooded: int = 0
+    transmitters_used: int = 0
+
+    @property
+    def mean_transmitters_per_order(self) -> float:
+        if self.orders == 0:
+            return 0.0
+        return self.transmitters_used / self.orders
+
+
+class MessageReplicator:
+    """Turns transmit orders into minimal transmitter broadcasts."""
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        transmitters: TransmitterArray,
+        margin: float = 25.0,
+    ) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self._network = network
+        self._transmitters = transmitters
+        self._margin = margin
+        self.stats = ReplicatorStats()
+        network.register_inbox(INBOX, self.on_order)
+
+    def on_order(self, order: TransmitOrder) -> None:
+        self.stats.orders += 1
+        estimate = self._lookup(order.target_sensor_id)
+        if estimate is None:
+            self.stats.flooded += 1
+            used = self._transmitters.broadcast_all(order.frame)
+        else:
+            self.stats.targeted += 1
+            area = Circle(
+                estimate.position,
+                estimate.confidence_radius + self._margin,
+            )
+            used = self._transmitters.broadcast_to_area(order.frame, area)
+        self.stats.transmitters_used += used
+
+    def _lookup(self, sensor_id: int) -> LocationEstimate | None:
+        # Figure 1 draws this as a synchronous lookup; the estimate and
+        # broadcast must not be separated by queueing delay or the target
+        # area goes stale.
+        return self._network.call_sync(
+            LOCATION_SERVICE, "estimate", sensor_id
+        )

@@ -1,0 +1,431 @@
+"""The Resource Manager: admission control over the sensor field.
+
+Section 4.2: "a pathway exists for consumer processes to transmit control
+messages to sensors in a location-neutral manner. First, approval is
+sought from the Resource Manager which exercises control over the
+permissible actions which a set of consumers may request."
+
+Section 6: "The resource manager acquires an approximate overview of the
+sensors' configuration. This allows admission control decisions to be
+made, and is necessary given the potential for conflicting consumer
+requests."
+
+The manager therefore keeps three bodies of state:
+
+1. **sensor types** — each with a :class:`~repro.core.constraints.ConstraintSet`
+   limiting legal configurations (the Section 8 constraint language);
+2. **an approximate configuration overview** — the *believed* current
+   configuration of every registered stream, updated optimistically when
+   a request is issued and confirmed when the sensor acknowledges (it is
+   approximate precisely because the wireless path may drop requests);
+3. **standing demands** — each consumer's latest wish per parameter,
+   mediated into one effective value by the active
+   :class:`~repro.core.conflicts.MediationPolicy` (swappable at run time
+   by the Super Coordinator — Figure 1's "Resource Strategy" arrow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.conflicts import Demand, MediationPolicy, PriorityWins
+from repro.core.constraints import ConstraintSet
+from repro.core.control import StreamUpdateCommand
+from repro.core.security import AuthService, Permission, Token
+from repro.core.streamid import StreamId
+from repro.errors import AdmissionError, RegistrationError
+from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
+
+SERVICE_NAME = "garnet.resource_manager"
+
+#: Which configuration parameter each actuation command drives.
+COMMAND_PARAMETERS: dict[StreamUpdateCommand, str] = {
+    StreamUpdateCommand.SET_RATE: "rate",
+    StreamUpdateCommand.SET_MODE: "mode",
+    StreamUpdateCommand.ENABLE_STREAM: "enabled",
+    StreamUpdateCommand.DISABLE_STREAM: "enabled",
+    StreamUpdateCommand.SET_PRECISION: "precision",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """One internal stream's configuration, as the middleware believes it."""
+
+    rate: float = 1.0
+    mode: Any = "normal"
+    enabled: bool = True
+    precision: int = 16
+
+    def as_environment(self) -> dict[str, Any]:
+        """The variable bindings constraint expressions evaluate against."""
+        return {
+            "rate": self.rate,
+            "mode": self.mode,
+            "enabled": self.enabled,
+            "precision": self.precision,
+        }
+
+    def with_parameter(self, parameter: str, value: Any) -> "StreamConfig":
+        if parameter not in ("rate", "mode", "enabled", "precision"):
+            raise AdmissionError(f"unknown parameter {parameter!r}")
+        return replace(self, **{parameter: value})
+
+
+@dataclass(frozen=True, slots=True)
+class SensorTypeSpec:
+    """Capabilities and limits of one sensor model."""
+
+    name: str
+    constraints: ConstraintSet
+    default_config: StreamConfig = field(default_factory=StreamConfig)
+    actuatable: bool = True
+    """False for transmit-only sensors: every update request is refused,
+    which is how simple and sophisticated sensors coexist (Section 5)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The Resource Manager's verdict on one stream update request."""
+
+    approved: bool
+    consumer: str
+    stream_id: StreamId
+    parameter: str | None
+    requested_value: Any
+    effective_value: Any = None
+    """What the sensor will actually be asked for after mediation — may
+    differ from the requested value when other demands win."""
+
+    reason: str = ""
+    violations: tuple[str, ...] = ()
+    issue_actuation: bool = False
+    """True when the mediated value differs from the believed config and
+    a control message should be sent toward the sensor."""
+
+
+@dataclass(slots=True)
+class ResourceStats:
+    requests: int = 0
+    approved: int = 0
+    denied_constraint: int = 0
+    denied_conflict: int = 0
+    denied_capability: int = 0
+    actuations_issued: int = 0
+    policy_changes: int = 0
+
+
+@dataclass(slots=True)
+class _StreamState:
+    config: StreamConfig
+    pending: dict[str, Any] = field(default_factory=dict)
+    demands: dict[tuple[str, str], Demand] = field(default_factory=dict)
+    """(consumer, parameter) -> latest standing demand."""
+
+
+class ResourceManager(RpcEndpoint):
+    """Admission control + conflict mediation for the actuation path."""
+
+    def __init__(
+        self,
+        network: FixedNetwork,
+        auth: AuthService | None = None,
+        default_policy: MediationPolicy | None = None,
+    ) -> None:
+        self._network = network
+        self._auth = auth
+        self._default_policy = default_policy or PriorityWins()
+        self._parameter_policies: dict[str, MediationPolicy] = {}
+        self._types: dict[str, SensorTypeSpec] = {}
+        self._sensor_types: dict[int, str] = {}
+        self._streams: dict[StreamId, _StreamState] = {}
+        self.stats = ResourceStats()
+        network.register_service(SERVICE_NAME, self)
+
+    # ------------------------------------------------------------------
+    # Sensor field registration
+    # ------------------------------------------------------------------
+    def register_sensor_type(self, spec: SensorTypeSpec) -> None:
+        if spec.name in self._types:
+            raise RegistrationError(f"sensor type {spec.name!r} exists")
+        self._types[spec.name] = spec
+
+    def register_sensor(
+        self,
+        sensor_id: int,
+        type_name: str,
+        stream_indexes: tuple[int, ...] = (0,),
+    ) -> None:
+        """Admit a deployed sensor into the configuration overview."""
+        spec = self._types.get(type_name)
+        if spec is None:
+            raise RegistrationError(f"unknown sensor type {type_name!r}")
+        if sensor_id in self._sensor_types:
+            raise RegistrationError(f"sensor {sensor_id} already registered")
+        self._sensor_types[sensor_id] = type_name
+        for index in stream_indexes:
+            self._streams[StreamId(sensor_id, index)] = _StreamState(
+                config=spec.default_config
+            )
+
+    def sensor_type_of(self, sensor_id: int) -> SensorTypeSpec | None:
+        name = self._sensor_types.get(sensor_id)
+        return self._types.get(name) if name is not None else None
+
+    # ------------------------------------------------------------------
+    # Policy control (invoked by the Super Coordinator)
+    # ------------------------------------------------------------------
+    def set_policy(
+        self, policy: MediationPolicy, parameter: str | None = None
+    ) -> None:
+        """Swap the mediation policy, globally or for one parameter."""
+        if parameter is None:
+            self._default_policy = policy
+        else:
+            self._parameter_policies[parameter] = policy
+        self.stats.policy_changes += 1
+
+    def policy_for(self, parameter: str) -> MediationPolicy:
+        return self._parameter_policies.get(parameter, self._default_policy)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def request_update(
+        self,
+        consumer: str,
+        stream_id: StreamId,
+        command: StreamUpdateCommand,
+        value: Any = None,
+        priority: int = 0,
+        token: Token | None = None,
+    ) -> Decision:
+        """Vet one stream update request; the heart of the control path.
+
+        When an :class:`~repro.core.security.AuthService` was supplied,
+        ``token`` must carry the ``ACTUATE`` permission.
+        """
+        if self._auth is not None:
+            consumer = self._auth.require(token, Permission.ACTUATE)
+        self.stats.requests += 1
+
+        state = self._streams.get(stream_id)
+        if state is None:
+            self.stats.denied_capability += 1
+            return Decision(
+                approved=False,
+                consumer=consumer,
+                stream_id=stream_id,
+                parameter=None,
+                requested_value=value,
+                reason=f"stream {stream_id} is not registered",
+            )
+        spec = self.sensor_type_of(stream_id.sensor_id)
+        assert spec is not None  # registration keeps these in lockstep
+        if not spec.actuatable:
+            self.stats.denied_capability += 1
+            return Decision(
+                approved=False,
+                consumer=consumer,
+                stream_id=stream_id,
+                parameter=None,
+                requested_value=value,
+                reason=(
+                    f"sensor type {spec.name!r} is transmit-only and "
+                    "cannot be actuated"
+                ),
+            )
+
+        if command is StreamUpdateCommand.PING:
+            # No configuration change: approve straight through.
+            self.stats.approved += 1
+            return Decision(
+                approved=True,
+                consumer=consumer,
+                stream_id=stream_id,
+                parameter=None,
+                requested_value=None,
+                issue_actuation=True,
+                reason="ping",
+            )
+
+        parameter = COMMAND_PARAMETERS[command]
+        if command is StreamUpdateCommand.ENABLE_STREAM:
+            value = True
+        elif command is StreamUpdateCommand.DISABLE_STREAM:
+            value = False
+
+        now = self._network.sim.now
+        demand = Demand(
+            consumer=consumer,
+            parameter=parameter,
+            value=value,
+            priority=priority,
+            placed_at=now,
+        )
+        previous = state.demands.get((consumer, parameter))
+        state.demands[(consumer, parameter)] = demand
+
+        try:
+            effective = self._mediate(state, parameter)
+        except AdmissionError as exc:
+            # Conflict refused by policy: withdraw the new demand.
+            self._restore_demand(state, consumer, parameter, previous)
+            self.stats.denied_conflict += 1
+            return Decision(
+                approved=False,
+                consumer=consumer,
+                stream_id=stream_id,
+                parameter=parameter,
+                requested_value=value,
+                reason=str(exc),
+            )
+
+        candidate = state.config.with_parameter(parameter, effective)
+        violations = spec.constraints.violations(candidate.as_environment())
+        if violations:
+            self._restore_demand(state, consumer, parameter, previous)
+            self.stats.denied_constraint += 1
+            return Decision(
+                approved=False,
+                consumer=consumer,
+                stream_id=stream_id,
+                parameter=parameter,
+                requested_value=value,
+                reason=(
+                    "constraint violation: " + ", ".join(violations)
+                ),
+                violations=tuple(violations),
+            )
+
+        # Issue an actuation only when the mediated value differs from
+        # both the believed configuration and anything already in flight
+        # toward the sensor (re-issuing a pending change would just
+        # duplicate control traffic).
+        changed = (
+            getattr(state.config, parameter) != effective
+            and state.pending.get(parameter) != effective
+        )
+        if changed:
+            state.pending[parameter] = effective
+            self.stats.actuations_issued += 1
+        self.stats.approved += 1
+        return Decision(
+            approved=True,
+            consumer=consumer,
+            stream_id=stream_id,
+            parameter=parameter,
+            requested_value=value,
+            effective_value=effective,
+            issue_actuation=changed,
+            reason="mediated" if effective != value else "granted",
+        )
+
+    def _restore_demand(
+        self,
+        state: _StreamState,
+        consumer: str,
+        parameter: str,
+        previous: Demand | None,
+    ) -> None:
+        if previous is None:
+            state.demands.pop((consumer, parameter), None)
+        else:
+            state.demands[(consumer, parameter)] = previous
+
+    def _mediate(self, state: _StreamState, parameter: str) -> Any:
+        demands = [
+            d for (_, p), d in state.demands.items() if p == parameter
+        ]
+        policy = self.policy_for(parameter)
+        return policy.resolve(demands)
+
+    # ------------------------------------------------------------------
+    # Demand lifecycle
+    # ------------------------------------------------------------------
+    def release_demands(
+        self, consumer: str, stream_id: StreamId | None = None
+    ) -> list[tuple[StreamId, str, Any]]:
+        """Withdraw a consumer's demands (on exit or loss of interest).
+
+        Returns re-mediated ``(stream, parameter, new_effective_value)``
+        triples for every parameter whose effective value changed — the
+        middleware should issue actuations for these (e.g. dropping a
+        sensor back to a low rate once the hungry consumer leaves).
+        """
+        changes: list[tuple[StreamId, str, Any]] = []
+        targets = (
+            [stream_id] if stream_id is not None else list(self._streams)
+        )
+        for sid in targets:
+            state = self._streams.get(sid)
+            if state is None:
+                continue
+            parameters = {
+                p
+                for (c, p) in list(state.demands)
+                if c == consumer
+            }
+            for parameter in parameters:
+                del state.demands[(consumer, parameter)]
+            for parameter in sorted(parameters):
+                remaining = [
+                    d for (_, p), d in state.demands.items() if p == parameter
+                ]
+                if not remaining:
+                    continue
+                effective = self.policy_for(parameter).resolve(remaining)
+                if getattr(state.config, parameter) != effective:
+                    state.pending[parameter] = effective
+                    changes.append((sid, parameter, effective))
+        return changes
+
+    # ------------------------------------------------------------------
+    # Configuration overview maintenance
+    # ------------------------------------------------------------------
+    def confirm_applied(
+        self, stream_id: StreamId, parameter: str, value: Any
+    ) -> None:
+        """Fold a sensor acknowledgement into the believed configuration."""
+        state = self._streams.get(stream_id)
+        if state is None:
+            return
+        state.config = state.config.with_parameter(parameter, value)
+        if state.pending.get(parameter) == value:
+            del state.pending[parameter]
+
+    def believed_config(self, stream_id: StreamId) -> StreamConfig:
+        state = self._streams.get(stream_id)
+        if state is None:
+            raise RegistrationError(f"unknown stream {stream_id}")
+        return state.config
+
+    def overview(self) -> dict[StreamId, StreamConfig]:
+        """The approximate configuration overview (Section 6)."""
+        return {sid: state.config for sid, state in self._streams.items()}
+
+    def pending_parameters(self, stream_id: StreamId) -> dict[str, Any]:
+        """Changes issued toward the sensor but not yet acknowledged."""
+        state = self._streams.get(stream_id)
+        return dict(state.pending) if state is not None else {}
+
+    def standing_demands(self, stream_id: StreamId) -> list[Demand]:
+        state = self._streams.get(stream_id)
+        if state is None:
+            return []
+        return sorted(
+            state.demands.values(), key=lambda d: (d.consumer, d.parameter)
+        )
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+    def rpc_request_update(self, *args, **kwargs) -> Decision:
+        return self.request_update(*args, **kwargs)
+
+    def rpc_overview(self) -> dict[StreamId, StreamConfig]:
+        return self.overview()
+
+    def rpc_release_demands(self, consumer: str, stream_id=None):
+        return self.release_demands(consumer, stream_id)

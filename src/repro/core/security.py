@@ -1,0 +1,193 @@
+"""Garnet's security model: authentication, capabilities, opaque payloads.
+
+The paper's security posture has three planks:
+
+1. **Opaque payloads** (Section 4.3): "The payload field is not
+   interpreted and is opaque to the Garnet infrastructure. This provides a
+   basic level of security and contributes to our security model."
+2. **Authenticated access** (Section 3): consumers use "advertising,
+   discovery, registration, authentication and publish/subscribe
+   mechanisms" — every broker operation requires a token.
+3. **End-to-end encryption** (Section 9): "a high-level abstraction of
+   data streams supporting end-to-end encryption" — producers and
+   consumers share keys; the middleware forwards ciphertext it cannot
+   read, and location data "should be protected by additional security
+   mechanisms" (Section 2), which falls out of requiring a dedicated
+   permission for location access.
+
+Tokens are HMAC-SHA256-signed capability strings, so any service holding
+the deployment secret can verify a token without a round trip to the
+authentication service. Payload encryption uses a SHA-256 keystream
+(CTR-style) with an HMAC tag — not an audited cipher, but structurally
+faithful: confidentiality and integrity end-to-end, with zero middleware
+involvement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, AuthorizationError
+
+
+class Permission(enum.Flag):
+    """Capabilities a consumer may hold (least privilege by default)."""
+
+    NONE = 0
+    SUBSCRIBE = enum.auto()
+    PUBLISH = enum.auto()
+    ACTUATE = enum.auto()
+    HINT = enum.auto()
+    COORDINATE = enum.auto()
+    LOCATION = enum.auto()
+
+    @classmethod
+    def standard_consumer(cls) -> "Permission":
+        """Subscribe + publish derived streams + supply hints."""
+        return cls.SUBSCRIBE | cls.PUBLISH | cls.HINT
+
+    @classmethod
+    def trusted_consumer(cls) -> "Permission":
+        """Everything: the 'trusted applications' of Section 9 that may
+        provide advance warning and override management policies."""
+        return (
+            cls.SUBSCRIBE
+            | cls.PUBLISH
+            | cls.ACTUATE
+            | cls.HINT
+            | cls.COORDINATE
+            | cls.LOCATION
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A signed capability: principal + permission bits + signature."""
+
+    principal: str
+    permissions: Permission
+    signature: bytes
+
+    def signed_blob(self) -> bytes:
+        return _token_blob(self.principal, self.permissions)
+
+
+def _token_blob(principal: str, permissions: Permission) -> bytes:
+    return f"{principal}\x00{permissions.value}".encode()
+
+
+class AuthService:
+    """Issues and verifies capability tokens for a deployment.
+
+    One instance per deployment; the secret never leaves it, but
+    verification only needs :meth:`verify`, which other services call via
+    a shared reference (standing in for distributing the verification key).
+    """
+
+    def __init__(self, secret: bytes) -> None:
+        if len(secret) < 8:
+            raise AuthenticationError("deployment secret too short (< 8 bytes)")
+        self._secret = secret
+        self._revoked: set[str] = set()
+
+    def issue(self, principal: str, permissions: Permission) -> Token:
+        """Issue a token binding ``principal`` to ``permissions``."""
+        if not principal:
+            raise AuthenticationError("principal must be non-empty")
+        signature = hmac.new(
+            self._secret, _token_blob(principal, permissions), hashlib.sha256
+        ).digest()
+        return Token(principal, permissions, signature)
+
+    def revoke(self, principal: str) -> None:
+        """Invalidate every token previously issued to ``principal``."""
+        self._revoked.add(principal)
+
+    def verify(self, token: Token) -> None:
+        """Raise unless ``token`` is authentic and not revoked."""
+        if not isinstance(token, Token):
+            raise AuthenticationError(f"not a token: {token!r}")
+        expected = hmac.new(
+            self._secret, token.signed_blob(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, token.signature):
+            raise AuthenticationError(
+                f"invalid token signature for {token.principal!r}"
+            )
+        if token.principal in self._revoked:
+            raise AuthenticationError(
+                f"token for {token.principal!r} has been revoked"
+            )
+
+    def require(self, token: Token, permission: Permission) -> str:
+        """Verify ``token`` and demand ``permission``; returns the principal."""
+        self.verify(token)
+        if token.permissions & permission != permission:
+            raise AuthorizationError(
+                f"{token.principal!r} lacks {permission!r}"
+            )
+        return token.principal
+
+
+# ----------------------------------------------------------------------
+# End-to-end payload encryption
+# ----------------------------------------------------------------------
+
+_TAG_BYTES = 8
+_NONCE_BYTES = 8
+
+
+class PayloadCipher:
+    """Symmetric payload encryption shared by a producer and its consumers.
+
+    Format: ``nonce (8) || ciphertext || tag (8)``, where the keystream is
+    SHA-256(key || nonce || counter) blocks and the tag is truncated
+    HMAC-SHA256 over nonce+ciphertext. The middleware never sees the key;
+    the ``ENCRYPTED`` header flag merely marks the payload as ciphertext.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 8:
+            raise AuthenticationError("payload key too short (< 8 bytes)")
+        self._key = key
+        self._nonce_counter = 0
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = bytearray()
+        counter = 0
+        while len(blocks) < length:
+            blocks.extend(
+                hashlib.sha256(
+                    self._key + nonce + counter.to_bytes(4, "big")
+                ).digest()
+            )
+            counter += 1
+        return bytes(blocks[:length])
+
+    def _tag(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        return hmac.new(
+            self._key, nonce + ciphertext, hashlib.sha256
+        ).digest()[:_TAG_BYTES]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt and authenticate ``plaintext``."""
+        nonce = self._nonce_counter.to_bytes(_NONCE_BYTES, "big")
+        self._nonce_counter += 1
+        stream = self._keystream(nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return nonce + ciphertext + self._tag(nonce, ciphertext)
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify and decrypt; raises :class:`AuthenticationError` on tamper."""
+        if len(blob) < _NONCE_BYTES + _TAG_BYTES:
+            raise AuthenticationError("ciphertext too short")
+        nonce = blob[:_NONCE_BYTES]
+        ciphertext = blob[_NONCE_BYTES:-_TAG_BYTES]
+        tag = blob[-_TAG_BYTES:]
+        if not hmac.compare_digest(tag, self._tag(nonce, ciphertext)):
+            raise AuthenticationError("payload authentication failed")
+        stream = self._keystream(nonce, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))

@@ -1,0 +1,69 @@
+"""The 32-bit composite StreamID from Figure 2.
+
+Section 4.3: "The composite StreamID field is used to identify the data
+stream to which a message belongs." The proof-of-concept widths in
+Section 1 — "up to 16.7M sensors, 256 internal-streams/sensor" — pin the
+composition down exactly: a 24-bit sensor identifier (2^24 = 16,777,216)
+concatenated with an 8-bit internal stream index (2^8 = 256).
+
+Section 5 ("Delayed delivery decision-making"): the StreamID implicitly
+identifies the *source*; destinations are never encoded — delivery is
+decided in the fixed network (address-free routing).
+
+Derived streams (Section 4.2, multi-level consumers) reuse the same id
+space: consumer processes that republish data are allocated *virtual*
+sensor ids from the top of the 24-bit range, so a derived stream is
+indistinguishable on the wire from a physical one — exactly the property
+that lets "an essentially arbitrary graph of consumer processes and data
+streams" form over the middleware (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.util.bitfields import check_range
+
+SENSOR_ID_BITS = 24
+STREAM_INDEX_BITS = 8
+MAX_SENSOR_ID = (1 << SENSOR_ID_BITS) - 1
+MAX_STREAM_INDEX = (1 << STREAM_INDEX_BITS) - 1
+
+VIRTUAL_SENSOR_FLOOR = 0xF00000
+"""Sensor ids at or above this value denote consumer processes publishing
+derived streams; physical sensors are allocated below it. The split leaves
+15.7M physical ids and 1M virtual ids."""
+
+
+class StreamId(NamedTuple):
+    """A (sensor id, internal stream index) pair — one logical data stream."""
+
+    sensor_id: int
+    stream_index: int
+
+    def pack(self) -> int:
+        """The 32-bit on-wire word: sensor id in the top 24 bits."""
+        check_range("sensor_id", self.sensor_id, SENSOR_ID_BITS)
+        check_range("stream_index", self.stream_index, STREAM_INDEX_BITS)
+        return (self.sensor_id << STREAM_INDEX_BITS) | self.stream_index
+
+    @classmethod
+    def from_word(cls, word: int) -> "StreamId":
+        """Decode a 32-bit on-wire word."""
+        check_range("stream_id_word", word, SENSOR_ID_BITS + STREAM_INDEX_BITS)
+        return cls(word >> STREAM_INDEX_BITS, word & MAX_STREAM_INDEX)
+
+    @property
+    def is_derived(self) -> bool:
+        """True when the source is a consumer process, not a physical sensor."""
+        return self.sensor_id >= VIRTUAL_SENSOR_FLOOR
+
+    def validate(self) -> "StreamId":
+        """Range-check both components; returns self for chaining."""
+        check_range("sensor_id", self.sensor_id, SENSOR_ID_BITS)
+        check_range("stream_index", self.stream_index, STREAM_INDEX_BITS)
+        return self
+
+    def __str__(self) -> str:
+        kind = "derived" if self.is_derived else "sensor"
+        return f"{kind}:{self.sensor_id}/{self.stream_index}"

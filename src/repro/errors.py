@@ -1,0 +1,89 @@
+"""Exception hierarchy for the Garnet reproduction.
+
+Every error raised by the library derives from :class:`GarnetError`, so
+applications can catch one base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class GarnetError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CodecError(GarnetError):
+    """A message could not be encoded or decoded."""
+
+
+class FieldRangeError(CodecError):
+    """A field value does not fit the wire-format width from Figure 2."""
+
+    def __init__(self, field: str, value: int, maximum: int) -> None:
+        super().__init__(
+            f"{field}={value!r} exceeds wire-format maximum {maximum}"
+        )
+        self.field = field
+        self.value = value
+        self.maximum = maximum
+
+
+class ChecksumError(CodecError):
+    """A message failed its CRC check."""
+
+
+class TruncatedMessageError(CodecError):
+    """The byte buffer ended before the message did."""
+
+
+class SimulationError(GarnetError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation ended."""
+
+
+class RegistrationError(GarnetError):
+    """A component could not be registered (duplicate id, unknown id...)."""
+
+
+class AuthenticationError(GarnetError):
+    """A consumer presented missing or invalid credentials."""
+
+
+class AuthorizationError(GarnetError):
+    """A consumer holds valid credentials but lacks the required permission."""
+
+
+class SubscriptionError(GarnetError):
+    """A subscription request was malformed or refers to an unknown stream."""
+
+
+class AdmissionError(GarnetError):
+    """The Resource Manager refused a stream update request."""
+
+
+class ConstraintError(GarnetError):
+    """A sensor constraint expression is malformed or violated."""
+
+
+class ConstraintSyntaxError(ConstraintError):
+    """The constraint language parser rejected the expression text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        suffix = f" (at position {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class ActuationError(GarnetError):
+    """A control message could not be issued or delivered."""
+
+
+class LocationError(GarnetError):
+    """The Location Service has no usable estimate for a sensor."""
+
+
+class ConfigurationError(GarnetError):
+    """A deployment configuration is inconsistent."""

@@ -1,0 +1,13 @@
+"""Receiver and transmitter arrays: the fixed network's radio edge.
+
+Section 4.2: receivers "are arranged such that their effective receiving
+areas may overlap. Such coverage improves data reception but causes
+potential duplication of data messages"; transmitters broadcast control
+messages into "the expected location area of the target sensor".
+"""
+
+from repro.radio.array import ReceiverArray, TransmitterArray
+from repro.radio.receiver import Receiver
+from repro.radio.transmitter import Transmitter
+
+__all__ = ["Receiver", "ReceiverArray", "Transmitter", "TransmitterArray"]

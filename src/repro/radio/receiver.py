@@ -1,0 +1,106 @@
+"""A single fixed receiver at the wireless/fixed network boundary.
+
+Each receiver independently picks up sensor transmissions in its zone,
+decodes them (dropping frames that fail the CRC — the wireless medium is
+allowed to corrupt nothing in this model, but replayed traces may), and
+forwards two things into the fixed network:
+
+- a :class:`~repro.core.envelopes.Reception` to the Filtering Service
+  (the data path of Figure 1), and
+- a :class:`~repro.core.envelopes.LocationObservation` to the Location
+  Service — "location information which is inferred by the Receivers"
+  (Section 4.2).
+
+Control frames heard on the shared medium (they are broadcast toward
+sensors) are counted and ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.control import FrameKind, peek_frame_kind
+from repro.core.envelopes import LocationObservation, Reception
+from repro.core.filtering import INBOX as FILTERING_INBOX
+from repro.core.location import OBSERVATION_INBOX
+from repro.core.message import MessageCodec
+from repro.errors import CodecError
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.geometry import Circle, Point
+from repro.simnet.wireless import RadioFrame
+
+
+@dataclass(slots=True)
+class ReceiverStats:
+    frames: int = 0
+    data_messages: int = 0
+    control_overheard: int = 0
+    corrupt: int = 0
+    unknown: int = 0
+
+
+class Receiver:
+    """One antenna of the receiver array; a wireless-medium listener."""
+
+    def __init__(
+        self,
+        receiver_id: int,
+        position: Point,
+        reception_range: float,
+        network: FixedNetwork,
+        codec: MessageCodec,
+        filtering_inbox: str = FILTERING_INBOX,
+        location_inbox: str = OBSERVATION_INBOX,
+    ) -> None:
+        if reception_range <= 0:
+            raise ValueError("reception_range must be positive")
+        self.receiver_id = receiver_id
+        self._position = position
+        self.reception_range = reception_range
+        self._network = network
+        self._codec = codec
+        self._filtering_inbox = filtering_inbox
+        self._location_inbox = location_inbox
+        self.stats = ReceiverStats()
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def zone(self) -> Circle:
+        """This receiver's effective reception area."""
+        return Circle(self._position, self.reception_range)
+
+    def on_radio_receive(self, frame: RadioFrame) -> None:
+        self.stats.frames += 1
+        kind = peek_frame_kind(frame.payload)
+        if kind is FrameKind.CONTROL:
+            self.stats.control_overheard += 1
+            return
+        if kind is FrameKind.UNKNOWN:
+            self.stats.unknown += 1
+            return
+        try:
+            message = self._codec.decode(frame.payload)
+        except CodecError:
+            self.stats.corrupt += 1
+            return
+        self.stats.data_messages += 1
+        self._network.send(
+            self._filtering_inbox,
+            Reception(
+                message=message,
+                receiver_id=self.receiver_id,
+                rssi=frame.rssi,
+                received_at=frame.received_at,
+            ),
+        )
+        self._network.send(
+            self._location_inbox,
+            LocationObservation(
+                sensor_id=message.stream_id.sensor_id,
+                receiver_id=self.receiver_id,
+                rssi=frame.rssi,
+                observed_at=frame.received_at,
+            ),
+        )

@@ -1,0 +1,58 @@
+"""A single fixed transmitter broadcasting control frames to sensors.
+
+Section 4.2: "Based on the location area, the appropriate set of
+Transmitters broadcast the request, whereupon it may be received by the
+sensor node." The transmitter is deliberately dumb: it pushes bytes onto
+the wireless medium with its configured power/footprint; all targeting
+intelligence lives in the Message Replicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.geometry import Circle, Point
+from repro.simnet.wireless import WirelessMedium
+
+
+@dataclass(slots=True)
+class TransmitterStats:
+    broadcasts: int = 0
+    bytes_sent: int = 0
+
+
+class Transmitter:
+    """One antenna of the transmitter array."""
+
+    def __init__(
+        self,
+        transmitter_id: int,
+        position: Point,
+        tx_range: float,
+        medium: WirelessMedium,
+        channel: int = 0,
+    ) -> None:
+        if tx_range <= 0:
+            raise ValueError("tx_range must be positive")
+        self.transmitter_id = transmitter_id
+        self._position = position
+        self.tx_range = tx_range
+        self._medium = medium
+        self._channel = channel
+        self.stats = TransmitterStats()
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def footprint(self) -> Circle:
+        """The area this transmitter's broadcasts can reach."""
+        return Circle(self._position, self.tx_range)
+
+    def broadcast(self, frame: bytes) -> int:
+        """Push ``frame`` onto the medium; returns deliveries scheduled."""
+        self.stats.broadcasts += 1
+        self.stats.bytes_sent += len(frame)
+        return self._medium.broadcast(
+            self._position, frame, self.tx_range, channel=self._channel
+        )

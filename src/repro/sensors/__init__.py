@@ -1,0 +1,40 @@
+"""Sensor node substrate: simple and sophisticated devices.
+
+Section 5 ("Simplicity of sensor requirements"): "a minimum level of
+sensor intelligence was assumed to allow for a richer model to be
+developed, where both simple and sophisticated sensors could coexist."
+
+:class:`~repro.sensors.node.SensorNode` models both: transmit-only nodes
+just sample and broadcast; receive-capable nodes additionally run
+:class:`~repro.sensors.firmware.SensorFirmware` to apply stream update
+requests and acknowledge them in their outgoing data. Energy accounting
+(:mod:`repro.sensors.energy`) feeds the RETRI comparison (E7).
+"""
+
+from repro.sensors.energy import Battery, RadioEnergyModel
+from repro.sensors.firmware import SensorFirmware
+from repro.sensors.node import SensorNode, SensorStreamSpec
+from repro.sensors.sampling import (
+    CallbackSampler,
+    ConstantSampler,
+    GaussianNoiseSampler,
+    Sample,
+    SampleCodec,
+    Sampler,
+    SineSampler,
+)
+
+__all__ = [
+    "Battery",
+    "CallbackSampler",
+    "ConstantSampler",
+    "GaussianNoiseSampler",
+    "RadioEnergyModel",
+    "Sample",
+    "SampleCodec",
+    "Sampler",
+    "SensorFirmware",
+    "SensorNode",
+    "SensorStreamSpec",
+    "SineSampler",
+]

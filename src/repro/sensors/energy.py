@@ -1,0 +1,82 @@
+"""First-order radio energy model and battery accounting.
+
+Used by the RETRI comparison (experiment E7): Elson & Estrin's argument —
+reproduced in Section 7 of the Garnet paper — is that identifier bits
+dominate the cost of small transactions, so shrinking them saves energy.
+Quantifying that requires a per-bit transmission cost; we use the
+standard first-order model of Heinzelman et al. (HICSS '00, cited as [9]
+by the paper):
+
+    E_tx(k, d) = E_elec * k + e_amp * k * d^2
+    E_rx(k)    = E_elec * k
+
+with ``k`` in bits and ``d`` the transmission distance in metres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RadioEnergyModel:
+    """Per-bit radio energy parameters (defaults from Heinzelman et al.)."""
+
+    e_elec: float = 50e-9
+    """Electronics energy per bit, J/bit (both transmit and receive)."""
+
+    e_amp: float = 100e-12
+    """Amplifier energy per bit per square metre, J/bit/m^2."""
+
+    def tx_cost(self, bits: int, distance: float) -> float:
+        """Energy (J) to transmit ``bits`` over ``distance`` metres."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        return self.e_elec * bits + self.e_amp * bits * distance * distance
+
+    def rx_cost(self, bits: int) -> float:
+        """Energy (J) to receive ``bits``."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return self.e_elec * bits
+
+
+class Battery:
+    """A finite energy budget; sensors die when it empties."""
+
+    def __init__(self, capacity_joules: float = 100.0) -> None:
+        if capacity_joules <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity_joules
+        self._consumed = 0.0
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def consumed(self) -> float:
+        return self._consumed
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self._capacity - self._consumed)
+
+    @property
+    def depleted(self) -> bool:
+        return self._consumed >= self._capacity
+
+    def drain(self, joules: float) -> bool:
+        """Consume energy; returns True while the battery still has charge.
+
+        Draining an already-depleted battery is a no-op returning False,
+        so callers can gate activity with ``if battery.drain(cost):``.
+        """
+        if joules < 0:
+            raise ValueError(f"cannot drain negative energy {joules}")
+        if self.depleted:
+            return False
+        self._consumed += joules
+        return not self.depleted

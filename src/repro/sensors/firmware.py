@@ -1,0 +1,120 @@
+"""Control-message handling on receive-capable sensors.
+
+A sophisticated sensor's firmware decodes control frames heard on the
+radio, decides whether they are addressed to this node, de-duplicates
+them (the Message Replicator broadcasts from several transmitters and the
+Actuation Service retransmits, so the same request routinely arrives more
+than once), applies the configuration change, and queues an
+acknowledgement to ride out on the next data message (the ``ACK`` header
+field of Section 4.3).
+
+Duplicates are acknowledged again without re-applying: the original ack
+may have been lost, and re-acking is what completes the retransmission
+loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.control import (
+    ControlCodec,
+    FrameKind,
+    StreamUpdateRequest,
+    peek_frame_kind,
+)
+from repro.errors import CodecError
+
+APPLY_OK = 0
+APPLY_UNSUPPORTED = 1
+APPLY_BAD_PARAMS = 2
+
+ApplyCallback = Callable[[StreamUpdateRequest], int]
+
+
+@dataclass(slots=True)
+class FirmwareStats:
+    frames: int = 0
+    not_addressed: int = 0
+    duplicates: int = 0
+    applied: int = 0
+    rejected: int = 0
+    corrupt: int = 0
+
+
+class SensorFirmware:
+    """The control-plane half of a receive-capable sensor node."""
+
+    def __init__(
+        self,
+        sensor_id: int,
+        apply_update: ApplyCallback,
+        recent_capacity: int = 64,
+    ) -> None:
+        if recent_capacity < 1:
+            raise ValueError("recent_capacity must be at least 1")
+        self._sensor_id = sensor_id
+        self._apply_update = apply_update
+        self._codec = ControlCodec()
+        self._recent: OrderedDict[int, int] = OrderedDict()
+        self._recent_capacity = recent_capacity
+        self._ack_queue: list[tuple[int, int]] = []
+        self.stats = FirmwareStats()
+
+    # ------------------------------------------------------------------
+    def handle_frame(self, frame: bytes) -> StreamUpdateRequest | None:
+        """Process one radio frame; returns the request if it was for us."""
+        if peek_frame_kind(frame) is not FrameKind.CONTROL:
+            return None
+        self.stats.frames += 1
+        try:
+            request = self._codec.decode(frame)
+        except CodecError:
+            self.stats.corrupt += 1
+            return None
+        if request.target.sensor_id != self._sensor_id:
+            self.stats.not_addressed += 1
+            return None
+        previous_status = self._recent.get(request.request_id)
+        if previous_status is not None:
+            # Already applied: re-queue the ack (ours may have been lost)
+            # but do not re-apply the change.
+            self.stats.duplicates += 1
+            self._queue_ack(request.request_id, previous_status)
+            return request
+        status = self._apply_update(request)
+        if status == APPLY_OK:
+            self.stats.applied += 1
+        else:
+            self.stats.rejected += 1
+        self._remember(request.request_id, status)
+        self._queue_ack(request.request_id, status)
+        return request
+
+    def _remember(self, request_id: int, status: int) -> None:
+        self._recent[request_id] = status
+        while len(self._recent) > self._recent_capacity:
+            self._recent.popitem(last=False)
+
+    def _queue_ack(self, request_id: int, status: int) -> None:
+        entry = (request_id, status)
+        if entry not in self._ack_queue:
+            self._ack_queue.append(entry)
+
+    # ------------------------------------------------------------------
+    def pending_acks(self) -> int:
+        return len(self._ack_queue)
+
+    def drain_acks(self, limit: int) -> list[tuple[int, int]]:
+        """Take up to ``limit`` queued ``(request_id, status)`` acks.
+
+        The node attaches the first to the message's ACK header field and
+        the rest as REQUEST_STATUS extensions.
+        """
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        taken = self._ack_queue[:limit]
+        del self._ack_queue[:limit]
+        return taken

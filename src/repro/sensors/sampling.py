@@ -1,0 +1,188 @@
+"""Samplers and the sample payload codec.
+
+Payloads are opaque to the middleware (Section 4.3); their format is an
+agreement between sensors and the consumers of their streams. The format
+here carries a timestamp plus one quantised reading:
+
+```
+bytes 0-7 : sample time, microseconds, big-endian
+byte  8   : precision (bits per reading, 1..32)
+bytes 9.. : ceil(precision / 8) bytes of quantised reading
+```
+
+Quantisation maps a reading from the stream's declared value range onto
+``2**precision - 1`` levels, so the ``SET_PRECISION`` stream update
+command (Section 4.2's dynamic control) trades payload bytes — and hence
+transmission energy — against fidelity, measurably.
+
+Samplers produce the physical readings. The field-driven samplers used by
+the workloads package conform to the same :class:`Sampler` protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import CodecError
+from repro.simnet.geometry import Point
+
+
+class Sampler(Protocol):
+    """Produces one physical reading given time and sensor position."""
+
+    def sample(self, time: float, position: Point) -> float:
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """A decoded sensor reading."""
+
+    time_us: int
+    value: float
+    precision: int
+
+    @property
+    def time_seconds(self) -> float:
+        return self.time_us / 1_000_000.0
+
+
+class SampleCodec:
+    """Quantising codec for one stream's payloads.
+
+    Parameters
+    ----------
+    low, high:
+        The declared value range; readings are clamped into it.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self._low = low
+        self._high = high
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        return (self._low, self._high)
+
+    def quantisation_error(self, precision: int) -> float:
+        """Worst-case absolute error introduced at ``precision`` bits."""
+        self._check_precision(precision)
+        levels = (1 << precision) - 1
+        return (self._high - self._low) / (2 * levels)
+
+    def payload_size(self, precision: int) -> int:
+        """Encoded payload size in bytes at ``precision`` bits."""
+        self._check_precision(precision)
+        return 9 + (precision + 7) // 8
+
+    def encode(self, time_us: int, value: float, precision: int) -> bytes:
+        self._check_precision(precision)
+        if time_us < 0 or time_us >= 1 << 64:
+            raise CodecError(f"time_us {time_us} outside uint64")
+        clamped = min(max(value, self._low), self._high)
+        levels = (1 << precision) - 1
+        quantised = round(
+            (clamped - self._low) / (self._high - self._low) * levels
+        )
+        width = (precision + 7) // 8
+        return (
+            time_us.to_bytes(8, "big")
+            + bytes([precision])
+            + quantised.to_bytes(width, "big")
+        )
+
+    def decode(self, payload: bytes) -> Sample:
+        if len(payload) < 10:
+            raise CodecError(
+                f"sample payload too short: {len(payload)} bytes"
+            )
+        time_us = int.from_bytes(payload[:8], "big")
+        precision = payload[8]
+        self._check_precision(precision)
+        width = (precision + 7) // 8
+        if len(payload) != 9 + width:
+            raise CodecError(
+                f"sample payload is {len(payload)} bytes; expected "
+                f"{9 + width} for precision {precision}"
+            )
+        quantised = int.from_bytes(payload[9 : 9 + width], "big")
+        levels = (1 << precision) - 1
+        value = self._low + (quantised / levels) * (self._high - self._low)
+        return Sample(time_us=time_us, value=value, precision=precision)
+
+    @staticmethod
+    def _check_precision(precision: int) -> None:
+        if not 1 <= precision <= 32:
+            raise CodecError(
+                f"precision must be in [1, 32], got {precision}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Stock samplers
+# ----------------------------------------------------------------------
+
+class ConstantSampler:
+    """Always the same reading — the degenerate sampler for tests."""
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def sample(self, time: float, position: Point) -> float:
+        return self._value
+
+
+class SineSampler:
+    """A clean periodic signal, e.g. a diurnal temperature cycle."""
+
+    def __init__(
+        self,
+        mean: float,
+        amplitude: float,
+        period: float,
+        phase: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._mean = mean
+        self._amplitude = amplitude
+        self._period = period
+        self._phase = phase
+
+    def sample(self, time: float, position: Point) -> float:
+        angle = 2.0 * math.pi * (time / self._period) + self._phase
+        return self._mean + self._amplitude * math.sin(angle)
+
+
+class GaussianNoiseSampler:
+    """A noisy signal around another sampler (sensor measurement noise)."""
+
+    def __init__(
+        self, base: Sampler, sigma: float, rng: random.Random
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._base = base
+        self._sigma = sigma
+        self._rng = rng
+
+    def sample(self, time: float, position: Point) -> float:
+        return self._base.sample(time, position) + self._rng.gauss(
+            0.0, self._sigma
+        )
+
+
+class CallbackSampler:
+    """Adapts any ``f(time, position) -> float`` into a sampler."""
+
+    def __init__(self, callback: Callable[[float, Point], float]) -> None:
+        self._callback = callback
+
+    def sample(self, time: float, position: Point) -> float:
+        return self._callback(time, position)

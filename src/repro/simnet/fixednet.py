@@ -1,0 +1,170 @@
+"""The fixed network interconnecting Garnet's middleware services.
+
+Figure 1 distinguishes two interaction styles on the fixed side:
+*event-based message passing* (the data path: receivers → filtering →
+dispatching → consumers) and *remote procedure call* (the control path:
+consumers → resource manager → actuation service). :class:`FixedNetwork`
+provides both over the simulation kernel:
+
+- :meth:`send` delivers a one-way message to a named endpoint after a
+  configurable latency (asynchronous message exchange, Section 3);
+- :meth:`call` invokes a registered :class:`RpcEndpoint` method and
+  delivers the result to a callback after a round trip.
+
+The fixed network is reliable (Section 3 presumes replication for
+fault-tolerance); unreliability lives exclusively in the wireless medium.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError, RegistrationError
+from repro.simnet.kernel import Simulator
+
+
+@dataclass(slots=True)
+class FixedNetStats:
+    """Counters for fixed-network traffic, used in overhead experiments."""
+
+    messages: int = 0
+    rpc_calls: int = 0
+
+
+class RpcEndpoint:
+    """Base class for services reachable by RPC.
+
+    Subclasses expose methods named ``rpc_<operation>``; :meth:`FixedNetwork.call`
+    dispatches to them by operation name. Keeping the prefix explicit means
+    a service's internal methods are never remotely callable by accident.
+    """
+
+    def rpc_dispatch(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        handler = getattr(self, f"rpc_{operation}", None)
+        if handler is None or not callable(handler):
+            raise RegistrationError(
+                f"{type(self).__name__} has no RPC operation {operation!r}"
+            )
+        return handler(*args, **kwargs)
+
+
+class FixedNetwork:
+    """Reliable asynchronous bus + RPC fabric among middleware services."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        message_latency: float = 0.0005,
+        rpc_latency: float = 0.001,
+    ) -> None:
+        if message_latency < 0 or rpc_latency < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        self._sim = sim
+        self._message_latency = message_latency
+        self._rpc_latency = rpc_latency
+        self._inboxes: dict[str, Callable[[Any], None]] = {}
+        self._services: dict[str, RpcEndpoint] = {}
+        self.stats = FixedNetStats()
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    # ------------------------------------------------------------------
+    # Event-based message passing
+    # ------------------------------------------------------------------
+    def register_inbox(
+        self, name: str, handler: Callable[[Any], None]
+    ) -> None:
+        """Attach a one-way message handler under a unique endpoint name."""
+        if name in self._inboxes:
+            raise RegistrationError(f"inbox {name!r} already registered")
+        self._inboxes[name] = handler
+
+    def unregister_inbox(self, name: str) -> None:
+        self._inboxes.pop(name, None)
+
+    def has_inbox(self, name: str) -> bool:
+        return name in self._inboxes
+
+    def send(self, destination: str, message: Any) -> None:
+        """Deliver ``message`` to ``destination`` after the bus latency.
+
+        The handler lookup happens at delivery time so a consumer that
+        deregisters mid-flight simply drops the message, mirroring a
+        process that exits with messages queued.
+        """
+        self.stats.messages += 1
+        self._sim.schedule(self._message_latency, self._deliver, destination, message)
+
+    def _deliver(self, destination: str, message: Any) -> None:
+        handler = self._inboxes.get(destination)
+        if handler is not None:
+            handler(message)
+
+    # ------------------------------------------------------------------
+    # Remote procedure call
+    # ------------------------------------------------------------------
+    def register_service(self, name: str, service: RpcEndpoint) -> None:
+        if name in self._services:
+            raise RegistrationError(f"service {name!r} already registered")
+        self._services[name] = service
+
+    def call(
+        self,
+        service_name: str,
+        operation: str,
+        *args: Any,
+        on_result: Callable[[Any], None] | None = None,
+        **kwargs: Any,
+    ) -> None:
+        """Invoke ``operation`` on a registered service asynchronously.
+
+        The call executes after one latency; ``on_result`` (if given) fires
+        after the return latency. Exceptions raised by the service
+        propagate to the caller's result callback as the result value when
+        it accepts them, otherwise they abort the event — tests rely on
+        loud failures rather than silently swallowed errors.
+        """
+        if service_name not in self._services:
+            raise RegistrationError(f"unknown service {service_name!r}")
+        self.stats.rpc_calls += 1
+        self._sim.schedule(
+            self._rpc_latency,
+            self._invoke,
+            service_name,
+            operation,
+            args,
+            kwargs,
+            on_result,
+        )
+
+    def call_sync(
+        self, service_name: str, operation: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Invoke an operation immediately, bypassing simulated latency.
+
+        Intended for tests and for intra-service queries where Figure 1
+        shows a direct lookup (e.g. replicator → location service), where
+        modelling the latency separately would double-count it.
+        """
+        service = self._services.get(service_name)
+        if service is None:
+            raise RegistrationError(f"unknown service {service_name!r}")
+        self.stats.rpc_calls += 1
+        return service.rpc_dispatch(operation, *args, **kwargs)
+
+    def _invoke(
+        self,
+        service_name: str,
+        operation: str,
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        on_result: Callable[[Any], None] | None,
+    ) -> None:
+        service = self._services[service_name]
+        result = service.rpc_dispatch(operation, *args, **kwargs)
+        if on_result is not None:
+            self._sim.schedule(self._rpc_latency, on_result, result)

@@ -1,0 +1,176 @@
+"""Planar geometry for sensor fields, coverage zones and location estimates.
+
+Sensors, receivers and transmitters live on a 2-D plane measured in
+metres. Receivers have circular reception zones whose overlap produces
+the duplicate messages the Filtering Service must eliminate (Section 4.2),
+and the Location Service computes RSSI-weighted centroids over receiver
+positions (Section 5, "Inferred location data").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (or displacement) in the 2-D sensor field, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        return Point(self.x * factor, self.y * factor)
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def unit(self) -> "Point":
+        """Unit vector in this direction; the origin maps to itself."""
+        length = self.norm()
+        if length == 0.0:
+            return Point(0.0, 0.0)
+        return Point(self.x / length, self.y / length)
+
+    def toward(self, target: "Point", step: float) -> "Point":
+        """Move ``step`` metres toward ``target``, without overshooting."""
+        gap = self.distance_to(target)
+        if gap <= step or gap == 0.0:
+            return target
+        direction = (target - self).unit()
+        return self + direction.scaled(step)
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circular region: reception zone, transmission footprint, estimate area."""
+
+    center: Point
+    radius: float
+
+    def contains(self, point: Point) -> bool:
+        return self.center.distance_to(point) <= self.radius
+
+    def intersects(self, other: "Circle") -> bool:
+        return (
+            self.center.distance_to(other.center)
+            <= self.radius + other.radius
+        )
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle; deployments confine mobility inside one."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(f"degenerate rectangle {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> Point:
+        return Point(
+            (self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0
+        )
+
+    def contains(self, point: Point) -> bool:
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the rectangle (nearest interior point)."""
+        return Point(
+            min(max(point.x, self.x_min), self.x_max),
+            min(max(point.y, self.y_min), self.y_max),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        return Rect(
+            self.x_min - margin,
+            self.y_min - margin,
+            self.x_max + margin,
+            self.y_max + margin,
+        )
+
+
+def weighted_centroid(
+    points: Sequence[Point], weights: Sequence[float]
+) -> Point:
+    """Weighted mean of ``points``; the Location Service's core estimator.
+
+    Raises ``ValueError`` on empty input or non-positive total weight.
+    """
+    if len(points) != len(weights):
+        raise ValueError("points and weights must have the same length")
+    if not points:
+        raise ValueError("cannot take the centroid of no points")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError(f"total weight must be positive, got {total}")
+    x = sum(p.x * w for p, w in zip(points, weights)) / total
+    y = sum(p.y * w for p, w in zip(points, weights)) / total
+    return Point(x, y)
+
+
+def bounding_circle(points: Iterable[Point]) -> Circle:
+    """A circle covering all ``points``: centroid-centred, max-distance radius.
+
+    Not the minimal enclosing circle, but within a factor of two of it and
+    O(n); used by the Message Replicator to turn a set of candidate sensor
+    positions into a broadcast target area.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot bound an empty point set")
+    centroid = weighted_centroid(pts, [1.0] * len(pts))
+    radius = max(centroid.distance_to(p) for p in pts)
+    return Circle(centroid, radius)
+
+
+def grid_positions(area: Rect, rows: int, cols: int) -> list[Point]:
+    """Evenly spaced grid positions inside ``area`` (cell centres).
+
+    Used to lay out receiver and transmitter arrays whose zones overlap by
+    a controllable factor.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    cell_w = area.width / cols
+    cell_h = area.height / rows
+    return [
+        Point(
+            area.x_min + (c + 0.5) * cell_w,
+            area.y_min + (r + 0.5) * cell_h,
+        )
+        for r in range(rows)
+        for c in range(cols)
+    ]

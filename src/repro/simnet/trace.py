@@ -1,0 +1,145 @@
+"""Metric collection: counters, time series and latency statistics.
+
+Every experiment in ``benchmarks/`` reads its results through these
+recorders instead of scraping service internals, which keeps the
+measurement surface stable while services evolve.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class MetricRegistry:
+    """Named counters shared by a deployment's services."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """A copy of all counters, for reporting."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+@dataclass(slots=True)
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    name: str = ""
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time {time} precedes last sample {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def rate(self) -> float:
+        """Samples per second over the observed span (0 if degenerate)."""
+        if len(self.times) < 2:
+            return 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return 0.0
+        return (len(self.times) - 1) / span
+
+
+class LatencyRecorder:
+    """Streaming latency statistics with exact quantiles.
+
+    Samples are kept in sorted order (``bisect.insort``); deployments in
+    this library record at most tens of thousands of latencies per run, so
+    the O(n) insert is cheaper than maintaining a sketch and keeps the
+    quantiles exact for EXPERIMENTS.md.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._sorted: list[float] = []
+        self._sum = 0.0
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        insort(self._sorted, latency)
+        self._sum += latency
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        if not self._sorted:
+            return math.nan
+        return self._sum / len(self._sorted)
+
+    @property
+    def minimum(self) -> float:
+        return self._sorted[0] if self._sorted else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._sorted[-1] if self._sorted else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile by linear interpolation; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._sorted:
+            return math.nan
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        position = q * (len(self._sorted) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high or self._sorted[low] == self._sorted[high]:
+            return self._sorted[low]
+        fraction = position - low
+        return self._sorted[low] * (1 - fraction) + self._sorted[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+        }

@@ -1,0 +1,239 @@
+"""Unreliable broadcast wireless medium.
+
+This module models the wireless side of Figure 1: mobile sensors transmit
+frames that any listener in range may receive. The model reproduces the
+three traffic properties the middleware is built to cope with:
+
+- **loss** — per-link Bernoulli loss whose probability grows toward the
+  edge of the radio range, so roaming sensors fade out gradually
+  (Section 4.2: sensors "occasionally roam outside the reception zone");
+- **duplication** — every listener in range receives its own copy, so
+  overlapping receiver zones deliver the same message several times
+  (Section 4.2: overlap "causes potential duplication of data messages");
+- **delay** — propagation at the speed of light plus serialisation at the
+  configured bitrate, so larger payloads arrive later and frames from
+  different transmitters interleave realistically.
+
+The medium is honest about what radios know: listeners receive bytes and
+an RSSI, never the transmitter's coordinates — location must be *inferred*
+(Section 5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.simnet.geometry import Point
+from repro.simnet.kernel import Simulator
+
+_SPEED_OF_LIGHT = 3.0e8  # m/s
+
+
+@dataclass(frozen=True, slots=True)
+class RadioFrame:
+    """One received copy of a transmission, as seen by a single listener."""
+
+    payload: bytes
+    rssi: float
+    """Received signal strength indicator in dBm (log-distance model)."""
+    sent_at: float
+    received_at: float
+    channel: int = 0
+
+
+class RadioListener(Protocol):
+    """Anything attached to the medium: receivers and receive-capable sensors."""
+
+    @property
+    def position(self) -> Point:
+        """Current antenna position (queried at delivery time)."""
+        ...
+
+    def on_radio_receive(self, frame: RadioFrame) -> None:
+        """Handle one received frame copy."""
+        ...
+
+
+@dataclass(slots=True)
+class LossModel:
+    """Distance-dependent Bernoulli loss.
+
+    Loss probability is ``base`` inside ``good_fraction`` of the range and
+    rises polynomially to ``edge`` at the range boundary:
+
+    ``p(d) = base + (edge - base) * max(0, (d/R - g)/(1 - g)) ** exponent``
+    """
+
+    base: float = 0.02
+    edge: float = 0.6
+    good_fraction: float = 0.7
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base <= 1.0 or not 0.0 <= self.edge <= 1.0:
+            raise ConfigurationError("loss probabilities must be in [0, 1]")
+        if not 0.0 <= self.good_fraction < 1.0:
+            raise ConfigurationError("good_fraction must be in [0, 1)")
+
+    def loss_probability(self, distance: float, radio_range: float) -> float:
+        if radio_range <= 0:
+            return 1.0
+        ratio = distance / radio_range
+        if ratio > 1.0:
+            return 1.0
+        excess = max(0.0, (ratio - self.good_fraction))
+        span = 1.0 - self.good_fraction
+        scaled = (excess / span) ** self.exponent if span > 0 else 0.0
+        return min(1.0, self.base + (self.edge - self.base) * scaled)
+
+
+def log_distance_rssi(
+    distance: float,
+    tx_power_dbm: float = 0.0,
+    path_loss_exponent: float = 2.4,
+    reference_distance: float = 1.0,
+    reference_loss_db: float = 40.0,
+) -> float:
+    """RSSI under the log-distance path-loss model (dBm)."""
+    d = max(distance, reference_distance)
+    loss = reference_loss_db + 10.0 * path_loss_exponent * math.log10(
+        d / reference_distance
+    )
+    return tx_power_dbm - loss
+
+
+@dataclass(slots=True)
+class MediumStats:
+    """Aggregate counters the duplicate-filtering experiment (E2) reads."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    losses: int = 0
+    out_of_range: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+class WirelessMedium:
+    """Broadcast medium connecting sensors, receivers and transmitters.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel frames are scheduled on.
+    bitrate:
+        Serialisation rate in bits/second (default 250 kbit/s, typical for
+        low-power sensor radios; the paper's 802.11b testbed corresponds to
+        ``11e6``).
+    loss_model:
+        Per-link loss; ``None`` gives a perfectly reliable medium, handy in
+        unit tests.
+    per_hop_latency:
+        Fixed MAC/processing latency added to every delivery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bitrate: float = 250_000.0,
+        loss_model: LossModel | None = None,
+        per_hop_latency: float = 0.001,
+    ) -> None:
+        if bitrate <= 0:
+            raise ConfigurationError(f"bitrate must be positive: {bitrate}")
+        if per_hop_latency < 0:
+            raise ConfigurationError("per_hop_latency must be non-negative")
+        self._sim = sim
+        self._bitrate = bitrate
+        self._loss_model = loss_model
+        self._per_hop_latency = per_hop_latency
+        self._listeners: list[tuple[RadioListener, float, int]] = []
+        self._rng = sim.fork_rng()
+        self.stats = MediumStats()
+        self._snoopers: list[Callable[[bytes, Point], None]] = []
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    def attach(
+        self, listener: RadioListener, radio_range: float, channel: int = 0
+    ) -> None:
+        """Register a listener with the sensitivity range of its radio."""
+        if radio_range <= 0:
+            raise ConfigurationError(
+                f"radio_range must be positive: {radio_range}"
+            )
+        self._listeners.append((listener, radio_range, channel))
+
+    def detach(self, listener: RadioListener) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        self._listeners = [
+            entry for entry in self._listeners if entry[0] is not listener
+        ]
+
+    def add_snooper(self, snooper: Callable[[bytes, Point], None]) -> None:
+        """Observe every transmission regardless of range/loss (test hook)."""
+        self._snoopers.append(snooper)
+
+    def broadcast(
+        self,
+        origin: Point,
+        payload: bytes,
+        tx_range: float,
+        channel: int = 0,
+        exclude: RadioListener | None = None,
+    ) -> int:
+        """Transmit ``payload`` from ``origin``; returns scheduled deliveries.
+
+        Each in-range listener independently survives the loss draw and,
+        if it does, receives its own :class:`RadioFrame` after propagation
+        plus serialisation delay. The transmitter itself can be passed as
+        ``exclude`` so nodes do not hear their own frames.
+        """
+        if tx_range <= 0:
+            raise ConfigurationError(f"tx_range must be positive: {tx_range}")
+        now = self._sim.now
+        self.stats.transmissions += 1
+        self.stats.bytes_sent += len(payload)
+        for snooper in self._snoopers:
+            snooper(payload, origin)
+        serialisation = len(payload) * 8.0 / self._bitrate
+        scheduled = 0
+        for listener, rx_range, rx_channel in self._listeners:
+            if rx_channel != channel or listener is exclude:
+                continue
+            distance = origin.distance_to(listener.position)
+            reach = min(tx_range, rx_range)
+            if distance > reach:
+                self.stats.out_of_range += 1
+                continue
+            if self._loss_model is not None:
+                p_loss = self._loss_model.loss_probability(distance, reach)
+                if self._rng.random() < p_loss:
+                    self.stats.losses += 1
+                    continue
+            delay = (
+                self._per_hop_latency
+                + serialisation
+                + distance / _SPEED_OF_LIGHT
+            )
+            frame = RadioFrame(
+                payload=payload,
+                rssi=log_distance_rssi(distance),
+                sent_at=now,
+                received_at=now + delay,
+                channel=channel,
+            )
+            self._sim.schedule(delay, self._deliver, listener, frame)
+            scheduled += 1
+        return scheduled
+
+    def _deliver(self, listener: RadioListener, frame: RadioFrame) -> None:
+        self.stats.deliveries += 1
+        self.stats.bytes_delivered += len(frame.payload)
+        listener.on_radio_receive(frame)

@@ -1,0 +1,5 @@
+"""Operator command-line tools.
+
+- ``python -m repro.tools.trace_dump <trace>`` — decode a captured radio
+  trace (see :mod:`repro.simnet.capture`) into human-readable records.
+"""

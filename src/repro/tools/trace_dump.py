@@ -1,0 +1,153 @@
+"""Decode a captured radio trace into human-readable records.
+
+Usage::
+
+    python -m repro.tools.trace_dump session.trace
+    python -m repro.tools.trace_dump --no-checksum session.trace
+    python -m repro.tools.trace_dump --stats session.trace
+
+Each frame is classified (data / control / garbage) and decoded with the
+standard codecs; ``--stats`` prints per-stream summaries instead of
+per-frame lines. Frames that fail to decode are reported, not fatal —
+the tool's job is triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+
+from repro.core.control import ControlCodec, FrameKind, peek_frame_kind
+from repro.core.message import MessageCodec
+from repro.errors import CodecError
+from repro.simnet.capture import CapturedFrame, load_trace
+
+
+def describe_frame(
+    frame: CapturedFrame,
+    data_codec: MessageCodec,
+    control_codec: ControlCodec,
+) -> str:
+    """One human-readable line for one captured frame."""
+    prefix = (
+        f"{frame.time:12.6f}  ({frame.origin.x:8.1f},{frame.origin.y:8.1f})"
+    )
+    kind = peek_frame_kind(frame.payload)
+    if kind is FrameKind.DATA:
+        try:
+            message = data_codec.decode(frame.payload)
+        except CodecError as exc:
+            return f"{prefix}  DATA    <undecodable: {exc}>"
+        flags = []
+        if message.fused:
+            flags.append("fused")
+        if message.encrypted:
+            flags.append("encrypted")
+        if message.is_relayed:
+            flags.append(f"hops={message.hop_count}")
+        if message.ack_request_id is not None:
+            flags.append(f"ack#{message.ack_request_id}")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        return (
+            f"{prefix}  DATA    {message.stream_id} "
+            f"seq={message.sequence} payload={len(message.payload)}B"
+            f"{suffix}"
+        )
+    if kind is FrameKind.CONTROL:
+        try:
+            request = control_codec.decode(frame.payload)
+        except CodecError as exc:
+            return f"{prefix}  CONTROL <undecodable: {exc}>"
+        return f"{prefix}  CONTROL {request.describe()}"
+    return f"{prefix}  GARBAGE {len(frame.payload)}B"
+
+
+def summarise(
+    frames: list[CapturedFrame], data_codec: MessageCodec
+) -> list[str]:
+    """Per-stream summary lines for ``--stats`` mode."""
+    per_stream: dict = defaultdict(lambda: {"count": 0, "bytes": 0,
+                                            "first": None, "last": None})
+    control = 0
+    garbage = 0
+    for frame in frames:
+        kind = peek_frame_kind(frame.payload)
+        if kind is FrameKind.CONTROL:
+            control += 1
+            continue
+        if kind is not FrameKind.DATA:
+            garbage += 1
+            continue
+        try:
+            message = data_codec.decode(frame.payload)
+        except CodecError:
+            garbage += 1
+            continue
+        entry = per_stream[message.stream_id]
+        entry["count"] += 1
+        entry["bytes"] += len(message.payload)
+        if entry["first"] is None:
+            entry["first"] = frame.time
+        entry["last"] = frame.time
+    lines = [
+        f"{len(frames)} frames: "
+        f"{sum(e['count'] for e in per_stream.values())} data on "
+        f"{len(per_stream)} streams, {control} control, {garbage} other"
+    ]
+    for stream_id in sorted(per_stream):
+        entry = per_stream[stream_id]
+        span = (entry["last"] or 0.0) - (entry["first"] or 0.0)
+        rate = (entry["count"] - 1) / span if span > 0 else 0.0
+        lines.append(
+            f"  {stream_id}: {entry['count']} msgs, "
+            f"{entry['bytes']} payload bytes, ~{rate:.2f} msg/s"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trace_dump",
+        description="Decode a captured Garnet radio trace.",
+    )
+    parser.add_argument("trace", help="trace file written by FrameCapture")
+    parser.add_argument(
+        "--no-checksum",
+        action="store_true",
+        help="decode data frames written by a checksum-free deployment",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stream summaries instead of per-frame lines",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="decode at most this many frames",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        frames = load_trace(args.trace)
+    except (OSError, CodecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.limit is not None:
+        frames = frames[: args.limit]
+
+    data_codec = MessageCodec(checksum=not args.no_checksum)
+    if args.stats:
+        for line in summarise(frames, data_codec):
+            print(line)
+        return 0
+    control_codec = ControlCodec()
+    for frame in frames:
+        print(describe_frame(frame, data_codec, control_codec))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Helpers for packing fixed-width big-endian integer fields.
+
+The Figure 2 wire format is defined in terms of exact bit widths; these
+helpers enforce those widths at encode time (raising
+:class:`repro.errors.FieldRangeError` on overflow) and provide bounds-checked
+reads that raise :class:`repro.errors.TruncatedMessageError` rather than
+silently mis-parsing short buffers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldRangeError, TruncatedMessageError
+
+
+def check_range(field: str, value: int, bits: int) -> int:
+    """Validate that ``value`` fits in ``bits`` unsigned bits.
+
+    Returns the value unchanged so callers can use it inline.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FieldRangeError(field, value, (1 << bits) - 1)
+    maximum = (1 << bits) - 1
+    if value < 0 or value > maximum:
+        raise FieldRangeError(field, value, maximum)
+    return value
+
+
+def write_uint(buffer: bytearray, value: int, nbytes: int, field: str) -> None:
+    """Append ``value`` to ``buffer`` as a big-endian unsigned integer."""
+    check_range(field, value, nbytes * 8)
+    buffer.extend(value.to_bytes(nbytes, "big"))
+
+
+def read_uint(data: bytes, offset: int, nbytes: int, field: str) -> tuple[int, int]:
+    """Read a big-endian unsigned integer from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    end = offset + nbytes
+    if end > len(data):
+        raise TruncatedMessageError(
+            f"buffer of {len(data)} bytes too short for field {field!r} "
+            f"at offset {offset} ({nbytes} bytes)"
+        )
+    return int.from_bytes(data[offset:end], "big"), end

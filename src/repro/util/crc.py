@@ -1,0 +1,71 @@
+"""Cyclic redundancy checks used by the Garnet wire formats.
+
+Section 4.3 of the paper notes that "the usual checksums associated with
+the data messages" are elided from Figure 2 for simplicity; the Actuation
+Service explicitly adds checksums to control messages (Section 4.2). We
+use CRC-16/CCITT-FALSE for message checksums (compact enough for the small
+control frames) and expose CRC-32 for bulk payload integrity.
+
+Both implementations are table-driven and pure Python so the library has
+no binary dependencies.
+"""
+
+from __future__ import annotations
+
+
+def _build_crc16_table(poly: int) -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ poly) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+def _build_crc32_table(poly: int) -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC16_TABLE = _build_crc16_table(0x1021)
+_CRC32_TABLE = _build_crc32_table(0xEDB88320)
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """Return the CRC-16/CCITT-FALSE checksum of ``data``.
+
+    Parameters
+    ----------
+    data:
+        The bytes to checksum.
+    initial:
+        Starting register value; chain calls by passing a previous result.
+    """
+    crc = initial & 0xFFFF
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc32_ieee(data: bytes, initial: int = 0) -> int:
+    """Return the CRC-32 (IEEE 802.3) checksum of ``data``.
+
+    Compatible with :func:`zlib.crc32`; implemented locally so the wire
+    format is self-contained and portable.
+    """
+    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

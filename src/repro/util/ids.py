@@ -1,0 +1,143 @@
+"""Identifier allocation utilities.
+
+Garnet identifies sensors with 24-bit ids, internal streams with 8-bit
+indices and stream update requests with short wrapping counters (the paper
+compares these ephemeral request ids to RETRI transaction identifiers,
+Section 7). Two allocators cover those needs:
+
+- :class:`IdPool` hands out unique ids from a bounded space and supports
+  release/reuse (sensor ids, consumer ids).
+- :class:`WrappingCounter` produces modular sequence numbers (message
+  sequence fields, actuation request ids).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GarnetError
+
+
+class IdExhaustedError(GarnetError):
+    """Raised when an :class:`IdPool` has no free ids left."""
+
+
+class IdPool:
+    """Allocate unique integer ids in ``[first, last]`` with reuse.
+
+    Allocation is O(1): a monotonically advancing cursor serves fresh ids
+    until the range is exhausted, after which released ids are recycled in
+    LIFO order.
+    """
+
+    def __init__(self, first: int = 0, last: int = (1 << 24) - 1) -> None:
+        if first < 0 or last < first:
+            raise ValueError(f"invalid id range [{first}, {last}]")
+        self._first = first
+        self._last = last
+        self._next = first
+        self._released: list[int] = []
+        self._in_use: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of ids the pool can ever hold concurrently."""
+        return self._last - self._first + 1
+
+    @property
+    def in_use(self) -> int:
+        """Number of ids currently allocated."""
+        return len(self._in_use)
+
+    def allocate(self) -> int:
+        """Return a fresh id, recycling released ids once the range is spent."""
+        if self._released:
+            value = self._released.pop()
+        elif self._next <= self._last:
+            value = self._next
+            self._next += 1
+        else:
+            raise IdExhaustedError(
+                f"id pool [{self._first}, {self._last}] exhausted"
+            )
+        self._in_use.add(value)
+        return value
+
+    def reserve(self, value: int) -> int:
+        """Claim a specific id (e.g. a pre-configured sensor id)."""
+        if value < self._first or value > self._last:
+            raise ValueError(
+                f"id {value} outside pool range [{self._first}, {self._last}]"
+            )
+        if value in self._in_use:
+            raise IdExhaustedError(f"id {value} already allocated")
+        if value >= self._next:
+            # Mark everything skipped over as released so it is not lost.
+            self._released.extend(
+                v for v in range(self._next, value) if v not in self._in_use
+            )
+            self._next = value + 1
+        else:
+            try:
+                self._released.remove(value)
+            except ValueError as exc:
+                raise IdExhaustedError(f"id {value} already allocated") from exc
+        self._in_use.add(value)
+        return value
+
+    def release(self, value: int) -> None:
+        """Return an id to the pool for reuse."""
+        try:
+            self._in_use.remove(value)
+        except KeyError as exc:
+            raise ValueError(f"id {value} is not allocated") from exc
+        self._released.append(value)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._in_use
+
+
+class WrappingCounter:
+    """A modular counter over ``bits`` unsigned bits.
+
+    ``next()`` returns the current value then advances, wrapping to zero
+    after ``2**bits - 1`` — exactly the behaviour of the 16-bit sequence
+    field in Figure 2.
+    """
+
+    def __init__(self, bits: int, start: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self._modulus = 1 << bits
+        if not 0 <= start < self._modulus:
+            raise ValueError(f"start {start} outside [0, {self._modulus})")
+        self._value = start
+
+    @property
+    def modulus(self) -> int:
+        return self._modulus
+
+    @property
+    def value(self) -> int:
+        """The value the next call to :meth:`next` will return."""
+        return self._value
+
+    def next(self) -> int:
+        value = self._value
+        self._value = (self._value + 1) % self._modulus
+        return value
+
+    def distance_to(self, other: int) -> int:
+        """Forward distance from the current value to ``other`` (mod 2^bits)."""
+        return (other - self._value) % self._modulus
+
+
+def sequence_is_newer(candidate: int, reference: int, bits: int = 16) -> bool:
+    """Serial-number arithmetic (RFC 1982 style) for wrapping sequences.
+
+    Returns True when ``candidate`` is ahead of ``reference`` by less than
+    half the sequence space — the standard rule for deciding whether a
+    wrapped sequence number is "new" rather than a stale duplicate.
+    """
+    modulus = 1 << bits
+    half = modulus // 2
+    diff = (candidate - reference) % modulus
+    return 0 < diff < half

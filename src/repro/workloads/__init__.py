@@ -1,0 +1,33 @@
+"""Scenario workloads: the environments the paper motivates.
+
+- :mod:`repro.workloads.fields` — synthetic spatio-temporal physical
+  fields standing in for the real environments the paper's sensors
+  measured (payloads are opaque to the middleware, so any field with
+  realistic structure exercises the same code paths);
+- :mod:`repro.workloads.watercourse` — the "management of a complex
+  water course" scenario of Section 6.1, driving experiment E6;
+- :mod:`repro.workloads.habitat` — habitat monitoring (Section 1 and
+  the Section 7 comparison with Mainwaring et al.);
+- :mod:`repro.workloads.tracking` — military-reconnaissance-style
+  target tracking (Section 1) with location hints and derived streams.
+"""
+
+from repro.workloads.fields import (
+    FieldSampler,
+    GaussianPlumeField,
+    GradientField,
+    RiverStageField,
+    ScalarField,
+    UniformDiurnalField,
+)
+from repro.workloads.scenario import ScenarioBase
+
+__all__ = [
+    "FieldSampler",
+    "GaussianPlumeField",
+    "GradientField",
+    "RiverStageField",
+    "ScalarField",
+    "ScenarioBase",
+    "UniformDiurnalField",
+]

@@ -1,0 +1,218 @@
+"""Synthetic spatio-temporal scalar fields.
+
+Sensors sample a physical field at their (possibly moving) position.
+Because Garnet treats payloads as opaque bytes (Section 4.3), *any*
+field exercises the middleware identically; these fields exist so the
+examples and experiments produce data with realistic spatial and
+temporal correlation — flood waves propagate, hotspots move, days cycle
+— which in turn gives the consumer-side logic (thresholds, fusion,
+state machines) something honest to react to.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Protocol
+
+from repro.simnet.geometry import Point
+
+
+class ScalarField(Protocol):
+    """A scalar physical quantity over space and time."""
+
+    def value(self, time: float, position: Point) -> float:
+        ...
+
+
+class UniformDiurnalField:
+    """Spatially uniform with a daily sinusoid plus linear trend.
+
+    The classic temperature field for habitat monitoring.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        daily_amplitude: float,
+        day_length: float = 86_400.0,
+        trend_per_second: float = 0.0,
+    ) -> None:
+        if day_length <= 0:
+            raise ValueError("day_length must be positive")
+        self._mean = mean
+        self._amplitude = daily_amplitude
+        self._day = day_length
+        self._trend = trend_per_second
+
+    def value(self, time: float, position: Point) -> float:
+        phase = 2.0 * math.pi * (time / self._day)
+        return (
+            self._mean
+            + self._amplitude * math.sin(phase)
+            + self._trend * time
+        )
+
+
+class GradientField:
+    """A static linear gradient: value rises along a direction vector.
+
+    Gives spatially distinguishable readings, so fusing sensors at
+    different positions produces genuinely different inputs.
+    """
+
+    def __init__(
+        self, base: float, gradient_per_metre: Point
+    ) -> None:
+        self._base = base
+        self._gradient = gradient_per_metre
+
+    def value(self, time: float, position: Point) -> float:
+        return (
+            self._base
+            + position.x * self._gradient.x
+            + position.y * self._gradient.y
+        )
+
+
+class GaussianPlumeField:
+    """A moving Gaussian hotspot over a quiet background.
+
+    Models a target crossing a surveilled area (acoustic/seismic
+    intensity) or a contaminant plume. The hotspot's centre at time t is
+    supplied by a callable, typically a mobility model's ``position_at``.
+    """
+
+    def __init__(
+        self,
+        center_at,
+        peak: float,
+        sigma: float,
+        background: float = 0.0,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self._center_at = center_at
+        self._peak = peak
+        self._sigma = sigma
+        self._background = background
+
+    def value(self, time: float, position: Point) -> float:
+        center = self._center_at(time)
+        distance_sq = (
+            (position.x - center.x) ** 2 + (position.y - center.y) ** 2
+        )
+        return self._background + self._peak * math.exp(
+            -distance_sq / (2.0 * self._sigma * self._sigma)
+        )
+
+
+class RiverStageField:
+    """Water level along a river, with flood waves moving downstream.
+
+    The river is a polyline; a position's stage is determined by its
+    chainage (distance along the river of the nearest point on the
+    polyline). Flood waves are Gaussian pulses in chainage whose centres
+    advance at the wave celerity — the physics that makes an upstream
+    gauge's rise *predict* a downstream rise, which is exactly the
+    structure the Super Coordinator's anticipation exploits
+    (Section 6.1).
+    """
+
+    def __init__(
+        self,
+        course: Sequence[Point],
+        base_stage: float = 1.0,
+        celerity: float = 2.0,
+    ) -> None:
+        if len(course) < 2:
+            raise ValueError("a river needs at least two course points")
+        if celerity <= 0:
+            raise ValueError("celerity must be positive")
+        self._course = list(course)
+        self._base = base_stage
+        self._celerity = celerity
+        self._cumulative = [0.0]
+        for a, b in zip(self._course, self._course[1:]):
+            self._cumulative.append(self._cumulative[-1] + a.distance_to(b))
+        self._length = self._cumulative[-1]
+        # (start_time, start_chainage, amplitude, sigma)
+        self._waves: list[tuple[float, float, float, float]] = []
+
+    @property
+    def length(self) -> float:
+        """Total course length in metres."""
+        return self._length
+
+    def add_flood_wave(
+        self,
+        start_time: float,
+        amplitude: float,
+        sigma: float = 200.0,
+        start_chainage: float = 0.0,
+    ) -> None:
+        """Inject a flood pulse entering at ``start_chainage`` at
+        ``start_time`` and travelling downstream at the celerity."""
+        if amplitude < 0 or sigma <= 0:
+            raise ValueError("amplitude must be >= 0 and sigma > 0")
+        self._waves.append((start_time, start_chainage, amplitude, sigma))
+
+    def chainage_of(self, position: Point) -> float:
+        """Distance along the course of the nearest course point.
+
+        Piecewise projection onto each segment, taking the global
+        minimum-distance segment.
+        """
+        best_chainage = 0.0
+        best_distance = float("inf")
+        for i, (a, b) in enumerate(
+            zip(self._course, self._course[1:])
+        ):
+            seg = b - a
+            seg_len_sq = seg.x * seg.x + seg.y * seg.y
+            if seg_len_sq == 0.0:
+                t = 0.0
+            else:
+                t = (
+                    (position.x - a.x) * seg.x
+                    + (position.y - a.y) * seg.y
+                ) / seg_len_sq
+                t = min(1.0, max(0.0, t))
+            nearest = Point(a.x + seg.x * t, a.y + seg.y * t)
+            distance = position.distance_to(nearest)
+            if distance < best_distance:
+                best_distance = distance
+                best_chainage = self._cumulative[i] + a.distance_to(nearest)
+        return best_chainage
+
+    def stage_at_chainage(self, time: float, chainage: float) -> float:
+        stage = self._base
+        for start_time, start_chainage, amplitude, sigma in self._waves:
+            if time < start_time:
+                continue
+            wave_center = start_chainage + self._celerity * (
+                time - start_time
+            )
+            offset = chainage - wave_center
+            stage += amplitude * math.exp(
+                -(offset * offset) / (2.0 * sigma * sigma)
+            )
+        return stage
+
+    def value(self, time: float, position: Point) -> float:
+        return self.stage_at_chainage(time, self.chainage_of(position))
+
+    def arrival_time(self, chainage: float, wave_index: int = 0) -> float:
+        """When wave ``wave_index``'s centre reaches ``chainage``."""
+        start_time, start_chainage, _, _ = self._waves[wave_index]
+        return start_time + (chainage - start_chainage) / self._celerity
+
+
+class FieldSampler:
+    """Adapts a :class:`ScalarField` to the sensor Sampler protocol."""
+
+    def __init__(self, field: ScalarField) -> None:
+        self._field = field
+
+    def sample(self, time: float, position: Point) -> float:
+        return self._field.value(time, position)

@@ -1,0 +1,210 @@
+"""Habitat monitoring: heterogeneous sensors, queries, and the Orphanage.
+
+The paper motivates WSNs with environmental monitoring (Section 1) and
+compares against the Great Duck Island-style deployment of Mainwaring et
+al. (Section 7). This scenario reproduces the setting over Garnet:
+
+- a population of **simple motes** (transmit-only — no actuation, the
+  degenerate sensors Garnet must accommodate) reporting temperature;
+- a few **weather stations** (sophisticated, two streams: temperature
+  and humidity) that *can* be reconfigured;
+- a **gateway consumer** that ingests everything into the
+  database-centric baseline's :class:`SensorDatabase`, so E9 can compare
+  what each access model supports on identical data;
+- humidity streams deliberately left unsubscribed at first, landing in
+  the **Orphanage**; a late "ecologist" consumer subscribes afterwards
+  and replays the retained backlog — the paper's un-configured-data
+  story end to end.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.database_centric import SensorDatabase
+from repro.core.config import GarnetConfig
+from repro.core.consumer import Consumer
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.core.operators import CollectingConsumer, WindowAggregator
+from repro.core.resource import StreamConfig
+from repro.errors import CodecError
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import GaussianNoiseSampler, SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.workloads.fields import (
+    FieldSampler,
+    GradientField,
+    UniformDiurnalField,
+)
+from repro.workloads.scenario import ScenarioBase
+
+TEMP_RANGE = (-10.0, 45.0)
+HUMIDITY_RANGE = (0.0, 100.0)
+
+
+class GatewayConsumer(Consumer):
+    """Bridges Garnet streams into the database-centric baseline."""
+
+    def __init__(
+        self, name: str, database: SensorDatabase, codec: SampleCodec
+    ) -> None:
+        super().__init__(name)
+        self._database = database
+        self._codec = codec
+        self.decode_failures = 0
+
+    def on_start(self) -> None:
+        self.subscribe(SubscriptionPattern(kind="habitat.temperature"))
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        if not arrival.message.payload:
+            return
+        try:
+            sample = self._codec.decode(arrival.message.payload)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        self._database.insert(
+            str(arrival.message.stream_id),
+            sample.time_seconds,
+            sample.value,
+        )
+
+
+class HabitatScenario(ScenarioBase):
+    """Builds the habitat-monitoring deployment."""
+
+    def __init__(
+        self,
+        motes: int = 12,
+        stations: int = 3,
+        day_length: float = 600.0,
+        seed: int = 0,
+    ) -> None:
+        area = Rect(0.0, 0.0, 500.0, 500.0)
+        config = GarnetConfig(
+            area=area,
+            receiver_rows=3,
+            receiver_cols=3,
+            orphanage_backlog=512,
+        )
+        super().__init__(config=config, seed=seed)
+        self.temp_codec = SampleCodec(*TEMP_RANGE)
+        self.humidity_codec = SampleCodec(*HUMIDITY_RANGE)
+        self.temperature_field = UniformDiurnalField(
+            mean=18.0, daily_amplitude=8.0, day_length=day_length
+        )
+        self.humidity_field = GradientField(
+            base=55.0, gradient_per_metre=Point(0.02, 0.01)
+        )
+        deployment = self.deployment
+
+        deployment.define_sensor_type(
+            "mote",
+            {"rate_limits": "rate <= 1"},
+            default_config=StreamConfig(rate=0.5, precision=12),
+            actuatable=False,
+        )
+        deployment.define_sensor_type(
+            "weather_station",
+            {
+                "rate_limits": "rate >= 0.1 and rate <= 5",
+                "modes": "mode in {0, 1, 2}",
+            },
+            default_config=StreamConfig(rate=1.0, mode=0),
+        )
+
+        noise_rng = self.sim.fork_rng()
+        self.mote_nodes = []
+        for position in self.scatter_positions(motes):
+            sampler = GaussianNoiseSampler(
+                FieldSampler(self.temperature_field), 0.4, noise_rng
+            )
+            node = deployment.add_sensor(
+                "mote",
+                [
+                    SensorStreamSpec(
+                        0,
+                        sampler,
+                        self.temp_codec,
+                        config=StreamConfig(rate=0.5, precision=12),
+                        kind="habitat.temperature",
+                    )
+                ],
+                mobility=position,
+                receive_capable=False,
+            )
+            self.mote_nodes.append(node)
+
+        self.station_nodes = []
+        for position in self.scatter_positions(stations):
+            node = deployment.add_sensor(
+                "weather_station",
+                [
+                    SensorStreamSpec(
+                        0,
+                        FieldSampler(self.temperature_field),
+                        self.temp_codec,
+                        config=StreamConfig(rate=1.0),
+                        kind="habitat.temperature",
+                    ),
+                    SensorStreamSpec(
+                        1,
+                        FieldSampler(self.humidity_field),
+                        self.humidity_codec,
+                        config=StreamConfig(rate=0.5),
+                        kind="habitat.humidity",
+                    ),
+                ],
+                mobility=position,
+            )
+            self.station_nodes.append(node)
+
+        # Applications.
+        self.database = SensorDatabase()
+        self.gateway = GatewayConsumer(
+            "gateway", self.database, self.temp_codec
+        )
+        deployment.add_consumer(self.gateway)
+
+        self.climatologist = WindowAggregator(
+            "climatologist",
+            SubscriptionPattern(kind="habitat.temperature"),
+            window=10,
+            aggregate="mean",
+            input_codec=self.temp_codec,
+            output_codec=self.temp_codec,
+            output_kind="habitat.temperature.smoothed",
+        )
+        deployment.add_consumer(self.climatologist)
+
+        self.ecologist: CollectingConsumer | None = None
+
+    # ------------------------------------------------------------------
+    def orphaned_humidity_messages(self) -> int:
+        """Humidity data held by the Orphanage (nobody subscribed yet)."""
+        total = 0
+        for stream_id in self.deployment.orphanage.orphan_streams():
+            report = self.deployment.orphanage.report(stream_id)
+            if report is not None and stream_id.stream_index == 1:
+                total += report.messages_seen
+        return total
+
+    def admit_ecologist(self, replay: bool = True) -> CollectingConsumer:
+        """The late subscriber to humidity data; optionally replays the
+        Orphanage backlog so no retained data is lost."""
+        if self.ecologist is not None:
+            return self.ecologist
+        self.ecologist = CollectingConsumer(
+            "ecologist",
+            SubscriptionPattern(kind="habitat.humidity"),
+            self.humidity_codec,
+        )
+        self.deployment.add_consumer(self.ecologist)
+        if replay:
+            orphanage = self.deployment.orphanage
+            for stream_id in list(orphanage.orphan_streams()):
+                if stream_id.stream_index == 1:
+                    orphanage.replay(stream_id, self.ecologist.endpoint)
+                    orphanage.discard(stream_id)
+        self.deployment.dispatcher.invalidate_routes()
+        return self.ecologist

@@ -1,0 +1,80 @@
+"""Common plumbing for scenario workloads."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import GarnetConfig
+from repro.core.middleware import Garnet
+from repro.sensors.node import SensorNode, SensorStreamSpec
+from repro.sensors.sampling import SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.simnet.mobility import MobilityModel
+from repro.workloads.fields import FieldSampler, ScalarField
+
+
+class ScenarioBase:
+    """A deployment plus the handles a scenario's experiment needs.
+
+    Subclasses populate ``self.deployment`` and whatever scenario-
+    specific attributes their experiment reads, then callers drive
+    ``run(duration)``.
+    """
+
+    def __init__(
+        self, config: GarnetConfig | None = None, seed: int = 0
+    ) -> None:
+        self.deployment = Garnet(config=config, seed=seed)
+        self.seed = seed
+
+    @property
+    def sim(self):
+        return self.deployment.sim
+
+    def run(self, duration: float) -> None:
+        self.deployment.run(duration)
+
+    # ------------------------------------------------------------------
+    # Deployment helpers shared by the concrete scenarios
+    # ------------------------------------------------------------------
+    def scatter_positions(
+        self, count: int, area: Rect | None = None
+    ) -> list[Point]:
+        """Uniformly random positions, deterministic under the seed."""
+        area = area or self.deployment.config.area
+        rng = random.Random(f"scatter/{self.seed}")
+        return [
+            Point(
+                rng.uniform(area.x_min, area.x_max),
+                rng.uniform(area.y_min, area.y_max),
+            )
+            for _ in range(count)
+        ]
+
+    def add_field_sensor(
+        self,
+        type_name: str,
+        field: ScalarField,
+        codec: SampleCodec,
+        kind: str,
+        mobility: MobilityModel | Point,
+        rate: float = 1.0,
+        receive_capable: bool = True,
+        stream_index: int = 0,
+    ) -> SensorNode:
+        """Deploy one single-stream sensor sampling ``field``."""
+        from repro.core.resource import StreamConfig
+
+        spec = SensorStreamSpec(
+            stream_index=stream_index,
+            sampler=FieldSampler(field),
+            codec=codec,
+            config=StreamConfig(rate=rate),
+            kind=kind,
+        )
+        return self.deployment.add_sensor(
+            type_name,
+            [spec],
+            mobility=mobility,
+            receive_capable=receive_capable,
+        )

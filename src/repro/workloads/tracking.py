@@ -1,0 +1,321 @@
+"""Target tracking: the military-reconnaissance workload of Section 1.
+
+A target crosses the surveilled area; a grid of acoustic sensors reports
+the received intensity of a Gaussian plume centred on the target. The
+consumer graph is genuinely multi-level (Section 6's hierarchy):
+
+1. **TrackerConsumer** (level 1) subscribes to every acoustic stream,
+   keeps the latest intensity per sensor, estimates the target position
+   as the intensity-weighted centroid of the hottest sensors, and
+   publishes a derived ``track`` stream;
+2. **AlertConsumer** (level 2) subscribes to the derived track stream
+   only, raising an alert state with the Super Coordinator whenever the
+   estimate enters a restricted zone;
+3. on alert, a coordinator action boosts the sampling rate of the
+   sensors nearest the estimate — closing the full sense → infer →
+   actuate loop the architecture exists for.
+
+The tracker also demonstrates location hints (Section 5): it knows where
+its *mobile patrol sensor* is (it computes the patrol route), so it
+feeds that knowledge to the Location Service, improving estimates for a
+sensor whose radio-only localisation is poor.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.core.config import GarnetConfig
+from repro.core.consumer import Consumer
+from repro.core.control import StreamUpdateCommand
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.core.resource import StreamConfig
+from repro.core.security import Permission
+from repro.core.streamid import StreamId
+from repro.errors import CodecError
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import SampleCodec
+from repro.simnet.geometry import Circle, Point, Rect, grid_positions
+from repro.simnet.mobility import PathFollower
+from repro.workloads.fields import FieldSampler, GaussianPlumeField
+from repro.workloads.scenario import ScenarioBase
+
+INTENSITY_RANGE = (0.0, 100.0)
+TRACK_STRUCT = struct.Struct(">ddd")  # x, y, confidence
+
+
+@dataclass(slots=True)
+class TrackPoint:
+    time: float
+    x: float
+    y: float
+    confidence: float
+
+
+class TrackerConsumer(Consumer):
+    """Level-1 consumer: fuses acoustic intensities into a track stream."""
+
+    def __init__(
+        self,
+        name: str,
+        codec: SampleCodec,
+        sensor_positions: dict[int, Point],
+        detection_threshold: float = 5.0,
+        top_k: int = 4,
+    ) -> None:
+        super().__init__(name)
+        self._codec = codec
+        self._positions = sensor_positions
+        self._threshold = detection_threshold
+        self._top_k = top_k
+        self._latest: dict[int, float] = {}
+        self.track: list[TrackPoint] = []
+        self.decode_failures = 0
+
+    def on_start(self) -> None:
+        self.subscribe(SubscriptionPattern(kind="acoustic.intensity"))
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        if not arrival.message.payload:
+            return
+        try:
+            sample = self._codec.decode(arrival.message.payload)
+        except CodecError:
+            self.decode_failures += 1
+            return
+        sensor_id = arrival.message.stream_id.sensor_id
+        if sensor_id not in self._positions:
+            return
+        self._latest[sensor_id] = sample.value
+        self._re_estimate(sample.time_seconds)
+
+    def _re_estimate(self, time: float) -> None:
+        hot = sorted(
+            (
+                (value, sensor_id)
+                for sensor_id, value in self._latest.items()
+                if value >= self._threshold
+            ),
+            reverse=True,
+        )[: self._top_k]
+        if len(hot) < 2:
+            return
+        total = sum(value for value, _ in hot)
+        x = sum(self._positions[sid].x * v for v, sid in hot) / total
+        y = sum(self._positions[sid].y * v for v, sid in hot) / total
+        spread = math.sqrt(
+            sum(
+                v
+                * (
+                    (self._positions[sid].x - x) ** 2
+                    + (self._positions[sid].y - y) ** 2
+                )
+                for v, sid in hot
+            )
+            / total
+        )
+        point = TrackPoint(time=time, x=x, y=y, confidence=spread)
+        self.track.append(point)
+        self.publish(
+            0,
+            TRACK_STRUCT.pack(x, y, spread),
+            kind="tracking.track",
+            fused=True,
+        )
+
+    def estimate_error(self, truth_at) -> list[float]:
+        """Distance between each track point and ground truth."""
+        return [
+            Point(p.x, p.y).distance_to(truth_at(p.time))
+            for p in self.track
+        ]
+
+
+class AlertConsumer(Consumer):
+    """Level-2 consumer: watches the derived track for zone intrusions."""
+
+    def __init__(self, name: str, restricted: Circle) -> None:
+        super().__init__(name)
+        self._restricted = restricted
+        self.state = "clear"
+        self.alerts: list[float] = []
+        self.last_estimate: Point | None = None
+
+    def on_start(self) -> None:
+        self.subscribe(SubscriptionPattern(kind="tracking.track"))
+        self.report_state(self.state)
+
+    def on_data(self, arrival: StreamArrival) -> None:
+        x, y, _ = TRACK_STRUCT.unpack(arrival.message.payload)
+        self.last_estimate = Point(x, y)
+        inside = self._restricted.contains(self.last_estimate)
+        new_state = "intrusion" if inside else "clear"
+        if new_state != self.state:
+            self.state = new_state
+            if new_state == "intrusion":
+                self.alerts.append(self.now)
+            self.report_state(new_state, {"x": x, "y": y})
+
+
+class TrackingScenario(ScenarioBase):
+    """Builds the reconnaissance deployment."""
+
+    def __init__(
+        self,
+        grid: int = 4,
+        target_speed: float = 6.0,
+        patrol: bool = True,
+        seed: int = 0,
+    ) -> None:
+        area = Rect(0.0, 0.0, 800.0, 800.0)
+        config = GarnetConfig(
+            area=area, receiver_rows=3, receiver_cols=3
+        )
+        super().__init__(config=config, seed=seed)
+        self.codec = SampleCodec(*INTENSITY_RANGE)
+        deployment = self.deployment
+
+        # The target crosses the area diagonally, with a dog-leg.
+        self.target = PathFollower(
+            [
+                Point(0.0, 100.0),
+                Point(400.0, 450.0),
+                Point(800.0, 650.0),
+            ],
+            speed=target_speed,
+        )
+        self.intensity_field = GaussianPlumeField(
+            center_at=self.target.position_at,
+            peak=90.0,
+            sigma=120.0,
+            background=0.5,
+        )
+
+        deployment.define_sensor_type(
+            "acoustic",
+            {"rate_limits": "rate >= 0.1 and rate <= 10"},
+            default_config=StreamConfig(rate=1.0),
+        )
+
+        self.sensor_positions: dict[int, Point] = {}
+        self.sensor_nodes = []
+        for position in grid_positions(area, grid, grid):
+            node = deployment.add_sensor(
+                "acoustic",
+                [
+                    SensorStreamSpec(
+                        0,
+                        FieldSampler(self.intensity_field),
+                        self.codec,
+                        config=StreamConfig(rate=1.0),
+                        kind="acoustic.intensity",
+                    )
+                ],
+                mobility=position,
+            )
+            self.sensor_nodes.append(node)
+            self.sensor_positions[node.sensor_id] = position
+
+        # Optional mobile patrol sensor whose position the tracker knows.
+        self.patrol_node = None
+        self.patrol_route = None
+        if patrol:
+            self.patrol_route = PathFollower(
+                [
+                    Point(100.0, 700.0),
+                    Point(700.0, 700.0),
+                    Point(700.0, 100.0),
+                    Point(100.0, 100.0),
+                ],
+                speed=4.0,
+                loop=True,
+            )
+            self.patrol_node = deployment.add_sensor(
+                "acoustic",
+                [
+                    SensorStreamSpec(
+                        0,
+                        FieldSampler(self.intensity_field),
+                        self.codec,
+                        config=StreamConfig(rate=1.0),
+                        kind="acoustic.intensity",
+                    )
+                ],
+                mobility=self.patrol_route,
+            )
+            self.sensor_positions[self.patrol_node.sensor_id] = Point(
+                100.0, 700.0
+            )
+
+        # Consumer graph.
+        self.tracker = TrackerConsumer(
+            "tracker", self.codec, self.sensor_positions
+        )
+        deployment.add_consumer(
+            self.tracker, permissions=Permission.trusted_consumer()
+        )
+        self.alerting = AlertConsumer(
+            "alerting", Circle(Point(400.0, 450.0), 150.0)
+        )
+        deployment.add_consumer(
+            self.alerting, permissions=Permission.trusted_consumer()
+        )
+        self._wire_coordinator()
+        if patrol:
+            self._start_patrol_hints()
+
+    # ------------------------------------------------------------------
+    def _wire_coordinator(self) -> None:
+        deployment = self.deployment
+        token = deployment.issue_token(
+            "coordinator", Permission.trusted_consumer()
+        )
+
+        def boost_nearby(consumer: str) -> None:
+            estimate = self.alerting.last_estimate
+            if estimate is None:
+                return
+            nearest = sorted(
+                self.sensor_positions.items(),
+                key=lambda item: item[1].distance_to(estimate),
+            )[:3]
+            for sensor_id, _ in nearest:
+                deployment.control.request_update(
+                    consumer="coordinator",
+                    stream_id=StreamId(sensor_id, 0),
+                    command=StreamUpdateCommand.SET_RATE,
+                    value=5.0,
+                    priority=10,
+                    token=token,
+                )
+
+        deployment.coordinator.register_state_action(
+            "intrusion", boost_nearby
+        )
+
+    def _start_patrol_hints(self) -> None:
+        """The tracker hints the patrol sensor's (known) position."""
+        assert self.patrol_node is not None and self.patrol_route is not None
+        node = self.patrol_node
+        route = self.patrol_route
+
+        def hint() -> None:
+            position = route.position_at(self.sim.now)
+            self.sensor_positions[node.sensor_id] = position
+            self.tracker.supply_hint(
+                node.sensor_id, position.x, position.y, 15.0
+            )
+
+        from repro.simnet.kernel import PeriodicTask
+
+        self._hint_task = PeriodicTask(self.sim, 5.0, hint, start_delay=1.0)
+
+    # ------------------------------------------------------------------
+    def truth_at(self, time: float) -> Point:
+        return self.target.position_at(time)
+
+    def tracking_errors(self) -> list[float]:
+        return self.tracker.estimate_error(self.truth_at)

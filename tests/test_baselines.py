@@ -1,0 +1,283 @@
+"""The Section 7 comparison baselines."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.corie import (
+    CoupledDeployment,
+    CouplingLimitExceeded,
+)
+from repro.baselines.database_centric import (
+    ActuationNotSupported,
+    QueryTemplate,
+    SensorDatabase,
+    TemplateQuery,
+)
+from repro.baselines.fjords import FjordEngine, FjordQuery, SensorProxy
+from repro.baselines.retri import (
+    GARNET_ID_BITS,
+    RetriScheme,
+    collision_probability,
+    garnet_transaction_cost,
+    minimum_id_bits,
+    retri_transaction_cost,
+)
+
+
+class TestRetriMath:
+    def test_collision_probability_monotone_in_density(self):
+        probabilities = [
+            collision_probability(n, 8) for n in (2, 4, 8, 16, 32)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_collision_probability_monotone_in_bits(self):
+        probabilities = [
+            collision_probability(16, bits) for bits in (4, 8, 12, 16)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_degenerate_cases(self):
+        assert collision_probability(0, 8) == 0.0
+        assert collision_probability(1, 8) == 0.0
+        with pytest.raises(ValueError):
+            collision_probability(-1, 8)
+        with pytest.raises(ValueError):
+            collision_probability(5, 0)
+
+    def test_birthday_formula(self):
+        # n=2, k bits: p = 1 - exp(-2*1 / 2^(k+1)) = 1 - exp(-2^-k).
+        assert collision_probability(2, 4) == pytest.approx(
+            1.0 - math.exp(-1.0 / 16.0)
+        )
+
+    def test_minimum_id_bits_scales_with_density(self):
+        widths = [minimum_id_bits(n) for n in (2, 16, 128, 1024)]
+        assert widths == sorted(widths)
+        # RETRI's key property: far fewer bits than Garnet's fixed 48
+        # at modest densities.
+        assert minimum_id_bits(16) < GARNET_ID_BITS
+
+    def test_minimum_id_bits_meets_target(self):
+        for density in (2, 10, 100):
+            bits = minimum_id_bits(density, 0.01)
+            assert collision_probability(density, bits) <= 0.01
+            if bits > 1:
+                assert collision_probability(density, bits - 1) > 0.01
+
+    def test_minimum_id_bits_validation(self):
+        with pytest.raises(ValueError):
+            minimum_id_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            minimum_id_bits(1 << 40, 1e-12, max_bits=8)
+
+
+class TestRetriSimulation:
+    def test_observed_collisions_match_theory_roughly(self):
+        rng = random.Random(5)
+        scheme = RetriScheme(id_bits=8, rng=rng)
+        trials = 2000
+        for _ in range(trials):
+            held = [scheme.begin_transaction() for _ in range(16)]
+            for identifier in held:
+                scheme.end_transaction(identifier)
+        # The i-th draw of a batch collides with probability (i-1)/256;
+        # averaged over a batch of 16 that is 7.5/256.
+        predicted_per_draw = 7.5 / 256.0
+        observed = scheme.observed_collision_rate()
+        assert observed == pytest.approx(predicted_per_draw, rel=0.3)
+
+    def test_transaction_lifecycle(self):
+        scheme = RetriScheme(id_bits=4, rng=random.Random(0))
+        identifier = scheme.begin_transaction()
+        assert scheme.held_count == 1
+        scheme.end_transaction(identifier)
+        assert scheme.held_count == 0
+
+    def test_space_exhaustion(self):
+        scheme = RetriScheme(id_bits=2, rng=random.Random(0))
+        for _ in range(4):
+            scheme.begin_transaction()
+        with pytest.raises(RuntimeError):
+            scheme.begin_transaction()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetriScheme(id_bits=0, rng=random.Random(0))
+
+
+class TestRetriEnergy:
+    def test_retri_cheaper_at_low_density(self):
+        garnet = garnet_transaction_cost(payload_bits=64, distance=50.0)
+        retri = retri_transaction_cost(
+            density=8, payload_bits=64, distance=50.0
+        )
+        assert retri.energy_joules < garnet.energy_joules
+        assert retri.id_bits < garnet.id_bits
+
+    def test_retri_width_grows_with_density(self):
+        low = retri_transaction_cost(4, 64, 50.0)
+        high = retri_transaction_cost(4096, 64, 50.0)
+        assert high.id_bits > low.id_bits
+
+    def test_garnet_cost_is_density_independent(self):
+        assert garnet_transaction_cost(64, 50.0) == garnet_transaction_cost(
+            64, 50.0
+        )
+        assert garnet_transaction_cost(64, 50.0).id_bits == 48
+
+
+class TestFjords:
+    def make_queries(self, n):
+        return [
+            FjordQuery(name=f"q{i}", window=2, aggregate=lambda xs: sum(xs))
+            for i in range(n)
+        ]
+
+    def test_shared_mode_processes_each_tuple_per_query_once(self):
+        report = FjordEngine(shared=True).run(
+            [1.0, 2.0, 3.0, 4.0], self.make_queries(3)
+        )
+        assert report.sensor_transmissions == 4
+        assert report.tuples_processed == 12
+
+    def test_unshared_mode_multiplies_sensor_work(self):
+        report = FjordEngine(shared=False).run(
+            [1.0, 2.0, 3.0, 4.0], self.make_queries(3)
+        )
+        assert report.sensor_transmissions == 12
+        assert report.tuples_processed == 12
+
+    def test_sharing_gain_equals_query_count(self):
+        tuples = [float(i) for i in range(50)]
+        shared = FjordEngine(shared=True).run(tuples, self.make_queries(8))
+        unshared = FjordEngine(shared=False).run(
+            tuples, self.make_queries(8)
+        )
+        assert (
+            unshared.sensor_transmissions / shared.sensor_transmissions == 8
+        )
+
+    def test_query_semantics(self):
+        query = FjordQuery(
+            name="evens",
+            predicate=lambda v: v % 2 == 0,
+            window=2,
+            aggregate=lambda xs: sum(xs),
+        )
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]:
+            query.push(value)
+        assert query.results == [6.0]  # 2+4; the 6 waits for a partner
+        assert query.tuples_processed == 6
+
+    def test_proxy_desired_rate_is_max_demand(self):
+        proxy = SensorProxy("s")
+        assert proxy.desired_rate() == 0.0
+        q1, q2 = FjordQuery("a"), FjordQuery("b")
+        proxy.attach(q1, desired_rate=1.0)
+        proxy.attach(q2, desired_rate=4.0)
+        assert proxy.desired_rate() == 4.0
+        proxy.detach(q2)
+        assert proxy.desired_rate() == 1.0
+
+
+class TestDatabaseCentric:
+    @pytest.fixture
+    def database(self):
+        db = SensorDatabase(history_per_stream=8)
+        for i in range(10):
+            db.insert("s1", float(i), float(i))
+        return db
+
+    def test_latest(self, database):
+        query = TemplateQuery(QueryTemplate.LATEST, "s1")
+        assert database.query(query) == 9.0
+
+    def test_window_aggregates(self, database):
+        assert database.query(
+            TemplateQuery(QueryTemplate.WINDOW_MEAN, "s1", window=4)
+        ) == pytest.approx(7.5)
+        assert database.query(
+            TemplateQuery(QueryTemplate.WINDOW_MIN, "s1", window=4)
+        ) == 6.0
+        assert database.query(
+            TemplateQuery(QueryTemplate.WINDOW_MAX, "s1", window=4)
+        ) == 9.0
+
+    def test_count_above(self, database):
+        assert database.query(
+            TemplateQuery(
+                QueryTemplate.COUNT_ABOVE, "s1", window=8, threshold=6.5
+            )
+        ) == 3.0
+
+    def test_history_bounded(self, database):
+        assert database.query(
+            TemplateQuery(QueryTemplate.WINDOW_MIN, "s1", window=100)
+        ) == 2.0  # oldest two evicted
+
+    def test_unknown_stream_returns_none(self, database):
+        assert database.query(TemplateQuery(QueryTemplate.LATEST, "nope")) is None
+
+    def test_actuation_always_refused(self, database):
+        with pytest.raises(ActuationNotSupported):
+            database.actuate("s1", "set_rate", 2.0)
+
+    def test_capability_matrix(self, database):
+        assert database.supports("query.latest")
+        assert not database.supports("actuate.rate")
+        assert not database.supports("derived.streams")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorDatabase(history_per_stream=0)
+        with pytest.raises(ValueError):
+            TemplateQuery(QueryTemplate.LATEST, "s", window=0)
+
+
+class TestCorie:
+    def test_slot_capacity_enforced(self):
+        deployment = CoupledDeployment(slot_capacity=2)
+        deployment.bind("a")
+        deployment.bind("b")
+        with pytest.raises(CouplingLimitExceeded):
+            deployment.bind("c")
+        assert deployment.refused == 1
+
+    def test_within_budget_full_delivery(self):
+        deployment = CoupledDeployment(
+            slot_capacity=4, processing_budget_per_tuple=4
+        )
+        for name in ("a", "b"):
+            deployment.bind(name)
+        report = deployment.pump([1.0] * 10)
+        assert report.per_app_delivery_ratio == 1.0
+
+    def test_over_budget_degrades_evenly(self):
+        deployment = CoupledDeployment(
+            slot_capacity=4, processing_budget_per_tuple=2
+        )
+        apps = [deployment.bind(n) for n in ("a", "b", "c", "d")]
+        report = deployment.pump([1.0] * 100)
+        assert report.per_app_delivery_ratio == pytest.approx(0.5)
+        ingested = [app.tuples_ingested for app in apps]
+        assert max(ingested) - min(ingested) <= 1  # rotation is fair
+
+    def test_unbind_frees_slot(self):
+        deployment = CoupledDeployment(slot_capacity=1)
+        app = deployment.bind("a")
+        deployment.unbind(app)
+        deployment.bind("b")  # no raise
+
+    def test_empty_deployment_pump(self):
+        report = CoupledDeployment().pump([1.0, 2.0])
+        assert report.applications == 0
+        assert report.total_processing == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoupledDeployment(slot_capacity=0)
+        with pytest.raises(ValueError):
+            CoupledDeployment(processing_budget_per_tuple=0)

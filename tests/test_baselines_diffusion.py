@@ -1,0 +1,152 @@
+"""Directed diffusion baseline: interests, gradients, reinforcement."""
+
+import pytest
+
+from repro.baselines.diffusion import DiffusionNetwork, Interest
+from repro.sensors.energy import Battery
+from repro.simnet.geometry import Point
+from repro.simnet.kernel import Simulator
+
+
+def build_line(sim, nodes=4, spacing=100.0, loss=0.0):
+    """A simple line topology: node 0 (sink side) ... node n-1 (source)."""
+    net = DiffusionNetwork(sim, radio_range=150.0, link_loss=loss)
+    for index in range(nodes):
+        net.add_node(
+            Point(index * spacing, 0.0), is_source=(index == nodes - 1)
+        )
+    return net
+
+
+def build_grid(sim, side=4, spacing=150.0, loss=0.0):
+    net = DiffusionNetwork(sim, radio_range=1.3 * spacing, link_loss=loss)
+    for row in range(side):
+        for col in range(side):
+            net.add_node(
+                Point(col * spacing, row * spacing),
+                is_source=(row == side - 1 and col == side - 1),
+            )
+    return net
+
+
+class TestTopology:
+    def test_neighbors_by_range(self, sim):
+        net = build_line(sim, nodes=3, spacing=100.0)
+        assert net.neighbor_count(0) == 1  # only node 1 within 150 m
+        assert net.neighbor_count(1) == 2
+
+    def test_connectivity_check(self, sim):
+        net = build_line(sim, nodes=3, spacing=100.0)
+        isolated = net.add_node(Point(10_000.0, 10_000.0))
+        assert net.is_connected_to(0, 2)
+        assert not net.is_connected_to(0, isolated.node_id)
+
+    def test_parameter_validation(self, sim):
+        with pytest.raises(ValueError):
+            DiffusionNetwork(sim, radio_range=0.0)
+        with pytest.raises(ValueError):
+            DiffusionNetwork(sim, link_loss=1.0)
+        net = build_line(sim)
+        with pytest.raises(ValueError):
+            net.inject_interest(999, Interest("x", 1.0))
+
+
+class TestInterestPropagation:
+    def test_interest_floods_and_builds_gradients(self, sim):
+        net = build_line(sim, nodes=4)
+        net.inject_interest(0, Interest("temp", interval=1.0))
+        sim.run(until=0.5)
+        # Every node heard the interest; interior nodes hold a gradient
+        # per neighbour that forwarded it.
+        for node in net.nodes.values():
+            assert "temp" in node.seen_interests
+        assert net.nodes[3].routing_entries() >= 1
+        assert net.total_routing_state() > 0
+
+
+class TestDelivery:
+    def test_lossless_line_delivers_everything(self, sim):
+        net = build_line(sim, nodes=4)
+        net.inject_interest(0, Interest("temp", interval=2.0))
+        sim.run(until=60.0)
+        net.stop()
+        assert net.stats.events_generated >= 25
+        assert net.delivery_ratio("temp") == 1.0
+
+    def test_reinforcement_prunes_flooding(self, sim):
+        net = build_grid(sim, side=4)
+        net.inject_interest(0, Interest("temp", interval=2.0))
+        sim.run(until=120.0)
+        net.stop()
+        stats = net.stats
+        # After the exploratory phase, full-rate events travel one path:
+        # data transmissions per event approximate the hop count, far
+        # below the ~n_nodes cost of flooding every event.
+        events_after_reinforcement = stats.data_sent / max(
+            1, stats.events_delivered
+        )
+        assert stats.exploratory_sent < stats.data_sent
+        assert events_after_reinforcement < len(net.nodes) / 2
+
+    def test_loss_degrades_reinforced_path(self):
+        ratios = {}
+        for loss in (0.0, 0.2):
+            sim = Simulator(seed=5)
+            net = build_grid(sim, side=4, loss=loss)
+            net.inject_interest(0, Interest("temp", interval=2.0))
+            sim.run(until=120.0)
+            net.stop()
+            ratios[loss] = net.delivery_ratio("temp")
+        assert ratios[0.0] == 1.0
+        # A single multi-hop path compounds per-link loss — the
+        # structural contrast with Garnet's overlapping receivers.
+        assert ratios[0.2] < 0.7
+
+    def test_duplicates_suppressed_during_exploration(self, sim):
+        net = build_grid(sim, side=3)
+        net.inject_interest(0, Interest("temp", interval=2.0))
+        sim.run(until=30.0)
+        net.stop()
+        assert net.stats.duplicates_suppressed > 0
+
+    def test_energy_accounting(self, sim):
+        net = build_line(sim, nodes=4)
+        net.inject_interest(0, Interest("temp", interval=2.0))
+        sim.run(until=30.0)
+        net.stop()
+        assert net.total_energy() > 0
+        assert net.energy_per_delivered_event("temp") > 0
+        # Relay nodes burned energy even though they sense nothing —
+        # the in-network routing cost Garnet sensors do not pay.
+        relay = net.nodes[1]
+        assert relay.energy_used > 0
+
+    def test_dead_relay_breaks_the_path(self, sim):
+        net = DiffusionNetwork(sim, radio_range=150.0)
+        net.add_node(Point(0.0, 0.0))  # sink
+        relay = net.add_node(Point(100.0, 0.0), battery=Battery(1e-4))
+        net.add_node(Point(200.0, 0.0), is_source=True)
+        net.inject_interest(0, Interest("temp", interval=1.0))
+        sim.run(until=120.0)
+        net.stop()
+        assert not relay.alive
+        # Deliveries stopped once the only relay died.
+        assert net.delivery_ratio("temp") < 0.5
+
+    def test_no_deliveries_without_interest(self, sim):
+        net = build_line(sim, nodes=3)
+        sim.run(until=30.0)
+        assert net.stats.events_generated == 0
+
+    def test_unreached_source_generates_but_never_delivers(self, sim):
+        net = DiffusionNetwork(sim, radio_range=150.0)
+        net.add_node(Point(0.0, 0.0))  # sink
+        net.add_node(Point(10_000.0, 0.0), is_source=True)  # unreachable
+        net.inject_interest(0, Interest("temp", interval=1.0))
+        sim.run(until=30.0)
+        net.stop()
+        # The interest never reached it, so it holds no gradients and
+        # sends nothing.
+        assert net.stats.events_generated > 0
+        assert net.stats.events_delivered == 0
+        assert net.stats.exploratory_sent == 0

@@ -1,0 +1,183 @@
+"""Global-state rules: policy changes driven by the population view."""
+
+import pytest
+
+from repro.core.conflicts import MaxDemand, PriorityWins
+from repro.core.coordinator import SuperCoordinator
+from repro.core.envelopes import StateChangeReport
+from repro.core.resource import ResourceManager
+
+
+def report(consumer, state, at=0.0):
+    return StateChangeReport(consumer=consumer, state=state, reported_at=at)
+
+
+@pytest.fixture
+def coordinator(network):
+    return SuperCoordinator(network)
+
+
+def flood_count_at_least(n):
+    return lambda view: sum(1 for s in view.values() if s == "flood") >= n
+
+
+class TestGlobalRules:
+    def test_fires_on_edge_only(self, coordinator):
+        fired = []
+        coordinator.register_global_rule(
+            "basin-flood", flood_count_at_least(2), lambda: fired.append(1)
+        )
+        coordinator.on_report(report("a", "flood", 0.0))
+        assert fired == []  # only one consumer in flood
+        coordinator.on_report(report("b", "flood", 1.0))
+        assert fired == [1]
+        coordinator.on_report(report("c", "flood", 2.0))
+        assert fired == [1]  # still satisfied: no re-fire
+        assert coordinator.stats.global_rule_firings == 1
+
+    def test_rearms_after_predicate_clears(self, coordinator):
+        fired = []
+        coordinator.register_global_rule(
+            "basin-flood", flood_count_at_least(2), lambda: fired.append(1)
+        )
+        coordinator.on_report(report("a", "flood", 0.0))
+        coordinator.on_report(report("b", "flood", 1.0))
+        coordinator.on_report(report("a", "normal", 2.0))  # clears
+        coordinator.on_report(report("a", "flood", 3.0))  # edge again
+        assert fired == [1, 1]
+
+    def test_cooldown_suppresses_rapid_refiring(self, sim, network):
+        coordinator = SuperCoordinator(network)
+        fired = []
+        coordinator.register_global_rule(
+            "rule",
+            flood_count_at_least(1),
+            lambda: fired.append(sim.now),
+            cooldown=100.0,
+        )
+        coordinator.on_report(report("a", "flood", 0.0))
+        coordinator.on_report(report("a", "normal", 1.0))
+        coordinator.on_report(report("a", "flood", 2.0))  # within cooldown
+        assert fired == [0.0]
+        sim.run(until=200.0)
+        coordinator.on_report(report("a", "normal", 200.0))
+        coordinator.on_report(report("a", "flood", 201.0))
+        assert len(fired) == 2
+
+    def test_rule_switches_resource_strategy(self, network):
+        """The paper's §4.2 loop: global consumer state -> policy change
+        in the Resource Manager's strategy."""
+        rm = ResourceManager(network, default_policy=PriorityWins())
+        coordinator = SuperCoordinator(network, resource_manager=rm)
+        coordinator.register_global_rule(
+            "emergency",
+            flood_count_at_least(2),
+            lambda: coordinator.set_resource_strategy(
+                MaxDemand(), parameter="rate"
+            ),
+        )
+        assert isinstance(rm.policy_for("rate"), PriorityWins)
+        coordinator.on_report(report("w1", "flood", 0.0))
+        coordinator.on_report(report("w2", "flood", 1.0))
+        assert isinstance(rm.policy_for("rate"), MaxDemand)
+        assert coordinator.stats.policy_changes == 1
+
+    def test_multiple_rules_independent(self, coordinator):
+        fired = []
+        coordinator.register_global_rule(
+            "any-flood", flood_count_at_least(1), lambda: fired.append("f")
+        )
+        coordinator.register_global_rule(
+            "any-alert",
+            lambda view: "alert" in view.values(),
+            lambda: fired.append("a"),
+        )
+        coordinator.on_report(report("x", "flood", 0.0))
+        coordinator.on_report(report("y", "alert", 1.0))
+        assert fired == ["f", "a"]
+
+    def test_negative_cooldown_rejected(self, coordinator):
+        with pytest.raises(ValueError):
+            coordinator.register_global_rule(
+                "bad", lambda v: True, lambda: None, cooldown=-1.0
+            )
+
+
+class TestAnticipatoryGlobalRules:
+    def _train(self, coordinator, consumers=("w1", "w2"), cycles=3):
+        """Teach the model a strict normal->flood->normal cycle."""
+        t = 0.0
+        for _ in range(cycles):
+            for consumer in consumers:
+                coordinator.on_report(report(consumer, "normal", t))
+            t += 10.0
+            for consumer in consumers:
+                coordinator.on_report(report(consumer, "flood", t))
+            t += 10.0
+        for consumer in consumers:
+            coordinator.on_report(report(consumer, "normal", t))
+        return t
+
+    def test_anticipatory_rule_fires_before_the_state_is_reported(
+        self, network
+    ):
+        coordinator = SuperCoordinator(
+            network, predictive=True, confidence_threshold=0.5
+        )
+        end = self._train(coordinator)
+        fired = []
+        coordinator.register_global_rule(
+            "basin-flood",
+            flood_count_at_least(2),
+            lambda: fired.append("anticipated"),
+            anticipatory=True,
+        )
+        # Both trained consumers currently report "normal"; an unrelated
+        # report triggers evaluation, and the model's confident "flood"
+        # forecasts for w1/w2 satisfy the rule before reality does.
+        coordinator.on_report(report("bystander", "idle", end + 1.0))
+        assert fired == ["anticipated"]
+        view = coordinator.global_view()
+        assert view["w1"] == "normal" and view["w2"] == "normal"
+
+    def test_anticipated_view_advances_confident_consumers(self, network):
+        coordinator = SuperCoordinator(
+            network, predictive=True, confidence_threshold=0.5
+        )
+        self._train(coordinator, consumers=("w1",))
+        coordinator.on_report(report("fresh", "idle", 100.0))
+        anticipated = coordinator.anticipated_view()
+        assert anticipated["w1"] == "flood"   # learned cycle
+        assert anticipated["fresh"] == "idle"  # nothing learned yet
+
+    def test_non_anticipatory_rule_waits_for_reality(self, network):
+        coordinator = SuperCoordinator(
+            network, predictive=True, confidence_threshold=0.5
+        )
+        fired = []
+        coordinator.register_global_rule(
+            "basin-flood",
+            flood_count_at_least(2),
+            lambda: fired.append(1),
+            anticipatory=False,
+        )
+        end = self._train(coordinator)
+        assert len(fired) == 3  # fired per real flood cycle only
+        coordinator.on_report(report("w1", "flood", end + 10.0))
+        coordinator.on_report(report("w2", "flood", end + 10.0))
+        assert len(fired) == 4
+
+    def test_anticipation_requires_predictive_mode(self, network):
+        coordinator = SuperCoordinator(network, predictive=False)
+        fired = []
+        coordinator.register_global_rule(
+            "basin-flood",
+            flood_count_at_least(2),
+            lambda: fired.append(1),
+            anticipatory=True,
+        )
+        self._train(coordinator)
+        # Reactive firings only (the real flood cycles), never early.
+        view = coordinator.global_view()
+        assert all(state == "normal" for state in view.values())
+        assert len(fired) == 3

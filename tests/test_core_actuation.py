@@ -1,0 +1,187 @@
+"""The Actuation Service: issue, acknowledge, retransmit, give up."""
+
+import pytest
+
+from repro.core.actuation import (
+    ACK_INBOX,
+    ActuationService,
+    REPLICATOR_INBOX,
+    encode_command_params,
+)
+from repro.core.control import ControlCodec, StreamUpdateCommand
+from repro.core.envelopes import AckNotice
+from repro.core.resource import ResourceManager, SensorTypeSpec, StreamConfig
+from repro.core.constraints import ConstraintSet
+from repro.core.streamid import StreamId
+from repro.errors import ActuationError
+
+TARGET = StreamId(5, 0)
+
+
+@pytest.fixture
+def harness(sim, network):
+    orders = []
+    network.register_inbox(REPLICATOR_INBOX, orders.append)
+    service = ActuationService(network, ack_timeout=1.0, max_attempts=3)
+    return sim, network, service, orders
+
+
+def ack(network, request_id, at=0.0, status=0):
+    network.send(
+        ACK_INBOX,
+        AckNotice(
+            request_id=request_id,
+            sensor_id=TARGET.sensor_id,
+            observed_at=at,
+            status=status,
+        ),
+    )
+
+
+class TestIssue:
+    def test_issue_forwards_encoded_frame_to_replicator(self, harness):
+        sim, _, service, orders = harness
+        request_id = service.issue(
+            TARGET, StreamUpdateCommand.SET_RATE, 2.0, parameter="rate"
+        )
+        sim.run(until=0.5)
+        assert len(orders) == 1
+        order = orders[0]
+        assert order.target_sensor_id == 5
+        assert order.request_id == request_id
+        decoded = ControlCodec().decode(order.frame)
+        assert decoded.command is StreamUpdateCommand.SET_RATE
+        assert decoded.target == TARGET
+
+    def test_timestamp_stamped_in_microseconds(self, harness):
+        sim, _, service, orders = harness
+        sim.schedule(2.5, service.issue, TARGET, StreamUpdateCommand.PING)
+        sim.run(until=3.0)
+        decoded = ControlCodec().decode(orders[0].frame)
+        assert decoded.timestamp_us == 2_500_000
+
+    def test_request_ids_unique_while_pending(self, harness):
+        _, _, service, _ = harness
+        ids = {
+            service.issue(TARGET, StreamUpdateCommand.PING)
+            for _ in range(100)
+        }
+        assert len(ids) == 100
+        assert service.pending_count == 100
+
+    def test_validation(self, network):
+        with pytest.raises(ActuationError):
+            ActuationService(network, ack_timeout=0.0)
+        with pytest.raises(ActuationError):
+            ActuationService(network, max_attempts=0)
+
+
+class TestAcknowledgement:
+    def test_ack_completes_request(self, harness):
+        sim, network, service, _ = harness
+        request_id = service.issue(TARGET, StreamUpdateCommand.PING)
+        ack(network, request_id, at=0.3)
+        sim.run(until=0.5)
+        assert service.pending_count == 0
+        assert service.stats.acknowledged == 1
+        assert service.ack_latency.count == 1
+
+    def test_ack_stops_retransmission(self, harness):
+        sim, network, service, orders = harness
+        request_id = service.issue(TARGET, StreamUpdateCommand.PING)
+        ack(network, request_id, at=0.2)
+        sim.run(until=5.0)
+        assert len(orders) == 1
+        assert service.stats.retransmissions == 0
+
+    def test_unknown_ack_counted_as_duplicate(self, harness):
+        sim, network, service, _ = harness
+        ack(network, 12345)
+        sim.run()
+        assert service.stats.duplicate_acks == 1
+
+    def test_second_ack_is_duplicate(self, harness):
+        sim, network, service, _ = harness
+        request_id = service.issue(TARGET, StreamUpdateCommand.PING)
+        ack(network, request_id)
+        ack(network, request_id)
+        sim.run()
+        assert service.stats.acknowledged == 1
+        assert service.stats.duplicate_acks == 1
+
+    def test_completion_callback_success(self, harness):
+        sim, network, service, _ = harness
+        outcomes = []
+        request_id = service.issue(
+            TARGET,
+            StreamUpdateCommand.PING,
+            on_complete=lambda pending, ok: outcomes.append(ok),
+        )
+        ack(network, request_id)
+        sim.run()
+        assert outcomes == [True]
+
+
+class TestRetransmission:
+    def test_retransmits_until_max_attempts_then_fails(self, harness):
+        sim, _, service, orders = harness
+        outcomes = []
+        service.issue(
+            TARGET,
+            StreamUpdateCommand.PING,
+            on_complete=lambda pending, ok: outcomes.append(ok),
+        )
+        sim.run(until=10.0)
+        assert len(orders) == 3  # initial + 2 retries
+        assert service.stats.retransmissions == 2
+        assert service.stats.failed == 1
+        assert service.pending_count == 0
+        assert outcomes == [False]
+
+    def test_ack_after_retransmission_still_counts(self, harness):
+        sim, network, service, orders = harness
+        request_id = service.issue(TARGET, StreamUpdateCommand.PING)
+        sim.run(until=1.5)  # one timeout passed, one retransmission
+        assert len(orders) == 2
+        ack(network, request_id, at=1.6)
+        sim.run(until=5.0)
+        assert service.stats.acknowledged == 1
+        assert service.stats.failed == 0
+
+
+class TestResourceManagerIntegration:
+    def test_confirmation_updates_believed_config(self, sim, network):
+        network.register_inbox(REPLICATOR_INBOX, lambda order: None)
+        rm = ResourceManager(network)
+        rm.register_sensor_type(
+            SensorTypeSpec(
+                name="g",
+                constraints=ConstraintSet(),
+                default_config=StreamConfig(rate=1.0),
+            )
+        )
+        rm.register_sensor(5, "g")
+        service = ActuationService(network, resource_manager=rm)
+        request_id = service.issue(
+            TARGET, StreamUpdateCommand.SET_RATE, 4.0, parameter="rate"
+        )
+        network.send(
+            ACK_INBOX,
+            AckNotice(request_id=request_id, sensor_id=5, observed_at=0.1),
+        )
+        sim.run(until=1.0)
+        assert rm.believed_config(TARGET).rate == 4.0
+
+
+class TestParamEncoding:
+    def test_all_commands_have_codecs(self):
+        cases = [
+            (StreamUpdateCommand.SET_RATE, 2.0),
+            (StreamUpdateCommand.SET_MODE, 1),
+            (StreamUpdateCommand.SET_PRECISION, 12),
+            (StreamUpdateCommand.ENABLE_STREAM, None),
+            (StreamUpdateCommand.DISABLE_STREAM, None),
+            (StreamUpdateCommand.PING, None),
+        ]
+        for command, value in cases:
+            encode_command_params(command, value)  # must not raise

@@ -1,0 +1,143 @@
+"""The adaptive-rate controller: closed-loop sensor tuning."""
+
+import math
+
+import pytest
+
+from repro.core.adaptive import AdaptiveRateController
+from repro.core.resource import StreamConfig
+from repro.core.security import Permission
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import CallbackSampler, SampleCodec
+
+from tests.conftest import lossless_config
+from repro.core.middleware import Garnet
+
+CODEC = SampleCodec(-100.0, 100.0)
+
+
+def build(signal, initial_rate=1.0, seed=3, **controller_kwargs):
+    deployment = Garnet(config=lossless_config(), seed=seed)
+    deployment.define_sensor_type(
+        "g", {"rate_limits": "rate >= 0.05 and rate <= 10"}
+    )
+    node = deployment.add_sensor(
+        "g",
+        [
+            SensorStreamSpec(
+                0,
+                CallbackSampler(lambda t, p: signal(t)),
+                CODEC,
+                config=StreamConfig(rate=initial_rate),
+                kind="adaptive",
+            )
+        ],
+    )
+    defaults = dict(
+        min_rate=0.2,
+        max_rate=5.0,
+        activity_scale=2.0,
+        window=5,
+    )
+    defaults.update(controller_kwargs)
+    controller = AdaptiveRateController(
+        "controller", node.stream_ids()[0], CODEC, **defaults
+    )
+    deployment.add_consumer(
+        controller, permissions=Permission.trusted_consumer()
+    )
+    return deployment, node, controller
+
+
+class TestSteadyState:
+    def test_flat_signal_settles_at_min_rate(self):
+        deployment, node, controller = build(lambda t: 7.0)
+        deployment.run(120.0)
+        assert node.current_config(0).rate == pytest.approx(0.2, abs=0.05)
+        assert controller.requested_rate == pytest.approx(0.2, abs=0.05)
+
+    def test_fast_signal_settles_at_max_rate(self):
+        # |slope| of 40*sin(2π t/10) peaks ~25 value-units/s >> scale 2.
+        deployment, node, controller = build(
+            lambda t: 40.0 * math.sin(2 * math.pi * t / 10.0)
+        )
+        deployment.run(120.0)
+        assert node.current_config(0).rate == pytest.approx(5.0, abs=0.3)
+
+    def test_hysteresis_quiets_control_traffic(self):
+        deployment, node, controller = build(lambda t: 7.0)
+        deployment.run(300.0)
+        # One (or very few) actuations despite hundreds of evaluations.
+        assert controller.controller_stats.evaluations > 20
+        assert controller.controller_stats.rate_requests <= 3
+
+
+class TestAdaptation:
+    def test_tracks_activity_change(self):
+        # Quiet for 100 s, then an active burst.
+        def signal(t):
+            if t < 100.0:
+                return 3.0
+            return 30.0 * math.sin(2 * math.pi * (t - 100.0) / 8.0)
+
+        deployment, node, controller = build(signal)
+        deployment.run(95.0)
+        quiet_rate = node.current_config(0).rate
+        deployment.run(120.0)
+        active_rate = node.current_config(0).rate
+        assert quiet_rate < 0.5
+        assert active_rate > 3.0
+        # The trace shows the upward actuation.
+        trace_rates = [r for _, r in controller.controller_stats.rate_trace]
+        assert max(trace_rates) > 3.0
+        assert min(trace_rates) < 0.5
+
+    def test_constraints_still_bound_the_controller(self):
+        deployment, node, controller = build(
+            lambda t: 50.0 * math.sin(2 * math.pi * t / 4.0),
+            max_rate=50.0,  # asks beyond the type's rate <= 10 constraint
+        )
+        deployment.run(120.0)
+        assert controller.controller_stats.denied_requests > 0
+        assert node.current_config(0).rate <= 10.0
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        from repro.core.streamid import StreamId
+
+        with pytest.raises(ValueError):
+            AdaptiveRateController(
+                "x", StreamId(1, 0), CODEC, min_rate=0.0
+            )
+        with pytest.raises(ValueError):
+            AdaptiveRateController(
+                "x", StreamId(1, 0), CODEC, min_rate=5.0, max_rate=1.0
+            )
+        with pytest.raises(ValueError):
+            AdaptiveRateController(
+                "x", StreamId(1, 0), CODEC, activity_scale=0.0
+            )
+        with pytest.raises(ValueError):
+            AdaptiveRateController("x", StreamId(1, 0), CODEC, window=2)
+        with pytest.raises(ValueError):
+            AdaptiveRateController(
+                "x", StreamId(1, 0), CODEC, hysteresis=-0.1
+            )
+
+    def test_undecodable_payloads_counted(self):
+        from repro.core.envelopes import StreamArrival
+        from repro.core.message import DataMessage
+        from repro.core.streamid import StreamId
+
+        deployment, node, controller = build(lambda t: 0.0)
+        controller.on_data(
+            StreamArrival(
+                message=DataMessage(
+                    stream_id=StreamId(1, 0), sequence=0, payload=b"junk"
+                ),
+                received_at=0.0,
+                receiver_id=0,
+            )
+        )
+        assert controller.decode_failures == 1

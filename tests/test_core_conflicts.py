@@ -1,0 +1,127 @@
+"""Mediation policies over conflicting consumer demands."""
+
+import pytest
+
+from repro.core.conflicts import (
+    BUILTIN_POLICIES,
+    Demand,
+    DenyConflicts,
+    FairShare,
+    FirstComeFirstServed,
+    LatestWins,
+    MaxDemand,
+    MinDemand,
+    PriorityWins,
+    make_policy,
+)
+from repro.errors import AdmissionError
+
+
+def demand(consumer, value, priority=0, placed_at=0.0, parameter="rate"):
+    return Demand(
+        consumer=consumer,
+        parameter=parameter,
+        value=value,
+        priority=priority,
+        placed_at=placed_at,
+    )
+
+
+class TestPriorityWins:
+    def test_highest_priority_wins(self):
+        policy = PriorityWins()
+        demands = [
+            demand("a", 1.0, priority=0),
+            demand("b", 5.0, priority=10),
+            demand("c", 3.0, priority=5),
+        ]
+        assert policy.resolve(demands) == 5.0
+
+    def test_tie_broken_by_recency(self):
+        policy = PriorityWins()
+        demands = [
+            demand("a", 1.0, priority=3, placed_at=1.0),
+            demand("b", 2.0, priority=3, placed_at=2.0),
+        ]
+        assert policy.resolve(demands) == 2.0
+
+    def test_single_demand(self):
+        assert PriorityWins().resolve([demand("a", 7.0)]) == 7.0
+
+
+class TestOrderingPolicies:
+    def test_latest_wins(self):
+        demands = [
+            demand("a", 1.0, placed_at=5.0),
+            demand("b", 2.0, placed_at=9.0),
+        ]
+        assert LatestWins().resolve(demands) == 2.0
+
+    def test_fcfs(self):
+        demands = [
+            demand("a", 1.0, placed_at=5.0),
+            demand("b", 2.0, placed_at=9.0),
+        ]
+        assert FirstComeFirstServed().resolve(demands) == 1.0
+
+
+class TestNumericPolicies:
+    def test_max_serves_hungriest(self):
+        demands = [demand("a", 1.0), demand("b", 10.0), demand("c", 5.0)]
+        assert MaxDemand().resolve(demands) == 10.0
+
+    def test_min_is_conservative(self):
+        demands = [demand("a", 1.0), demand("b", 10.0)]
+        assert MinDemand().resolve(demands) == 1.0
+
+    def test_fair_share_unweighted_is_mean(self):
+        demands = [demand("a", 2.0), demand("b", 4.0)]
+        assert FairShare().resolve(demands) == 3.0
+
+    def test_fair_share_weights_by_priority(self):
+        demands = [
+            demand("a", 0.0, priority=0),  # weight 1
+            demand("b", 10.0, priority=3),  # weight 4
+        ]
+        assert FairShare().resolve(demands) == pytest.approx(8.0)
+
+    def test_non_numeric_demand_rejected(self):
+        with pytest.raises(AdmissionError):
+            MaxDemand().resolve([demand("a", "high")])
+        with pytest.raises(AdmissionError):
+            MinDemand().resolve([demand("a", True)])
+
+
+class TestDenyConflicts:
+    def test_agreement_passes(self):
+        demands = [demand("a", 4.0), demand("b", 4.0)]
+        assert DenyConflicts().resolve(demands) == 4.0
+
+    def test_disagreement_refused_with_detail(self):
+        demands = [demand("a", 4.0), demand("b", 5.0)]
+        with pytest.raises(AdmissionError) as excinfo:
+            DenyConflicts().resolve(demands)
+        message = str(excinfo.value)
+        assert "a" in message and "b" in message
+
+
+class TestFactory:
+    def test_all_builtins_instantiable(self):
+        for name in BUILTIN_POLICIES:
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(AdmissionError):
+            make_policy("does-not-exist")
+
+    def test_builtin_names_are_stable(self):
+        assert set(BUILTIN_POLICIES) == {
+            "priority",
+            "latest",
+            "fcfs",
+            "max",
+            "min",
+            "fair",
+            "deny",
+        }

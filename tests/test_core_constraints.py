@@ -1,0 +1,270 @@
+"""The sensor-constraint language: lexer, parser, evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.errors import ConstraintError, ConstraintSyntaxError
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "expr,env,expected",
+        [
+            ("rate <= 10", {"rate": 5}, True),
+            ("rate <= 10", {"rate": 10}, True),
+            ("rate <= 10", {"rate": 11}, False),
+            ("rate < 10", {"rate": 10}, False),
+            ("rate >= 2.5", {"rate": 2.5}, True),
+            ("rate > 2.5", {"rate": 2.5}, False),
+            ("rate == 3", {"rate": 3}, True),
+            ("rate != 3", {"rate": 3}, False),
+        ],
+    )
+    def test_numeric_comparisons(self, expr, env, expected):
+        assert Constraint(expr).check(env) is expected
+
+    def test_float_literals(self):
+        assert Constraint("x < 0.5").check({"x": 0.25})
+        assert not Constraint("x < .5").check({"x": 0.75})
+
+    def test_symbol_equality(self):
+        constraint = Constraint("mode == low")
+        assert constraint.check({"mode": "low"})
+        assert not constraint.check({"mode": "high"})
+
+
+class TestSetMembership:
+    def test_in_set_of_symbols(self):
+        constraint = Constraint("mode in {low, high}")
+        assert constraint.check({"mode": "low"})
+        assert constraint.check({"mode": "high"})
+        assert not constraint.check({"mode": "off"})
+
+    def test_in_set_of_numbers(self):
+        constraint = Constraint("mode in {0, 1, 2}")
+        assert constraint.check({"mode": 1})
+        assert not constraint.check({"mode": 3})
+
+    def test_singleton_set(self):
+        assert Constraint("x in {5}").check({"x": 5})
+
+
+class TestBooleanStructure:
+    def test_and_or_precedence(self):
+        # and binds tighter than or.
+        constraint = Constraint("a == 1 or b == 1 and c == 1")
+        assert constraint.check({"a": 1, "b": 0, "c": 0})
+        assert constraint.check({"a": 0, "b": 1, "c": 1})
+        assert not constraint.check({"a": 0, "b": 1, "c": 0})
+
+    def test_parentheses_override(self):
+        constraint = Constraint("(a == 1 or b == 1) and c == 1")
+        assert not constraint.check({"a": 1, "b": 0, "c": 0})
+        assert constraint.check({"a": 1, "b": 0, "c": 1})
+
+    def test_not(self):
+        assert Constraint("not (rate > 10)").check({"rate": 5})
+        assert not Constraint("not rate <= 10").check({"rate": 5})
+
+    def test_double_negation(self):
+        assert Constraint("not not (x == 1)").check({"x": 1})
+
+    def test_boolean_literals(self):
+        assert Constraint("true").check({})
+        assert not Constraint("false").check({})
+        assert Constraint("enabled == true").check({"enabled": True})
+
+
+class TestArithmetic:
+    def test_multiplication_in_comparison(self):
+        constraint = Constraint("rate * duty <= 5")
+        assert constraint.check({"rate": 10, "duty": 0.5})
+        assert not constraint.check({"rate": 10, "duty": 0.6})
+
+    def test_precedence_mul_over_add(self):
+        assert Constraint("1 + 2 * 3 == 7").check({})
+
+    def test_division(self):
+        assert Constraint("x / 2 == 4").check({"x": 8})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ConstraintError):
+            Constraint("x / y > 1").check({"x": 1, "y": 0})
+
+    def test_subtraction(self):
+        assert Constraint("high - low >= 10").check({"high": 30, "low": 15})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "rate <=",
+            "<= 10",
+            "rate << 10",
+            "(rate <= 10",
+            "rate <= 10)",
+            "mode in {",
+            "mode in {}",
+            "rate @ 10",
+            "rate <= 10 extra",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ConstraintSyntaxError):
+            Constraint(bad)
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(ConstraintSyntaxError) as excinfo:
+            Constraint("rate @ 10")
+        assert excinfo.value.position == 5
+
+    def test_type_error_at_evaluation(self):
+        with pytest.raises(ConstraintError):
+            Constraint("mode < 5").check({"mode": "low"})
+
+
+class TestIntrospection:
+    def test_variables_collected(self):
+        constraint = Constraint("rate <= max_rate and mode in {low, high}")
+        assert constraint.variables() == {
+            "rate",
+            "max_rate",
+            "mode",
+            "low",
+            "high",
+        }
+
+    def test_repr(self):
+        assert "rate <= 10" in repr(Constraint("rate <= 10"))
+
+
+class TestConstraintSet:
+    def test_violations_reported_by_name(self):
+        constraints = ConstraintSet(
+            {
+                "rate_cap": "rate <= 10",
+                "mode_ok": "mode in {low, high}",
+            }
+        )
+        assert constraints.violations({"rate": 5, "mode": "low"}) == []
+        assert constraints.violations({"rate": 50, "mode": "off"}) == [
+            "mode_ok",
+            "rate_cap",
+        ]
+
+    def test_satisfied_by(self):
+        constraints = ConstraintSet({"c": "x > 0"})
+        assert constraints.satisfied_by({"x": 1})
+        assert not constraints.satisfied_by({"x": -1})
+
+    def test_add_duplicate_rejected(self):
+        constraints = ConstraintSet({"c": "x > 0"})
+        with pytest.raises(ConstraintError):
+            constraints.add("c", "x > 1")
+
+    def test_names_and_len_and_contains(self):
+        constraints = ConstraintSet({"b": "x > 0", "a": "x < 9"})
+        assert constraints.names() == ["a", "b"]
+        assert len(constraints) == 2
+        assert "a" in constraints
+        assert "z" not in constraints
+
+    def test_variables_union(self):
+        constraints = ConstraintSet({"a": "x > 0", "b": "y < 1"})
+        assert constraints.variables() == {"x", "y"}
+
+    def test_empty_set_always_satisfied(self):
+        assert ConstraintSet().satisfied_by({"anything": 1})
+
+
+class TestPropertyBased:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_matches_python_semantics(self, x, bound):
+        assert Constraint(f"x <= {bound}" if bound >= 0 else f"x <= 0 - {-bound}").check(
+            {"x": x}
+        ) == (x <= bound)
+
+    @given(
+        st.integers(0, 100),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    def test_range_expression(self, low, x, high):
+        constraint = Constraint(f"x >= {low} and x <= {high}")
+        assert constraint.check({"x": x}) == (low <= x <= high)
+
+    @given(st.sampled_from(["low", "mid", "high"]))
+    def test_membership_matches_python(self, mode):
+        constraint = Constraint("mode in {low, high}")
+        assert constraint.check({"mode": mode}) == (mode in {"low", "high"})
+
+
+class TestGrammarFuzz:
+    """Generate random expression trees, render, parse, and compare the
+    evaluator against direct Python semantics."""
+
+    @staticmethod
+    def _atoms(draw):
+        from hypothesis import strategies as st
+
+        kind = draw(st.sampled_from(["num", "x", "y"]))
+        if kind == "num":
+            value = draw(st.integers(-20, 20))
+            if value < 0:
+                return f"(0 - {-value})", (lambda env, v=value: v)
+            return str(value), (lambda env, v=value: v)
+        return kind, (lambda env, k=kind: env[k])
+
+    @classmethod
+    def _comparison(cls, draw):
+        from hypothesis import strategies as st
+        import operator
+
+        ops = {
+            "<": operator.lt,
+            "<=": operator.le,
+            ">": operator.gt,
+            ">=": operator.ge,
+            "==": operator.eq,
+            "!=": operator.ne,
+        }
+        left_text, left_fn = cls._atoms(draw)
+        right_text, right_fn = cls._atoms(draw)
+        symbol = draw(st.sampled_from(sorted(ops)))
+        fn = ops[symbol]
+        return (
+            f"{left_text} {symbol} {right_text}",
+            lambda env, f=fn, l=left_fn, r=right_fn: f(l(env), r(env)),
+        )
+
+    @classmethod
+    def _boolean(cls, draw, depth):
+        from hypothesis import strategies as st
+
+        if depth <= 0 or draw(st.booleans()):
+            return cls._comparison(draw)
+        form = draw(st.sampled_from(["not", "and", "or"]))
+        if form == "not":
+            text, fn = cls._boolean(draw, depth - 1)
+            return f"not ({text})", lambda env, f=fn: not f(env)
+        left_text, left_fn = cls._boolean(draw, depth - 1)
+        right_text, right_fn = cls._boolean(draw, depth - 1)
+        if form == "and":
+            return (
+                f"({left_text}) and ({right_text})",
+                lambda env, l=left_fn, r=right_fn: l(env) and r(env),
+            )
+        return (
+            f"({left_text}) or ({right_text})",
+            lambda env, l=left_fn, r=right_fn: l(env) or r(env),
+        )
+
+    @given(st.data(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_random_trees_match_python(self, data, x, y):
+        text, fn = self._boolean(data.draw, depth=3)
+        env = {"x": x, "y": y}
+        assert Constraint(text).check(env) == bool(fn(env)), text

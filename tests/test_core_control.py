@@ -1,0 +1,169 @@
+"""Stream update request codec and frame classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.control import (
+    ControlCodec,
+    FrameKind,
+    StreamUpdateCommand,
+    StreamUpdateRequest,
+    decode_mode_params,
+    decode_precision_params,
+    decode_rate_params,
+    encode_mode_params,
+    encode_precision_params,
+    encode_rate_params,
+    peek_frame_kind,
+)
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.streamid import StreamId
+from repro.errors import ChecksumError, CodecError
+
+CODEC = ControlCodec()
+
+
+def make_request(**overrides) -> StreamUpdateRequest:
+    defaults = dict(
+        request_id=777,
+        target=StreamId(99, 3),
+        command=StreamUpdateCommand.SET_RATE,
+        params=encode_rate_params(2.5),
+        timestamp_us=123_456_789,
+    )
+    defaults.update(overrides)
+    return StreamUpdateRequest(**defaults)
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        request = make_request()
+        assert CODEC.decode(CODEC.encode(request)) == request
+
+    def test_all_commands(self):
+        for command in StreamUpdateCommand:
+            request = make_request(command=command, params=b"")
+            assert CODEC.decode(CODEC.encode(request)).command == command
+
+    def test_empty_params(self):
+        request = make_request(
+            command=StreamUpdateCommand.PING, params=b""
+        )
+        assert CODEC.decode(CODEC.encode(request)) == request
+
+    @given(
+        st.integers(0, 65535),
+        st.integers(0, (1 << 24) - 1),
+        st.integers(0, 255),
+        st.binary(max_size=64),
+        st.integers(0, (1 << 64) - 1),
+    )
+    def test_roundtrip_property(self, rid, sensor, index, params, ts):
+        request = make_request(
+            request_id=rid,
+            target=StreamId(sensor, index),
+            params=params,
+            timestamp_us=ts,
+        )
+        assert CODEC.decode(CODEC.encode(request)) == request
+
+
+class TestIntegrity:
+    def test_checksum_is_mandatory_and_detects_corruption(self):
+        wire = bytearray(CODEC.encode(make_request()))
+        wire[5] ^= 0x10
+        with pytest.raises(ChecksumError):
+            CODEC.decode(bytes(wire))
+
+    def test_truncation_detected(self):
+        wire = CODEC.encode(make_request())
+        with pytest.raises(CodecError):
+            CODEC.decode(wire[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        wire = CODEC.encode(make_request())
+        with pytest.raises(CodecError):
+            CODEC.decode(wire + b"!")
+
+    def test_unknown_command_code_rejected(self):
+        request = make_request(command=StreamUpdateCommand.PING, params=b"")
+        wire = bytearray(CODEC.encode(request))
+        wire[7] = 200  # command byte
+        # Fix up the CRC so only the command is invalid.
+        from repro.util.crc import crc16_ccitt
+
+        body = bytes(wire[:-2])
+        wire[-2:] = crc16_ccitt(body).to_bytes(2, "big")
+        with pytest.raises(CodecError, match="command"):
+            CODEC.decode(bytes(wire))
+
+    def test_not_a_control_frame_rejected(self):
+        data_frame = MessageCodec().encode(
+            DataMessage(stream_id=StreamId(1, 1), sequence=1)
+        )
+        with pytest.raises(CodecError):
+            CODEC.decode(data_frame)
+
+
+class TestFrameClassification:
+    def test_control_frames_identified(self):
+        wire = CODEC.encode(make_request())
+        assert peek_frame_kind(wire) is FrameKind.CONTROL
+
+    def test_data_frames_identified(self):
+        wire = MessageCodec().encode(
+            DataMessage(stream_id=StreamId(1, 1), sequence=1)
+        )
+        assert peek_frame_kind(wire) is FrameKind.DATA
+
+    def test_garbage_and_empty(self):
+        assert peek_frame_kind(b"") is FrameKind.UNKNOWN
+        assert peek_frame_kind(b"\xff") is FrameKind.UNKNOWN
+        assert peek_frame_kind(b"\x00") is FrameKind.UNKNOWN
+
+
+class TestParamCodecs:
+    def test_rate_roundtrip(self):
+        for rate in (0.0, 0.001, 1.0, 2.5, 1000.0):
+            assert decode_rate_params(encode_rate_params(rate)) == rate
+
+    def test_rate_millihertz_resolution(self):
+        assert decode_rate_params(encode_rate_params(0.0004)) == 0.0
+        assert decode_rate_params(encode_rate_params(0.0006)) == 0.001
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(CodecError):
+            encode_rate_params(-1.0)
+
+    def test_rate_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            decode_rate_params(b"\x00\x00")
+
+    def test_mode_roundtrip(self):
+        for mode in (0, 1, 255):
+            assert decode_mode_params(encode_mode_params(mode)) == mode
+
+    def test_mode_bounds(self):
+        with pytest.raises(Exception):
+            encode_mode_params(256)
+        with pytest.raises(CodecError):
+            decode_mode_params(b"ab")
+
+    def test_precision_roundtrip(self):
+        for bits in (1, 16, 32):
+            assert decode_precision_params(encode_precision_params(bits)) == bits
+
+    def test_precision_bounds(self):
+        with pytest.raises(CodecError):
+            encode_precision_params(0)
+        with pytest.raises(CodecError):
+            encode_precision_params(33)
+        with pytest.raises(CodecError):
+            decode_precision_params(b"\x00")
+
+
+def test_describe_is_readable():
+    text = make_request().describe()
+    assert "SET_RATE" in text
+    assert "777" in text

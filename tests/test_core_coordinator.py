@@ -1,0 +1,207 @@
+"""The Super Coordinator: global view, Markov model, prediction."""
+
+import pytest
+
+from repro.core.conflicts import MaxDemand
+from repro.core.coordinator import (
+    INBOX,
+    MarkovStateModel,
+    SuperCoordinator,
+)
+from repro.core.envelopes import StateChangeReport
+from repro.core.resource import ResourceManager
+
+
+def report(consumer, state, at=0.0, detail=None):
+    return StateChangeReport(
+        consumer=consumer, state=state, reported_at=at, detail=detail
+    )
+
+
+class TestMarkovStateModel:
+    def test_predict_before_observation_is_none(self):
+        model = MarkovStateModel()
+        assert model.predict("c", "idle") is None
+
+    def test_predicts_most_frequent_transition(self):
+        model = MarkovStateModel()
+        for _ in range(3):
+            model.record("c", "idle", "busy", dwell=10.0)
+        model.record("c", "idle", "off", dwell=10.0)
+        prediction = model.predict("c", "idle")
+        assert prediction.next_state == "busy"
+        assert prediction.probability == 0.75
+        assert prediction.expected_dwell == 10.0
+
+    def test_dwell_averaged(self):
+        model = MarkovStateModel()
+        model.record("c", "a", "b", dwell=10.0)
+        model.record("c", "a", "b", dwell=20.0)
+        assert model.predict("c", "a").expected_dwell == 15.0
+
+    def test_consumers_modelled_separately(self):
+        model = MarkovStateModel()
+        model.record("x", "a", "b", 1.0)
+        model.record("y", "a", "c", 1.0)
+        assert model.predict("x", "a").next_state == "b"
+        assert model.predict("y", "a").next_state == "c"
+
+    def test_observed_states(self):
+        model = MarkovStateModel()
+        model.record("c", "a", "b", 1.0)
+        assert model.observed_states("c") == {"a", "b"}
+        assert model.observed_states("other") == set()
+
+
+class TestGlobalView:
+    def test_view_tracks_latest_states(self, network):
+        coordinator = SuperCoordinator(network)
+        coordinator.on_report(report("a", "idle", 0.0))
+        coordinator.on_report(report("b", "busy", 1.0))
+        coordinator.on_report(report("a", "busy", 2.0))
+        assert coordinator.global_view() == {"a": "busy", "b": "busy"}
+        assert coordinator.consumer_state("a") == "busy"
+        assert coordinator.consumer_state("nobody") is None
+        assert coordinator.consumers_in_state("busy") == ["a", "b"]
+
+    def test_repeated_same_state_not_a_transition(self, network):
+        coordinator = SuperCoordinator(network)
+        coordinator.on_report(report("a", "idle", 0.0))
+        coordinator.on_report(report("a", "idle", 1.0))
+        assert coordinator.model.predict("a", "idle") is None
+        assert coordinator.stats.reports == 2
+
+    def test_reports_via_inbox(self, sim, network):
+        coordinator = SuperCoordinator(network)
+        network.send(INBOX, report("a", "alert", 0.0))
+        sim.run()
+        assert coordinator.consumer_state("a") == "alert"
+
+
+class TestReactiveActions:
+    def test_action_fires_on_state_entry(self, network):
+        coordinator = SuperCoordinator(network)
+        fired = []
+        coordinator.register_state_action("alert", fired.append)
+        coordinator.on_report(report("a", "alert", 0.0))
+        assert fired == ["a"]
+        assert coordinator.stats.reactive_actions == 1
+
+    def test_action_not_refired_on_repeat_report(self, network):
+        coordinator = SuperCoordinator(network)
+        fired = []
+        coordinator.register_state_action("alert", fired.append)
+        coordinator.on_report(report("a", "alert", 0.0))
+        coordinator.on_report(report("a", "alert", 1.0))
+        assert fired == ["a"]
+
+    def test_multiple_actions_per_state(self, network):
+        coordinator = SuperCoordinator(network)
+        fired = []
+        coordinator.register_state_action("alert", lambda c: fired.append(1))
+        coordinator.register_state_action("alert", lambda c: fired.append(2))
+        coordinator.on_report(report("a", "alert", 0.0))
+        assert fired == [1, 2]
+
+
+class TestPredictiveActions:
+    @pytest.fixture
+    def coordinator(self, network):
+        return SuperCoordinator(
+            network,
+            predictive=True,
+            confidence_threshold=0.5,
+            lead_fraction=0.5,
+        )
+
+    def _train_cycle(self, sim, coordinator, cycles=3, dwell=10.0):
+        """Feed a strict idle->alert->idle cycle with fixed dwell."""
+        t = sim.now
+        for _ in range(cycles):
+            coordinator.on_report(report("a", "idle", t))
+            t += dwell
+            coordinator.on_report(report("a", "alert", t))
+            t += dwell
+        coordinator.on_report(report("a", "idle", t))
+        return t
+
+    def test_prediction_fires_ahead_of_transition(self, sim, coordinator):
+        fired_at = []
+        coordinator.register_state_action(
+            "alert", lambda c: fired_at.append(sim.now)
+        )
+        end = self._train_cycle(sim, coordinator)
+        reactive_fires = len(fired_at)
+        # Entering idle at `end`; expected dwell 10, lead 0.5 -> predictive
+        # fire scheduled 5s later.
+        sim.run(until=end + 6.0)
+        assert len(fired_at) == reactive_fires + 1
+        assert coordinator.stats.predictive_actions == 1
+
+    def test_correct_prediction_scored(self, sim, coordinator):
+        coordinator.register_state_action("alert", lambda c: None)
+        end = self._train_cycle(sim, coordinator)
+        sim.run(until=end + 6.0)  # predictive action fires
+        coordinator.on_report(report("a", "alert", end + 10.0))
+        assert coordinator.stats.correct_predictions == 1
+        assert coordinator.stats.wrong_predictions == 0
+
+    def test_wrong_prediction_scored(self, sim, coordinator):
+        coordinator.register_state_action("alert", lambda c: None)
+        end = self._train_cycle(sim, coordinator)
+        sim.run(until=end + 6.0)
+        coordinator.on_report(report("a", "offline", end + 10.0))
+        assert coordinator.stats.wrong_predictions == 1
+
+    def test_unfired_prediction_cancelled_not_scored(self, sim, coordinator):
+        coordinator.register_state_action("alert", lambda c: None)
+        end = self._train_cycle(sim, coordinator)
+        # The transition arrives before the scheduled predictive fire.
+        coordinator.on_report(report("a", "alert", end + 1.0))
+        sim.run(until=end + 20.0)
+        assert coordinator.stats.predictive_actions == 0
+        assert coordinator.stats.correct_predictions == 0
+
+    def test_low_confidence_prediction_not_armed(self, sim, network):
+        coordinator = SuperCoordinator(
+            network, predictive=True, confidence_threshold=0.9
+        )
+        coordinator.register_state_action("b", lambda c: None)
+        coordinator.register_state_action("c", lambda c: None)
+        # 50/50 split between b and c: below the 0.9 threshold.
+        t = 0.0
+        for nxt in ("b", "c", "b", "c"):
+            coordinator.on_report(report("a", "start", t))
+            coordinator.on_report(report("a", nxt, t + 1.0))
+            t += 2.0
+        coordinator.on_report(report("a", "start", t))
+        sim.run(until=t + 10.0)
+        assert coordinator.stats.predictive_actions == 0
+
+    def test_no_action_for_predicted_state_means_no_arming(
+        self, sim, coordinator
+    ):
+        end = self._train_cycle(sim, coordinator)
+        sim.run(until=end + 20.0)
+        assert coordinator.stats.predictive_actions == 0
+
+
+class TestPolicyPush:
+    def test_set_resource_strategy(self, network):
+        rm = ResourceManager(network)
+        coordinator = SuperCoordinator(network, resource_manager=rm)
+        coordinator.set_resource_strategy(MaxDemand(), parameter="rate")
+        assert isinstance(rm.policy_for("rate"), MaxDemand)
+        assert coordinator.stats.policy_changes == 1
+
+    def test_without_resource_manager_raises(self, network):
+        coordinator = SuperCoordinator(network)
+        with pytest.raises(ValueError):
+            coordinator.set_resource_strategy(MaxDemand())
+
+
+def test_parameter_validation(network):
+    with pytest.raises(ValueError):
+        SuperCoordinator(network, confidence_threshold=0.0)
+    with pytest.raises(ValueError):
+        SuperCoordinator(network, lead_fraction=1.5)

@@ -1,0 +1,67 @@
+"""The Figure 2 header byte: version bits + capability flags."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flags import (
+    HeaderFlags,
+    PROTOCOL_VERSION,
+    pack_header,
+    unpack_header,
+)
+from repro.errors import CodecError
+
+
+def test_roundtrip_all_flag_combinations():
+    for bits in range(32):
+        flags = HeaderFlags(bits)
+        byte = pack_header(PROTOCOL_VERSION, flags)
+        version, decoded = unpack_header(byte)
+        assert version == PROTOCOL_VERSION
+        assert decoded == flags
+
+
+def test_version_occupies_top_three_bits():
+    assert pack_header(1, HeaderFlags.NONE) == 0b001_00000
+    assert pack_header(7, HeaderFlags.NONE) == 0b111_00000
+
+
+def test_flags_occupy_low_five_bits():
+    byte = pack_header(0, HeaderFlags.ACK | HeaderFlags.ENCRYPTED)
+    assert byte == 0b000_10001
+
+
+def test_each_flag_is_a_distinct_bit():
+    values = [
+        HeaderFlags.ACK,
+        HeaderFlags.FUSED,
+        HeaderFlags.RELAYED,
+        HeaderFlags.EXTENDED,
+        HeaderFlags.ENCRYPTED,
+    ]
+    assert len({int(v) for v in values}) == 5
+    combined = HeaderFlags.NONE
+    for v in values:
+        combined |= v
+    assert int(combined) == 0b11111
+
+
+def test_version_overflow_rejected():
+    with pytest.raises(CodecError):
+        pack_header(8, HeaderFlags.NONE)
+    with pytest.raises(CodecError):
+        pack_header(-1, HeaderFlags.NONE)
+
+
+def test_unpack_rejects_out_of_range():
+    with pytest.raises(CodecError):
+        unpack_header(256)
+    with pytest.raises(CodecError):
+        unpack_header(-1)
+
+
+@given(st.integers(0, 255))
+def test_unpack_pack_is_identity(byte):
+    version, flags = unpack_header(byte)
+    assert pack_header(version, flags) == byte

@@ -1,0 +1,197 @@
+"""The Location Service: inference from receptions, decay, and hints."""
+
+import pytest
+
+from repro.core.envelopes import LocationHint, LocationObservation
+from repro.core.location import LocationEstimate, LocationService
+from repro.errors import LocationError, RegistrationError
+from repro.simnet.geometry import Point
+
+
+@pytest.fixture
+def service(network):
+    svc = LocationService(
+        network, decay_tau=30.0, min_confidence_radius=5.0
+    )
+    svc.register_receiver(0, Point(0.0, 0.0))
+    svc.register_receiver(1, Point(100.0, 0.0))
+    svc.register_receiver(2, Point(0.0, 100.0))
+    return svc
+
+
+def observe(service, sensor_id, receiver_id, rssi=-60.0, at=0.0):
+    service.on_observation(
+        LocationObservation(
+            sensor_id=sensor_id,
+            receiver_id=receiver_id,
+            rssi=rssi,
+            observed_at=at,
+        )
+    )
+
+
+class TestInference:
+    def test_single_receiver_estimate_at_receiver(self, service):
+        observe(service, 7, 0)
+        estimate = service.estimate(7)
+        assert estimate.position == Point(0.0, 0.0)
+        assert estimate.confidence_radius == 5.0  # floor
+        assert estimate.observation_count == 1
+
+    def test_equal_rssi_gives_midpoint(self, service):
+        observe(service, 7, 0, rssi=-60.0)
+        observe(service, 7, 1, rssi=-60.0)
+        estimate = service.estimate(7)
+        assert estimate.position.x == pytest.approx(50.0)
+        assert estimate.position.y == pytest.approx(0.0)
+
+    def test_stronger_rssi_pulls_estimate(self, service):
+        observe(service, 7, 0, rssi=-50.0)  # 10 dB stronger = 10x weight
+        observe(service, 7, 1, rssi=-60.0)
+        estimate = service.estimate(7)
+        assert estimate.position.x < 20.0
+
+    def test_estimate_inside_receiver_hull(self, service):
+        for receiver in (0, 1, 2):
+            observe(service, 7, receiver)
+        estimate = service.estimate(7)
+        assert 0.0 <= estimate.position.x <= 100.0
+        assert 0.0 <= estimate.position.y <= 100.0
+
+    def test_unknown_sensor_raises(self, service):
+        with pytest.raises(LocationError):
+            service.estimate(404)
+        assert service.try_estimate(404) is None
+
+    def test_unknown_receiver_observation_ignored(self, service):
+        observe(service, 7, receiver_id=99)
+        assert service.try_estimate(7) is None
+
+    def test_duplicate_receiver_registration_rejected(self, service):
+        with pytest.raises(RegistrationError):
+            service.register_receiver(0, Point(1, 1))
+
+    def test_confidence_grows_with_spread(self, service):
+        observe(service, 7, 0)
+        tight = service.estimate(7).confidence_radius
+        observe(service, 7, 1)
+        observe(service, 7, 2)
+        spread = service.estimate(7).confidence_radius
+        assert spread > tight
+
+    def test_known_sensors(self, service):
+        observe(service, 3, 0)
+        observe(service, 1, 1)
+        assert service.known_sensors() == [1, 3]
+
+
+class TestDecay:
+    def test_old_observations_fade(self, sim, network):
+        service = LocationService(network, decay_tau=10.0)
+        service.register_receiver(0, Point(0.0, 0.0))
+        service.register_receiver(1, Point(100.0, 0.0))
+        observe(service, 7, 0, at=0.0)
+        sim.run(until=100.0)  # 10 tau later
+        observe(service, 7, 1, at=100.0)
+        estimate = service.estimate(7)
+        # The fresh observation dominates the decayed one.
+        assert estimate.position.x > 99.0
+
+    def test_fully_decayed_history_raises(self, sim, network):
+        service = LocationService(network, decay_tau=1.0)
+        service.register_receiver(0, Point(0.0, 0.0))
+        observe(service, 7, 0, at=0.0)
+        sim.run(until=200.0)
+        with pytest.raises(LocationError):
+            service.estimate(7)
+
+    def test_age_reported(self, sim, network):
+        service = LocationService(network, decay_tau=100.0)
+        service.register_receiver(0, Point(0.0, 0.0))
+        observe(service, 7, 0, at=0.0)
+        sim.run(until=5.0)
+        assert service.estimate(7).newest_observation_age == 5.0
+
+
+class TestHints:
+    def test_tight_hint_dominates_radio(self, service):
+        observe(service, 7, 0)
+        service.on_hint(
+            LocationHint(
+                sensor_id=7,
+                x=80.0,
+                y=80.0,
+                confidence_radius=2.0,
+                supplied_by="app",
+                supplied_at=0.0,
+            )
+        )
+        estimate = service.estimate(7)
+        assert estimate.position.distance_to(Point(80.0, 80.0)) < 10.0
+
+    def test_hint_only_estimate_works(self, service):
+        service.on_hint(
+            LocationHint(7, 50.0, 50.0, 10.0, "app", 0.0)
+        )
+        estimate = service.estimate(7)
+        assert estimate.position == Point(50.0, 50.0)
+
+    def test_loose_hint_moves_estimate_much_less_than_tight(self, service):
+        for receiver in (0, 1):
+            observe(service, 7, receiver, rssi=-40.0)
+        before = service.estimate(7).position
+        service.on_hint(
+            LocationHint(7, 1000.0, 1000.0, 10000.0, "app", 0.0)
+        )
+        loose_shift = before.distance_to(service.estimate(7).position)
+        service.on_hint(LocationHint(7, 1000.0, 1000.0, 2.0, "app", 0.0))
+        tight_shift = before.distance_to(service.estimate(7).position)
+        # The tight hint should dominate; the loose one should shift the
+        # estimate by a small fraction of the distance to the hint.
+        assert loose_shift < 0.1 * before.distance_to(Point(1000.0, 1000.0))
+        assert tight_shift > 10 * loose_shift
+
+    def test_hint_counter(self, service):
+        service.on_hint(LocationHint(7, 0, 0, 1.0, "a", 0.0))
+        assert service.hints_received == 1
+
+
+class TestObservationWindow:
+    def test_observation_buffer_bounded(self, network):
+        service = LocationService(network, max_observations=4)
+        service.register_receiver(0, Point(0.0, 0.0))
+        for i in range(20):
+            observe(service, 7, 0, at=float(i))
+        assert service.estimate(7).observation_count == 4
+
+
+class TestEstimatePacking:
+    def test_pack_unpack_roundtrip(self):
+        estimate = LocationEstimate(
+            sensor_id=12,
+            position=Point(1.5, -2.25),
+            confidence_radius=30.0,
+            observation_count=3,
+            newest_observation_age=1.0,
+        )
+        unpacked = LocationEstimate.unpack(estimate.pack())
+        assert unpacked.sensor_id == 12
+        assert unpacked.position == Point(1.5, -2.25)
+        assert unpacked.confidence_radius == 30.0
+
+    def test_as_circle(self):
+        estimate = LocationEstimate(1, Point(0, 0), 25.0, 1, 0.0)
+        circle = estimate.as_circle()
+        assert circle.radius == 25.0
+
+
+class TestRpc:
+    def test_estimate_via_rpc(self, network, service):
+        observe(service, 7, 0)
+        result = network.call_sync("garnet.location", "estimate", 7)
+        assert result is not None
+        assert network.call_sync("garnet.location", "estimate", 404) is None
+
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            LocationService(network, decay_tau=0.0)

@@ -1,0 +1,233 @@
+"""The Figure 2 data-message codec, bit for bit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flags import ExtensionType, HeaderFlags
+from repro.core.message import (
+    CHECKSUM_BYTES,
+    DataMessage,
+    FIXED_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    MessageCodec,
+    make_request_status_extension,
+    parse_request_status_extension,
+)
+from repro.core.streamid import StreamId
+from repro.errors import (
+    ChecksumError,
+    CodecError,
+    FieldRangeError,
+    TruncatedMessageError,
+)
+
+CODEC = MessageCodec(checksum=True)
+BARE_CODEC = MessageCodec(checksum=False)
+
+
+def make_message(**overrides) -> DataMessage:
+    defaults = dict(
+        stream_id=StreamId(1234, 5),
+        sequence=42,
+        payload=b"payload-bytes",
+    )
+    defaults.update(overrides)
+    return DataMessage(**defaults)
+
+
+class TestFixedLayout:
+    def test_wire_layout_matches_figure_2(self):
+        message = make_message(payload=b"AB")
+        wire = BARE_CODEC.encode(message)
+        # bit 0-8: header; 8-40: StreamID; 40-56: sequence; 56-72: size.
+        assert wire[0] >> 5 == 1  # version
+        assert int.from_bytes(wire[1:5], "big") == StreamId(1234, 5).pack()
+        assert int.from_bytes(wire[5:7], "big") == 42
+        assert int.from_bytes(wire[7:9], "big") == 2
+        assert wire[9:] == b"AB"
+        assert FIXED_HEADER_BYTES == 9  # 72 bits
+
+    def test_minimal_message_size(self):
+        wire = BARE_CODEC.encode(make_message(payload=b""))
+        assert len(wire) == FIXED_HEADER_BYTES
+        wire = CODEC.encode(make_message(payload=b""))
+        assert len(wire) == FIXED_HEADER_BYTES + CHECKSUM_BYTES
+
+    def test_encoded_size_exact(self):
+        for message in (
+            make_message(),
+            make_message(ack_request_id=7),
+            make_message(hop_count=3),
+            make_message(extensions=((1, b"abc"), (2, b""))),
+        ):
+            assert len(CODEC.encode(message)) == CODEC.encoded_size(message)
+            assert len(BARE_CODEC.encode(message)) == BARE_CODEC.encoded_size(
+                message
+            )
+
+
+class TestRoundtrip:
+    def test_plain(self):
+        message = make_message()
+        assert CODEC.decode(CODEC.encode(message)) == message
+
+    def test_all_optional_fields(self):
+        message = make_message(
+            sequence=65535,
+            fused=True,
+            encrypted=True,
+            ack_request_id=0xBEEF,
+            hop_count=2,
+            extensions=(
+                (int(ExtensionType.SOURCE_TIMESTAMP), b"\x00" * 8),
+                (int(ExtensionType.FUSION_COUNT), b"\x00\x05"),
+            ),
+        )
+        decoded = CODEC.decode(CODEC.encode(message))
+        assert decoded == message
+        assert decoded.flags == (
+            HeaderFlags.ACK
+            | HeaderFlags.FUSED
+            | HeaderFlags.RELAYED
+            | HeaderFlags.EXTENDED
+            | HeaderFlags.ENCRYPTED
+        )
+
+    def test_max_payload(self):
+        message = make_message(payload=b"\xab" * MAX_PAYLOAD_BYTES)
+        assert CODEC.decode(CODEC.encode(message)).payload == message.payload
+
+    def test_64k_sequence_space(self):
+        for sequence in (0, 1, 65535):
+            message = make_message(sequence=sequence)
+            assert CODEC.decode(CODEC.encode(message)).sequence == sequence
+        with pytest.raises(FieldRangeError):
+            CODEC.encode(make_message(sequence=65536))
+
+    def test_payload_over_64k_rejected(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(make_message(payload=b"x" * (MAX_PAYLOAD_BYTES + 1)))
+
+    def test_decode_prefix_handles_concatenated_messages(self):
+        first = make_message(sequence=1)
+        second = make_message(sequence=2, payload=b"other")
+        blob = CODEC.encode(first) + CODEC.encode(second)
+        decoded_first, consumed = CODEC.decode_prefix(blob)
+        decoded_second, total = CODEC.decode_prefix(blob[consumed:])
+        assert decoded_first == first
+        assert decoded_second == second
+        assert consumed + total == len(blob)
+
+    @given(
+        st.integers(0, (1 << 24) - 1),
+        st.integers(0, 255),
+        st.integers(0, 65535),
+        st.binary(max_size=256),
+        st.booleans(),
+        st.booleans(),
+        st.one_of(st.none(), st.integers(0, 65535)),
+        st.one_of(st.none(), st.integers(0, 255)),
+    )
+    def test_roundtrip_property(
+        self, sensor, index, seq, payload, fused, encrypted, ack, hops
+    ):
+        message = DataMessage(
+            stream_id=StreamId(sensor, index),
+            sequence=seq,
+            payload=payload,
+            fused=fused,
+            encrypted=encrypted,
+            ack_request_id=ack,
+            hop_count=hops,
+        )
+        assert CODEC.decode(CODEC.encode(message)) == message
+
+
+class TestChecksum:
+    def test_corruption_detected(self):
+        wire = bytearray(CODEC.encode(make_message()))
+        wire[10] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            CODEC.decode(bytes(wire))
+
+    def test_bare_codec_skips_checksum(self):
+        wire = BARE_CODEC.encode(make_message())
+        assert BARE_CODEC.decode(wire) == make_message()
+
+    def test_every_byte_position_protected(self):
+        wire = CODEC.encode(make_message(payload=b"xy"))
+        for index in range(len(wire)):
+            corrupted = bytearray(wire)
+            corrupted[index] ^= 0x01
+            with pytest.raises(CodecError):
+                CODEC.decode(bytes(corrupted))
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedMessageError):
+            CODEC.decode(b"\x20\x00")
+
+    def test_truncated_payload(self):
+        wire = BARE_CODEC.encode(make_message(payload=b"full payload"))
+        with pytest.raises(TruncatedMessageError):
+            BARE_CODEC.decode(wire[:-4])
+
+    def test_trailing_bytes_rejected(self):
+        wire = CODEC.encode(make_message())
+        with pytest.raises(CodecError):
+            CODEC.decode(wire + b"\x00")
+
+    def test_wrong_version_rejected(self):
+        wire = bytearray(BARE_CODEC.encode(make_message()))
+        wire[0] = (wire[0] & 0b00011111) | (2 << 5)
+        with pytest.raises(CodecError):
+            BARE_CODEC.decode(bytes(wire))
+
+    def test_extended_flag_with_zero_extensions_rejected(self):
+        wire = bytearray(BARE_CODEC.encode(make_message(payload=b"")))
+        wire[0] |= int(HeaderFlags.EXTENDED)
+        wire.insert(9, 0)  # extension count 0
+        with pytest.raises(CodecError):
+            BARE_CODEC.decode(bytes(wire))
+
+    def test_empty_input(self):
+        with pytest.raises(TruncatedMessageError):
+            CODEC.decode(b"")
+
+    def test_oversized_extension_rejected_at_encode(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(make_message(extensions=((1, b"x" * 256),)))
+
+
+class TestHelpers:
+    def test_with_ack(self):
+        message = make_message().with_ack(99)
+        assert message.ack_request_id == 99
+        assert message.flags & HeaderFlags.ACK
+
+    def test_with_relay_hop_accumulates(self):
+        message = make_message()
+        assert not message.is_relayed
+        relayed = message.with_relay_hop().with_relay_hop()
+        assert relayed.hop_count == 2
+        assert relayed.is_relayed
+
+    def test_find_extension(self):
+        message = make_message().with_extension(5, b"abc")
+        assert message.find_extension(5) == b"abc"
+        assert message.find_extension(6) is None
+
+    def test_request_status_extension_roundtrip(self):
+        blob = make_request_status_extension(0x1234, 2)
+        assert parse_request_status_extension(blob) == (0x1234, 2)
+
+    def test_request_status_bad_length(self):
+        with pytest.raises(CodecError):
+            parse_request_status_extension(b"\x00\x00")
+
+    def test_messages_are_immutable(self):
+        message = make_message()
+        with pytest.raises(AttributeError):
+            message.sequence = 1  # type: ignore[misc]

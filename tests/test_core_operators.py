@@ -1,0 +1,269 @@
+"""Stream operators: the building blocks of multi-level consumption."""
+
+import pytest
+
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.operators import (
+    CollectingConsumer,
+    FilterOperator,
+    FusionOperator,
+    MapOperator,
+    WindowAggregator,
+)
+from repro.sensors.sampling import SampleCodec
+
+from tests.conftest import CODEC, make_stream_spec
+
+OUT_CODEC = SampleCodec(0.0, 1000.0)
+
+
+@pytest.fixture
+def sourced(deployment):
+    """Deployment with one constant-valued sensor stream at 1 Hz."""
+    node = deployment.add_sensor(
+        "generic", [make_stream_spec(value=42.0)]
+    )
+    return deployment, node
+
+
+def collect(deployment, kind):
+    sink = CollectingConsumer(
+        f"sink-{kind}", SubscriptionPattern(kind=kind), OUT_CODEC
+    )
+    deployment.add_consumer(sink)
+    return sink
+
+
+class TestMapOperator:
+    def test_applies_function(self, sourced):
+        deployment, _ = sourced
+        deployment.add_consumer(
+            MapOperator(
+                "to-fahrenheit",
+                SubscriptionPattern(kind="test.stream"),
+                lambda c: c * 9 / 5 + 32,
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="mapped",
+            )
+        )
+        sink = collect(deployment, "mapped")
+        deployment.run(5.0)
+        assert len(sink.values) >= 4
+        assert all(abs(v - 107.6) < 0.1 for v in sink.values)
+
+    def test_undecodable_payload_counted_not_fatal(self, deployment):
+        operator = MapOperator(
+            "m",
+            SubscriptionPattern(kind="x"),
+            lambda v: v,
+            input_codec=CODEC,
+            output_codec=OUT_CODEC,
+            output_kind="mapped",
+        )
+        deployment.add_consumer(operator)
+        from repro.core.envelopes import StreamArrival
+        from repro.core.message import DataMessage
+        from repro.core.streamid import StreamId
+
+        operator.on_data(
+            StreamArrival(
+                message=DataMessage(
+                    stream_id=StreamId(1, 0), sequence=0, payload=b"junk"
+                ),
+                received_at=0.0,
+                receiver_id=0,
+            )
+        )
+        assert operator.decode_failures == 1
+        assert operator.stats.published == 0
+
+
+class TestFilterOperator:
+    def test_drops_non_matching(self, sourced):
+        deployment, _ = sourced
+        operator = FilterOperator(
+            "above-50",
+            SubscriptionPattern(kind="test.stream"),
+            lambda v: v > 50.0,
+            input_codec=CODEC,
+            output_codec=OUT_CODEC,
+            output_kind="filtered",
+        )
+        deployment.add_consumer(operator)
+        sink = collect(deployment, "filtered")
+        deployment.run(5.0)
+        assert len(sink.values) == 0
+        assert operator.dropped >= 4
+
+    def test_passes_matching(self, sourced):
+        deployment, _ = sourced
+        operator = FilterOperator(
+            "above-10",
+            SubscriptionPattern(kind="test.stream"),
+            lambda v: v > 10.0,
+            input_codec=CODEC,
+            output_codec=OUT_CODEC,
+            output_kind="filtered",
+        )
+        deployment.add_consumer(operator)
+        sink = collect(deployment, "filtered")
+        deployment.run(5.0)
+        assert len(sink.values) >= 4
+        assert operator.dropped == 0
+
+
+class TestWindowAggregator:
+    def test_mean_over_window(self, sourced):
+        deployment, _ = sourced
+        deployment.add_consumer(
+            WindowAggregator(
+                "mean3",
+                SubscriptionPattern(kind="test.stream"),
+                window=3,
+                aggregate="mean",
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="agg",
+            )
+        )
+        sink = collect(deployment, "agg")
+        deployment.run(8.0)
+        assert len(sink.values) >= 4
+        assert all(abs(v - 42.0) < 0.1 for v in sink.values)
+        assert all(a.message.fused for a in sink.arrivals)
+
+    def test_stride_reduces_output_rate(self, sourced):
+        deployment, _ = sourced
+        deployment.add_consumer(
+            WindowAggregator(
+                "strided",
+                SubscriptionPattern(kind="test.stream"),
+                window=2,
+                aggregate="max",
+                stride=4,
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="agg",
+            )
+        )
+        sink = collect(deployment, "agg")
+        deployment.run(17.0)
+        # ~16 inputs -> about 4 outputs at stride 4.
+        assert 2 <= len(sink.values) <= 5
+
+    def test_aggregates_catalogue(self):
+        for name, expected in [
+            ("mean", 2.0),
+            ("min", 1.0),
+            ("max", 3.0),
+            ("sum", 6.0),
+            ("range", 2.0),
+        ]:
+            assert WindowAggregator.AGGREGATES[name]([1.0, 2.0, 3.0]) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowAggregator(
+                "bad",
+                SubscriptionPattern(sensor_id=1),
+                window=0,
+                aggregate="mean",
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="x",
+            )
+        with pytest.raises(ValueError):
+            WindowAggregator(
+                "bad2",
+                SubscriptionPattern(sensor_id=1),
+                window=1,
+                aggregate="median-of-medians",
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="x",
+            )
+
+
+class TestFusionOperator:
+    def test_fuses_across_streams(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec(value=10.0)])
+        deployment.add_sensor("generic", [make_stream_spec(value=30.0)])
+        deployment.add_consumer(
+            FusionOperator(
+                "fuser",
+                [SubscriptionPattern(kind="test.stream")],
+                fuse=lambda xs: sum(xs) / len(xs),
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="fused",
+                min_inputs=2,
+            )
+        )
+        sink = collect(deployment, "fused")
+        deployment.run(5.0)
+        assert len(sink.values) >= 2
+        assert all(abs(v - 20.0) < 0.5 for v in sink.values)
+        assert all(a.message.fused for a in sink.arrivals)
+
+    def test_waits_for_min_inputs(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec(value=10.0)])
+        deployment.add_consumer(
+            FusionOperator(
+                "fuser",
+                [SubscriptionPattern(kind="test.stream")],
+                fuse=max,
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="fused",
+                min_inputs=2,
+            )
+        )
+        sink = collect(deployment, "fused")
+        deployment.run(5.0)
+        assert len(sink.values) == 0  # only one input stream exists
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FusionOperator(
+                "bad",
+                [],
+                fuse=max,
+                input_codec=CODEC,
+                output_codec=OUT_CODEC,
+                output_kind="x",
+                min_inputs=0,
+            )
+
+
+class TestCollectingConsumer:
+    def test_bounded_retention(self, sourced):
+        deployment, node = sourced
+        sink = CollectingConsumer(
+            "bounded",
+            SubscriptionPattern(kind="test.stream"),
+            CODEC,
+            max_kept=3,
+        )
+        deployment.add_consumer(sink)
+        deployment.run(10.0)
+        assert len(sink.arrivals) == 3
+        assert len(sink.values) == 3
+
+    def test_decode_failures_counted(self, deployment):
+        sink = CollectingConsumer("s", codec=CODEC)
+        deployment.add_consumer(sink)
+        from repro.core.envelopes import StreamArrival
+        from repro.core.message import DataMessage
+        from repro.core.streamid import StreamId
+
+        sink.on_data(
+            StreamArrival(
+                message=DataMessage(
+                    stream_id=StreamId(1, 0), sequence=0, payload=b"xx"
+                ),
+                received_at=0.0,
+                receiver_id=0,
+            )
+        )
+        assert sink.decode_failures == 1

@@ -1,0 +1,96 @@
+"""The Message Replicator: location lookup and transmitter selection."""
+
+import pytest
+
+from repro.core.envelopes import (
+    LocationHint,
+    LocationObservation,
+    TransmitOrder,
+)
+from repro.core.location import LocationService
+from repro.core.replicator import INBOX, MessageReplicator
+from repro.radio.array import TransmitterArray
+from repro.simnet.geometry import Rect
+from repro.simnet.wireless import WirelessMedium
+
+
+@pytest.fixture
+def harness(sim, network):
+    medium = WirelessMedium(sim, loss_model=None)
+    location = LocationService(network, min_confidence_radius=10.0)
+    # 2x2 transmitters over 1000x1000: footprints cover one quadrant each
+    # (plus overlap).
+    transmitters = TransmitterArray(
+        Rect(0, 0, 1000, 1000), 2, 2, medium=medium, overlap=1.0
+    )
+    replicator = MessageReplicator(network, transmitters, margin=10.0)
+    return sim, network, location, transmitters, replicator, medium
+
+
+def order(sensor_id=7):
+    return TransmitOrder(frame=b"\xc1control", target_sensor_id=sensor_id, request_id=1)
+
+
+class TestTargeting:
+    def test_unknown_location_floods_all(self, harness):
+        sim, network, _, transmitters, replicator, _ = harness
+        network.send(INBOX, order())
+        sim.run()
+        assert replicator.stats.flooded == 1
+        assert replicator.stats.transmitters_used == 4
+        assert transmitters.total_broadcasts() == 4
+
+    def test_known_location_targets_subset(self, harness):
+        sim, network, location, transmitters, replicator, _ = harness
+        from repro.simnet.geometry import Point
+
+        location.register_receiver(0, Point(100.0, 100.0))
+        location.on_observation(
+            LocationObservation(
+                sensor_id=7, receiver_id=0, rssi=-50.0, observed_at=0.0
+            )
+        )
+        network.send(INBOX, order(7))
+        sim.run()
+        assert replicator.stats.targeted == 1
+        # Target circle around (100,100) r=20 intersects only the
+        # bottom-left transmitter's footprint.
+        assert replicator.stats.transmitters_used < 4
+
+    def test_hint_based_location_used(self, harness):
+        sim, network, location, transmitters, replicator, _ = harness
+        location.on_hint(
+            LocationHint(7, 900.0, 900.0, 20.0, "app", 0.0)
+        )
+        network.send(INBOX, order(7))
+        sim.run()
+        assert replicator.stats.targeted == 1
+        used_before = replicator.stats.transmitters_used
+        assert used_before < 4
+
+    def test_mean_transmitters_per_order(self, harness):
+        sim, network, location, _, replicator, _ = harness
+        network.send(INBOX, order())
+        network.send(INBOX, order())
+        sim.run()
+        assert replicator.stats.mean_transmitters_per_order == 4.0
+
+    def test_margin_validation(self, network, harness):
+        _, _, _, transmitters, _, _ = harness
+        with pytest.raises(ValueError):
+            MessageReplicator(network, transmitters, margin=-1.0)
+
+
+class TestEconomy:
+    def test_targeted_broadcast_cheaper_than_flood(self, harness):
+        """The reason inferred location exists (Section 5): fewer
+        transmitters engaged per control message."""
+        sim, network, location, transmitters, replicator, _ = harness
+        network.send(INBOX, order(42))  # unknown -> flood
+        sim.run()
+        flood_cost = replicator.stats.transmitters_used
+        location.on_hint(LocationHint(43, 100.0, 100.0, 5.0, "a", 0.0))
+        network.send(INBOX, order(43))  # known -> targeted
+        sim.run()
+        targeted_cost = replicator.stats.transmitters_used - flood_cost
+        assert targeted_cost < flood_cost

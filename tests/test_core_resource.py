@@ -1,0 +1,274 @@
+"""The Resource Manager: admission control and conflict mediation."""
+
+import pytest
+
+from repro.core.conflicts import DenyConflicts, MaxDemand
+from repro.core.constraints import ConstraintSet
+from repro.core.control import StreamUpdateCommand
+from repro.core.resource import (
+    ResourceManager,
+    SensorTypeSpec,
+    StreamConfig,
+)
+from repro.core.security import AuthService, Permission
+from repro.core.streamid import StreamId
+from repro.errors import AdmissionError, RegistrationError
+
+
+def gauge_spec(actuatable=True) -> SensorTypeSpec:
+    return SensorTypeSpec(
+        name="gauge",
+        constraints=ConstraintSet(
+            {"rate_cap": "rate <= 10", "mode_ok": "mode in {normal, turbo}"}
+        ),
+        default_config=StreamConfig(rate=1.0, mode="normal"),
+        actuatable=actuatable,
+    )
+
+
+@pytest.fixture
+def manager(network):
+    rm = ResourceManager(network)
+    rm.register_sensor_type(gauge_spec())
+    rm.register_sensor(1, "gauge", stream_indexes=(0, 1))
+    return rm
+
+
+STREAM = StreamId(1, 0)
+
+
+class TestRegistration:
+    def test_duplicate_type_rejected(self, manager):
+        with pytest.raises(RegistrationError):
+            manager.register_sensor_type(gauge_spec())
+
+    def test_unknown_type_rejected(self, manager):
+        with pytest.raises(RegistrationError):
+            manager.register_sensor(2, "unknown")
+
+    def test_duplicate_sensor_rejected(self, manager):
+        with pytest.raises(RegistrationError):
+            manager.register_sensor(1, "gauge")
+
+    def test_overview_contains_registered_streams(self, manager):
+        overview = manager.overview()
+        assert set(overview) == {StreamId(1, 0), StreamId(1, 1)}
+        assert overview[STREAM].rate == 1.0
+
+
+class TestAdmission:
+    def test_simple_grant(self, manager):
+        decision = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.SET_RATE, 5.0
+        )
+        assert decision.approved
+        assert decision.effective_value == 5.0
+        assert decision.issue_actuation
+
+    def test_unregistered_stream_refused(self, manager):
+        decision = manager.request_update(
+            "app", StreamId(9, 0), StreamUpdateCommand.SET_RATE, 5.0
+        )
+        assert not decision.approved
+        assert "not registered" in decision.reason
+
+    def test_transmit_only_sensor_refused(self, network):
+        rm = ResourceManager(network)
+        rm.register_sensor_type(
+            SensorTypeSpec(
+                name="mote",
+                constraints=ConstraintSet(),
+                actuatable=False,
+            )
+        )
+        rm.register_sensor(3, "mote")
+        decision = rm.request_update(
+            "app", StreamId(3, 0), StreamUpdateCommand.SET_RATE, 1.0
+        )
+        assert not decision.approved
+        assert "transmit-only" in decision.reason
+        assert rm.stats.denied_capability == 1
+
+    def test_constraint_violation_refused_and_demand_rolled_back(self, manager):
+        decision = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.SET_RATE, 50.0
+        )
+        assert not decision.approved
+        assert decision.violations == ("rate_cap",)
+        # The offending demand was withdrawn: a later valid request from
+        # another consumer is not polluted by it.
+        follow_up = manager.request_update(
+            "other", STREAM, StreamUpdateCommand.SET_RATE, 2.0
+        )
+        assert follow_up.effective_value == 2.0
+
+    def test_mode_constraint(self, manager):
+        good = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.SET_MODE, "turbo"
+        )
+        assert good.approved
+        bad = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.SET_MODE, "plaid"
+        )
+        assert not bad.approved
+
+    def test_no_change_means_no_actuation(self, manager):
+        decision = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.SET_RATE, 1.0
+        )
+        assert decision.approved
+        assert not decision.issue_actuation
+
+    def test_ping_always_actuates(self, manager):
+        decision = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.PING
+        )
+        assert decision.approved
+        assert decision.issue_actuation
+
+    def test_enable_disable_drive_enabled_parameter(self, manager):
+        off = manager.request_update(
+            "app", STREAM, StreamUpdateCommand.DISABLE_STREAM
+        )
+        assert off.approved
+        assert off.parameter == "enabled"
+        assert off.effective_value is False
+
+
+class TestMediation:
+    def test_priority_mediation_grants_modified_value(self, manager):
+        manager.request_update(
+            "vip", STREAM, StreamUpdateCommand.SET_RATE, 8.0, priority=10
+        )
+        decision = manager.request_update(
+            "pleb", STREAM, StreamUpdateCommand.SET_RATE, 2.0, priority=0
+        )
+        assert decision.approved
+        assert decision.effective_value == 8.0  # vip's demand wins
+        assert decision.reason == "mediated"
+        assert not decision.issue_actuation  # effective value unchanged
+
+    def test_max_policy(self, manager):
+        manager.set_policy(MaxDemand(), parameter="rate")
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 2.0)
+        decision = manager.request_update(
+            "b", STREAM, StreamUpdateCommand.SET_RATE, 6.0
+        )
+        assert decision.effective_value == 6.0
+        lower = manager.request_update(
+            "c", STREAM, StreamUpdateCommand.SET_RATE, 1.0
+        )
+        assert lower.effective_value == 6.0
+
+    def test_deny_policy_refuses_conflicts(self, manager):
+        manager.set_policy(DenyConflicts())
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 2.0)
+        decision = manager.request_update(
+            "b", STREAM, StreamUpdateCommand.SET_RATE, 3.0
+        )
+        assert not decision.approved
+        assert manager.stats.denied_conflict == 1
+        # The conflicting demand was rolled back.
+        assert len(manager.standing_demands(STREAM)) == 1
+
+    def test_mediated_value_checked_against_constraints(self, manager):
+        manager.set_policy(MaxDemand(), parameter="rate")
+        manager.request_update(
+            "a", STREAM, StreamUpdateCommand.SET_RATE, 9.0
+        )
+        # b asks for less, mediation keeps 9.0 which is legal.
+        ok = manager.request_update(
+            "b", STREAM, StreamUpdateCommand.SET_RATE, 3.0
+        )
+        assert ok.approved
+
+    def test_per_parameter_policy_override(self, manager):
+        manager.set_policy(MaxDemand(), parameter="rate")
+        assert isinstance(manager.policy_for("rate"), MaxDemand)
+        assert not isinstance(manager.policy_for("mode"), MaxDemand)
+        assert manager.stats.policy_changes == 1
+
+
+class TestDemandLifecycle:
+    def test_release_demands_triggers_re_mediation(self, manager, network):
+        manager.set_policy(MaxDemand(), parameter="rate")
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 8.0)
+        manager.request_update("b", STREAM, StreamUpdateCommand.SET_RATE, 2.0)
+        manager.confirm_applied(STREAM, "rate", 8.0)
+        changes = manager.release_demands("a")
+        assert changes == [(STREAM, "rate", 2.0)]
+
+    def test_release_with_no_remaining_demands_changes_nothing(self, manager):
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 8.0)
+        assert manager.release_demands("a") == []
+
+    def test_release_scoped_to_stream(self, manager):
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 8.0)
+        manager.request_update(
+            "a", StreamId(1, 1), StreamUpdateCommand.SET_RATE, 4.0
+        )
+        manager.release_demands("a", STREAM)
+        assert manager.standing_demands(STREAM) == []
+        assert len(manager.standing_demands(StreamId(1, 1))) == 1
+
+
+class TestOverviewMaintenance:
+    def test_pending_until_confirmed(self, manager):
+        manager.request_update("a", STREAM, StreamUpdateCommand.SET_RATE, 5.0)
+        assert manager.pending_parameters(STREAM) == {"rate": 5.0}
+        assert manager.believed_config(STREAM).rate == 1.0
+        manager.confirm_applied(STREAM, "rate", 5.0)
+        assert manager.pending_parameters(STREAM) == {}
+        assert manager.believed_config(STREAM).rate == 5.0
+
+    def test_confirm_unknown_stream_ignored(self, manager):
+        manager.confirm_applied(StreamId(9, 9), "rate", 1.0)  # no raise
+
+    def test_believed_config_unknown_stream_raises(self, manager):
+        with pytest.raises(RegistrationError):
+            manager.believed_config(StreamId(9, 9))
+
+
+class TestAuthIntegration:
+    def test_token_required_when_auth_enabled(self, network):
+        auth = AuthService(b"secret-key")
+        rm = ResourceManager(network, auth=auth)
+        rm.register_sensor_type(gauge_spec())
+        rm.register_sensor(1, "gauge")
+        token = auth.issue("ops", Permission.trusted_consumer())
+        decision = rm.request_update(
+            "ignored",
+            STREAM,
+            StreamUpdateCommand.SET_RATE,
+            2.0,
+            token=token,
+        )
+        assert decision.approved
+        assert decision.consumer == "ops"  # identity from the token
+
+    def test_missing_permission_raises(self, network):
+        auth = AuthService(b"secret-key")
+        rm = ResourceManager(network, auth=auth)
+        rm.register_sensor_type(gauge_spec())
+        rm.register_sensor(1, "gauge")
+        weak = auth.issue("app", Permission.SUBSCRIBE)
+        with pytest.raises(Exception):
+            rm.request_update(
+                "app", STREAM, StreamUpdateCommand.SET_RATE, 2.0, token=weak
+            )
+
+
+def test_stream_config_environment_and_update():
+    config = StreamConfig(rate=2.0, mode="normal", precision=12)
+    env = config.as_environment()
+    assert env == {
+        "rate": 2.0,
+        "mode": "normal",
+        "enabled": True,
+        "precision": 12,
+    }
+    updated = config.with_parameter("rate", 4.0)
+    assert updated.rate == 4.0
+    assert config.rate == 2.0  # immutable
+    with pytest.raises(AdmissionError):
+        config.with_parameter("bogus", 1)

@@ -1,0 +1,158 @@
+"""Tokens, permissions and end-to-end payload encryption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.security import (
+    AuthService,
+    PayloadCipher,
+    Permission,
+    Token,
+)
+from repro.errors import AuthenticationError, AuthorizationError
+
+
+@pytest.fixture
+def auth():
+    return AuthService(b"deployment-secret")
+
+
+class TestTokens:
+    def test_issue_and_verify(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        auth.verify(token)  # no raise
+
+    def test_forged_signature_rejected(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        forged = Token(token.principal, token.permissions, b"\x00" * 32)
+        with pytest.raises(AuthenticationError):
+            auth.verify(forged)
+
+    def test_permission_escalation_detected(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        escalated = Token(
+            "alice", Permission.trusted_consumer(), token.signature
+        )
+        with pytest.raises(AuthenticationError):
+            auth.verify(escalated)
+
+    def test_principal_swap_detected(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        stolen = Token("mallory", token.permissions, token.signature)
+        with pytest.raises(AuthenticationError):
+            auth.verify(stolen)
+
+    def test_cross_deployment_tokens_rejected(self):
+        a = AuthService(b"secret-aaaaaaaa")
+        b = AuthService(b"secret-bbbbbbbb")
+        token = a.issue("alice", Permission.SUBSCRIBE)
+        with pytest.raises(AuthenticationError):
+            b.verify(token)
+
+    def test_not_a_token_rejected(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.verify("just a string")
+
+    def test_empty_principal_rejected(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.issue("", Permission.SUBSCRIBE)
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(AuthenticationError):
+            AuthService(b"short")
+
+    def test_revocation(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        auth.revoke("alice")
+        with pytest.raises(AuthenticationError):
+            auth.verify(token)
+        # Other principals unaffected.
+        auth.verify(auth.issue("bob", Permission.SUBSCRIBE))
+
+
+class TestPermissions:
+    def test_require_returns_principal(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE | Permission.HINT)
+        assert auth.require(token, Permission.SUBSCRIBE) == "alice"
+
+    def test_require_missing_permission(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        with pytest.raises(AuthorizationError):
+            auth.require(token, Permission.ACTUATE)
+
+    def test_require_compound_permission(self, auth):
+        token = auth.issue("alice", Permission.SUBSCRIBE)
+        with pytest.raises(AuthorizationError):
+            auth.require(token, Permission.SUBSCRIBE | Permission.ACTUATE)
+
+    def test_standard_consumer_profile(self):
+        profile = Permission.standard_consumer()
+        assert profile & Permission.SUBSCRIBE
+        assert profile & Permission.PUBLISH
+        assert profile & Permission.HINT
+        assert not profile & Permission.ACTUATE
+        assert not profile & Permission.LOCATION
+
+    def test_trusted_consumer_profile_has_everything(self):
+        profile = Permission.trusted_consumer()
+        for permission in (
+            Permission.SUBSCRIBE,
+            Permission.PUBLISH,
+            Permission.ACTUATE,
+            Permission.HINT,
+            Permission.COORDINATE,
+            Permission.LOCATION,
+        ):
+            assert profile & permission
+
+
+class TestPayloadCipher:
+    def test_roundtrip(self):
+        cipher = PayloadCipher(b"sixteen-byte-key")
+        blob = cipher.encrypt(b"secret reading")
+        assert cipher.decrypt(blob) == b"secret reading"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = PayloadCipher(b"sixteen-byte-key")
+        blob = cipher.encrypt(b"secret reading")
+        assert b"secret reading" not in blob
+
+    def test_nonce_makes_equal_plaintexts_differ(self):
+        cipher = PayloadCipher(b"sixteen-byte-key")
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_tamper_detected(self):
+        cipher = PayloadCipher(b"sixteen-byte-key")
+        blob = bytearray(cipher.encrypt(b"secret"))
+        blob[10] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(bytes(blob))
+
+    def test_wrong_key_rejected(self):
+        blob = PayloadCipher(b"key-number-one!!").encrypt(b"secret")
+        with pytest.raises(AuthenticationError):
+            PayloadCipher(b"key-number-two!!").decrypt(blob)
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AuthenticationError):
+            PayloadCipher(b"sixteen-byte-key").decrypt(b"short")
+
+    def test_empty_plaintext(self):
+        cipher = PayloadCipher(b"sixteen-byte-key")
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_short_key_rejected(self):
+        with pytest.raises(AuthenticationError):
+            PayloadCipher(b"tiny")
+
+    @given(st.binary(max_size=2048))
+    def test_roundtrip_property(self, plaintext):
+        cipher = PayloadCipher(b"property-test-key")
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_decrypt_with_independent_instance(self):
+        # Receivers hold their own cipher object over the shared key.
+        sender = PayloadCipher(b"shared-key-bytes")
+        receiver = PayloadCipher(b"shared-key-bytes")
+        assert receiver.decrypt(sender.encrypt(b"msg")) == b"msg"

@@ -1,0 +1,87 @@
+"""The composite 32-bit StreamID and the paper's capacity claims."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.streamid import (
+    MAX_SENSOR_ID,
+    MAX_STREAM_INDEX,
+    SENSOR_ID_BITS,
+    STREAM_INDEX_BITS,
+    StreamId,
+    VIRTUAL_SENSOR_FLOOR,
+)
+from repro.errors import FieldRangeError
+
+
+class TestCapacityClaims:
+    """Section 1: 'supports up to 16.7M sensors, 256 internal-streams/sensor'."""
+
+    def test_sensor_id_space_is_16_7_million(self):
+        assert MAX_SENSOR_ID + 1 == 16_777_216
+        assert SENSOR_ID_BITS == 24
+
+    def test_256_streams_per_sensor(self):
+        assert MAX_STREAM_INDEX + 1 == 256
+        assert STREAM_INDEX_BITS == 8
+
+    def test_boundary_ids_encode(self):
+        assert StreamId(MAX_SENSOR_ID, MAX_STREAM_INDEX).pack() == 0xFFFFFFFF
+        assert StreamId(0, 0).pack() == 0
+
+
+class TestPacking:
+    def test_layout(self):
+        # Sensor id in the top 24 bits, stream index in the bottom 8.
+        assert StreamId(1, 0).pack() == 0x100
+        assert StreamId(0, 1).pack() == 0x1
+        assert StreamId(0xABCDEF, 0x42).pack() == 0xABCDEF42
+
+    def test_roundtrip(self):
+        original = StreamId(123456, 78)
+        assert StreamId.from_word(original.pack()) == original
+
+    def test_overflow_rejected(self):
+        with pytest.raises(FieldRangeError):
+            StreamId(1 << 24, 0).pack()
+        with pytest.raises(FieldRangeError):
+            StreamId(0, 256).pack()
+        with pytest.raises(FieldRangeError):
+            StreamId(-1, 0).pack()
+
+    def test_from_word_overflow_rejected(self):
+        with pytest.raises(FieldRangeError):
+            StreamId.from_word(1 << 32)
+
+    def test_validate_returns_self(self):
+        stream_id = StreamId(5, 5)
+        assert stream_id.validate() is stream_id
+        with pytest.raises(FieldRangeError):
+            StreamId(5, 300).validate()
+
+    @given(st.integers(0, MAX_SENSOR_ID), st.integers(0, MAX_STREAM_INDEX))
+    def test_roundtrip_property(self, sensor_id, stream_index):
+        stream_id = StreamId(sensor_id, stream_index)
+        assert StreamId.from_word(stream_id.pack()) == stream_id
+
+
+class TestDerivedStreams:
+    def test_virtual_floor_split(self):
+        assert StreamId(VIRTUAL_SENSOR_FLOOR, 0).is_derived
+        assert not StreamId(VIRTUAL_SENSOR_FLOOR - 1, 0).is_derived
+        assert StreamId(MAX_SENSOR_ID, 0).is_derived
+
+    def test_physical_space_remains_large(self):
+        # The split leaves the overwhelming majority for physical sensors.
+        assert VIRTUAL_SENSOR_FLOOR > 15_000_000
+
+    def test_str_shows_kind(self):
+        assert str(StreamId(1, 2)) == "sensor:1/2"
+        assert str(StreamId(VIRTUAL_SENSOR_FLOOR, 0)).startswith("derived:")
+
+
+def test_stream_ids_are_hashable_and_ordered():
+    ids = {StreamId(1, 0), StreamId(1, 0), StreamId(2, 0)}
+    assert len(ids) == 2
+    assert sorted(ids) == [StreamId(1, 0), StreamId(2, 0)]

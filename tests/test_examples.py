@@ -1,0 +1,70 @@
+"""Every shipped example runs cleanly end to end.
+
+Examples are the public API's acceptance surface: if one breaks, a
+library change has broken a documented workflow.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["rate change approved=True", "denied"],
+    "watercourse_monitoring.py": [
+        "reactive coordinator",
+        "predictive coordinator",
+        "pre-armed before detection",
+    ],
+    "habitat_monitoring.py": [
+        "orphanage holds",
+        "REFUSED",
+        "transmit-only mote",
+        "station rate is now 2.0 Hz",
+    ],
+    "target_tracking.py": [
+        "track points published",
+        "sensors boosted to 5 Hz",
+        "derived stream",
+    ],
+    "secure_streams.py": [
+        "tampered payload rejected",
+        "actuation refused",
+        "has been revoked",
+    ],
+    "basin_emergency.py": [
+        "BASIN EMERGENCY",
+        "declared from *predicted* states",
+        "location messages to press  : 0",
+    ],
+    "adaptive_sampling.py": [
+        "quiet plateau",
+        "mid-burst",
+        "approved=False",
+    ],
+}
+
+
+def test_every_example_has_a_smoke_test():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTED_MARKERS), (
+        "examples and smoke expectations out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_and_prints_expected_output(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script} output missing {marker!r}:\n{result.stdout}"
+        )

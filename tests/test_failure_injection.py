@@ -1,0 +1,234 @@
+"""Failure injection: the middleware keeps working when parts die."""
+
+import pytest
+
+from repro.core.config import GarnetConfig
+from repro.core.control import StreamUpdateCommand
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.middleware import Garnet
+from repro.core.operators import CollectingConsumer
+from repro.core.resource import StreamConfig
+from repro.core.security import Permission
+from repro.errors import AuthenticationError
+from repro.sensors.energy import Battery, RadioEnergyModel
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import ConstantSampler, SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.simnet.wireless import LossModel
+
+CODEC = SampleCodec(0.0, 100.0)
+
+
+def spec(kind="fi", rate=2.0):
+    return SensorStreamSpec(
+        0, ConstantSampler(50.0), CODEC,
+        config=StreamConfig(rate=rate), kind=kind,
+    )
+
+
+def small_deployment(seed=1, **config_overrides) -> Garnet:
+    defaults = dict(
+        area=Rect(0, 0, 400, 400),
+        receiver_rows=2,
+        receiver_cols=2,
+        transmitter_rows=1,
+        transmitter_cols=1,
+        loss_model=None,
+    )
+    defaults.update(config_overrides)
+    deployment = Garnet(config=GarnetConfig(**defaults), seed=seed)
+    deployment.define_sensor_type("g", {"rate_limits": "rate <= 10"})
+    return deployment
+
+
+class TestSensorDeath:
+    def test_dead_sensor_goes_silent_but_system_continues(self):
+        deployment = small_deployment()
+        dying = deployment.add_sensor(
+            "g",
+            [spec()],
+            mobility=Point(100.0, 100.0),
+            battery=Battery(2e-3),  # ~10 messages worth
+            energy_model=RadioEnergyModel(),
+        )
+        healthy = deployment.add_sensor(
+            "g", [spec()], mobility=Point(300.0, 300.0)
+        )
+        sink = CollectingConsumer("sink", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(sink)
+        deployment.run(60.0)
+        assert not dying.alive
+        assert dying.stats.died_at is not None
+        assert healthy.alive
+        # The healthy sensor's stream kept flowing after the death.
+        healthy_arrivals = [
+            a
+            for a in sink.arrivals
+            if a.message.stream_id.sensor_id == healthy.sensor_id
+            and a.received_at > dying.stats.died_at
+        ]
+        assert len(healthy_arrivals) > 50
+
+    def test_actuation_to_dead_sensor_fails_cleanly(self):
+        deployment = small_deployment(ack_timeout=0.5, ack_max_attempts=2)
+        node = deployment.add_sensor(
+            "g", [spec()], mobility=Point(200.0, 200.0)
+        )
+        consumer = CollectingConsumer("ctl", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(
+            consumer, permissions=Permission.trusted_consumer()
+        )
+        deployment.run(2.0)
+        node.stop()
+        deployment.medium.detach(node)  # radio physically gone
+        decision = consumer.request_update(
+            node.stream_ids()[0], StreamUpdateCommand.SET_RATE, 5.0
+        )
+        assert decision.approved  # the RM cannot know the sensor died
+        deployment.run(10.0)
+        assert deployment.actuation.stats.failed == 1
+        assert deployment.actuation.pending_count == 0
+        # The believed configuration was NOT updated — the overview stays
+        # honest about unacknowledged changes.
+        assert (
+            deployment.resource_manager.believed_config(
+                node.stream_ids()[0]
+            ).rate
+            == 1.0
+        )
+
+
+class TestConsumerChurn:
+    def test_consumer_removed_with_messages_in_flight(self):
+        deployment = small_deployment()
+        deployment.add_sensor("g", [spec(rate=10.0)], mobility=Point(200, 200))
+        sink = CollectingConsumer("churn", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(sink)
+        deployment.run(5.0)
+        # Remove while traffic is dense; in-flight deliveries must drop
+        # silently, not crash the bus.
+        deployment.remove_consumer(sink)
+        deployment.run(5.0)
+        assert deployment.orphanage.total_received > 0
+
+    def test_resubscription_after_churn(self):
+        deployment = small_deployment()
+        node = deployment.add_sensor("g", [spec()], mobility=Point(200, 200))
+        first = CollectingConsumer("gen1", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(first)
+        deployment.run(5.0)
+        deployment.remove_consumer(first)
+        second = CollectingConsumer("gen2", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(second)
+        deployment.run(5.0)
+        assert len(second.arrivals) >= 8
+
+    def test_revoked_consumer_loses_broker_access(self):
+        deployment = small_deployment()
+        consumer = CollectingConsumer("mallory")
+        deployment.add_consumer(consumer)
+        deployment.auth.revoke("mallory")
+        with pytest.raises(AuthenticationError):
+            consumer.discover(kind="fi")
+        with pytest.raises(AuthenticationError):
+            consumer.subscribe(SubscriptionPattern(kind="fi"))
+
+
+class TestRadioGarbage:
+    def test_garbage_frames_do_not_disturb_the_pipeline(self):
+        deployment = small_deployment()
+        deployment.add_sensor("g", [spec()], mobility=Point(200, 200))
+        sink = CollectingConsumer("sink", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(sink)
+
+        jam_rng = deployment.sim.fork_rng()
+
+        def jam():
+            deployment.medium.broadcast(
+                Point(200.0, 200.0),
+                bytes(jam_rng.randrange(256) for _ in range(20)),
+                tx_range=500.0,
+            )
+
+        for i in range(20):
+            deployment.sim.schedule(0.5 * i, jam)
+        deployment.run(20.0)
+        garbage = sum(
+            r.stats.corrupt + r.stats.unknown
+            for r in deployment.receivers.receivers
+        )
+        assert garbage > 0
+        assert len(sink.arrivals) >= 38  # real stream undisturbed
+
+    def test_truncated_data_frames_rejected_by_crc(self):
+        deployment = small_deployment()
+        node = deployment.add_sensor("g", [spec()], mobility=Point(200, 200))
+        # Craft a truncated copy of a real frame and jam it in.
+        from repro.core.message import DataMessage
+
+        real = deployment.codec.encode(
+            DataMessage(stream_id=node.stream_ids()[0], sequence=9999)
+        )
+        deployment.medium.broadcast(
+            Point(200.0, 200.0), real[:-1], tx_range=500.0
+        )
+        deployment.run(1.0)
+        assert (
+            sum(r.stats.corrupt for r in deployment.receivers.receivers) > 0
+        )
+
+
+class TestDisabledSensorStillAcks:
+    def test_ack_flush_without_any_enabled_stream(self):
+        deployment = small_deployment()
+        node = deployment.add_sensor(
+            "g", [spec()], mobility=Point(200, 200)
+        )
+        consumer = CollectingConsumer("ctl", SubscriptionPattern(kind="fi"))
+        deployment.add_consumer(
+            consumer, permissions=Permission.trusted_consumer()
+        )
+        # Disable the sensor's only stream...
+        consumer.request_update(
+            node.stream_ids()[0], StreamUpdateCommand.DISABLE_STREAM
+        )
+        deployment.run(10.0)
+        assert node.current_config(0).enabled is False
+        acknowledged = deployment.actuation.stats.acknowledged
+        assert acknowledged == 1
+        # ...then ping it: with no data messages flowing, the ack-flush
+        # path must still complete the loop.
+        consumer.request_update(
+            node.stream_ids()[0], StreamUpdateCommand.PING
+        )
+        deployment.run(10.0)
+        assert deployment.actuation.stats.acknowledged == 2
+        assert deployment.actuation.stats.failed == 0
+
+
+class TestLossyControlPath:
+    def test_exhausted_retries_reported_not_hung(self):
+        deployment = small_deployment(
+            loss_model=LossModel(base=1.0, edge=1.0),  # total blackout
+            ack_timeout=0.5,
+            ack_max_attempts=3,
+        )
+        node = deployment.add_sensor(
+            "g", [spec()], mobility=Point(200, 200)
+        )
+        token = deployment.issue_token(
+            "ops", Permission.trusted_consumer()
+        )
+        decision = deployment.control.request_update(
+            consumer="ops",
+            stream_id=node.stream_ids()[0],
+            command=StreamUpdateCommand.SET_RATE,
+            value=5.0,
+            token=token,
+        )
+        assert decision.approved
+        deployment.run(10.0)
+        stats = deployment.actuation.stats
+        assert stats.failed == 1
+        assert stats.retransmissions == 2
+        assert deployment.actuation.pending_count == 0

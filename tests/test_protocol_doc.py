@@ -1,0 +1,72 @@
+"""docs/protocol.md stays truthful: its normative numbers are asserted
+against the implementation, so the spec cannot silently drift."""
+
+import pathlib
+import re
+
+from repro.core.control import (
+    ControlCodec,
+    StreamUpdateCommand,
+    StreamUpdateRequest,
+)
+from repro.core.flags import ExtensionType, HeaderFlags
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.streamid import StreamId, VIRTUAL_SENSOR_FLOOR
+
+DOC = (
+    pathlib.Path(__file__).resolve().parent.parent / "docs" / "protocol.md"
+).read_text()
+
+
+def test_worked_example_bytes_match_codec():
+    wire = MessageCodec(checksum=True).encode(
+        DataMessage(
+            stream_id=StreamId(1234, 5), sequence=42, payload=b"AB"
+        )
+    )
+    documented = "20 00 04 D2 05 00 2A 00 02 41 42 54 7F"
+    assert wire.hex(" ").upper() == documented
+    assert documented in DOC
+
+
+def test_flag_values_match_doc():
+    assert int(HeaderFlags.ACK) == 0x10
+    assert int(HeaderFlags.FUSED) == 0x08
+    assert int(HeaderFlags.RELAYED) == 0x04
+    assert int(HeaderFlags.EXTENDED) == 0x02
+    assert int(HeaderFlags.ENCRYPTED) == 0x01
+    for name, value in [
+        ("ACK", "0x10"),
+        ("FUSED", "0x08"),
+        ("RELAYED", "0x04"),
+        ("EXTENDED", "0x02"),
+        ("ENCRYPTED", "0x01"),
+    ]:
+        assert re.search(rf"\*\*{name}\*\* \({value}\)", DOC), name
+
+
+def test_extension_type_table_matches_enum():
+    for member in ExtensionType:
+        assert f"| {member.value} | {member.name} |" in DOC, member.name
+
+
+def test_command_table_matches_enum():
+    for member in StreamUpdateCommand:
+        assert f"| {member.value} | {member.name} |" in DOC, member.name
+
+
+def test_control_marker_byte_matches_doc():
+    wire = ControlCodec().encode(
+        StreamUpdateRequest(
+            request_id=1,
+            target=StreamId(1, 0),
+            command=StreamUpdateCommand.PING,
+        )
+    )
+    assert wire[0] == 0xC1
+    assert "0xC1 for version 1" in DOC
+
+
+def test_virtual_floor_matches_doc():
+    assert VIRTUAL_SENSOR_FLOOR == 0xF00000
+    assert "0xF00000" in DOC

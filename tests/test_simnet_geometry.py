@@ -1,0 +1,160 @@
+"""Planar geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.geometry import (
+    Circle,
+    Point,
+    Rect,
+    bounding_circle,
+    grid_positions,
+    weighted_centroid,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2).scaled(3) == Point(3, 6)
+
+    def test_unit_vector(self):
+        unit = Point(3, 4).unit()
+        assert math.isclose(unit.norm(), 1.0)
+        assert Point(0, 0).unit() == Point(0, 0)
+
+    def test_toward_does_not_overshoot(self):
+        start = Point(0, 0)
+        assert start.toward(Point(10, 0), 3) == Point(3, 0)
+        assert start.toward(Point(10, 0), 15) == Point(10, 0)
+        assert start.toward(start, 5) == start
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert math.isclose(
+            a.distance_to(b), b.distance_to(a), abs_tol=1e-9
+        )
+
+
+class TestCircle:
+    def test_contains(self):
+        circle = Circle(Point(0, 0), 5.0)
+        assert circle.contains(Point(3, 4))
+        assert not circle.contains(Point(3.1, 4))
+
+    def test_intersects(self):
+        a = Circle(Point(0, 0), 5.0)
+        assert a.intersects(Circle(Point(9, 0), 5.0))
+        assert a.intersects(Circle(Point(10, 0), 5.0))  # tangent
+        assert not a.intersects(Circle(Point(10.1, 0), 5.0))
+
+    def test_area(self):
+        assert math.isclose(Circle(Point(0, 0), 2.0).area, 4 * math.pi)
+
+
+class TestRect:
+    def test_properties(self):
+        rect = Rect(0, 0, 10, 20)
+        assert rect.width == 10
+        assert rect.height == 20
+        assert rect.center == Point(5, 10)
+
+    def test_contains_boundary(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(Point(0, 0))
+        assert rect.contains(Point(10, 10))
+        assert not rect.contains(Point(10.01, 5))
+
+    def test_clamp(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.clamp(Point(-5, 5)) == Point(0, 5)
+        assert rect.clamp(Point(15, 15)) == Point(10, 10)
+        assert rect.clamp(Point(3, 3)) == Point(3, 3)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 10, 10).expanded(2) == Rect(-2, -2, 12, 12)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 4, 10)
+
+
+class TestWeightedCentroid:
+    def test_uniform_weights_give_mean(self):
+        points = [Point(0, 0), Point(2, 0), Point(0, 2), Point(2, 2)]
+        assert weighted_centroid(points, [1, 1, 1, 1]) == Point(1, 1)
+
+    def test_heavy_weight_dominates(self):
+        centroid = weighted_centroid(
+            [Point(0, 0), Point(10, 0)], [1.0, 1e9]
+        )
+        assert centroid.x > 9.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([], [])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([Point(0, 0)], [0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([Point(0, 0)], [1.0, 2.0])
+
+    @given(
+        st.lists(
+            st.tuples(coords, coords), min_size=1, max_size=20
+        )
+    )
+    def test_centroid_inside_bounding_box(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        centroid = weighted_centroid(points, [1.0] * len(points))
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        assert min(xs) - 1e-6 <= centroid.x <= max(xs) + 1e-6
+        assert min(ys) - 1e-6 <= centroid.y <= max(ys) + 1e-6
+
+
+class TestBoundingCircle:
+    def test_covers_all_points(self):
+        points = [Point(0, 0), Point(10, 0), Point(5, 8)]
+        circle = bounding_circle(points)
+        for point in points:
+            assert circle.center.distance_to(point) <= circle.radius + 1e-9
+
+    def test_single_point(self):
+        circle = bounding_circle([Point(3, 3)])
+        assert circle.center == Point(3, 3)
+        assert circle.radius == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_circle([])
+
+
+class TestGridPositions:
+    def test_count_and_cell_centres(self):
+        positions = grid_positions(Rect(0, 0, 100, 100), 2, 2)
+        assert len(positions) == 4
+        assert Point(25, 25) in positions
+        assert Point(75, 75) in positions
+
+    def test_all_inside_area(self):
+        area = Rect(10, 20, 110, 220)
+        for point in grid_positions(area, 3, 5):
+            assert area.contains(point)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_positions(Rect(0, 0, 1, 1), 0, 2)

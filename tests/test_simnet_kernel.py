@@ -1,0 +1,180 @@
+"""The discrete-event kernel: ordering, cancellation, periodic tasks."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.simnet.kernel import PeriodicTask, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_events_fire_fifo(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_non_callable_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, "not callable")
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_events_can_schedule_events(self, sim):
+        fired = []
+
+        def cascade(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, cascade, depth + 1)
+
+        sim.schedule(1.0, cascade, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_call_soon_runs_after_pending_same_time(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, "first")
+        sim.call_soon(fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+
+class TestRun:
+    def test_run_until_stops_and_advances_clock(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        executed = sim.run(until=2.0)
+        assert executed == 1
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_with_empty_queue_advances_clock(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_budget(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending_events == 6
+
+    def test_step(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_run_not_reentrant(self, sim):
+        def evil():
+            sim.run()
+
+        sim.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_stream(self):
+        a = Simulator(seed=99)
+        b = Simulator(seed=99)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_forked_rngs_are_independent_and_deterministic(self):
+        a = Simulator(seed=5)
+        b = Simulator(seed=5)
+        fork_a1, fork_a2 = a.fork_rng(), a.fork_rng()
+        fork_b1 = b.fork_rng()
+        assert fork_a1.random() == fork_b1.random()
+        assert fork_a1.random() != fork_a2.random()
+
+
+class TestPeriodicTask:
+    def test_fires_at_period(self, sim):
+        times = []
+        PeriodicTask(sim, 2.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_start_delay(self, sim):
+        times = []
+        PeriodicTask(sim, 2.0, lambda: times.append(sim.now), start_delay=0.5)
+        sim.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_period_change_applies_to_next_cycle(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        def speed_up():
+            task.period = 0.5
+        sim.schedule(2.1, speed_up)
+        sim.run(until=4.0)
+        assert times == [1.0, 2.0, 3.0, 3.5, 4.0]
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            task.period = -1.0
+
+    def test_stop_from_within_callback(self, sim):
+        count = [0]
+
+        def once():
+            count[0] += 1
+            task.stop()
+
+        task = PeriodicTask(sim, 1.0, once)
+        sim.run(until=10.0)
+        assert count[0] == 1

@@ -1,0 +1,213 @@
+"""The unreliable broadcast wireless medium."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simnet.geometry import Point
+from repro.simnet.wireless import (
+    LossModel,
+    RadioFrame,
+    WirelessMedium,
+    log_distance_rssi,
+)
+
+
+class Listener:
+    def __init__(self, position: Point):
+        self.position = position
+        self.frames: list[RadioFrame] = []
+
+    def on_radio_receive(self, frame: RadioFrame) -> None:
+        self.frames.append(frame)
+
+
+@pytest.fixture
+def medium(sim):
+    return WirelessMedium(sim, loss_model=None)
+
+
+class TestDelivery:
+    def test_in_range_listener_receives(self, sim, medium):
+        listener = Listener(Point(50, 0))
+        medium.attach(listener, 100.0)
+        medium.broadcast(Point(0, 0), b"hello", tx_range=100.0)
+        sim.run()
+        assert len(listener.frames) == 1
+        assert listener.frames[0].payload == b"hello"
+
+    def test_out_of_range_listener_does_not(self, sim, medium):
+        listener = Listener(Point(150, 0))
+        medium.attach(listener, 100.0)
+        medium.broadcast(Point(0, 0), b"hello", tx_range=100.0)
+        sim.run()
+        assert listener.frames == []
+        assert medium.stats.out_of_range == 1
+
+    def test_reach_is_min_of_tx_and_rx_range(self, sim, medium):
+        # Listener sensitivity 40 < distance 50: no delivery even though
+        # the transmitter could reach 100.
+        deaf = Listener(Point(50, 0))
+        medium.attach(deaf, 40.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        assert deaf.frames == []
+
+    def test_overlapping_listeners_all_receive_duplicates(self, sim, medium):
+        listeners = [Listener(Point(10 * i, 0)) for i in range(4)]
+        for listener in listeners:
+            medium.attach(listener, 500.0)
+        scheduled = medium.broadcast(Point(0, 0), b"dup", tx_range=500.0)
+        sim.run()
+        assert scheduled == 4
+        assert all(len(listener.frames) == 1 for listener in listeners)
+
+    def test_exclude_skips_transmitter(self, sim, medium):
+        node = Listener(Point(0, 0))
+        other = Listener(Point(10, 0))
+        medium.attach(node, 100.0)
+        medium.attach(other, 100.0)
+        medium.broadcast(Point(0, 0), b"self", tx_range=100.0, exclude=node)
+        sim.run()
+        assert node.frames == []
+        assert len(other.frames) == 1
+
+    def test_channel_isolation(self, sim, medium):
+        on_zero = Listener(Point(10, 0))
+        on_one = Listener(Point(10, 0))
+        medium.attach(on_zero, 100.0, channel=0)
+        medium.attach(on_one, 100.0, channel=1)
+        medium.broadcast(Point(0, 0), b"ch1", tx_range=100.0, channel=1)
+        sim.run()
+        assert on_zero.frames == []
+        assert len(on_one.frames) == 1
+
+    def test_detach_stops_delivery(self, sim, medium):
+        listener = Listener(Point(10, 0))
+        medium.attach(listener, 100.0)
+        medium.detach(listener)
+        medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        assert listener.frames == []
+
+    def test_position_queried_at_delivery_time(self, sim, medium):
+        # A listener that moves after the broadcast is scheduled still
+        # receives (delivery decision is made at broadcast time), but the
+        # medium reads .position at broadcast, which is the contract.
+        listener = Listener(Point(10, 0))
+        medium.attach(listener, 100.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        listener.position = Point(9999, 0)
+        sim.run()
+        assert len(listener.frames) == 1
+
+
+class TestTiming:
+    def test_larger_payload_arrives_later(self, sim):
+        medium = WirelessMedium(sim, bitrate=1000.0, loss_model=None)
+        listener = Listener(Point(1, 0))
+        medium.attach(listener, 10.0)
+        medium.broadcast(Point(0, 0), b"x" * 100, tx_range=10.0)
+        medium.broadcast(Point(0, 0), b"y", tx_range=10.0)
+        sim.run()
+        small = next(f for f in listener.frames if f.payload == b"y")
+        large = next(f for f in listener.frames if len(f.payload) == 100)
+        assert small.received_at < large.received_at
+
+    def test_per_hop_latency_floor(self, sim):
+        medium = WirelessMedium(
+            sim, bitrate=1e12, loss_model=None, per_hop_latency=0.5
+        )
+        listener = Listener(Point(1, 0))
+        medium.attach(listener, 10.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=10.0)
+        sim.run()
+        assert listener.frames[0].received_at >= 0.5
+
+    def test_frame_timestamps(self, sim, medium):
+        listener = Listener(Point(10, 0))
+        medium.attach(listener, 100.0)
+        sim.schedule(2.0, medium.broadcast, Point(0, 0), b"x", 100.0)
+        sim.run()
+        frame = listener.frames[0]
+        assert frame.sent_at == 2.0
+        assert frame.received_at > frame.sent_at
+
+
+class TestLoss:
+    def test_lossless_inside_good_zone_with_zero_base(self, sim):
+        medium = WirelessMedium(
+            sim, loss_model=LossModel(base=0.0, edge=1.0, good_fraction=0.7)
+        )
+        listener = Listener(Point(10, 0))
+        medium.attach(listener, 100.0)
+        for _ in range(50):
+            medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        assert len(listener.frames) == 50
+
+    def test_edge_of_range_is_lossy(self, sim):
+        medium = WirelessMedium(
+            sim, loss_model=LossModel(base=0.0, edge=1.0, good_fraction=0.5)
+        )
+        listener = Listener(Point(99.9, 0))
+        medium.attach(listener, 100.0)
+        for _ in range(100):
+            medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        # Loss probability ~ edge value at the boundary.
+        assert len(listener.frames) < 20
+        assert medium.stats.losses > 80
+
+    def test_loss_probability_monotone_in_distance(self):
+        model = LossModel(base=0.01, edge=0.9, good_fraction=0.5)
+        probabilities = [
+            model.loss_probability(d, 100.0) for d in (0, 40, 60, 80, 99)
+        ]
+        assert probabilities == sorted(probabilities)
+        assert model.loss_probability(150.0, 100.0) == 1.0
+
+    def test_invalid_loss_model(self):
+        with pytest.raises(ConfigurationError):
+            LossModel(base=1.5)
+        with pytest.raises(ConfigurationError):
+            LossModel(good_fraction=1.0)
+
+
+class TestStatsAndHooks:
+    def test_stats_accumulate(self, sim, medium):
+        listener = Listener(Point(10, 0))
+        medium.attach(listener, 100.0)
+        medium.broadcast(Point(0, 0), b"abc", tx_range=100.0)
+        sim.run()
+        assert medium.stats.transmissions == 1
+        assert medium.stats.deliveries == 1
+        assert medium.stats.bytes_sent == 3
+        assert medium.stats.bytes_delivered == 3
+
+    def test_snooper_sees_everything(self, sim, medium):
+        seen = []
+        medium.add_snooper(lambda payload, origin: seen.append(payload))
+        medium.broadcast(Point(0, 0), b"snooped", tx_range=1.0)
+        assert seen == [b"snooped"]
+
+    def test_rssi_decreases_with_distance(self, sim, medium):
+        near = Listener(Point(5, 0))
+        far = Listener(Point(80, 0))
+        medium.attach(near, 200.0)
+        medium.attach(far, 200.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=200.0)
+        sim.run()
+        assert near.frames[0].rssi > far.frames[0].rssi
+
+    def test_invalid_parameters(self, sim, medium):
+        with pytest.raises(ConfigurationError):
+            WirelessMedium(sim, bitrate=0.0)
+        with pytest.raises(ConfigurationError):
+            medium.attach(Listener(Point(0, 0)), 0.0)
+        with pytest.raises(ConfigurationError):
+            medium.broadcast(Point(0, 0), b"", tx_range=0.0)
+
+
+def test_log_distance_rssi_monotone():
+    values = [log_distance_rssi(d) for d in (1, 10, 100, 1000)]
+    assert values == sorted(values, reverse=True)

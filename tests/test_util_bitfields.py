@@ -1,0 +1,81 @@
+"""Bounds-checked big-endian field packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FieldRangeError, TruncatedMessageError
+from repro.util.bitfields import check_range, read_uint, write_uint
+
+
+class TestCheckRange:
+    def test_accepts_boundaries(self):
+        assert check_range("f", 0, 8) == 0
+        assert check_range("f", 255, 8) == 255
+        assert check_range("f", (1 << 24) - 1, 24) == (1 << 24) - 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(FieldRangeError):
+            check_range("f", -1, 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(FieldRangeError) as excinfo:
+            check_range("sensor_id", 1 << 24, 24)
+        assert "sensor_id" in str(excinfo.value)
+
+    def test_rejects_bool(self):
+        # bool is an int subclass but not a wire value.
+        with pytest.raises(FieldRangeError):
+            check_range("f", True, 8)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(FieldRangeError):
+            check_range("f", 1.5, 8)
+
+    def test_error_carries_metadata(self):
+        with pytest.raises(FieldRangeError) as excinfo:
+            check_range("seq", 70000, 16)
+        error = excinfo.value
+        assert error.field == "seq"
+        assert error.value == 70000
+        assert error.maximum == 65535
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        buffer = bytearray()
+        write_uint(buffer, 0xDEAD, 2, "a")
+        write_uint(buffer, 0xBEEFCAFE, 4, "b")
+        value_a, offset = read_uint(bytes(buffer), 0, 2, "a")
+        value_b, offset = read_uint(bytes(buffer), offset, 4, "b")
+        assert (value_a, value_b) == (0xDEAD, 0xBEEFCAFE)
+        assert offset == 6
+
+    def test_big_endian_layout(self):
+        buffer = bytearray()
+        write_uint(buffer, 0x0102, 2, "x")
+        assert bytes(buffer) == b"\x01\x02"
+
+    def test_write_overflow_rejected(self):
+        with pytest.raises(FieldRangeError):
+            write_uint(bytearray(), 256, 1, "tiny")
+
+    def test_read_past_end_raises(self):
+        with pytest.raises(TruncatedMessageError) as excinfo:
+            read_uint(b"\x01", 0, 2, "seq")
+        assert "seq" in str(excinfo.value)
+
+    def test_read_at_exact_end(self):
+        value, offset = read_uint(b"\x00\xff", 0, 2, "f")
+        assert value == 0xFF
+        assert offset == 2
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(1, 4).filter(lambda n: True))
+    def test_roundtrip_property(self, value, nbytes):
+        if value >= 1 << (nbytes * 8):
+            return
+        buffer = bytearray()
+        write_uint(buffer, value, nbytes, "v")
+        decoded, offset = read_uint(bytes(buffer), 0, nbytes, "v")
+        assert decoded == value
+        assert offset == nbytes

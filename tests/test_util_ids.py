@@ -1,0 +1,131 @@
+"""Identifier pools, wrapping counters and serial-number arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ids import (
+    IdExhaustedError,
+    IdPool,
+    WrappingCounter,
+    sequence_is_newer,
+)
+
+
+class TestIdPool:
+    def test_allocates_unique_ids(self):
+        pool = IdPool(0, 99)
+        ids = {pool.allocate() for _ in range(100)}
+        assert len(ids) == 100
+        assert ids == set(range(100))
+
+    def test_exhaustion(self):
+        pool = IdPool(0, 2)
+        for _ in range(3):
+            pool.allocate()
+        with pytest.raises(IdExhaustedError):
+            pool.allocate()
+
+    def test_release_enables_reuse(self):
+        pool = IdPool(0, 1)
+        first = pool.allocate()
+        pool.allocate()
+        pool.release(first)
+        assert pool.allocate() == first
+
+    def test_release_unallocated_rejected(self):
+        pool = IdPool(0, 10)
+        with pytest.raises(ValueError):
+            pool.release(5)
+
+    def test_reserve_specific_id(self):
+        pool = IdPool(0, 10)
+        assert pool.reserve(7) == 7
+        assert 7 in pool
+        # Fresh allocations skip the reserved id.
+        allocated = {pool.allocate() for _ in range(10)}
+        assert 7 not in allocated
+
+    def test_reserve_duplicate_rejected(self):
+        pool = IdPool(0, 10)
+        pool.reserve(3)
+        with pytest.raises(IdExhaustedError):
+            pool.reserve(3)
+
+    def test_reserve_out_of_range_rejected(self):
+        pool = IdPool(5, 10)
+        with pytest.raises(ValueError):
+            pool.reserve(11)
+        with pytest.raises(ValueError):
+            pool.reserve(4)
+
+    def test_reserve_already_allocated_rejected(self):
+        pool = IdPool(0, 10)
+        value = pool.allocate()
+        with pytest.raises(IdExhaustedError):
+            pool.reserve(value)
+
+    def test_capacity_and_in_use(self):
+        pool = IdPool(10, 19)
+        assert pool.capacity == 10
+        pool.allocate()
+        pool.allocate()
+        assert pool.in_use == 2
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            IdPool(5, 4)
+        with pytest.raises(ValueError):
+            IdPool(-1, 4)
+
+    def test_garnet_sensor_space(self):
+        # The 24-bit sensor id space of the paper: 16.7M ids.
+        pool = IdPool()
+        assert pool.capacity == 16_777_216
+
+
+class TestWrappingCounter:
+    def test_counts_and_wraps(self):
+        counter = WrappingCounter(2)
+        assert [counter.next() for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_sixteen_bit_wrap(self):
+        counter = WrappingCounter(16, start=65534)
+        assert counter.next() == 65534
+        assert counter.next() == 65535
+        assert counter.next() == 0
+
+    def test_start_validation(self):
+        with pytest.raises(ValueError):
+            WrappingCounter(4, start=16)
+        with pytest.raises(ValueError):
+            WrappingCounter(0)
+
+    def test_distance(self):
+        counter = WrappingCounter(8, start=250)
+        assert counter.distance_to(3) == 9
+        assert counter.distance_to(250) == 0
+
+
+class TestSequenceIsNewer:
+    def test_simple_ordering(self):
+        assert sequence_is_newer(5, 4)
+        assert not sequence_is_newer(4, 5)
+        assert not sequence_is_newer(4, 4)
+
+    def test_wraparound(self):
+        assert sequence_is_newer(2, 65530)
+        assert not sequence_is_newer(65530, 2)
+
+    def test_half_space_boundary(self):
+        # Exactly half the space apart is ambiguous: treated as not newer.
+        assert not sequence_is_newer(0x8000, 0)
+
+    @given(st.integers(0, 65535), st.integers(1, 0x7FFF))
+    def test_advancing_is_always_newer(self, base, step):
+        assert sequence_is_newer((base + step) % 65536, base)
+
+    @given(st.integers(0, 65535), st.integers(1, 0x7FFF))
+    def test_antisymmetry(self, base, step):
+        ahead = (base + step) % 65536
+        assert not sequence_is_newer(base, ahead)

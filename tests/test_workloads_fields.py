@@ -1,0 +1,136 @@
+"""Synthetic physical fields."""
+
+import pytest
+
+from repro.simnet.geometry import Point
+from repro.simnet.mobility import PathFollower
+from repro.workloads.fields import (
+    FieldSampler,
+    GaussianPlumeField,
+    GradientField,
+    RiverStageField,
+    UniformDiurnalField,
+)
+
+ORIGIN = Point(0.0, 0.0)
+
+
+class TestUniformDiurnalField:
+    def test_daily_cycle(self):
+        field = UniformDiurnalField(mean=10.0, daily_amplitude=5.0, day_length=100.0)
+        assert field.value(0.0, ORIGIN) == pytest.approx(10.0)
+        assert field.value(25.0, ORIGIN) == pytest.approx(15.0)
+        assert field.value(75.0, ORIGIN) == pytest.approx(5.0)
+
+    def test_spatially_uniform(self):
+        field = UniformDiurnalField(10.0, 5.0)
+        assert field.value(7.0, ORIGIN) == field.value(7.0, Point(999, 999))
+
+    def test_trend(self):
+        field = UniformDiurnalField(0.0, 0.0, trend_per_second=0.1)
+        assert field.value(10.0, ORIGIN) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDiurnalField(0.0, 1.0, day_length=0.0)
+
+
+class TestGradientField:
+    def test_linear_in_position(self):
+        field = GradientField(base=1.0, gradient_per_metre=Point(0.1, 0.0))
+        assert field.value(0.0, Point(10.0, 0.0)) == pytest.approx(2.0)
+        assert field.value(0.0, Point(0.0, 50.0)) == pytest.approx(1.0)
+
+    def test_time_invariant(self):
+        field = GradientField(0.0, Point(1.0, 1.0))
+        p = Point(2.0, 3.0)
+        assert field.value(0.0, p) == field.value(1e6, p)
+
+
+class TestGaussianPlumeField:
+    def test_peak_at_target(self):
+        target = PathFollower([Point(0, 0), Point(100, 0)], speed=10.0)
+        field = GaussianPlumeField(
+            center_at=target.position_at, peak=50.0, sigma=20.0, background=1.0
+        )
+        # At t=5 the target is at (50, 0).
+        assert field.value(5.0, Point(50.0, 0.0)) == pytest.approx(51.0)
+        assert field.value(5.0, Point(500.0, 0.0)) == pytest.approx(1.0, abs=0.01)
+
+    def test_moves_with_target(self):
+        target = PathFollower([Point(0, 0), Point(100, 0)], speed=10.0)
+        field = GaussianPlumeField(target.position_at, 50.0, 20.0)
+        probe = Point(100.0, 0.0)
+        assert field.value(10.0, probe) > field.value(0.0, probe)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPlumeField(lambda t: ORIGIN, 1.0, 0.0)
+
+
+class TestRiverStageField:
+    def straight_river(self):
+        return RiverStageField(
+            [Point(0.0, 0.0), Point(1000.0, 0.0)],
+            base_stage=1.0,
+            celerity=10.0,
+        )
+
+    def test_base_stage_without_waves(self):
+        river = self.straight_river()
+        assert river.value(0.0, Point(500.0, 0.0)) == 1.0
+        assert river.value(999.0, Point(500.0, 10.0)) == 1.0
+
+    def test_chainage_projection(self):
+        river = self.straight_river()
+        assert river.chainage_of(Point(250.0, 30.0)) == pytest.approx(250.0)
+        assert river.chainage_of(Point(-50.0, 0.0)) == 0.0
+        assert river.chainage_of(Point(2000.0, 0.0)) == pytest.approx(1000.0)
+
+    def test_chainage_on_bent_river(self):
+        river = RiverStageField(
+            [Point(0, 0), Point(100, 0), Point(100, 100)], celerity=1.0
+        )
+        assert river.chainage_of(Point(100.0, 50.0)) == pytest.approx(150.0)
+        assert river.length == pytest.approx(200.0)
+
+    def test_flood_wave_travels_downstream(self):
+        river = self.straight_river()
+        river.add_flood_wave(start_time=0.0, amplitude=2.0, sigma=50.0)
+        upstream = Point(100.0, 0.0)
+        downstream = Point(900.0, 0.0)
+        # Wave centre reaches chainage 100 at t=10 and 900 at t=90.
+        assert river.value(10.0, upstream) == pytest.approx(3.0)
+        assert river.value(10.0, downstream) < 1.1
+        assert river.value(90.0, downstream) == pytest.approx(3.0)
+
+    def test_arrival_time(self):
+        river = self.straight_river()
+        river.add_flood_wave(start_time=5.0, amplitude=1.0)
+        assert river.arrival_time(500.0) == pytest.approx(55.0)
+
+    def test_wave_not_present_before_start(self):
+        river = self.straight_river()
+        river.add_flood_wave(start_time=100.0, amplitude=2.0)
+        assert river.value(50.0, Point(0.0, 0.0)) == 1.0
+
+    def test_waves_superpose(self):
+        river = self.straight_river()
+        river.add_flood_wave(0.0, amplitude=1.0, sigma=50.0)
+        river.add_flood_wave(0.0, amplitude=1.0, sigma=50.0)
+        assert river.value(10.0, Point(100.0, 0.0)) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RiverStageField([Point(0, 0)])
+        with pytest.raises(ValueError):
+            RiverStageField([Point(0, 0), Point(1, 0)], celerity=0.0)
+        river = self.straight_river()
+        with pytest.raises(ValueError):
+            river.add_flood_wave(0.0, amplitude=-1.0)
+
+
+def test_field_sampler_adapts_protocol():
+    field = GradientField(5.0, Point(0.0, 0.0))
+    sampler = FieldSampler(field)
+    assert sampler.sample(0.0, ORIGIN) == 5.0

@@ -1,0 +1,71 @@
+"""The shared scenario plumbing."""
+
+from repro.core.resource import StreamConfig
+from repro.sensors.sampling import SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.workloads.fields import GradientField
+from repro.workloads.scenario import ScenarioBase
+
+from tests.conftest import lossless_config
+
+
+class SmallScenario(ScenarioBase):
+    def __init__(self, seed=0):
+        super().__init__(config=lossless_config(), seed=seed)
+        self.deployment.define_sensor_type("probe", {})
+
+
+class TestScatterPositions:
+    def test_deterministic_under_seed(self):
+        a = SmallScenario(seed=4).scatter_positions(10)
+        b = SmallScenario(seed=4).scatter_positions(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SmallScenario(seed=4).scatter_positions(10)
+        b = SmallScenario(seed=5).scatter_positions(10)
+        assert a != b
+
+    def test_positions_inside_area(self):
+        scenario = SmallScenario()
+        area = scenario.deployment.config.area
+        for point in scenario.scatter_positions(50):
+            assert area.contains(point)
+
+    def test_custom_area_respected(self):
+        scenario = SmallScenario()
+        patch = Rect(10.0, 10.0, 20.0, 20.0)
+        for point in scenario.scatter_positions(20, area=patch):
+            assert patch.contains(point)
+
+
+class TestAddFieldSensor:
+    def test_deploys_a_working_field_sensor(self):
+        scenario = SmallScenario(seed=2)
+        field = GradientField(base=10.0, gradient_per_metre=Point(0.0, 0.0))
+        node = scenario.add_field_sensor(
+            "probe",
+            field,
+            SampleCodec(0.0, 100.0),
+            kind="field.probe",
+            mobility=Point(100.0, 100.0),
+            rate=2.0,
+        )
+        assert node.current_config(0).rate == 2.0
+        scenario.run(5.0)
+        assert node.stats.messages_sent >= 8
+        descriptor = scenario.deployment.registry.get(node.stream_ids()[0])
+        assert descriptor.kind == "field.probe"
+
+    def test_transmit_only_variant(self):
+        scenario = SmallScenario(seed=2)
+        field = GradientField(base=1.0, gradient_per_metre=Point(0.0, 0.0))
+        node = scenario.add_field_sensor(
+            "probe",
+            field,
+            SampleCodec(0.0, 100.0),
+            kind="x",
+            mobility=Point(50.0, 50.0),
+            receive_capable=False,
+        )
+        assert not node.receive_capable

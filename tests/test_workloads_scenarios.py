@@ -1,0 +1,132 @@
+"""Scenario workloads: structural invariants of each deployment."""
+
+import pytest
+
+from repro.workloads.habitat import HabitatScenario
+from repro.workloads.tracking import TrackingScenario
+from repro.workloads.watercourse import (
+    ALERT_RATE,
+    BASE_RATE,
+    WatercourseScenario,
+)
+
+
+class TestWatercourse:
+    @pytest.fixture(scope="class")
+    def reactive(self):
+        scenario = WatercourseScenario(
+            gauges=3, drifters=1, predictive=False,
+            wave_period=300.0, wave_count=3, seed=3,
+        )
+        scenario.run(1000.0)
+        return scenario
+
+    def test_gauges_detect_every_wave(self, reactive):
+        # 3 waves x 3 gauges, minus any the run window cut off.
+        assert len(reactive.report.rising_entries) >= 6
+
+    def test_rates_raised_on_detection(self, reactive):
+        assert len(reactive.report.rate_raises) >= 6
+        latencies = reactive.report.detection_to_actuation_latencies()
+        assert latencies
+        # Reactive latency is small and positive (report -> ack).
+        assert all(0.0 < latency < 5.0 for latency in latencies)
+
+    def test_rates_return_to_base_between_waves(self, reactive):
+        # After the full run the last wave has passed: gauges relaxed.
+        for node in reactive.gauge_nodes[:1]:
+            assert node.current_config(0).rate in (BASE_RATE, ALERT_RATE)
+
+    def test_drifters_are_transmit_only(self, reactive):
+        for node in reactive.drifter_nodes:
+            assert not node.receive_capable
+
+    def test_drifter_location_inferred(self, reactive):
+        location = reactive.deployment.location
+        for node in reactive.drifter_nodes:
+            estimate = location.try_estimate(node.sensor_id)
+            assert estimate is not None
+
+    def test_predictive_reduces_latency(self):
+        latencies = {}
+        for predictive in (False, True):
+            scenario = WatercourseScenario(
+                gauges=3, drifters=0, predictive=predictive,
+                wave_period=300.0, wave_count=4, seed=3,
+            )
+            report = scenario.run(1400.0)
+            values = report.detection_to_actuation_latencies()
+            assert values
+            latencies[report.mode] = sum(values) / len(values)
+        # The predictive coordinator pre-arms some raises, pulling the
+        # mean below the reactive mean (Section 6's claim).
+        assert latencies["predictive"] < latencies["reactive"]
+
+
+class TestHabitat:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        scenario = HabitatScenario(motes=6, stations=2, seed=4)
+        scenario.run(120.0)
+        return scenario
+
+    def test_database_ingests_temperature(self, scenario):
+        assert scenario.database.inserts > 100
+        assert len(scenario.database.streams()) == 8  # 6 motes + 2 stations
+
+    def test_humidity_is_orphaned_until_subscribed(self, scenario):
+        orphaned = scenario.orphaned_humidity_messages()
+        assert orphaned > 50
+
+    def test_late_ecologist_gets_backlog_plus_live(self, scenario):
+        before = scenario.orphaned_humidity_messages()
+        ecologist = scenario.admit_ecologist(replay=True)
+        scenario.run(60.0)
+        # Backlog (bounded) replayed plus ~0.5 Hz x 2 stations x 60 s live.
+        assert len(ecologist.values) > 60
+        assert scenario.deployment.orphanage.total_received >= before
+
+    def test_motes_are_simple_stations_sophisticated(self, scenario):
+        assert all(not n.receive_capable for n in scenario.mote_nodes)
+        assert all(n.receive_capable for n in scenario.station_nodes)
+
+    def test_climatologist_publishes_derived_stream(self, scenario):
+        assert scenario.climatologist.stats.published > 10
+        derived = scenario.deployment.registry.match(
+            kind="habitat.temperature.smoothed"
+        )
+        assert len(derived) == 1
+        assert derived[0].is_derived
+
+
+class TestTracking:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        scenario = TrackingScenario(grid=4, target_speed=6.0, seed=5)
+        scenario.run(160.0)
+        return scenario
+
+    def test_track_follows_target(self, scenario):
+        errors = scenario.tracking_errors()
+        assert len(errors) > 50
+        mean_error = sum(errors) / len(errors)
+        # The grid spacing is 200 m; the fused estimate should do much
+        # better than nearest-sensor-only accuracy.
+        assert mean_error < 100.0
+
+    def test_intrusion_detected_and_sensors_boosted(self, scenario):
+        assert len(scenario.alerting.alerts) >= 1
+        boosted = [
+            node
+            for node in scenario.sensor_nodes
+            if node.current_config(0).rate > 1.0
+        ]
+        assert len(boosted) == 3
+
+    def test_derived_track_stream_exists(self, scenario):
+        derived = scenario.deployment.registry.match(kind="tracking.track")
+        assert len(derived) == 1
+        assert derived[0].stats.messages > 50
+
+    def test_patrol_hints_flow(self, scenario):
+        assert scenario.deployment.location.hints_received > 10
