@@ -5,9 +5,58 @@ per-experiment index in DESIGN.md. Experiments print their result tables
 (run pytest with ``-s`` to see them live; they are also captured in the
 benchmark output) and assert the *shape* the paper claims — who wins,
 in which direction — not absolute numbers.
+
+Every benchmark run also dumps a metrics snapshot: an autouse fixture
+watches :class:`~repro.obs.MetricsRegistry` creation during each test
+and, on teardown, writes the non-empty registries' snapshots to one JSON
+file per test under ``GARNET_METRICS_DIR`` (default
+``benchmarks/_metrics/``). Inspect them with
+``python -m repro.tools.metrics_dump``.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.registry import add_creation_hook
+
+_NODEID_SANITISER = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+@pytest.fixture(autouse=True)
+def dump_metrics_snapshot(request):
+    """Write a JSON metrics snapshot for every benchmark that records any."""
+    registries = []
+    unregister = add_creation_hook(registries.append)
+    try:
+        yield
+    finally:
+        unregister()
+    snapshots = [
+        registry.snapshot()
+        for registry in registries
+        if not registry.is_empty()
+    ]
+    if not snapshots:
+        return
+    out_dir = Path(
+        os.environ.get(
+            "GARNET_METRICS_DIR", str(Path(__file__).parent / "_metrics")
+        )
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe = _NODEID_SANITISER.sub("_", request.node.nodeid).strip("_")
+    payload = {"test": request.node.nodeid, "registries": snapshots}
+    path = out_dir / f"{safe}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

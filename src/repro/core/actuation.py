@@ -35,6 +35,8 @@ from repro.core.envelopes import AckNotice, TransmitOrder
 from repro.core.resource import ResourceManager
 from repro.core.streamid import StreamId
 from repro.errors import ActuationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 from repro.simnet.kernel import EventHandle
 from repro.simnet.trace import LatencyRecorder
@@ -76,8 +78,9 @@ class PendingRequest:
     on_complete: CompletionCallback | None = None
 
 
-@dataclass(slots=True)
-class ActuationStats:
+class ActuationStats(RegistryBackedStats):
+    PREFIX = "actuation"
+
     issued: int = 0
     retransmissions: int = 0
     acknowledged: int = 0
@@ -94,6 +97,7 @@ class ActuationService:
         resource_manager: ResourceManager | None = None,
         ack_timeout: float = 2.0,
         max_attempts: int = 3,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if ack_timeout <= 0:
             raise ActuationError("ack_timeout must be positive")
@@ -106,8 +110,12 @@ class ActuationService:
         self._codec = ControlCodec()
         self._request_ids = WrappingCounter(16)
         self._pending: dict[int, PendingRequest] = {}
-        self.stats = ActuationStats()
+        self.stats = ActuationStats(metrics)
         self.ack_latency = LatencyRecorder("actuation-ack")
+        self._ack_seconds = self.stats.registry.histogram(
+            "actuation.ack_seconds",
+            help="issue-to-acknowledgement latency in virtual seconds",
+        )
         network.register_inbox(ACK_INBOX, self.on_ack)
 
     @property
@@ -205,9 +213,9 @@ class ActuationService:
         if pending.timer is not None:
             pending.timer.cancel()
         self.stats.acknowledged += 1
-        self.ack_latency.record(
-            max(0.0, notice.observed_at - pending.issued_at)
-        )
+        latency = max(0.0, notice.observed_at - pending.issued_at)
+        self.ack_latency.record(latency)
+        self._ack_seconds.observe(latency)
         if (
             self._resource_manager is not None
             and pending.parameter is not None

@@ -22,23 +22,30 @@ actually get.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 from repro.core.consumer import Consumer
 from repro.core.control import StreamUpdateCommand
 from repro.core.envelopes import StreamArrival
 from repro.core.streamid import StreamId
 from repro.errors import CodecError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.sensors.sampling import SampleCodec
 
 
-@dataclass(slots=True)
-class ControllerStats:
+class ControllerStats(RegistryBackedStats):
     evaluations: int = 0
     rate_requests: int = 0
     denied_requests: int = 0
-    rate_trace: list = field(default_factory=list)
-    """(time, requested_rate) for each actuated change."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        prefix: str | None = None,
+    ) -> None:
+        super().__init__(metrics, prefix)
+        self.rate_trace: list = []
+        """(time, requested_rate) for each actuated change."""
 
 
 class AdaptiveRateController(Consumer):
@@ -102,7 +109,15 @@ class AdaptiveRateController(Consumer):
         self._requested_rate: float | None = None
         self._last_denied: float | None = None
         self.decode_failures = 0
-        self.controller_stats = ControllerStats()
+        self.controller_stats = ControllerStats(
+            prefix=f"adaptive.{name}"
+        )
+
+    def _attach(self, runtime, token) -> None:
+        super()._attach(runtime, token)
+        metrics = getattr(runtime, "metrics", None)
+        if metrics is not None:
+            self.controller_stats.bind(metrics)
 
     # ------------------------------------------------------------------
     @property

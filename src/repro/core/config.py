@@ -43,6 +43,7 @@ class GarnetConfig:
     # Filtering Service
     filtering_window: int = 1024
     reorder_timeout: float = 0.0
+    reorder_max_held: int = 64
 
     # Orphanage
     orphanage_backlog: int = 256
@@ -68,8 +69,16 @@ class GarnetConfig:
     deployment_secret: bytes = b"garnet-deployment-secret"
     require_auth: bool = True
 
+    # Observability (repro.obs): the metrics registry is always on —
+    # the per-service stats views need it — these gate the optional
+    # instrumentation layered on top.
+    trace_spans: bool = True
+    kernel_probe: bool = True
+
     def validate(self) -> "GarnetConfig":
         """Sanity-check cross-field consistency; returns self."""
+        if self.reorder_max_held < 1:
+            raise ConfigurationError("reorder_max_held must be at least 1")
         if self.receiver_rows < 1 or self.receiver_cols < 1:
             raise ConfigurationError("receiver grid must be at least 1x1")
         if self.transmitter_rows < 1 or self.transmitter_cols < 1:

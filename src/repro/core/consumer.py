@@ -20,7 +20,6 @@ the runtime in when the consumer is added to a deployment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.core.control import StreamUpdateCommand
@@ -38,13 +37,13 @@ from repro.core.security import Token
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamDescriptor
 from repro.errors import GarnetError, RegistrationError
+from repro.obs.stats import RegistryBackedStats
 from repro.util.ids import WrappingCounter
 
 COORDINATOR_INBOX = "garnet.coordinator"
 
 
-@dataclass(slots=True)
-class ConsumerStats:
+class ConsumerStats(RegistryBackedStats):
     received: int = 0
     published: int = 0
     state_reports: int = 0
@@ -64,7 +63,7 @@ class Consumer:
         if not name:
             raise RegistrationError("consumer name must be non-empty")
         self.name = name
-        self.stats = ConsumerStats()
+        self.stats = ConsumerStats(prefix=f"consumer.{name}")
         self._runtime: Any = None
         self._token: Token | None = None
         self._publisher_id: int | None = None
@@ -89,6 +88,11 @@ class Consumer:
             )
         self._runtime = runtime
         self._token = token
+        metrics = getattr(runtime, "metrics", None)
+        if metrics is not None:
+            # Fold this consumer's pre-attachment counters into the
+            # deployment's shared registry.
+            self.stats.bind(metrics)
 
     def _require_runtime(self) -> Any:
         if self._runtime is None:

@@ -26,6 +26,8 @@ from repro.core.envelopes import StreamArrival, StreamAdvertisement
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamDescriptor, StreamRegistry
 from repro.errors import SubscriptionError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 
 INBOX = "garnet.dispatching"
@@ -119,8 +121,9 @@ class Subscription:
     delivered: int = 0
 
 
-@dataclass(slots=True)
-class DispatchStats:
+class DispatchStats(RegistryBackedStats):
+    PREFIX = "dispatch"
+
     arrivals: int = 0
     deliveries: int = 0
     orphaned: int = 0
@@ -135,6 +138,7 @@ class DispatchingService:
         network: FixedNetwork,
         registry: StreamRegistry,
         orphanage_inbox: str = ORPHANAGE_INBOX,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._network = network
         self._registry = registry
@@ -146,7 +150,7 @@ class DispatchingService:
         self._route_cache: dict[StreamId, tuple[int, ...]] = {}
         self._advertised: set[StreamId] = set()
         self._route_guard: Callable[[str, StreamDescriptor], bool] | None = None
-        self.stats = DispatchStats()
+        self.stats = DispatchStats(metrics)
         network.register_inbox(INBOX, self.on_arrival)
 
     def set_route_guard(

@@ -32,6 +32,8 @@ from repro.core.message import parse_request_status_extension
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamRegistry
 from repro.errors import CodecError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 from repro.util.ids import sequence_is_newer
 
@@ -42,9 +44,10 @@ DISPATCH_INBOX = "garnet.dispatching"
 ACK_INBOX = "garnet.actuation.acks"
 
 
-@dataclass(slots=True)
-class FilteringStats:
+class FilteringStats(RegistryBackedStats):
     """Counters reported by experiment E2."""
+
+    PREFIX = "filtering"
 
     received: int = 0
     delivered: int = 0
@@ -53,6 +56,8 @@ class FilteringStats:
     reordered: int = 0
     acks_extracted: int = 0
     buffered_flushes: int = 0
+    reorder_evictions: int = 0
+    """Held messages force-flushed because a stream hit ``max_held``."""
 
 
 @dataclass(slots=True)
@@ -83,6 +88,15 @@ class FilteringService:
         When positive, out-of-order messages are buffered until the gap
         fills or this many seconds elapse; when zero, messages flow in
         arrival order (duplicates still eliminated).
+    max_held:
+        Hard cap on buffered out-of-order messages per stream. Under
+        sustained loss every gap would otherwise pin one reception and
+        one flush timer indefinitely; at the cap the entry nearest the
+        delivery cursor is flushed early (counted in
+        ``stats.reorder_evictions``) so memory stays bounded.
+    metrics:
+        Shared deployment registry for the stats counters; a private
+        registry is created when omitted (standalone/unit-test use).
     """
 
     def __init__(
@@ -91,6 +105,8 @@ class FilteringService:
         registry: StreamRegistry,
         window: int = 1024,
         reorder_timeout: float = 0.0,
+        max_held: int = 64,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 1 <= window <= (1 << (SEQUENCE_BITS - 1)) - 1:
             raise ValueError(
@@ -98,12 +114,15 @@ class FilteringService:
             )
         if reorder_timeout < 0:
             raise ValueError("reorder_timeout must be non-negative")
+        if max_held < 1:
+            raise ValueError("max_held must be at least 1")
         self._network = network
         self._registry = registry
         self._window = window
         self._reorder_timeout = reorder_timeout
+        self._max_held = max_held
         self._states: dict[StreamId, _StreamState] = {}
-        self.stats = FilteringStats()
+        self.stats = FilteringStats(metrics)
         network.register_inbox(INBOX, self.on_reception)
 
     # ------------------------------------------------------------------
@@ -217,6 +236,8 @@ class FilteringService:
                 self._reorder_timeout, self._flush_through, stream_id, sequence
             )
             state.held[sequence] = (reception, handle)
+            if len(state.held) > self._max_held:
+                self._evict_oldest(stream_id, state)
         else:
             # Older than the delivery cursor: a straggler whose slot was
             # already given up on. Deliver immediately rather than drop —
@@ -232,12 +253,27 @@ class FilteringService:
                 state.next_expected + 1
             ) % (1 << SEQUENCE_BITS)
 
+    def _evict_oldest(self, stream_id: StreamId, state: _StreamState) -> None:
+        """Flush the held entry nearest the cursor to respect ``max_held``."""
+        cursor = state.next_expected or 0
+        oldest = min(
+            state.held,
+            key=lambda seq: (seq - cursor) % (1 << SEQUENCE_BITS),
+        )
+        self.stats.reorder_evictions += 1
+        self._release_through(stream_id, state, oldest)
+
     def _flush_through(self, stream_id: StreamId, sequence: int) -> None:
         """Give up waiting for gaps below ``sequence``; deliver what we hold."""
         state = self._states.get(stream_id)
         if state is None or sequence not in state.held:
             return
         self.stats.buffered_flushes += 1
+        self._release_through(stream_id, state, sequence)
+
+    def _release_through(
+        self, stream_id: StreamId, state: _StreamState, sequence: int
+    ) -> None:
         # Advance the cursor to the stalled message, delivering any held
         # messages we pass (their timers will find them gone).
         reception, handle = state.held.pop(sequence)

@@ -49,6 +49,8 @@ from repro.core.streamid import (
 )
 from repro.core.streams import StreamRegistry
 from repro.errors import ConfigurationError, RegistrationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import KernelProbe, Tracer
 from repro.radio.array import ReceiverArray, TransmitterArray
 from repro.sensors.node import SensorNode, SensorStreamSpec
 from repro.simnet.fixednet import FixedNetwork
@@ -70,11 +72,19 @@ class ControlPath:
     """Glues Resource Manager approval to Actuation Service issuance."""
 
     def __init__(
-        self, resource_manager: ResourceManager, actuation: ActuationService
+        self,
+        resource_manager: ResourceManager,
+        actuation: ActuationService,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._resource_manager = resource_manager
         self._actuation = actuation
         self._observers: list[Any] = []
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._observer_errors = registry.counter(
+            "control.observer_errors",
+            help="actuation observers that raised during notification",
+        )
 
     def add_actuation_observer(self, observer) -> None:
         """Observe actuation completions.
@@ -84,11 +94,26 @@ class ControlPath:
         up; experiments use it to timestamp when a configuration change
         actually landed on the sensor.
         """
+        if not callable(observer):
+            raise ConfigurationError(
+                f"actuation observer must be callable, got {observer!r}"
+            )
         self._observers.append(observer)
 
+    @property
+    def observer_errors(self) -> int:
+        """How many observer callbacks raised (and were isolated)."""
+        return int(self._observer_errors.value)
+
     def _notify(self, stream_id: StreamId, pending, success: bool) -> None:
-        for observer in self._observers:
-            observer(stream_id, pending.parameter, pending.value, success)
+        # An observer is experiment instrumentation riding on the
+        # actuation ack path; one raising must not abort delivery to the
+        # observers after it (or the ack processing that invoked us).
+        for observer in list(self._observers):
+            try:
+                observer(stream_id, pending.parameter, pending.value, success)
+            except Exception:
+                self._observer_errors.inc()
 
     def request_update(
         self,
@@ -168,6 +193,7 @@ class ConsumerRuntime:
     broker: Broker
     control: ControlPath
     _publisher_pool: IdPool
+    metrics: MetricsRegistry | None = None
 
     def allocate_publisher_id(self) -> int:
         return self._publisher_pool.allocate()
@@ -190,11 +216,21 @@ class Garnet:
         self.config = (config or GarnetConfig()).validate()
         cfg = self.config
         self.sim = Simulator(seed=seed)
+
+        # Observability substrate: one registry for every service's
+        # counters, timers keyed off virtual time, spans over the bus.
+        self._metrics = MetricsRegistry(clock=lambda: self.sim.now)
+        self.tracer = Tracer(self._metrics) if cfg.trace_spans else None
+        if cfg.kernel_probe:
+            self.sim.set_probe(KernelProbe(self._metrics))
+
         self.codec = MessageCodec(checksum=cfg.checksum)
         self.network = FixedNetwork(
             self.sim,
             message_latency=cfg.message_latency,
             rpc_latency=cfg.rpc_latency,
+            metrics=self._metrics,
+            tracer=self.tracer,
         )
         self.medium = WirelessMedium(
             self.sim,
@@ -211,13 +247,21 @@ class Garnet:
             self.registry,
             window=cfg.filtering_window,
             reorder_timeout=cfg.reorder_timeout,
+            max_held=cfg.reorder_max_held,
+            metrics=self._metrics,
         )
-        self.dispatcher = DispatchingService(self.network, self.registry)
+        self.dispatcher = DispatchingService(
+            self.network, self.registry, metrics=self._metrics
+        )
         self.orphanage = Orphanage(
             self.network, backlog_per_stream=cfg.orphanage_backlog
         )
         self.broker = Broker(
-            self.network, self.registry, self.dispatcher, self.auth
+            self.network,
+            self.registry,
+            self.dispatcher,
+            self.auth,
+            metrics=self._metrics,
         )
         self.location = LocationService(
             self.network,
@@ -249,15 +293,20 @@ class Garnet:
         self.resource_manager = ResourceManager(
             self.network,
             auth=self.auth if cfg.require_auth else None,
+            metrics=self._metrics,
         )
         self.actuation = ActuationService(
             self.network,
             resource_manager=self.resource_manager,
             ack_timeout=cfg.ack_timeout,
             max_attempts=cfg.ack_max_attempts,
+            metrics=self._metrics,
         )
         self.replicator = MessageReplicator(
-            self.network, self.transmitters, margin=cfg.replicator_margin
+            self.network,
+            self.transmitters,
+            margin=cfg.replicator_margin,
+            metrics=self._metrics,
         )
         self.coordinator = SuperCoordinator(
             self.network,
@@ -266,7 +315,9 @@ class Garnet:
             confidence_threshold=cfg.prediction_confidence,
             lead_fraction=cfg.prediction_lead_fraction,
         )
-        self.control = ControlPath(self.resource_manager, self.actuation)
+        self.control = ControlPath(
+            self.resource_manager, self.actuation, metrics=self._metrics
+        )
 
         self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
@@ -425,6 +476,7 @@ class Garnet:
             broker=self.broker,
             control=self.control,
             _publisher_pool=self._publisher_ids,
+            metrics=self._metrics,
         )
         consumer._attach(runtime, token)
         self.broker.register_consumer(token, consumer.endpoint)
@@ -474,6 +526,30 @@ class Garnet:
         self.dispatcher.remove_endpoint(consumer.endpoint)
         self.network.unregister_inbox(consumer.endpoint)
         del self._consumers[consumer.name]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsRegistry:
+        """The deployment-wide metrics registry.
+
+        Every service's legacy ``.stats`` attribute is a write-through
+        view over counters living here, so this is the single place to
+        snapshot or export a deployment's telemetry.
+        """
+        return self._metrics
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-serialisable snapshot of every metric, plus the clock."""
+        snapshot = self._metrics.snapshot()
+        snapshot["time"] = self.sim.now
+        return snapshot
+
+    def write_metrics(self, path: str) -> None:
+        """Dump :meth:`metrics_snapshot` to ``path`` as JSON."""
+        from repro.obs.export import write_json
+
+        write_json(self._metrics, path, extra={"time": self.sim.now})
 
     # ------------------------------------------------------------------
     # Execution & reporting

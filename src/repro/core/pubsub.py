@@ -22,7 +22,6 @@ else is subscribed (Section 2, "consumer processes are mutually unaware").
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
 
 from repro.core.dispatching import (
     BROKER_INBOX,
@@ -34,13 +33,16 @@ from repro.core.security import AuthService, Permission, Token
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamDescriptor, StreamRegistry
 from repro.errors import RegistrationError, SubscriptionError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
 
 SERVICE_NAME = "garnet.broker"
 
 
-@dataclass(slots=True)
-class BrokerStats:
+class BrokerStats(RegistryBackedStats):
+    PREFIX = "broker"
+
     registrations: int = 0
     advertisements: int = 0
     discoveries: int = 0
@@ -57,6 +59,7 @@ class Broker(RpcEndpoint):
         registry: StreamRegistry,
         dispatcher: DispatchingService,
         auth: AuthService,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._network = network
         self._registry = registry
@@ -65,7 +68,7 @@ class Broker(RpcEndpoint):
         self._endpoints: dict[str, str] = {}  # endpoint -> principal
         self._permissions: dict[str, Permission] = {}  # endpoint -> perms
         self._watchers: list[Callable[[StreamAdvertisement], None]] = []
-        self.stats = BrokerStats()
+        self.stats = BrokerStats(metrics)
         network.register_inbox(BROKER_INBOX, self._on_advertisement)
         network.register_service(SERVICE_NAME, self)
         dispatcher.set_route_guard(self._route_guard)

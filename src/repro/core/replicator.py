@@ -14,11 +14,11 @@ usable estimate it floods all transmitters — correctness over economy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.envelopes import TransmitOrder
 from repro.core.location import SERVICE_NAME as LOCATION_SERVICE
 from repro.core.location import LocationEstimate
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.radio.array import TransmitterArray
 from repro.simnet.fixednet import FixedNetwork
 from repro.simnet.geometry import Circle
@@ -26,8 +26,9 @@ from repro.simnet.geometry import Circle
 INBOX = "garnet.replicator"
 
 
-@dataclass(slots=True)
-class ReplicatorStats:
+class ReplicatorStats(RegistryBackedStats):
+    PREFIX = "replicator"
+
     orders: int = 0
     targeted: int = 0
     flooded: int = 0
@@ -48,13 +49,14 @@ class MessageReplicator:
         network: FixedNetwork,
         transmitters: TransmitterArray,
         margin: float = 25.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if margin < 0:
             raise ValueError("margin must be non-negative")
         self._network = network
         self._transmitters = transmitters
         self._margin = margin
-        self.stats = ReplicatorStats()
+        self.stats = ReplicatorStats(metrics)
         network.register_inbox(INBOX, self.on_order)
 
     def on_order(self, order: TransmitOrder) -> None:

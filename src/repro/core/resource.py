@@ -35,6 +35,8 @@ from repro.core.control import StreamUpdateCommand
 from repro.core.security import AuthService, Permission, Token
 from repro.core.streamid import StreamId
 from repro.errors import AdmissionError, RegistrationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
 
 SERVICE_NAME = "garnet.resource_manager"
@@ -105,8 +107,9 @@ class Decision:
     a control message should be sent toward the sensor."""
 
 
-@dataclass(slots=True)
-class ResourceStats:
+class ResourceStats(RegistryBackedStats):
+    PREFIX = "resource"
+
     requests: int = 0
     approved: int = 0
     denied_constraint: int = 0
@@ -132,6 +135,7 @@ class ResourceManager(RpcEndpoint):
         network: FixedNetwork,
         auth: AuthService | None = None,
         default_policy: MediationPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._network = network
         self._auth = auth
@@ -140,7 +144,7 @@ class ResourceManager(RpcEndpoint):
         self._types: dict[str, SensorTypeSpec] = {}
         self._sensor_types: dict[int, str] = {}
         self._streams: dict[StreamId, _StreamState] = {}
-        self.stats = ResourceStats()
+        self.stats = ResourceStats(metrics)
         network.register_service(SERVICE_NAME, self)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,97 @@
+"""Snapshot exporters: JSON documents and Prometheus text format.
+
+Both operate on :meth:`MetricsRegistry.snapshot` output, so anything that
+can produce a snapshot dict — a live registry, a file written by the
+benchmark harness — can be re-rendered without the original objects.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _as_snapshot(source: MetricsRegistry | dict) -> dict:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def render_json(
+    source: MetricsRegistry | dict,
+    extra: dict[str, Any] | None = None,
+    indent: int = 2,
+) -> str:
+    """The snapshot as a JSON document, optionally with run metadata."""
+    snapshot = dict(_as_snapshot(source))
+    if extra:
+        snapshot = {**extra, **snapshot}
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_json(
+    source: MetricsRegistry | dict,
+    path: str,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_json(source, extra=extra))
+        handle.write("\n")
+
+
+def prometheus_name(name: str) -> str:
+    """``filtering.received`` -> ``garnet_filtering_received``."""
+    flat = _NAME_SANITISER.sub("_", name.replace(".", "_"))
+    if not flat.startswith("garnet_"):
+        flat = f"garnet_{flat}"
+    return flat
+
+
+def render_prometheus(source: MetricsRegistry | dict) -> str:
+    """The snapshot in Prometheus text exposition format.
+
+    Counters/gauges become single samples; histograms expand into
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching the
+    cumulative-bucket convention scrapers expect.
+    """
+    snapshot = _as_snapshot(source)
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        flat = prometheus_name(name)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        flat = prometheus_name(name)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        flat = prometheus_name(name)
+        lines.append(f"# TYPE {flat} histogram")
+        # Snapshots loaded from JSON may carry buckets in key-sorted
+        # (lexical) order; the exposition format requires increasing le.
+        buckets = sorted(
+            data.get("buckets", {}).items(),
+            key=lambda item: (
+                math.inf if item[0] == "+Inf" else float(item[0])
+            ),
+        )
+        for bound, count in buckets:
+            lines.append(f'{flat}_bucket{{le="{bound}"}} {int(count)}')
+        lines.append(f"{flat}_sum {_fmt(data.get('sum', 0.0))}")
+        lines.append(f"{flat}_count {int(data.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if value is None:
+        return "NaN"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

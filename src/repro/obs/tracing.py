@@ -1,0 +1,147 @@
+"""Lightweight span tracing and kernel probing.
+
+Two hooks make the simulation's hot paths observable without changing
+their behaviour:
+
+- :class:`Tracer` records *spans* — named intervals of virtual time with
+  attributes. :class:`~repro.simnet.fixednet.FixedNetwork` opens one span
+  per ``send`` and closes it at ``_deliver``, so bus transit becomes a
+  queryable latency distribution instead of folklore.
+- :class:`KernelProbe` plugs into :class:`~repro.simnet.kernel.Simulator`
+  (``set_probe``) and counts scheduled/executed events, queue depth and
+  the scheduling delay distribution.
+
+Both feed the same :class:`~repro.obs.registry.MetricsRegistry` as every
+service's counters; span ids are sequential integers so traces are
+deterministic run-to-run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+#: Bucket bounds tuned to fixed-network hop latencies (sub-millisecond).
+SPAN_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    1.0,
+)
+
+
+@dataclass(slots=True)
+class Span:
+    """One named interval of virtual time."""
+
+    span_id: int
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+
+class Tracer:
+    """Opens and finishes spans against a registry's virtual clock.
+
+    Finished spans are kept in a bounded ring buffer (``max_spans``); the
+    aggregate picture — span counts per name and the duration histogram —
+    lives in the registry and is never truncated.
+    """
+
+    def __init__(
+        self, metrics: MetricsRegistry | None = None, max_spans: int = 4096
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be at least 1")
+        self._registry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._next_span_id = 1
+        self._open = 0
+        self._started = self._registry.counter("trace.spans_started")
+        self._completed = self._registry.counter("trace.spans_finished")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def open_spans(self) -> int:
+        return self._open
+
+    def begin(self, name: str, **attributes: Any) -> Span:
+        span = Span(
+            span_id=self._next_span_id,
+            name=name,
+            start=self._registry.now(),
+            attributes=attributes,
+        )
+        self._next_span_id += 1
+        self._open += 1
+        self._started.inc()
+        return span
+
+    def finish(self, span: Span, **attributes: Any) -> Span:
+        if span.finished:
+            return span
+        span.end = self._registry.now()
+        if attributes:
+            span.attributes.update(attributes)
+        self._open -= 1
+        self._completed.inc()
+        self._registry.histogram(
+            f"trace.{span.name}.seconds", SPAN_BUCKETS
+        ).observe(span.duration)
+        self._finished.append(span)
+        return span
+
+    def finished_spans(self, name: str | None = None) -> list[Span]:
+        """Recently finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [span for span in self._finished if span.name == name]
+
+
+class KernelProbe:
+    """Feeds :class:`~repro.simnet.kernel.Simulator` activity into metrics.
+
+    Installed via ``Simulator.set_probe``; the kernel calls
+    :meth:`on_schedule` for every accepted event and :meth:`on_executed`
+    after each callback runs.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._scheduled = metrics.counter("kernel.events_scheduled")
+        self._executed = metrics.counter("kernel.events_executed")
+        self._queue_depth = metrics.gauge("kernel.queue_depth")
+        self._delay = metrics.histogram(
+            "kernel.schedule_delay_seconds",
+            buckets=(0.0005, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0),
+        )
+
+    def on_schedule(self, handle, delay: float) -> None:
+        self._scheduled.inc()
+        self._delay.observe(delay)
+
+    def on_executed(self, handle, queue_depth: int) -> None:
+        self._executed.inc()
+        self._queue_depth.set(queue_depth)

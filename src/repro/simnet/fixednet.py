@@ -18,19 +18,24 @@ fault-tolerance); unreliability lives exclusively in the wireless medium.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError, RegistrationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
+from repro.obs.tracing import Span, Tracer
 from repro.simnet.kernel import Simulator
 
 
-@dataclass(slots=True)
-class FixedNetStats:
+class FixedNetStats(RegistryBackedStats):
     """Counters for fixed-network traffic, used in overhead experiments."""
+
+    PREFIX = "fixednet"
 
     messages: int = 0
     rpc_calls: int = 0
+    dropped: int = 0
+    """Messages whose destination had no inbox at delivery time."""
 
 
 class RpcEndpoint:
@@ -58,6 +63,8 @@ class FixedNetwork:
         sim: Simulator,
         message_latency: float = 0.0005,
         rpc_latency: float = 0.001,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if message_latency < 0 or rpc_latency < 0:
             raise ConfigurationError("latencies must be non-negative")
@@ -66,11 +73,20 @@ class FixedNetwork:
         self._rpc_latency = rpc_latency
         self._inboxes: dict[str, Callable[[Any], None]] = {}
         self._services: dict[str, RpcEndpoint] = {}
-        self.stats = FixedNetStats()
+        self.stats = FixedNetStats(metrics)
+        self._tracer = tracer
 
     @property
     def sim(self) -> Simulator:
         return self._sim
+
+    @property
+    def tracer(self) -> Tracer | None:
+        return self._tracer
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Install (or remove) span tracing over send/deliver pairs."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Event-based message passing
@@ -97,12 +113,27 @@ class FixedNetwork:
         process that exits with messages queued.
         """
         self.stats.messages += 1
-        self._sim.schedule(self._message_latency, self._deliver, destination, message)
+        span = (
+            self._tracer.begin("fixednet.deliver", destination=destination)
+            if self._tracer is not None
+            else None
+        )
+        self._sim.schedule(
+            self._message_latency, self._deliver, destination, message, span
+        )
 
-    def _deliver(self, destination: str, message: Any) -> None:
+    def _deliver(
+        self, destination: str, message: Any, span: Span | None = None
+    ) -> None:
         handler = self._inboxes.get(destination)
-        if handler is not None:
-            handler(message)
+        if handler is None:
+            self.stats.dropped += 1
+            if span is not None and self._tracer is not None:
+                self._tracer.finish(span, delivered=False)
+            return
+        if span is not None and self._tracer is not None:
+            self._tracer.finish(span, delivered=True)
+        handler(message)
 
     # ------------------------------------------------------------------
     # Remote procedure call

@@ -83,6 +83,29 @@ class Simulator:
         self.rng = random.Random(seed)
         self._seed = seed
         self._fork_count = 0
+        self._probe: Any = None
+
+    @property
+    def probe(self) -> Any:
+        """The installed kernel probe, if any (see :meth:`set_probe`)."""
+        return self._probe
+
+    def set_probe(self, probe: Any) -> None:
+        """Install an observability probe (or None to remove it).
+
+        A probe exposes ``on_schedule(handle, delay)``, called for every
+        accepted event, and ``on_executed(handle, queue_depth)``, called
+        after each callback runs. Probes observe only — they cannot alter
+        event order, so determinism is unaffected.
+        """
+        if probe is not None and (
+            not callable(getattr(probe, "on_schedule", None))
+            or not callable(getattr(probe, "on_executed", None))
+        ):
+            raise SimulationError(
+                "probe must expose on_schedule() and on_executed()"
+            )
+        self._probe = probe
 
     @property
     def now(self) -> float:
@@ -130,6 +153,8 @@ class Simulator:
         handle = EventHandle(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._queue, handle)
+        if self._probe is not None:
+            self._probe.on_schedule(handle, time - self._now)
         return handle
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -174,6 +199,8 @@ class Simulator:
                 head.callback(*head.args)
                 executed += 1
                 self._events_processed += 1
+                if self._probe is not None:
+                    self._probe.on_executed(head, len(self._queue))
             else:
                 if until is not None:
                     self._now = max(self._now, until)

@@ -1,0 +1,130 @@
+"""Render a metrics snapshot written by :mod:`repro.obs` as text.
+
+Usage::
+
+    python -m repro.tools.metrics_dump run.metrics.json
+    python -m repro.tools.metrics_dump --prometheus run.metrics.json
+    python -m repro.tools.metrics_dump --grep filtering run.metrics.json
+
+Accepts either a single registry snapshot (the shape produced by
+``MetricsRegistry.snapshot()`` / ``Garnet.write_metrics``) or the
+multi-registry envelope the benchmark harness writes
+(``{"test": ..., "registries": [...]}``). ``--prometheus`` re-renders
+the snapshot in Prometheus text exposition format; the default is a
+name/value table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+from repro.obs.export import render_prometheus
+
+
+def _snapshots(data: dict) -> list[tuple[str, dict]]:
+    """Normalise either accepted input shape to ``[(label, snapshot)]``."""
+    if "registries" in data:
+        label = str(data.get("test", "registry"))
+        registries = data["registries"]
+        if len(registries) == 1:
+            return [(label, registries[0])]
+        return [
+            (f"{label}[{i}]", snap) for i, snap in enumerate(registries)
+        ]
+    return [(str(data.get("test", "registry")), data)]
+
+
+def _grep(snapshot: dict, pattern: re.Pattern) -> dict:
+    """A copy of ``snapshot`` keeping only matching metric names."""
+    filtered = dict(snapshot)
+    for section in ("counters", "gauges", "histograms"):
+        if section in filtered:
+            filtered[section] = {
+                name: value
+                for name, value in filtered[section].items()
+                if pattern.search(name)
+            }
+    return filtered
+
+
+def table_lines(label: str, snapshot: dict) -> list[str]:
+    """Human-readable name/value lines for one registry snapshot."""
+    lines = [f"== {label} =="]
+    when = snapshot.get("time")
+    if when is not None:
+        lines.append(f"  time: {when}")
+    for name in sorted(snapshot.get("counters", {})):
+        lines.append(f"  {name} = {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        lines.append(f"  {name} = {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        mean = summary.get("mean")
+        mean_text = "n/a" if mean is None else f"{mean:.6g}"
+        lines.append(
+            f"  {name} = count={summary.get('count', 0)} "
+            f"sum={summary.get('sum', 0.0):.6g} mean={mean_text}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="metrics_dump",
+        description="Render a Garnet metrics snapshot as text.",
+    )
+    parser.add_argument(
+        "snapshot", help="JSON snapshot written by repro.obs exporters"
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of a table",
+    )
+    parser.add_argument(
+        "--grep",
+        metavar="PATTERN",
+        default=None,
+        help="only show metrics whose name matches this regex",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(data, dict):
+        print("error: snapshot root must be a JSON object", file=sys.stderr)
+        return 1
+
+    try:
+        pattern = re.compile(args.grep) if args.grep else None
+    except re.error as exc:
+        print(f"error: bad --grep pattern: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        for label, snapshot in _snapshots(data):
+            if pattern is not None:
+                snapshot = _grep(snapshot, pattern)
+            if args.prometheus:
+                print(render_prometheus(snapshot), end="")
+            else:
+                for line in table_lines(label, snapshot):
+                    print(line)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe: normal for a dump
+        # tool. Detach stdout so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -34,7 +34,13 @@ class IdPool:
         self._first = first
         self._last = last
         self._next = first
+        # LIFO recycling order lives in the list; membership lives in the
+        # set. reserve() removes from the set only (O(1)) and allocate()
+        # skips list entries no longer in the set — without this, a churn
+        # of release/reserve cycles pays list.remove's O(n) each time,
+        # O(n^2) overall.
         self._released: list[int] = []
+        self._released_set: set[int] = set()
         self._in_use: set[int] = set()
 
     @property
@@ -47,22 +53,32 @@ class IdPool:
         """Number of ids currently allocated."""
         return len(self._in_use)
 
+    def _pop_released(self) -> int | None:
+        """The most recently released id still free, or None."""
+        while self._released:
+            value = self._released.pop()
+            if value in self._released_set:
+                self._released_set.remove(value)
+                return value
+            # Stale entry: the id was reserve()d since release; skip it.
+        return None
+
     def allocate(self) -> int:
         """Return a fresh id, recycling released ids once the range is spent."""
-        if self._released:
-            value = self._released.pop()
-        elif self._next <= self._last:
-            value = self._next
-            self._next += 1
-        else:
-            raise IdExhaustedError(
-                f"id pool [{self._first}, {self._last}] exhausted"
-            )
+        value = self._pop_released()
+        if value is None:
+            if self._next <= self._last:
+                value = self._next
+                self._next += 1
+            else:
+                raise IdExhaustedError(
+                    f"id pool [{self._first}, {self._last}] exhausted"
+                )
         self._in_use.add(value)
         return value
 
     def reserve(self, value: int) -> int:
-        """Claim a specific id (e.g. a pre-configured sensor id)."""
+        """Claim a specific id (e.g. a pre-configured sensor id). O(1)."""
         if value < self._first or value > self._last:
             raise ValueError(
                 f"id {value} outside pool range [{self._first}, {self._last}]"
@@ -71,15 +87,15 @@ class IdPool:
             raise IdExhaustedError(f"id {value} already allocated")
         if value >= self._next:
             # Mark everything skipped over as released so it is not lost.
-            self._released.extend(
-                v for v in range(self._next, value) if v not in self._in_use
-            )
+            skipped = range(self._next, value)
+            self._released.extend(skipped)
+            self._released_set.update(skipped)
             self._next = value + 1
         else:
-            try:
-                self._released.remove(value)
-            except ValueError as exc:
-                raise IdExhaustedError(f"id {value} already allocated") from exc
+            if value not in self._released_set:
+                raise IdExhaustedError(f"id {value} already allocated")
+            # Lazy deletion: the list entry is skipped by _pop_released.
+            self._released_set.remove(value)
         self._in_use.add(value)
         return value
 
@@ -90,6 +106,7 @@ class IdPool:
         except KeyError as exc:
             raise ValueError(f"id {value} is not allocated") from exc
         self._released.append(value)
+        self._released_set.add(value)
 
     def __contains__(self, value: int) -> bool:
         return value in self._in_use

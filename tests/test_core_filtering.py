@@ -272,3 +272,120 @@ class TestReorderingAcrossWrap:
         sim.run(until=3.0)  # timeout fires, held messages flush
         assert [a.message.sequence for a in delivered] == [65534, 0, 1]
         assert service.stats.buffered_flushes >= 1
+
+    def test_many_held_spanning_wrap_drain_in_serial_order(
+        self, sim, network
+    ):
+        delivered = []
+        network.register_inbox(DISPATCH_INBOX, delivered.append)
+        network.register_inbox(ACK_INBOX, lambda m: None)
+        service = FilteringService(
+            network, StreamRegistry(), window=64, reorder_timeout=1.0
+        )
+        service.on_reception(reception(65530))  # cursor: 65531
+        # Everything after the gap at 65531 arrives scrambled, spanning
+        # the wrap; all of it is held.
+        scrambled = [3, 65533, 0, 65535, 2, 65532, 1, 65534]
+        for seq in scrambled:
+            service.on_reception(reception(seq))
+        service.on_reception(reception(65531))  # gap fills: drain
+        sim.run(until=0.5)
+        assert [a.message.sequence for a in delivered] == [
+            65530, 65531, 65532, 65533, 65534, 65535, 0, 1, 2, 3,
+        ]
+        assert service.stats.buffered_flushes == 0
+        assert service.stats.reorder_evictions == 0
+
+
+class TestReorderBufferCap:
+    """The reorder buffer is bounded: ``max_held`` caps per-stream state."""
+
+    def make_service(self, network, max_held):
+        delivered = []
+        network.register_inbox(DISPATCH_INBOX, delivered.append)
+        network.register_inbox(ACK_INBOX, lambda m: None)
+        service = FilteringService(
+            network,
+            StreamRegistry(),
+            window=64,
+            reorder_timeout=10.0,
+            max_held=max_held,
+        )
+        return service, delivered
+
+    def test_overflow_evicts_oldest_and_counts(self, sim, network):
+        service, delivered = self.make_service(network, max_held=4)
+        service.on_reception(reception(0))  # delivered; cursor now 1
+        for seq in (2, 3, 4, 5):
+            service.on_reception(reception(seq))  # held: gap at 1
+        assert service.stats.reorder_evictions == 0
+        service.on_reception(reception(6))  # fifth held entry: over cap
+        sim.run(until=1.0)  # well before the 10 s flush timeout
+        # The entry nearest the cursor (2) was force-flushed, which also
+        # released everything queued behind it — in sequence order.
+        assert [a.message.sequence for a in delivered] == [0, 2, 3, 4, 5, 6]
+        assert service.stats.reorder_evictions == 1
+        assert service.stats.buffered_flushes == 0
+
+    def test_sustained_gaps_stay_bounded(self, sim, network):
+        service, delivered = self.make_service(network, max_held=4)
+        service.on_reception(reception(0))
+        # Every odd sequence is lost: each even arrival opens a new gap.
+        for seq in range(2, 42, 2):
+            service.on_reception(reception(seq))
+        sim.run(until=1.0)
+        # Each arrival past the cap evicted the entry nearest the cursor,
+        # keeping memory bounded; delivery stayed in serial order. The
+        # last max_held entries are still waiting on their flush timers.
+        assert [a.message.sequence for a in delivered] == [0] + list(
+            range(2, 34, 2)
+        )
+        assert service.stats.reorder_evictions == 16
+        sim.run(until=20.0)  # flush timers release the tail
+        assert [a.message.sequence for a in delivered] == [0] + list(
+            range(2, 42, 2)
+        )
+        assert service.stats.delivered == 21
+
+    def test_eviction_across_wrap_preserves_serial_order(
+        self, sim, network
+    ):
+        service, delivered = self.make_service(network, max_held=4)
+        service.on_reception(reception(65533))  # delivered; cursor 65534
+        # 65534 is lost; held entries straddle the 16-bit wrap.
+        for seq in (65535, 0, 1, 2):
+            service.on_reception(reception(seq))
+        service.on_reception(reception(3))  # over cap: evict nearest (65535)
+        sim.run(until=1.0)
+        assert [a.message.sequence for a in delivered] == [
+            65533, 65535, 0, 1, 2, 3,
+        ]
+        assert service.stats.reorder_evictions == 1
+
+    def test_max_held_validation(self, network):
+        with pytest.raises(ValueError):
+            FilteringService(
+                network, StreamRegistry(), reorder_timeout=1.0, max_held=0
+            )
+
+    def test_evictions_visible_in_metrics_registry(self, sim, network):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        delivered = []
+        network.register_inbox(DISPATCH_INBOX, delivered.append)
+        network.register_inbox(ACK_INBOX, lambda m: None)
+        service = FilteringService(
+            network,
+            StreamRegistry(),
+            window=64,
+            reorder_timeout=10.0,
+            max_held=2,
+            metrics=registry,
+        )
+        service.on_reception(reception(0))
+        for seq in (2, 4, 6):
+            service.on_reception(reception(seq))
+        sim.run(until=1.0)
+        assert service.stats.reorder_evictions == 1
+        assert registry.value("filtering.reorder_evictions") == 1.0

@@ -223,3 +223,120 @@ class TestSummary:
     def test_run_duration_validation(self, deployment):
         with pytest.raises(ConfigurationError):
             deployment.run(-1.0)
+
+
+class TestObserverIsolation:
+    @pytest.fixture
+    def wired(self, deployment):
+        node = deployment.add_sensor(
+            "generic", [make_stream_spec(kind="k")]
+        )
+        consumer = CollectingConsumer(
+            "ctl", SubscriptionPattern(kind="k"), CODEC
+        )
+        deployment.add_consumer(
+            consumer, permissions=Permission.trusted_consumer()
+        )
+        return deployment, node, consumer
+
+    def test_raising_observer_does_not_break_later_ones(self, wired):
+        deployment, node, consumer = wired
+        events = []
+
+        def broken(sid, parameter, value, ok):
+            raise RuntimeError("observer bug")
+
+        deployment.control.add_actuation_observer(broken)
+        deployment.control.add_actuation_observer(
+            lambda *notification: events.append(notification)
+        )
+        consumer.request_update(
+            node.stream_ids()[0], StreamUpdateCommand.SET_RATE, 2.0
+        )
+        deployment.run(8.0)
+        # The healthy observer saw the completion despite the broken one,
+        # and the control loop itself finished (ack recorded).
+        assert events == [(node.stream_ids()[0], "rate", 2.0, True)]
+        assert deployment.actuation.stats.acknowledged == 1
+        assert deployment.control.observer_errors == 1
+        assert (
+            deployment.metrics().value("control.observer_errors") == 1.0
+        )
+
+    def test_non_callable_observer_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.control.add_actuation_observer("not callable")
+
+
+class TestObservability:
+    def test_service_stats_and_registry_agree(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        deployment.run(5.0)
+        registry = deployment.metrics()
+        assert deployment.filtering.stats.received > 0
+        assert (
+            registry.value("filtering.received")
+            == deployment.filtering.stats.received
+        )
+        assert (
+            registry.value("dispatch.deliveries")
+            == deployment.dispatcher.stats.deliveries
+        )
+        assert (
+            registry.value("fixednet.messages")
+            == deployment.network.stats.messages
+        )
+
+    def test_snapshot_carries_virtual_time(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        deployment.run(2.0)
+        snapshot = deployment.metrics_snapshot()
+        assert snapshot["time"] == 2.0
+        assert snapshot["counters"]["filtering.received"] > 0
+
+    def test_write_metrics_produces_json(self, deployment, tmp_path):
+        import json
+
+        deployment.add_sensor("generic", [make_stream_spec()])
+        deployment.run(2.0)
+        path = tmp_path / "run.metrics.json"
+        deployment.write_metrics(str(path))
+        data = json.loads(path.read_text())
+        assert data["time"] == 2.0
+        assert "counters" in data and "histograms" in data
+
+    def test_fixednet_spans_traced(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        deployment.run(5.0)
+        spans = deployment.tracer.finished_spans("fixednet.deliver")
+        assert spans
+        assert all(span.finished for span in spans)
+        config = deployment.config
+        assert all(
+            span.duration == pytest.approx(config.message_latency)
+            for span in spans
+            if not span.attributes.get("rpc")
+        )
+
+    def test_kernel_probe_counts_events(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        deployment.run(5.0)
+        registry = deployment.metrics()
+        assert registry.value("kernel.events_executed") > 0
+        assert (
+            registry.value("kernel.events_scheduled")
+            >= registry.value("kernel.events_executed")
+        )
+
+    def test_observability_can_be_disabled(self):
+        from repro.core.config import GarnetConfig
+
+        config = GarnetConfig(trace_spans=False, kernel_probe=False)
+        deployment = Garnet(config=config, seed=3)
+        deployment.define_sensor_type("g", {})
+        deployment.add_sensor("g", [make_stream_spec()])
+        deployment.run(2.0)
+        assert deployment.tracer is None
+        assert deployment.metrics().value("kernel.events_executed") == 0.0
+        # The stats counters still flow through the registry.
+        assert deployment.metrics().value("filtering.received") > 0

@@ -1,0 +1,89 @@
+"""The metrics_dump CLI: table, Prometheus and grep rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.tools.metrics_dump import main
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("filtering.received").inc(5)
+    registry.counter("broker.registrations").inc(1)
+    registry.gauge("kernel.queue_depth").set(2)
+    registry.histogram("hop.seconds", buckets=(0.001,)).observe(0.0005)
+    snapshot = registry.snapshot()
+    snapshot["time"] = 12.5
+    path = tmp_path / "run.metrics.json"
+    path.write_text(json.dumps(snapshot))
+    return str(path)
+
+
+def test_table_output(snapshot_file, capsys):
+    assert main([snapshot_file]) == 0
+    out = capsys.readouterr().out
+    assert "time: 12.5" in out
+    assert "filtering.received = 5.0" in out
+    assert "kernel.queue_depth = 2.0" in out
+    assert "hop.seconds = count=1" in out
+
+
+def test_prometheus_output(snapshot_file, capsys):
+    assert main(["--prometheus", snapshot_file]) == 0
+    out = capsys.readouterr().out
+    assert "garnet_filtering_received 5" in out
+    assert 'garnet_hop_seconds_bucket{le="0.001"} 1' in out
+
+
+def test_grep_filters_names(snapshot_file, capsys):
+    assert main(["--grep", "filtering", snapshot_file]) == 0
+    out = capsys.readouterr().out
+    assert "filtering.received" in out
+    assert "broker.registrations" not in out
+    assert "hop.seconds" not in out
+
+
+def test_benchmark_envelope_shape(tmp_path, capsys):
+    first = MetricsRegistry()
+    first.counter("filtering.received").inc(2)
+    second = MetricsRegistry()
+    second.counter("broker.registrations").inc(1)
+    payload = {
+        "test": "benchmarks/bench_e2.py::test_x",
+        "registries": [first.snapshot(), second.snapshot()],
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== benchmarks/bench_e2.py::test_x[0] ==" in out
+    assert "== benchmarks/bench_e2.py::test_x[1] ==" in out
+    assert "filtering.received = 2.0" in out
+    assert "broker.registrations = 1.0" in out
+
+
+def test_missing_file_reports_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.json")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_json_reports_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    assert main([str(path)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_non_object_root_rejected(tmp_path, capsys):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2]")
+    assert main([str(path)]) == 1
+    assert "must be a JSON object" in capsys.readouterr().err
+
+
+def test_bad_grep_pattern_rejected(snapshot_file, capsys):
+    assert main(["--grep", "(", snapshot_file]) == 1
+    assert "bad --grep pattern" in capsys.readouterr().err
