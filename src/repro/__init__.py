@@ -35,7 +35,9 @@ from repro.core.message import DataMessage, MessageCodec
 from repro.core.middleware import Garnet
 from repro.core.resource import StreamConfig
 from repro.core.security import PayloadCipher, Permission
+from repro.core.session import GarnetSession
 from repro.core.streamid import StreamId
+from repro.util.backoff import BackoffPolicy
 from repro.sensors.node import SensorNode, SensorStreamSpec
 from repro.sensors.sampling import SampleCodec, SineSampler
 
@@ -43,10 +45,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveRateController",
+    "BackoffPolicy",
     "Consumer",
     "DataMessage",
     "Garnet",
     "GarnetConfig",
+    "GarnetSession",
     "MessageCodec",
     "PayloadCipher",
     "Permission",

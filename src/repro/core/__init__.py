@@ -12,7 +12,8 @@ them joined by the Figure 2 data-message format:
   :mod:`repro.core.replicator`
 - cross-cutting: :mod:`repro.core.location`, :mod:`repro.core.coordinator`,
   :mod:`repro.core.security`
-- applications: :mod:`repro.core.consumer`, :mod:`repro.core.operators`
+- applications: :mod:`repro.core.consumer`, :mod:`repro.core.operators`,
+  :mod:`repro.core.session`
 - assembly: :mod:`repro.core.middleware`, :mod:`repro.core.config`
 """
 
@@ -20,12 +21,14 @@ from repro.core.config import GarnetConfig
 from repro.core.flags import HeaderFlags, PROTOCOL_VERSION
 from repro.core.message import DataMessage, MessageCodec
 from repro.core.middleware import Garnet
+from repro.core.session import GarnetSession
 from repro.core.streamid import StreamId
 
 __all__ = [
     "DataMessage",
     "Garnet",
     "GarnetConfig",
+    "GarnetSession",
     "HeaderFlags",
     "MessageCodec",
     "PROTOCOL_VERSION",

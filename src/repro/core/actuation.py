@@ -13,12 +13,21 @@ this is exactly why the overview is "approximate" (Section 6): between
 issue and acknowledgement the middleware's belief and the sensor's state
 legitimately diverge.
 
+Retransmission timing follows a configurable
+:class:`~repro.util.backoff.BackoffPolicy`: the first wait is
+``ack_timeout``, subsequent waits grow by the policy's multiplier (with
+optional jitter drawn from a simulation-forked RNG), so a congested or
+partitioned return path sees progressively gentler retry pressure. The
+default policy (multiplier 1, no jitter) reproduces the original fixed
+``ack_timeout`` behaviour exactly.
+
 Request ids are 16-bit and ephemeral, wrapping after 64K requests — the
 identifier the paper calls "loosely comparable to a RETRI" (Section 7).
 """
 
 from __future__ import annotations
 
+import random
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from typing import Any
@@ -40,6 +49,7 @@ from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 from repro.simnet.kernel import EventHandle
 from repro.simnet.trace import LatencyRecorder
+from repro.util.backoff import BackoffPolicy
 from repro.util.ids import WrappingCounter
 
 ACK_INBOX = "garnet.actuation.acks"
@@ -98,6 +108,7 @@ class ActuationService:
         ack_timeout: float = 2.0,
         max_attempts: int = 3,
         metrics: MetricsRegistry | None = None,
+        backoff: BackoffPolicy | None = None,
     ) -> None:
         if ack_timeout <= 0:
             raise ActuationError("ack_timeout must be positive")
@@ -106,7 +117,21 @@ class ActuationService:
         self._network = network
         self._resource_manager = resource_manager
         self._ack_timeout = ack_timeout
-        self._max_attempts = max_attempts
+        # ``backoff`` overrides the legacy (ack_timeout, max_attempts)
+        # pair; the default multiplier-1 policy is exactly the historical
+        # fixed-interval retransmission.
+        self._backoff = backoff or BackoffPolicy(
+            base=ack_timeout,
+            multiplier=1.0,
+            jitter=0.0,
+            max_attempts=max_attempts,
+        )
+        self._max_attempts = self._backoff.max_attempts
+        # Forked only when jitter is in play, preserving the historical
+        # RNG stream layout for deterministic legacy deployments.
+        self._backoff_rng: random.Random | None = (
+            network.sim.fork_rng() if self._backoff.jitter > 0 else None
+        )
         self._codec = ControlCodec()
         self._request_ids = WrappingCounter(16)
         self._pending: dict[int, PendingRequest] = {}
@@ -121,6 +146,15 @@ class ActuationService:
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @property
+    def backoff(self) -> BackoffPolicy:
+        """The retransmission schedule in force."""
+        return self._backoff
+
+    def backoff_schedule(self) -> tuple[float, ...]:
+        """Nominal wait after each attempt, in order (jitter excluded)."""
+        return self._backoff.schedule()
 
     # ------------------------------------------------------------------
     def issue(
@@ -186,7 +220,9 @@ class ActuationService:
             ),
         )
         pending.timer = self._network.sim.schedule(
-            self._ack_timeout, self._on_timeout, pending.request.request_id
+            self._backoff.delay(pending.attempts, self._backoff_rng),
+            self._on_timeout,
+            pending.request.request_id,
         )
 
     def _on_timeout(self, request_id: int) -> None:

@@ -126,7 +126,7 @@ class AdaptiveRateController(Consumer):
         return self._requested_rate
 
     def on_start(self) -> None:
-        self.subscribe_stream(self._stream_id)
+        self.subscribe(stream_id=self._stream_id)
 
     def on_data(self, arrival: StreamArrival) -> None:
         if not arrival.message.payload:

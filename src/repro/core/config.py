@@ -55,10 +55,29 @@ class GarnetConfig:
     publish_location_stream: bool = True
     location_stream_period: float = 10.0
 
-    # Actuation Service
+    # Actuation Service. The backoff defaults (multiplier 1, no jitter)
+    # reproduce the historical fixed-interval retransmission exactly.
     ack_timeout: float = 2.0
     ack_max_attempts: int = 3
+    ack_backoff_multiplier: float = 1.0
+    ack_backoff_max: float | None = None
+    ack_backoff_jitter: float = 0.0
     replicator_margin: float = 25.0
+
+    # Fixed-network resilience: when ``fixednet_retry_base`` is set,
+    # sends to an unreachable endpoint are retried on that backoff
+    # schedule instead of being dropped immediately; exhausted retries
+    # go to the dead-letter hook either way.
+    fixednet_retry_base: float | None = None
+    fixednet_retry_multiplier: float = 2.0
+    fixednet_retry_max: float | None = None
+    fixednet_retry_jitter: float = 0.0
+    fixednet_retry_attempts: int = 3
+
+    # Broker leases & session liveness: both default off, which is the
+    # pre-lease behaviour (registrations never expire, no heartbeats).
+    broker_lease_ttl: float | None = None
+    session_heartbeat_period: float | None = None
 
     # Super Coordinator
     predictive_coordinator: bool = False
@@ -85,4 +104,22 @@ class GarnetConfig:
             raise ConfigurationError("transmitter grid must be at least 1x1")
         if self.area.width <= 0 or self.area.height <= 0:
             raise ConfigurationError("deployment area must have extent")
+        if self.broker_lease_ttl is not None and self.broker_lease_ttl <= 0:
+            raise ConfigurationError("broker_lease_ttl must be positive")
+        if (
+            self.session_heartbeat_period is not None
+            and self.session_heartbeat_period <= 0
+        ):
+            raise ConfigurationError(
+                "session_heartbeat_period must be positive"
+            )
+        if (
+            self.broker_lease_ttl is not None
+            and self.session_heartbeat_period is not None
+            and self.session_heartbeat_period >= self.broker_lease_ttl
+        ):
+            raise ConfigurationError(
+                "session_heartbeat_period must be shorter than "
+                "broker_lease_ttl or every lease expires between heartbeats"
+            )
         return self

@@ -122,20 +122,63 @@ class Consumer:
     def now(self) -> float:
         return self._require_runtime().network.sim.now
 
-    def subscribe(self, pattern: SubscriptionPattern) -> int:
+    def subscribe(
+        self,
+        pattern: SubscriptionPattern | None = None,
+        *,
+        stream_id: StreamId | None = None,
+        sensor_id: int | None = None,
+        stream_index: int | None = None,
+        kind: str | None = None,
+        derived: bool | None = None,
+    ) -> int:
+        """Subscribe by explicit pattern or by pattern fields.
+
+        When the consumer is attached through a
+        :class:`~repro.core.session.GarnetSession` (the normal case),
+        the subscription is recorded in the session's re-subscription
+        ledger and survives broker crash/restart.
+        """
         runtime = self._require_runtime()
-        subscription_id = runtime.broker.subscribe(
-            self._token, self.endpoint, pattern
-        )
+        if pattern is None:
+            pattern = SubscriptionPattern(
+                stream_id=stream_id,
+                sensor_id=sensor_id,
+                stream_index=stream_index,
+                kind=kind,
+                derived=derived,
+            )
+        session_subscribe = getattr(runtime, "subscribe", None)
+        if session_subscribe is not None:
+            subscription_id = session_subscribe(pattern)
+        else:
+            # Legacy ConsumerRuntime: talk to the broker directly (no
+            # crash-recovery ledger).
+            subscription_id = runtime.broker.subscribe(
+                self._token, self.endpoint, pattern
+            )
         self._subscription_ids.append(subscription_id)
         return subscription_id
 
     def subscribe_stream(self, stream_id: StreamId) -> int:
-        return self.subscribe(SubscriptionPattern(stream_id=stream_id))
+        """Deprecated: use ``subscribe(stream_id=...)``."""
+        import warnings
+
+        warnings.warn(
+            "Consumer.subscribe_stream is deprecated; use "
+            "Consumer.subscribe(stream_id=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.subscribe(stream_id=stream_id)
 
     def unsubscribe(self, subscription_id: int) -> None:
         runtime = self._require_runtime()
-        runtime.broker.unsubscribe(self._token, subscription_id)
+        session_unsubscribe = getattr(runtime, "unsubscribe", None)
+        if session_unsubscribe is not None:
+            session_unsubscribe(subscription_id)
+        else:
+            runtime.broker.unsubscribe(self._token, subscription_id)
         self._subscription_ids.remove(subscription_id)
 
     def discover(

@@ -35,13 +35,17 @@ ORPHANAGE_INBOX = "garnet.orphanage"
 BROKER_INBOX = "garnet.broker.advertisements"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, kw_only=True)
 class SubscriptionPattern:
     """A declarative description of the streams a consumer wants.
 
     All specified fields must match (conjunction); unspecified fields
     match anything. ``kind`` supports a trailing ``*`` wildcard against
     the stream's advertised kind tag.
+
+    Construction is keyword-only: a bare ``SubscriptionPattern(x)`` is
+    ambiguous (is ``x`` a stream, a sensor, a kind?), and the field most
+    callers want — ``kind`` — is nowhere near first position.
     """
 
     stream_id: StreamId | None = None

@@ -42,6 +42,7 @@ from repro.core.resource import (
     StreamConfig,
 )
 from repro.core.security import AuthService, Permission, Token
+from repro.core.session import GarnetSession
 from repro.core.streamid import (
     MAX_SENSOR_ID,
     StreamId,
@@ -58,7 +59,12 @@ from repro.simnet.geometry import Point
 from repro.simnet.kernel import Simulator
 from repro.simnet.mobility import MobilityModel, Stationary
 from repro.simnet.wireless import WirelessMedium
+from repro.util.backoff import BackoffPolicy
 from repro.util.ids import IdPool
+
+#: Sentinel distinguishing "use the config default" from an explicit
+#: ``heartbeat_period=None`` (heartbeats off) in :meth:`Garnet.connect`.
+_USE_CONFIG = object()
 
 #: Which command applies each configuration parameter on the wire.
 _PARAMETER_COMMANDS: dict[str, StreamUpdateCommand] = {
@@ -187,7 +193,14 @@ class ControlPath:
 
 @dataclass(slots=True)
 class ConsumerRuntime:
-    """Middleware access injected into each attached consumer."""
+    """Middleware access injected into each attached consumer.
+
+    .. deprecated::
+        Superseded by :class:`~repro.core.session.GarnetSession`, which
+        is a superset of this surface and adds lease heartbeating and
+        crash recovery; ``Garnet.add_consumer`` now injects a session.
+        Kept for code that constructs a runtime by hand.
+    """
 
     network: FixedNetwork
     broker: Broker
@@ -225,12 +238,22 @@ class Garnet:
             self.sim.set_probe(KernelProbe(self._metrics))
 
         self.codec = MessageCodec(checksum=cfg.checksum)
+        retry_policy = None
+        if cfg.fixednet_retry_base is not None:
+            retry_policy = BackoffPolicy(
+                base=cfg.fixednet_retry_base,
+                multiplier=cfg.fixednet_retry_multiplier,
+                max_delay=cfg.fixednet_retry_max,
+                jitter=cfg.fixednet_retry_jitter,
+                max_attempts=cfg.fixednet_retry_attempts,
+            )
         self.network = FixedNetwork(
             self.sim,
             message_latency=cfg.message_latency,
             rpc_latency=cfg.rpc_latency,
             metrics=self._metrics,
             tracer=self.tracer,
+            retry_policy=retry_policy,
         )
         self.medium = WirelessMedium(
             self.sim,
@@ -262,6 +285,7 @@ class Garnet:
             self.dispatcher,
             self.auth,
             metrics=self._metrics,
+            lease_ttl=cfg.broker_lease_ttl,
         )
         self.location = LocationService(
             self.network,
@@ -301,6 +325,13 @@ class Garnet:
             ack_timeout=cfg.ack_timeout,
             max_attempts=cfg.ack_max_attempts,
             metrics=self._metrics,
+            backoff=BackoffPolicy(
+                base=cfg.ack_timeout,
+                multiplier=cfg.ack_backoff_multiplier,
+                max_delay=cfg.ack_backoff_max,
+                jitter=cfg.ack_backoff_jitter,
+                max_attempts=cfg.ack_max_attempts,
+            ),
         )
         self.replicator = MessageReplicator(
             self.network,
@@ -323,6 +354,7 @@ class Garnet:
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
         self._sensors: dict[int, SensorNode] = {}
         self._consumers: dict[str, Consumer] = {}
+        self._sessions: dict[str, GarnetSession] = {}
 
         # Location data is itself a (restricted) data stream (Section 2):
         # estimates are republished periodically under a derived StreamId
@@ -457,29 +489,78 @@ class Garnet:
     def sensors(self) -> list[SensorNode]:
         return [self._sensors[sid] for sid in sorted(self._sensors)]
 
+    def connect(
+        self,
+        name: str | None = None,
+        token: Token | None = None,
+        permissions: Permission | None = None,
+        heartbeat_period: float | None | object = _USE_CONFIG,
+    ) -> GarnetSession:
+        """Open a :class:`GarnetSession`: the consumer-side front door.
+
+        One call replaces the register-inbox / register-consumer /
+        subscribe / discover choreography against individual services:
+
+        >>> session = deployment.connect("dashboard")       # doctest: +SKIP
+        >>> session.subscribe(kind="temperature.*")         # doctest: +SKIP
+
+        ``name`` defaults to the token's principal when a token is
+        supplied. ``heartbeat_period`` (default: the config's
+        ``session_heartbeat_period``) enables lease heartbeating and
+        automatic crash recovery; pass ``None`` explicitly to disable
+        heartbeats for this session regardless of the config.
+        """
+        if name is None:
+            if token is None:
+                raise RegistrationError(
+                    "connect() needs a session name or a token"
+                )
+            name = token.principal
+        if name in self._sessions:
+            raise RegistrationError(f"session {name!r} already connected")
+        if token is None:
+            token = self.issue_token(name, permissions)
+        if heartbeat_period is _USE_CONFIG:
+            heartbeat_period = self.config.session_heartbeat_period
+        session = GarnetSession(
+            self, name, token, heartbeat_period=heartbeat_period
+        )
+        self._sessions[name] = session
+        return session
+
+    def _release_session(self, session: GarnetSession) -> None:
+        # Called by GarnetSession.close(); keeps the name reusable.
+        if self._sessions.get(session.name) is session:
+            del self._sessions[session.name]
+
+    def session(self, name: str) -> GarnetSession:
+        try:
+            return self._sessions[name]
+        except KeyError as exc:
+            raise RegistrationError(f"no session named {name!r}") from exc
+
+    def sessions(self) -> list[GarnetSession]:
+        return [self._sessions[name] for name in sorted(self._sessions)]
+
     def add_consumer(
         self,
         consumer: Consumer,
         token: Token | None = None,
         permissions: Permission | None = None,
     ) -> Consumer:
-        """Admit a consumer process: inbox, registration, ``on_start``."""
+        """Admit a consumer process: session, registration, ``on_start``.
+
+        The consumer is attached over a :class:`GarnetSession` (its
+        ``runtime``), so it inherits lease heartbeating and broker-crash
+        recovery when those are enabled in the config.
+        """
         if consumer.name in self._consumers:
             raise RegistrationError(
                 f"consumer {consumer.name!r} already added"
             )
-        if token is None:
-            token = self.issue_token(consumer.name, permissions)
-        self.network.register_inbox(consumer.endpoint, consumer._deliver)
-        runtime = ConsumerRuntime(
-            network=self.network,
-            broker=self.broker,
-            control=self.control,
-            _publisher_pool=self._publisher_ids,
-            metrics=self._metrics,
-        )
-        consumer._attach(runtime, token)
-        self.broker.register_consumer(token, consumer.endpoint)
+        session = self.connect(consumer.name, token, permissions)
+        session.on_data(consumer._deliver)
+        consumer._attach(session, session.token)
         self._consumers[consumer.name] = consumer
         consumer.on_start()
         return consumer
@@ -522,9 +603,13 @@ class Garnet:
             raise RegistrationError(
                 f"consumer {consumer.name!r} is not part of this deployment"
             )
-        self.control.release_demands(consumer.name)
-        self.dispatcher.remove_endpoint(consumer.endpoint)
-        self.network.unregister_inbox(consumer.endpoint)
+        session = self._sessions.get(consumer.name)
+        if session is not None:
+            session.close()
+        else:
+            self.control.release_demands(consumer.name)
+            self.dispatcher.remove_endpoint(consumer.endpoint)
+            self.network.unregister_inbox(consumer.endpoint)
         del self._consumers[consumer.name]
 
     # ------------------------------------------------------------------

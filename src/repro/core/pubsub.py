@@ -15,6 +15,16 @@ interest." The broker is the front door implementing all five:
 - **publish/subscribe** — subscriptions (exact or pattern) are installed
   into the Dispatching Service, which owns the data path.
 
+Registrations are **leases**: when the broker is constructed with a
+``lease_ttl``, an endpoint that stops heartbeating past its TTL is reaped
+— its binding and every subscription it installed are dropped, exactly
+what happens to a consumer process that died without deregistering.
+:class:`~repro.core.session.GarnetSession` heartbeats automatically, and
+uses a ``False`` heartbeat reply ("who are you?") as its signal to
+re-register after the broker itself crashed and restarted with empty
+state (:meth:`Broker.crash` / :meth:`Broker.restart`, driven by
+:mod:`repro.faults`).
+
 Consumers remain mutually unaware: nothing the broker exposes reveals who
 else is subscribed (Section 2, "consumer processes are mutually unaware").
 """
@@ -32,7 +42,12 @@ from repro.core.envelopes import StreamAdvertisement
 from repro.core.security import AuthService, Permission, Token
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamDescriptor, StreamRegistry
-from repro.errors import RegistrationError, SubscriptionError
+from repro.errors import (
+    ConfigurationError,
+    RegistrationError,
+    ServiceDownError,
+    SubscriptionError,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork, RpcEndpoint
@@ -48,6 +63,8 @@ class BrokerStats(RegistryBackedStats):
     discoveries: int = 0
     subscriptions: int = 0
     unsubscriptions: int = 0
+    heartbeats: int = 0
+    leases_expired: int = 0
 
 
 class Broker(RpcEndpoint):
@@ -60,14 +77,20 @@ class Broker(RpcEndpoint):
         dispatcher: DispatchingService,
         auth: AuthService,
         metrics: MetricsRegistry | None = None,
+        lease_ttl: float | None = None,
     ) -> None:
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ConfigurationError("lease_ttl must be positive or None")
         self._network = network
         self._registry = registry
         self._dispatcher = dispatcher
         self._auth = auth
+        self._lease_ttl = lease_ttl
         self._endpoints: dict[str, str] = {}  # endpoint -> principal
         self._permissions: dict[str, Permission] = {}  # endpoint -> perms
+        self._leases: dict[str, float] = {}  # endpoint -> expires_at
         self._watchers: list[Callable[[StreamAdvertisement], None]] = []
+        self._up = True
         self.stats = BrokerStats(metrics)
         network.register_inbox(BROKER_INBOX, self._on_advertisement)
         network.register_service(SERVICE_NAME, self)
@@ -88,11 +111,113 @@ class Broker(RpcEndpoint):
         return held & required == required
 
     # ------------------------------------------------------------------
+    # Liveness (crash faults)
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """False between :meth:`crash` and :meth:`restart`."""
+        return self._up
+
+    def crash(self) -> None:
+        """Kill the broker: state is lost, its endpoints go dark.
+
+        Models a middleware host dying without a graceful shutdown: the
+        session/lease table evaporates, the routing state those sessions
+        installed is torn down (their deliveries stop, data falls through
+        to the Orphanage), and the broker disappears from the RPC fabric.
+        Idempotent. Consumers recover after :meth:`restart` via their
+        heartbeat loop.
+        """
+        if not self._up:
+            return
+        self._up = False
+        for endpoint in list(self._endpoints):
+            self._dispatcher.remove_endpoint(endpoint)
+        self._endpoints.clear()
+        self._permissions.clear()
+        self._leases.clear()
+        self._dispatcher.invalidate_routes()
+        self._network.unregister_service(SERVICE_NAME)
+        self._network.unregister_inbox(BROKER_INBOX)
+
+    def restart(self) -> None:
+        """Bring a crashed broker back, empty: sessions must re-register."""
+        if self._up:
+            return
+        self._up = True
+        self._network.register_service(SERVICE_NAME, self)
+        self._network.register_inbox(BROKER_INBOX, self._on_advertisement)
+
+    def _require_up(self) -> None:
+        if not self._up:
+            raise ServiceDownError("the broker is down")
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    @property
+    def lease_ttl(self) -> float | None:
+        return self._lease_ttl
+
+    def lease_expiry(self, endpoint: str) -> float | None:
+        """When ``endpoint``'s lease lapses (None = no lease / no TTL)."""
+        return self._leases.get(endpoint)
+
+    def _grant_lease(self, endpoint: str) -> None:
+        if self._lease_ttl is not None:
+            self._leases[endpoint] = (
+                self._network.sim.now + self._lease_ttl
+            )
+
+    def reap_expired_leases(self) -> int:
+        """Drop every endpoint whose lease has lapsed; returns the count.
+
+        Called lazily from every broker operation (and by the session
+        heartbeat path), so a dead consumer's subscriptions disappear the
+        next time anything touches the broker after the TTL passes.
+        """
+        if self._lease_ttl is None:
+            return 0
+        now = self._network.sim.now
+        expired = [
+            endpoint
+            for endpoint, expires_at in self._leases.items()
+            if expires_at <= now
+        ]
+        for endpoint in expired:
+            del self._leases[endpoint]
+            self._endpoints.pop(endpoint, None)
+            self._permissions.pop(endpoint, None)
+            self._dispatcher.remove_endpoint(endpoint)
+            self.stats.leases_expired += 1
+        if expired:
+            self._dispatcher.invalidate_routes()
+        return len(expired)
+
+    def heartbeat(self, token: Token, endpoint: str) -> bool:
+        """Renew ``endpoint``'s lease; False means "re-register, please".
+
+        A ``False`` reply is how a session discovers the broker lost its
+        registration — because the lease expired, or because the broker
+        restarted from a crash with empty state.
+        """
+        self._require_up()
+        principal = self._auth.require(token, Permission.SUBSCRIBE)
+        self.reap_expired_leases()
+        self.stats.heartbeats += 1
+        if self._endpoints.get(endpoint) != principal:
+            return False
+        self._grant_lease(endpoint)
+        return True
+
+    # ------------------------------------------------------------------
     # Registration & authentication
     # ------------------------------------------------------------------
     def register_consumer(self, token: Token, endpoint: str) -> str:
         """Bind a consumer's fixed-network endpoint to its identity."""
+        self._require_up()
         principal = self._auth.require(token, Permission.SUBSCRIBE)
+        self.reap_expired_leases()
         if not self._network.has_inbox(endpoint):
             raise RegistrationError(
                 f"endpoint {endpoint!r} has no inbox on the fixed network"
@@ -104,16 +229,19 @@ class Broker(RpcEndpoint):
             )
         self._endpoints[endpoint] = principal
         self._permissions[endpoint] = token.permissions
+        self._grant_lease(endpoint)
         self._dispatcher.invalidate_routes()
         self.stats.registrations += 1
         return principal
 
     def deregister_consumer(self, token: Token, endpoint: str) -> int:
         """Unbind an endpoint and drop all its subscriptions."""
+        self._require_up()
         principal = self._auth.require(token, Permission.SUBSCRIBE)
         self._require_owner(principal, endpoint)
         del self._endpoints[endpoint]
         self._permissions.pop(endpoint, None)
+        self._leases.pop(endpoint, None)
         self._dispatcher.invalidate_routes()
         return self._dispatcher.remove_endpoint(endpoint)
 
@@ -138,6 +266,7 @@ class Broker(RpcEndpoint):
         attributes: dict | None = None,
     ) -> StreamDescriptor:
         """Attach metadata to a stream (requires PUBLISH)."""
+        self._require_up()
         principal = self._auth.require(token, Permission.PUBLISH)
         descriptor = self._registry.advertise(
             stream_id,
@@ -165,6 +294,7 @@ class Broker(RpcEndpoint):
         derived: bool | None = None,
     ) -> list[StreamDescriptor]:
         """Query advertised streams by metadata (requires SUBSCRIBE)."""
+        self._require_up()
         self._auth.require(token, Permission.SUBSCRIBE)
         self.stats.discoveries += 1
         return self._registry.match(
@@ -175,6 +305,7 @@ class Broker(RpcEndpoint):
         self, token: Token, callback: Callable[[StreamAdvertisement], None]
     ) -> None:
         """Be notified of every future advertisement (requires SUBSCRIBE)."""
+        self._require_up()
         self._auth.require(token, Permission.SUBSCRIBE)
         self._watchers.append(callback)
 
@@ -195,7 +326,9 @@ class Broker(RpcEndpoint):
         self, token: Token, endpoint: str, pattern: SubscriptionPattern
     ) -> int:
         """Install a subscription routing matching streams to ``endpoint``."""
+        self._require_up()
         principal = self._auth.require(token, Permission.SUBSCRIBE)
+        self.reap_expired_leases()
         self._require_owner(principal, endpoint)
         if not isinstance(pattern, SubscriptionPattern):
             raise SubscriptionError(
@@ -208,12 +341,28 @@ class Broker(RpcEndpoint):
     def subscribe_stream(
         self, token: Token, endpoint: str, stream_id: StreamId
     ) -> int:
-        """Convenience: subscribe to exactly one stream."""
+        """Deprecated: use ``subscribe`` with a ``stream_id`` pattern.
+
+        .. deprecated::
+            Superseded by the :class:`~repro.core.session.GarnetSession`
+            surface (``session.subscribe(stream_id=...)``).
+        """
+        import warnings
+
+        warnings.warn(
+            "Broker.subscribe_stream is deprecated; use "
+            "Broker.subscribe(token, endpoint, "
+            "SubscriptionPattern(stream_id=...)) or "
+            "GarnetSession.subscribe(stream_id=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.subscribe(
             token, endpoint, SubscriptionPattern(stream_id=stream_id)
         )
 
     def unsubscribe(self, token: Token, subscription_id: int) -> None:
+        self._require_up()
         self._auth.require(token, Permission.SUBSCRIBE)
         self._dispatcher.remove_subscription(subscription_id)
         self.stats.unsubscriptions += 1
@@ -223,6 +372,9 @@ class Broker(RpcEndpoint):
     # ------------------------------------------------------------------
     def rpc_register_consumer(self, token: Token, endpoint: str) -> str:
         return self.register_consumer(token, endpoint)
+
+    def rpc_heartbeat(self, token: Token, endpoint: str) -> bool:
+        return self.heartbeat(token, endpoint)
 
     def rpc_discover(self, token: Token, **query) -> list[StreamDescriptor]:
         return self.discover(token, **query)

@@ -10,6 +10,13 @@ Figure 1), pads the returned confidence area by a safety margin (the
 sensor keeps moving between estimate and broadcast), and hands the frame
 to every transmitter whose footprint intersects the padded area. With no
 usable estimate it floods all transmitters — correctness over economy.
+
+Transmitters can fail (receiver-array outages and hardware faults are
+first-class events in :mod:`repro.faults`): when every transmitter the
+replicator would have chosen is offline, it *fails over* to the nearest
+in-service antenna instead of losing the control message, counting the
+recovery as ``resilience.replicator_failovers``. Only when the whole
+array is dark does the order go unbroadcast (``replicator.blackouts``).
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ class ReplicatorStats(RegistryBackedStats):
     targeted: int = 0
     flooded: int = 0
     transmitters_used: int = 0
+    failovers: int = 0
+    """Orders whose chosen transmitters were all offline and that were
+    re-routed to the nearest in-service antenna instead."""
+    blackouts: int = 0
+    """Orders that could not be broadcast at all (every antenna offline)."""
 
     @property
     def mean_transmitters_per_order(self) -> float:
@@ -57,6 +69,10 @@ class MessageReplicator:
         self._transmitters = transmitters
         self._margin = margin
         self.stats = ReplicatorStats(metrics)
+        self._failover_counter = self.stats.registry.counter(
+            "resilience.replicator_failovers",
+            help="control broadcasts re-routed around offline transmitters",
+        )
         network.register_inbox(INBOX, self.on_order)
 
     def on_order(self, order: TransmitOrder) -> None:
@@ -64,15 +80,41 @@ class MessageReplicator:
         estimate = self._lookup(order.target_sensor_id)
         if estimate is None:
             self.stats.flooded += 1
-            used = self._transmitters.broadcast_all(order.frame)
+            chosen = list(self._transmitters.transmitters)
+            fallback_point = None
         else:
             self.stats.targeted += 1
             area = Circle(
                 estimate.position,
                 estimate.confidence_radius + self._margin,
             )
-            used = self._transmitters.broadcast_to_area(order.frame, area)
-        self.stats.transmitters_used += used
+            chosen = self._transmitters.select_covering(area)
+            if not chosen:
+                # Conservative fallback, as before failover existed: an
+                # empty covering set floods rather than dropping control.
+                chosen = list(self._transmitters.transmitters)
+            fallback_point = estimate.position
+        online = [t for t in chosen if t.online]
+        if not online and chosen:
+            # First choice(s) down: fail over to the nearest antenna that
+            # still works rather than losing the control message.
+            alternate = (
+                self._transmitters.nearest_online(fallback_point)
+                if fallback_point is not None
+                else None
+            )
+            if alternate is None:
+                remaining = self._transmitters.online_transmitters()
+                alternate = remaining[0] if remaining else None
+            if alternate is None:
+                self.stats.blackouts += 1
+                return
+            self.stats.failovers += 1
+            self._failover_counter.inc()
+            online = [alternate]
+        for transmitter in online:
+            transmitter.broadcast(order.frame)
+        self.stats.transmitters_used += len(online)
 
     def _lookup(self, sensor_id: int) -> LocationEstimate | None:
         # Figure 1 draws this as a synchronous lookup; the estimate and

@@ -1,0 +1,396 @@
+"""GarnetSession: one consumer's complete connection to the middleware.
+
+The broker, dispatcher, Resource Manager and fixed network each expose a
+narrow, service-shaped API; an application previously had to thread a
+token and an endpoint name through all of them in the right order. A
+session folds that choreography into one object obtained from
+:meth:`Garnet.connect(token) <repro.core.middleware.Garnet.connect>`:
+
+>>> session = deployment.connect("dashboard")          # doctest: +SKIP
+>>> session.on_data(lambda arrival: ...)               # doctest: +SKIP
+>>> session.subscribe(kind="temperature.*")            # doctest: +SKIP
+>>> session.request_update(stream, SET_RATE, 0.5)      # doctest: +SKIP
+
+Beyond convenience, the session is the client half of the middleware's
+**crash-recovery protocol** (:mod:`repro.faults`): it remembers every
+subscription it installed, heartbeats the broker on a periodic task to
+keep its registration lease alive, and when a heartbeat comes back
+``False`` — the broker restarted from a crash with empty state, or the
+lease lapsed — it re-registers, re-installs its subscriptions, and
+replays any messages that fell into the Orphanage while its routes were
+gone. Recoveries surface as ``resilience.*`` metrics.
+
+:class:`~repro.core.consumer.Consumer` is implemented on top: the
+session doubles as the ``runtime`` object injected at attach time (it is
+a superset of the old ``ConsumerRuntime`` surface).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.control import StreamUpdateCommand
+from repro.core.dispatching import INBOX as DISPATCH_INBOX
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.core.message import DataMessage
+from repro.core.resource import Decision
+from repro.core.security import Token
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamDescriptor
+from repro.errors import SessionError, SubscriptionError
+from repro.obs.stats import RegistryBackedStats
+from repro.simnet.kernel import PeriodicTask
+from repro.util.ids import WrappingCounter
+
+DataCallback = Callable[[StreamArrival], None]
+
+
+class SessionStats(RegistryBackedStats):
+    """Per-session counters (prefixed ``session.<name>``)."""
+
+    deliveries: int = 0
+    published: int = 0
+    heartbeats: int = 0
+    heartbeat_failures: int = 0
+    recoveries: int = 0
+    resubscriptions: int = 0
+    orphans_replayed: int = 0
+
+
+class GarnetSession:
+    """A consumer-side handle over registration, pub/sub and control.
+
+    Obtain one from :meth:`Garnet.connect`; do not construct directly.
+    The session owns its fixed-network inbox and broker registration and
+    releases both on :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        deployment: Any,
+        name: str,
+        token: Token,
+        heartbeat_period: float | None = None,
+    ) -> None:
+        if not name:
+            raise SessionError("session name must be non-empty")
+        self._deployment = deployment
+        self._name = name
+        self._token = token
+        self._closed = False
+        self._callbacks: list[DataCallback] = []
+        # pattern per live subscription id — the re-subscription ledger
+        # recovery replays after a broker restart.
+        self._subscriptions: dict[int, SubscriptionPattern] = {}
+        self._publisher_id: int | None = None
+        self._publish_sequences: dict[int, WrappingCounter] = {}
+        self.stats = SessionStats(prefix=f"session.{name}")
+        metrics = deployment.metrics()
+        self.stats.bind(metrics)
+        # Deployment-wide recovery counters (shared across sessions).
+        self._recoveries_counter = metrics.counter(
+            "resilience.session_recoveries",
+            help="sessions that re-registered after broker state loss",
+        )
+        self._resubscriptions_counter = metrics.counter(
+            "resilience.session_resubscriptions",
+            help="subscriptions re-installed by session recovery",
+        )
+        self._orphan_replay_counter = metrics.counter(
+            "resilience.orphans_replayed",
+            help="orphaned messages replayed to recovering sessions",
+        )
+        self.network.register_inbox(self.endpoint, self._deliver)
+        self.broker.register_consumer(token, self.endpoint)
+        self._heartbeat_task: PeriodicTask | None = None
+        if heartbeat_period is not None:
+            self._heartbeat_task = PeriodicTask(
+                self.network.sim, heartbeat_period, self.heartbeat
+            )
+
+    # ------------------------------------------------------------------
+    # Runtime surface (superset of the legacy ConsumerRuntime)
+    # ------------------------------------------------------------------
+    @property
+    def network(self):
+        return self._deployment.network
+
+    @property
+    def broker(self):
+        return self._deployment.broker
+
+    @property
+    def control(self):
+        return self._deployment.control
+
+    @property
+    def metrics(self):
+        return self._deployment.metrics()
+
+    def allocate_publisher_id(self) -> int:
+        return self._deployment._publisher_ids.allocate()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def token(self) -> Token:
+        return self._token
+
+    @property
+    def endpoint(self) -> str:
+        return f"consumer.{self._name}"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def subscription_ids(self) -> tuple[int, ...]:
+        return tuple(self._subscriptions)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError(f"session {self._name!r} is closed")
+
+    # ------------------------------------------------------------------
+    # Data delivery
+    # ------------------------------------------------------------------
+    def on_data(self, callback: DataCallback) -> None:
+        """Register a callback for every delivered :class:`StreamArrival`."""
+        if not callable(callback):
+            raise SessionError(f"data callback must be callable: {callback!r}")
+        self._callbacks.append(callback)
+
+    def _deliver(self, arrival: StreamArrival) -> None:
+        self.stats.deliveries += 1
+        for callback in list(self._callbacks):
+            callback(arrival)
+
+    # ------------------------------------------------------------------
+    # Discovery & subscription
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        kind: str | None = None,
+        sensor_id: int | None = None,
+        derived: bool | None = None,
+    ) -> list[StreamDescriptor]:
+        """Query the stream catalogue by advertised metadata."""
+        self._require_open()
+        return self.broker.discover(
+            self._token, kind=kind, sensor_id=sensor_id, derived=derived
+        )
+
+    def subscribe(
+        self,
+        pattern: SubscriptionPattern | None = None,
+        *,
+        stream_id: StreamId | None = None,
+        sensor_id: int | None = None,
+        stream_index: int | None = None,
+        kind: str | None = None,
+        derived: bool | None = None,
+    ) -> int:
+        """Subscribe by explicit pattern or by pattern fields.
+
+        ``session.subscribe(kind="temperature.*")`` and
+        ``session.subscribe(SubscriptionPattern(kind="temperature.*"))``
+        are equivalent; mixing both forms is an error.
+        """
+        self._require_open()
+        fields_given = any(
+            value is not None
+            for value in (stream_id, sensor_id, stream_index, kind, derived)
+        )
+        if pattern is not None and fields_given:
+            raise SubscriptionError(
+                "pass either a SubscriptionPattern or pattern fields, not both"
+            )
+        if pattern is None:
+            pattern = SubscriptionPattern(
+                stream_id=stream_id,
+                sensor_id=sensor_id,
+                stream_index=stream_index,
+                kind=kind,
+                derived=derived,
+            )
+        subscription_id = self.broker.subscribe(
+            self._token, self.endpoint, pattern
+        )
+        self._subscriptions[subscription_id] = pattern
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        self._require_open()
+        self.broker.unsubscribe(self._token, subscription_id)
+        self._subscriptions.pop(subscription_id, None)
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def request_update(
+        self,
+        stream_id: StreamId,
+        command: StreamUpdateCommand,
+        value: Any = None,
+        priority: int = 0,
+    ) -> Decision:
+        """Resource Manager approval + actuation, as this session."""
+        self._require_open()
+        return self.control.request_update(
+            consumer=self._name,
+            token=self._token,
+            stream_id=stream_id,
+            command=command,
+            value=value,
+            priority=priority,
+        )
+
+    def release_demands(self, stream_id: StreamId | None = None) -> None:
+        self._require_open()
+        self.control.release_demands(self._name, stream_id)
+
+    # ------------------------------------------------------------------
+    # Publication (multi-level consumption)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        stream_index: int,
+        payload: bytes,
+        kind: str = "",
+        fused: bool = False,
+        encrypted: bool = False,
+        extensions: tuple[tuple[int, bytes], ...] = (),
+    ) -> StreamId:
+        """Publish one message on this session's derived stream."""
+        self._require_open()
+        if self._publisher_id is None:
+            self._publisher_id = self.allocate_publisher_id()
+        stream_id = StreamId(self._publisher_id, stream_index)
+        counter = self._publish_sequences.get(stream_index)
+        if counter is None:
+            counter = WrappingCounter(16)
+            self._publish_sequences[stream_index] = counter
+            if kind:
+                self.broker.advertise(
+                    self._token, stream_id, kind=kind, encrypted=encrypted
+                )
+        message = DataMessage(
+            stream_id=stream_id,
+            sequence=counter.next(),
+            payload=payload,
+            fused=fused,
+            encrypted=encrypted,
+            extensions=extensions,
+        )
+        self.network.send(
+            DISPATCH_INBOX,
+            StreamArrival(
+                message=message,
+                received_at=self.network.sim.now,
+                receiver_id=-1,
+            ),
+        )
+        self.stats.published += 1
+        return stream_id
+
+    @property
+    def publisher_id(self) -> int | None:
+        return self._publisher_id
+
+    # ------------------------------------------------------------------
+    # Liveness & recovery
+    # ------------------------------------------------------------------
+    def heartbeat(self) -> bool:
+        """Renew the broker lease; recover if the broker forgot us.
+
+        Returns True when the session's registration is intact (renewed
+        or just repaired); False when the broker is down and recovery
+        must wait for a future heartbeat.
+        """
+        if self._closed:
+            return False
+        if not self.broker.up:
+            self.stats.heartbeat_failures += 1
+            return False
+        self.stats.heartbeats += 1
+        if self.broker.heartbeat(self._token, self.endpoint):
+            return True
+        self._recover()
+        return True
+
+    def _recover(self) -> None:
+        """Re-register, re-subscribe, and replay orphaned backlog."""
+        self.stats.recoveries += 1
+        self._recoveries_counter.inc()
+        self.broker.register_consumer(self._token, self.endpoint)
+        old = self._subscriptions
+        self._subscriptions = {}
+        for pattern in old.values():
+            subscription_id = self.broker.subscribe(
+                self._token, self.endpoint, pattern
+            )
+            self._subscriptions[subscription_id] = pattern
+            self.stats.resubscriptions += 1
+            self._resubscriptions_counter.inc()
+        self._replay_orphans()
+
+    def _replay_orphans(self) -> int:
+        """Pull matching Orphanage backlogs into this session's inbox.
+
+        While the session's routes were missing, its streams' data fell
+        through to the Orphanage; on recovery, any orphaned stream a
+        current subscription matches is replayed and released.
+        """
+        orphanage = self._deployment.orphanage
+        registry = self._deployment.registry
+        replayed = 0
+        for orphan_stream in list(orphanage.orphan_streams()):
+            descriptor = registry.find(orphan_stream)
+            if descriptor is None:
+                wanted = any(
+                    pattern.stream_id == orphan_stream
+                    for pattern in self._subscriptions.values()
+                )
+            else:
+                wanted = any(
+                    pattern.matches(descriptor)
+                    for pattern in self._subscriptions.values()
+                )
+            if not wanted:
+                continue
+            count = orphanage.replay(orphan_stream, self.endpoint)
+            orphanage.discard(orphan_stream)
+            replayed += count
+            self.stats.orphans_replayed += count
+            self._orphan_replay_counter.inc(count)
+        if replayed:
+            self._deployment.dispatcher.invalidate_routes()
+        return replayed
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release demands, registration and the inbox. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.stop()
+            self._heartbeat_task = None
+        self.control.release_demands(self._name)
+        if self.broker.up:
+            try:
+                self.broker.deregister_consumer(self._token, self.endpoint)
+            except Exception:
+                # Lease may already have been reaped; the endpoint is
+                # gone either way.
+                pass
+        if self.network.has_inbox(self.endpoint):
+            self.network.unregister_inbox(self.endpoint)
+        self._subscriptions.clear()
+        self._deployment._release_session(self)

@@ -87,3 +87,11 @@ class LocationError(GarnetError):
 
 class ConfigurationError(GarnetError):
     """A deployment configuration is inconsistent."""
+
+
+class ServiceDownError(GarnetError):
+    """A middleware service is down (crashed by a fault, not yet restarted)."""
+
+
+class SessionError(GarnetError):
+    """A GarnetSession was used incorrectly (closed, double-connected...)."""

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for Garnet deployments (``repro.faults``).
+
+Declare a :class:`FaultPlan` of timed failure windows, arm it with
+:func:`inject`, run the simulation, and read the ``faults.*`` /
+``resilience.*`` metrics to see what broke and how the middleware
+recovered. Same seed + same plan = identical run, every time.
+"""
+
+from repro.faults.injector import FaultInjector, inject
+from repro.faults.plan import (
+    BrokerCrash,
+    DropBurst,
+    FaultEvent,
+    FaultPlan,
+    LatencySpike,
+    NetworkPartition,
+    ReceiverOutage,
+    TransmitterOutage,
+)
+
+__all__ = [
+    "BrokerCrash",
+    "DropBurst",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencySpike",
+    "NetworkPartition",
+    "ReceiverOutage",
+    "TransmitterOutage",
+    "inject",
+]

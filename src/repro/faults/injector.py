@@ -1,0 +1,165 @@
+"""The fault injector: replays a FaultPlan against a live deployment.
+
+The injector translates each declarative event into begin/end callbacks
+on the deployment's simulation clock, driving the concrete failure
+levers the services expose:
+
+==================  ====================================================
+Event               Lever
+==================  ====================================================
+BrokerCrash         ``Broker.crash()`` / ``Broker.restart()``
+NetworkPartition    ``FixedNetwork.partition()`` / ``heal()``
+LatencySpike        ``FixedNetwork.set_latency_factor()``
+DropBurst           ``WirelessMedium.set_extra_loss()``
+ReceiverOutage      ``WirelessMedium.detach()`` / ``attach()``
+TransmitterOutage   ``TransmitterArray.set_online()``
+==================  ====================================================
+
+Everything injected is counted under ``faults.*`` in the deployment's
+metrics registry, so a post-run snapshot shows exactly which failures
+the middleware survived; the matching recovery actions appear under
+``resilience.*`` (session re-registrations, fixed-network redeliveries,
+replicator failovers...).
+
+Overlap semantics: windows of the *same* kind are reference-counted
+(latency factors multiply; extra-loss windows take the maximum), so
+overlapping events compose instead of clobbering each other's cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults.plan import (
+    BrokerCrash,
+    DropBurst,
+    FaultEvent,
+    FaultPlan,
+    LatencySpike,
+    NetworkPartition,
+    ReceiverOutage,
+    TransmitterOutage,
+)
+
+_EVENT_COUNTERS: dict[type, str] = {
+    BrokerCrash: "faults.broker_crashes",
+    NetworkPartition: "faults.partitions",
+    LatencySpike: "faults.latency_spikes",
+    DropBurst: "faults.drop_bursts",
+    ReceiverOutage: "faults.receiver_outages",
+    TransmitterOutage: "faults.transmitter_outages",
+}
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan`'s events onto one deployment."""
+
+    def __init__(self, deployment: Any, plan: FaultPlan) -> None:
+        self._deployment = deployment
+        self._plan = plan
+        metrics = deployment.metrics()
+        self._injected = metrics.counter(
+            "faults.injected", help="fault windows begun"
+        )
+        self._recovered = metrics.counter(
+            "faults.recovered", help="fault windows ended (lever restored)"
+        )
+        self._active = metrics.gauge(
+            "faults.active", help="fault windows currently open"
+        )
+        self._counters = {
+            kind: metrics.counter(name)
+            for kind, name in _EVENT_COUNTERS.items()
+        }
+        self._armed = False
+        # Same-kind overlap bookkeeping (see module docstring).
+        self._loss_windows: list[float] = []
+        self._latency_factors: list[float] = []
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def arm(self) -> None:
+        """Schedule every event's begin/end on the virtual clock."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        sim = self._deployment.sim
+        for event in self._plan:
+            sim.schedule(event.at - sim.now, self._begin, event)
+            sim.schedule(event.ends_at - sim.now, self._end, event)
+
+    # ------------------------------------------------------------------
+    def _begin(self, event: FaultEvent) -> None:
+        self._injected.inc()
+        self._counters[type(event)].inc()
+        self._active.inc()
+        if isinstance(event, BrokerCrash):
+            self._deployment.broker.crash()
+        elif isinstance(event, NetworkPartition):
+            self._deployment.network.partition(event.endpoints)
+        elif isinstance(event, LatencySpike):
+            self._latency_factors.append(event.factor)
+            self._apply_latency()
+        elif isinstance(event, DropBurst):
+            self._loss_windows.append(event.extra_loss)
+            self._apply_loss()
+        elif isinstance(event, ReceiverOutage):
+            for receiver_id in event.receiver_ids:
+                receiver = self._receiver(receiver_id)
+                self._deployment.medium.detach(receiver)
+        elif isinstance(event, TransmitterOutage):
+            for transmitter_id in event.transmitter_ids:
+                self._deployment.transmitters.set_online(
+                    transmitter_id, False
+                )
+
+    def _end(self, event: FaultEvent) -> None:
+        self._recovered.inc()
+        self._active.dec()
+        if isinstance(event, BrokerCrash):
+            self._deployment.broker.restart()
+        elif isinstance(event, NetworkPartition):
+            self._deployment.network.heal(event.endpoints)
+        elif isinstance(event, LatencySpike):
+            self._latency_factors.remove(event.factor)
+            self._apply_latency()
+        elif isinstance(event, DropBurst):
+            self._loss_windows.remove(event.extra_loss)
+            self._apply_loss()
+        elif isinstance(event, ReceiverOutage):
+            for receiver_id in event.receiver_ids:
+                receiver = self._receiver(receiver_id)
+                self._deployment.medium.attach(
+                    receiver, receiver.reception_range
+                )
+        elif isinstance(event, TransmitterOutage):
+            for transmitter_id in event.transmitter_ids:
+                self._deployment.transmitters.set_online(
+                    transmitter_id, True
+                )
+
+    # ------------------------------------------------------------------
+    def _apply_loss(self) -> None:
+        extra = max(self._loss_windows, default=0.0)
+        self._deployment.medium.set_extra_loss(extra)
+
+    def _apply_latency(self) -> None:
+        factor = 1.0
+        for value in self._latency_factors:
+            factor *= value
+        self._deployment.network.set_latency_factor(factor)
+
+    def _receiver(self, receiver_id: int):
+        for receiver in self._deployment.receivers.receivers:
+            if receiver.receiver_id == receiver_id:
+                return receiver
+        raise KeyError(f"unknown receiver {receiver_id}")
+
+
+def inject(deployment: Any, plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` against ``deployment``; returns the injector."""
+    injector = FaultInjector(deployment, plan)
+    injector.arm()
+    return injector

@@ -113,6 +113,28 @@ class TransmitterArray:
     def __len__(self) -> int:
         return len(self.transmitters)
 
+    def transmitter(self, transmitter_id: int) -> Transmitter:
+        for candidate in self.transmitters:
+            if candidate.transmitter_id == transmitter_id:
+                return candidate
+        raise ConfigurationError(f"unknown transmitter {transmitter_id}")
+
+    def set_online(self, transmitter_id: int, online: bool) -> None:
+        """Take one antenna out of (or back into) service."""
+        self.transmitter(transmitter_id).online = online
+
+    def online_transmitters(self) -> list[Transmitter]:
+        return [t for t in self.transmitters if t.online]
+
+    def nearest_online(self, point) -> Transmitter | None:
+        """The in-service transmitter closest to ``point`` (None if none)."""
+        online = self.online_transmitters()
+        if not online:
+            return None
+        return min(
+            online, key=lambda t: point.distance_to(t.position)
+        )
+
     def select_covering(self, target: Circle) -> list[Transmitter]:
         """Transmitters whose footprint intersects the target area."""
         return [

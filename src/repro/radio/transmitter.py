@@ -40,6 +40,9 @@ class Transmitter:
         self._medium = medium
         self._channel = channel
         self.stats = TransmitterStats()
+        self.online = True
+        """False while a fault has taken this antenna out of service; the
+        Message Replicator fails over to an online alternate."""
 
     @property
     def position(self) -> Point:

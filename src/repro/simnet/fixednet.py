@@ -11,13 +11,22 @@ provides both over the simulation kernel:
 - :meth:`call` invokes a registered :class:`RpcEndpoint` method and
   delivers the result to a callback after a round trip.
 
-The fixed network is reliable (Section 3 presumes replication for
-fault-tolerance); unreliability lives exclusively in the wireless medium.
+Section 3 presumes replication for fault-tolerance on the fixed side; the
+reproduction makes that assumption explicit and *testable*. The network
+can be partitioned and healed (:meth:`partition` / :meth:`heal`), its
+latency inflated (:meth:`set_latency_factor`), and — when a
+:class:`~repro.util.backoff.BackoffPolicy` is installed — a delivery that
+finds its destination unreachable is parked on a retry queue with
+jittered exponential backoff instead of silently vanishing. Deliveries
+that exhaust their retries (or fail with no retry policy configured) go
+through the *dead-letter hook* so callers can react, and are counted as
+``fixednet.dead_lettered``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import random
+from collections.abc import Callable, Iterable
 from typing import Any
 
 from repro.errors import ConfigurationError, RegistrationError
@@ -25,6 +34,10 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.stats import RegistryBackedStats
 from repro.obs.tracing import Span, Tracer
 from repro.simnet.kernel import Simulator
+from repro.util.backoff import BackoffPolicy
+
+#: ``hook(destination, message, reason)`` invoked for every dead letter.
+DeadLetterHook = Callable[[str, Any, str], None]
 
 
 class FixedNetStats(RegistryBackedStats):
@@ -35,7 +48,9 @@ class FixedNetStats(RegistryBackedStats):
     messages: int = 0
     rpc_calls: int = 0
     dropped: int = 0
-    """Messages whose destination had no inbox at delivery time."""
+    """Messages whose destination was unreachable at (final) delivery time."""
+    dead_lettered: int = 0
+    """Messages handed to the dead-letter hook after delivery gave up."""
 
 
 class RpcEndpoint:
@@ -65,6 +80,7 @@ class FixedNetwork:
         rpc_latency: float = 0.001,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        retry_policy: BackoffPolicy | None = None,
     ) -> None:
         if message_latency < 0 or rpc_latency < 0:
             raise ConfigurationError("latencies must be non-negative")
@@ -75,6 +91,26 @@ class FixedNetwork:
         self._services: dict[str, RpcEndpoint] = {}
         self.stats = FixedNetStats(metrics)
         self._tracer = tracer
+        self._retry_policy = retry_policy
+        # Forked only when retries can jitter, so deployments without a
+        # retry policy keep their historical RNG stream layout.
+        self._retry_rng: random.Random | None = (
+            sim.fork_rng()
+            if retry_policy is not None and retry_policy.jitter > 0
+            else None
+        )
+        self._dead_letter: DeadLetterHook | None = None
+        self._partitioned: set[str] = set()
+        self._latency_factor = 1.0
+        registry = self.stats.registry
+        self._retries = registry.counter(
+            "resilience.fixednet_retries",
+            help="redelivery attempts scheduled for unreachable endpoints",
+        )
+        self._redelivered = registry.counter(
+            "resilience.fixednet_redelivered",
+            help="messages delivered successfully after at least one retry",
+        )
 
     @property
     def sim(self) -> Simulator:
@@ -87,6 +123,64 @@ class FixedNetwork:
     def set_tracer(self, tracer: Tracer | None) -> None:
         """Install (or remove) span tracing over send/deliver pairs."""
         self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Fault & resilience controls
+    # ------------------------------------------------------------------
+    @property
+    def retry_policy(self) -> BackoffPolicy | None:
+        return self._retry_policy
+
+    def set_retry_policy(self, policy: BackoffPolicy | None) -> None:
+        """Install (or remove) redelivery for unreachable endpoints."""
+        self._retry_policy = policy
+        if policy is not None and policy.jitter > 0 and self._retry_rng is None:
+            self._retry_rng = self._sim.fork_rng()
+
+    def set_dead_letter(self, hook: DeadLetterHook | None) -> None:
+        """Observe messages the network finally gave up on.
+
+        ``hook(destination, message, reason)`` fires once per abandoned
+        message, after any configured retries are exhausted. Exceptions
+        from the hook propagate — a broken dead-letter consumer is a
+        deployment bug, not something to swallow.
+        """
+        if hook is not None and not callable(hook):
+            raise ConfigurationError("dead-letter hook must be callable")
+        self._dead_letter = hook
+
+    def partition(self, endpoints: Iterable[str]) -> None:
+        """Sever the named endpoints from the bus until :meth:`heal`.
+
+        Messages to a partitioned endpoint behave exactly like messages
+        to a missing inbox: they retry (when a policy is installed) and
+        eventually dead-letter. RPC services are unaffected — a partition
+        models losing the links to consumer processes, not the middleware
+        host itself (crash faults model that).
+        """
+        self._partitioned.update(endpoints)
+
+    def heal(self, endpoints: Iterable[str] | None = None) -> None:
+        """Restore partitioned endpoints (all of them when None)."""
+        if endpoints is None:
+            self._partitioned.clear()
+        else:
+            self._partitioned.difference_update(endpoints)
+
+    def is_partitioned(self, name: str) -> bool:
+        return name in self._partitioned
+
+    @property
+    def latency_factor(self) -> float:
+        return self._latency_factor
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Scale both message and RPC latency (latency-spike faults)."""
+        if factor <= 0:
+            raise ConfigurationError(
+                f"latency factor must be positive, got {factor}"
+            )
+        self._latency_factor = factor
 
     # ------------------------------------------------------------------
     # Event-based message passing
@@ -110,7 +204,9 @@ class FixedNetwork:
 
         The handler lookup happens at delivery time so a consumer that
         deregisters mid-flight simply drops the message, mirroring a
-        process that exits with messages queued.
+        process that exits with messages queued — unless a retry policy
+        is installed, in which case the message is retried with backoff
+        and dead-lettered only after the policy gives up.
         """
         self.stats.messages += 1
         span = (
@@ -119,20 +215,56 @@ class FixedNetwork:
             else None
         )
         self._sim.schedule(
-            self._message_latency, self._deliver, destination, message, span
+            self._message_latency * self._latency_factor,
+            self._deliver,
+            destination,
+            message,
+            span,
         )
 
     def _deliver(
-        self, destination: str, message: Any, span: Span | None = None
+        self,
+        destination: str,
+        message: Any,
+        span: Span | None = None,
+        attempt: int = 0,
     ) -> None:
         handler = self._inboxes.get(destination)
-        if handler is None:
-            self.stats.dropped += 1
+        reachable = (
+            handler is not None and destination not in self._partitioned
+        )
+        if not reachable:
             if span is not None and self._tracer is not None:
                 self._tracer.finish(span, delivered=False)
+            policy = self._retry_policy
+            if policy is not None and attempt < policy.max_attempts:
+                next_attempt = attempt + 1
+                self._retries.inc()
+                self._sim.schedule(
+                    policy.delay(next_attempt, self._retry_rng),
+                    self._deliver,
+                    destination,
+                    message,
+                    None,
+                    next_attempt,
+                )
+                return
+            reason = (
+                "partitioned"
+                if destination in self._partitioned
+                else "no inbox"
+            )
+            if policy is not None:
+                reason += f" after {attempt} retries"
+            self.stats.dropped += 1
+            self.stats.dead_lettered += 1
+            if self._dead_letter is not None:
+                self._dead_letter(destination, message, reason)
             return
         if span is not None and self._tracer is not None:
             self._tracer.finish(span, delivered=True)
+        if attempt > 0:
+            self._redelivered.inc()
         handler(message)
 
     # ------------------------------------------------------------------
@@ -142,6 +274,13 @@ class FixedNetwork:
         if name in self._services:
             raise RegistrationError(f"service {name!r} already registered")
         self._services[name] = service
+
+    def unregister_service(self, name: str) -> None:
+        """Remove a service from the RPC fabric (crash faults use this)."""
+        self._services.pop(name, None)
+
+    def has_service(self, name: str) -> bool:
+        return name in self._services
 
     def call(
         self,
@@ -163,7 +302,7 @@ class FixedNetwork:
             raise RegistrationError(f"unknown service {service_name!r}")
         self.stats.rpc_calls += 1
         self._sim.schedule(
-            self._rpc_latency,
+            self._rpc_latency * self._latency_factor,
             self._invoke,
             service_name,
             operation,
@@ -195,7 +334,19 @@ class FixedNetwork:
         kwargs: dict[str, Any],
         on_result: Callable[[Any], None] | None,
     ) -> None:
-        service = self._services[service_name]
+        service = self._services.get(service_name)
+        if service is None:
+            # The service crashed between call and invoke; the in-flight
+            # RPC is lost exactly like a real request hitting a dead host.
+            self.stats.dropped += 1
+            self.stats.dead_lettered += 1
+            if self._dead_letter is not None:
+                self._dead_letter(
+                    service_name, (operation, args, kwargs), "service down"
+                )
+            return
         result = service.rpc_dispatch(operation, *args, **kwargs)
         if on_result is not None:
-            self._sim.schedule(self._rpc_latency, on_result, result)
+            self._sim.schedule(
+                self._rpc_latency * self._latency_factor, on_result, result
+            )

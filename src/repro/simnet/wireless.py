@@ -116,6 +116,8 @@ class MediumStats:
     out_of_range: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    burst_losses: int = 0
+    """Losses that occurred while an injected drop burst was active."""
 
 
 class WirelessMedium:
@@ -155,10 +157,29 @@ class WirelessMedium:
         self._rng = sim.fork_rng()
         self.stats = MediumStats()
         self._snoopers: list[Callable[[bytes, Point], None]] = []
+        self._extra_loss = 0.0
 
     @property
     def listener_count(self) -> int:
         return len(self._listeners)
+
+    @property
+    def extra_loss(self) -> float:
+        """Additional loss probability injected by an active drop burst."""
+        return self._extra_loss
+
+    def set_extra_loss(self, probability: float) -> None:
+        """Overlay a burst loss probability on every link (fault injection).
+
+        The burst composes with the distance-dependent loss model as
+        independent failure modes: a frame survives only if it survives
+        both draws. Set to 0.0 to end the burst.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"extra loss probability must be in [0, 1]: {probability}"
+            )
+        self._extra_loss = probability
 
     def attach(
         self, listener: RadioListener, radio_range: float, channel: int = 0
@@ -214,8 +235,18 @@ class WirelessMedium:
                 continue
             if self._loss_model is not None:
                 p_loss = self._loss_model.loss_probability(distance, reach)
+                if self._extra_loss > 0.0:
+                    # Independent failure modes: survive both or lose.
+                    p_loss = 1.0 - (1.0 - p_loss) * (1.0 - self._extra_loss)
                 if self._rng.random() < p_loss:
                     self.stats.losses += 1
+                    if self._extra_loss > 0.0:
+                        self.stats.burst_losses += 1
+                    continue
+            elif self._extra_loss > 0.0:
+                if self._rng.random() < self._extra_loss:
+                    self.stats.losses += 1
+                    self.stats.burst_losses += 1
                     continue
             delay = (
                 self._per_hop_latency

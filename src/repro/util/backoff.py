@@ -1,0 +1,84 @@
+"""Shared retry/backoff policy used by every resilience mechanism.
+
+The Actuation Service's acknowledgement retransmissions, the fixed
+network's redelivery queue and the session heartbeat loop all need the
+same primitive: a bounded sequence of retry delays that grows
+exponentially and can be spread with jitter. Centralising the schedule
+in one frozen dataclass keeps all three paths tunable from
+:class:`~repro.core.config.GarnetConfig` and — crucially for the
+reproducibility guarantees of ``benchmarks/`` — keeps the jitter draws
+on an explicit, seed-forked RNG rather than hidden module state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffPolicy:
+    """A bounded exponential-backoff schedule with optional jitter.
+
+    Attempt ``n`` (1-based) nominally waits ``base * multiplier**(n-1)``
+    seconds, capped at ``max_delay``. When ``jitter`` is non-zero the
+    delay is perturbed uniformly within ``±jitter`` *fraction* of the
+    nominal value (so ``jitter=0.1`` spreads retries by up to 10%),
+    drawn from the RNG the caller supplies — always a stream forked from
+    the simulation seed, never wall-clock entropy.
+    """
+
+    base: float
+    multiplier: float = 2.0
+    max_delay: float | None = None
+    jitter: float = 0.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(
+                f"backoff base must be positive, got {self.base}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay is not None and self.max_delay < self.base:
+            raise ConfigurationError(
+                "backoff max_delay must be >= base "
+                f"({self.max_delay} < {self.base})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"backoff jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"backoff max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def nominal_delay(self, attempt: int) -> float:
+        """The un-jittered delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay = self.base * self.multiplier ** (attempt - 1)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The actual delay before retry ``attempt``, jitter applied."""
+        nominal = self.nominal_delay(attempt)
+        if self.jitter <= 0.0 or rng is None:
+            return nominal
+        spread = nominal * self.jitter
+        return max(0.0, nominal + rng.uniform(-spread, spread))
+
+    def schedule(self) -> tuple[float, ...]:
+        """Every nominal delay in order — handy for tests and docs."""
+        return tuple(
+            self.nominal_delay(attempt)
+            for attempt in range(1, self.max_attempts + 1)
+        )

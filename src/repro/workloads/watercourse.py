@@ -72,7 +72,7 @@ class FloodWatcher(Consumer):
         self.decode_failures = 0
 
     def on_start(self) -> None:
-        self.subscribe_stream(self._stream_id)
+        self.subscribe(stream_id=self._stream_id)
         self.report_state(self.state)
 
     def on_data(self, arrival: StreamArrival) -> None:

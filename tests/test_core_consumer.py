@@ -70,7 +70,7 @@ class TestDataDelivery:
         node = deployment.add_sensor("generic", [make_stream_spec()])
         consumer = Recorder()
         deployment.add_consumer(consumer)
-        consumer.subscribe_stream(node.stream_ids()[0])
+        consumer.subscribe(stream_id=node.stream_ids()[0])
         deployment.run(5.0)
         assert len(consumer.seen) >= 4
         assert consumer.stats.received == len(consumer.seen)
@@ -79,7 +79,7 @@ class TestDataDelivery:
         node = deployment.add_sensor("generic", [make_stream_spec()])
         consumer = Recorder()
         deployment.add_consumer(consumer)
-        sub = consumer.subscribe_stream(node.stream_ids()[0])
+        sub = consumer.subscribe(stream_id=node.stream_ids()[0])
         deployment.run(3.0)
         consumer.unsubscribe(sub)
         seen_before = len(consumer.seen)

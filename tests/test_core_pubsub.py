@@ -82,7 +82,9 @@ class TestSubscribe:
         token = subscriber_token(auth)
         name = endpoint("e")
         broker.register_consumer(token, name)
-        broker.subscribe_stream(token, name, StreamId(4, 0))
+        broker.subscribe(
+            token, name, SubscriptionPattern(stream_id=StreamId(4, 0))
+        )
         dispatcher.on_arrival(
             StreamArrival(
                 message=DataMessage(stream_id=StreamId(4, 0), sequence=0),
@@ -188,8 +190,12 @@ class TestRestrictedStreams:
         plain_ep, trusted_ep = endpoint("plain"), endpoint("trusted")
         broker.register_consumer(plain, plain_ep)
         broker.register_consumer(trusted, trusted_ep)
-        broker.subscribe_stream(plain, plain_ep, StreamId(1, 0))
-        broker.subscribe_stream(trusted, trusted_ep, StreamId(1, 0))
+        broker.subscribe(
+            plain, plain_ep, SubscriptionPattern(stream_id=StreamId(1, 0))
+        )
+        broker.subscribe(
+            trusted, trusted_ep, SubscriptionPattern(stream_id=StreamId(1, 0))
+        )
         dispatcher.on_arrival(
             StreamArrival(
                 message=DataMessage(stream_id=StreamId(1, 0), sequence=0),

@@ -1,0 +1,175 @@
+"""GarnetSession: the consolidated consumer API and deprecation shims."""
+
+import pytest
+
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.control import StreamUpdateCommand
+from repro.errors import (
+    RegistrationError,
+    SessionError,
+    SubscriptionError,
+)
+
+from tests.conftest import make_stream_spec
+
+
+class TestConnect:
+    def test_connect_by_name(self, deployment):
+        session = deployment.connect("app")
+        assert session.name == "app"
+        assert session.endpoint == "consumer.app"
+        assert not session.closed
+        assert deployment.session("app") is session
+
+    def test_connect_by_token(self, deployment):
+        token = deployment.issue_token("tokenized")
+        session = deployment.connect(token=token)
+        assert session.name == "tokenized"
+        assert session.token is token
+
+    def test_connect_needs_name_or_token(self, deployment):
+        with pytest.raises(RegistrationError):
+            deployment.connect()
+
+    def test_duplicate_name_rejected(self, deployment):
+        deployment.connect("app")
+        with pytest.raises(RegistrationError):
+            deployment.connect("app")
+
+    def test_close_releases_name_and_inbox(self, deployment):
+        session = deployment.connect("app")
+        session.close()
+        assert session.closed
+        assert not deployment.network.has_inbox("consumer.app")
+        # The name is reusable after close, and close is idempotent.
+        session.close()
+        deployment.connect("app")
+
+    def test_closed_session_operations_raise(self, deployment):
+        session = deployment.connect("app")
+        session.close()
+        with pytest.raises(SessionError):
+            session.discover()
+        with pytest.raises(SessionError):
+            session.subscribe(kind="x.*")
+        with pytest.raises(SessionError):
+            session.publish(0, b"p")
+
+
+class TestSubscribeAndDeliver:
+    def test_subscribe_by_kind_receives_data(self, deployment):
+        node = deployment.add_sensor("generic", [make_stream_spec()])
+        received = []
+        session = deployment.connect("app")
+        session.on_data(received.append)
+        session.subscribe(kind="test.*")
+        deployment.run(5.0)
+        assert len(received) >= 4
+        assert session.stats.deliveries == len(received)
+        assert received[0].message.stream_id == node.stream_ids()[0]
+
+    def test_subscribe_by_pattern_object(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        received = []
+        session = deployment.connect("app")
+        session.on_data(received.append)
+        session.subscribe(SubscriptionPattern(kind="test.*"))
+        deployment.run(3.0)
+        assert received
+
+    def test_pattern_and_fields_are_exclusive(self, deployment):
+        session = deployment.connect("app")
+        with pytest.raises(SubscriptionError):
+            session.subscribe(
+                SubscriptionPattern(kind="a.*"), sensor_id=1
+            )
+
+    def test_unsubscribe_stops_delivery(self, deployment):
+        deployment.add_sensor("generic", [make_stream_spec()])
+        received = []
+        session = deployment.connect("app")
+        session.on_data(received.append)
+        subscription = session.subscribe(kind="test.*")
+        deployment.run(3.0)
+        session.unsubscribe(subscription)
+        seen = len(received)
+        deployment.run(3.0)
+        assert len(received) == seen
+        assert session.subscription_ids == ()
+
+    def test_discover(self, deployment):
+        deployment.add_sensor(
+            "generic", [make_stream_spec(kind="water.level")]
+        )
+        session = deployment.connect("app")
+        found = session.discover(kind="water.level")
+        assert len(found) == 1
+
+
+class TestControlAndPublish:
+    def test_request_update_through_session(self, deployment):
+        from repro.core.security import Permission
+
+        node = deployment.add_sensor("generic", [make_stream_spec()])
+        session = deployment.connect(
+            "app", permissions=Permission.trusted_consumer()
+        )
+        decision = session.request_update(
+            node.stream_ids()[0], StreamUpdateCommand.SET_RATE, 4.0
+        )
+        assert decision.approved
+        deployment.run(5.0)
+        assert deployment.actuation.stats.acknowledged >= 1
+
+    def test_publish_creates_derived_stream(self, deployment):
+        session = deployment.connect("producer")
+        received = []
+        other = deployment.connect("watcher")
+        other.on_data(received.append)
+        other.subscribe(kind="derived.*")
+        stream_id = session.publish(0, b"\x01", kind="derived.avg")
+        assert stream_id.is_derived
+        assert session.publisher_id is not None
+        deployment.run(1.0)
+        assert len(received) == 1
+        assert session.stats.published == 1
+
+    def test_session_pattern_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            SubscriptionPattern(None, 3)  # positional construction removed
+
+
+class TestDeprecationShims:
+    def test_consumer_subscribe_stream_warns_but_works(self, deployment):
+        from tests.test_core_consumer import Recorder
+
+        node = deployment.add_sensor("generic", [make_stream_spec()])
+        consumer = Recorder()
+        deployment.add_consumer(consumer)
+        with pytest.warns(DeprecationWarning, match="subscribe_stream"):
+            consumer.subscribe_stream(node.stream_ids()[0])
+        deployment.run(3.0)
+        assert consumer.seen
+
+    def test_broker_subscribe_stream_warns_but_works(self, deployment):
+        session = deployment.connect("legacy")
+        with pytest.warns(DeprecationWarning, match="subscribe_stream"):
+            subscription = deployment.broker.subscribe_stream(
+                session.token,
+                session.endpoint,
+                deployment.add_sensor(
+                    "generic", [make_stream_spec()]
+                ).stream_ids()[0],
+            )
+        assert subscription >= 1
+
+    def test_consumer_attached_runtime_is_session(self, deployment):
+        from repro.core.session import GarnetSession
+        from tests.test_core_consumer import Recorder
+
+        consumer = Recorder()
+        deployment.add_consumer(consumer)
+        assert isinstance(consumer._runtime, GarnetSession)
+        # remove_consumer closes the backing session.
+        deployment.remove_consumer(consumer)
+        assert consumer._runtime.closed

@@ -1,0 +1,108 @@
+"""BackoffPolicy: schedules, validation, jitter; actuation integration."""
+
+import random
+
+import pytest
+
+from repro.core.actuation import ActuationService
+from repro.errors import ConfigurationError
+from repro.util.backoff import BackoffPolicy
+
+
+class TestValidation:
+    def test_base_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=0.0)
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=1.0, multiplier=0.5)
+
+    def test_max_delay_below_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=2.0, max_delay=1.0)
+
+    def test_jitter_range(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=1.0, jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=1.0, jitter=-0.1)
+
+    def test_max_attempts_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=1.0, max_attempts=0)
+
+
+class TestSchedule:
+    def test_fixed_interval_when_multiplier_one(self):
+        policy = BackoffPolicy(base=2.0, multiplier=1.0, max_attempts=4)
+        assert policy.schedule() == (2.0, 2.0, 2.0, 2.0)
+
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(base=1.0, multiplier=2.0, max_attempts=5)
+        assert policy.schedule() == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_max_delay_caps_schedule(self):
+        policy = BackoffPolicy(
+            base=1.0, multiplier=3.0, max_delay=5.0, max_attempts=4
+        )
+        assert policy.schedule() == (1.0, 3.0, 5.0, 5.0)
+
+    def test_delay_without_jitter_is_nominal(self):
+        policy = BackoffPolicy(base=1.5, multiplier=2.0, max_attempts=3)
+        for attempt in (1, 2, 3):
+            assert policy.delay(attempt, None) == policy.nominal_delay(attempt)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = BackoffPolicy(
+            base=4.0, multiplier=2.0, jitter=0.25, max_attempts=3
+        )
+        rng = random.Random(99)
+        for attempt in (1, 2, 3):
+            nominal = policy.nominal_delay(attempt)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_jitter_is_reproducible_per_rng_seed(self):
+        policy = BackoffPolicy(base=1.0, multiplier=2.0, jitter=0.3)
+        a = [policy.delay(1, random.Random(5)) for _ in range(3)]
+        b = [policy.delay(1, random.Random(5)) for _ in range(3)]
+        assert a == b
+
+
+class TestActuationBackoff:
+    def test_default_schedule_is_legacy_fixed_interval(self, network):
+        service = ActuationService(network, ack_timeout=2.0, max_attempts=3)
+        assert service.backoff_schedule() == (2.0, 2.0, 2.0)
+
+    def test_custom_policy_overrides_legacy_pair(self, network):
+        service = ActuationService(
+            network,
+            ack_timeout=2.0,
+            max_attempts=3,
+            backoff=BackoffPolicy(base=0.5, multiplier=2.0, max_attempts=4),
+        )
+        assert service.backoff_schedule() == (0.5, 1.0, 2.0, 4.0)
+
+    def test_retransmit_times_follow_backoff(self, sim, network):
+        # No replicator/sensor attached: nothing acks, so the request
+        # retransmits on the policy schedule and then fails.
+        service = ActuationService(
+            network,
+            ack_timeout=1.0,
+            backoff=BackoffPolicy(base=1.0, multiplier=2.0, max_attempts=3),
+        )
+        from repro.core.control import StreamUpdateCommand
+        from repro.core.streamid import StreamId
+
+        transmit_times = []
+        network.register_inbox(
+            "garnet.replicator", lambda order: transmit_times.append(sim.now)
+        )
+        service.issue(StreamId(1, 0), StreamUpdateCommand.PING)
+        sim.run(until=60.0)
+        # Attempts at t=0, +1s, +2s more; gives up 4s after the third try.
+        assert transmit_times == [0.0, 1.0, 3.0]
+        assert service.stats.failed == 1
+        assert service.pending_count == 0
