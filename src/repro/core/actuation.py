@@ -147,6 +147,18 @@ class ActuationService:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    def has_pending_for(self, target: StreamId) -> bool:
+        """True while any request toward ``target`` awaits its ack.
+
+        Rate controllers (adaptive tuning, QoS degradation) use this to
+        avoid stacking a second in-flight actuation on a stream whose
+        previous update has not been confirmed yet.
+        """
+        return any(
+            pending.request.target == target
+            for pending in self._pending.values()
+        )
+
     @property
     def backoff(self) -> BackoffPolicy:
         """The retransmission schedule in force."""

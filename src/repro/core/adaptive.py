@@ -33,6 +33,46 @@ from repro.obs.stats import RegistryBackedStats
 from repro.sensors.sampling import SampleCodec
 
 
+class RateRequestGate:
+    """Decides whether a new ``SET_RATE`` demand is worth issuing.
+
+    The request-suppression plumbing shared by
+    :class:`AdaptiveRateController` and the
+    :class:`~repro.qos.degradation.DegradationController`: a desired
+    rate within ``hysteresis`` (relative) of the last approved request
+    is not worth the control traffic, and re-asking the exact value the
+    Resource Manager last denied just spams it.
+    """
+
+    __slots__ = ("hysteresis", "requested_rate", "last_denied")
+
+    def __init__(self, hysteresis: float = 0.0) -> None:
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.hysteresis = hysteresis
+        self.requested_rate: float | None = None
+        self.last_denied: float | None = None
+
+    def within_hysteresis(self, desired: float) -> bool:
+        """True when ``desired`` is too close to the last approved rate."""
+        reference = self.requested_rate
+        if reference is None or reference <= 0:
+            return False
+        return abs(desired - reference) / reference < self.hysteresis
+
+    def is_denied(self, rate: float) -> bool:
+        """True when ``rate`` (rounded) was the last value denied."""
+        return round(rate, 3) == self.last_denied
+
+    def record(self, rate: float, approved: bool) -> None:
+        rounded = round(rate, 3)
+        if approved:
+            self.requested_rate = rounded
+            self.last_denied = None
+        else:
+            self.last_denied = rounded
+
+
 class ControllerStats(RegistryBackedStats):
     evaluations: int = 0
     rate_requests: int = 0
@@ -103,11 +143,9 @@ class AdaptiveRateController(Consumer):
         self._max_rate = max_rate
         self._activity_scale = activity_scale
         self._window = window
-        self._hysteresis = hysteresis
         self._priority = priority
         self._samples: deque[tuple[float, float]] = deque(maxlen=window)
-        self._requested_rate: float | None = None
-        self._last_denied: float | None = None
+        self._gate = RateRequestGate(hysteresis)
         self.decode_failures = 0
         self.controller_stats = ControllerStats(
             prefix=f"adaptive.{name}"
@@ -123,7 +161,7 @@ class AdaptiveRateController(Consumer):
     @property
     def requested_rate(self) -> float | None:
         """The rate last asked of the Resource Manager (None = never)."""
-        return self._requested_rate
+        return self._gate.requested_rate
 
     def on_start(self) -> None:
         self.subscribe(stream_id=self._stream_id)
@@ -144,15 +182,8 @@ class AdaptiveRateController(Consumer):
     def _evaluate(self) -> None:
         self.controller_stats.evaluations += 1
         desired = self._desired_rate(self._activity())
-        reference = (
-            self._requested_rate
-            if self._requested_rate is not None
-            else 0.0
-        )
-        if reference > 0:
-            relative_change = abs(desired - reference) / reference
-            if relative_change < self._hysteresis:
-                return
+        if self._gate.within_hysteresis(desired):
+            return
         self._request(desired)
 
     def _activity(self) -> float:
@@ -175,7 +206,7 @@ class AdaptiveRateController(Consumer):
 
     def _request(self, rate: float) -> None:
         rounded = round(rate, 3)
-        if rounded == self._last_denied:
+        if self._gate.is_denied(rounded):
             return  # re-asking the exact denied value just spams the RM
         decision = self.request_update(
             self._stream_id,
@@ -184,12 +215,10 @@ class AdaptiveRateController(Consumer):
             priority=self._priority,
         )
         self.controller_stats.rate_requests += 1
+        self._gate.record(rounded, decision.approved)
         if decision.approved:
-            self._requested_rate = rounded
-            self._last_denied = None
             self.controller_stats.rate_trace.append(
-                (self.now, self._requested_rate)
+                (self.now, self._gate.requested_rate)
             )
         else:
-            self._last_denied = rounded
             self.controller_stats.denied_requests += 1

@@ -79,6 +79,36 @@ class GarnetConfig:
     broker_lease_ttl: float | None = None
     session_heartbeat_period: float | None = None
 
+    # Overload protection & graceful degradation (repro.qos). Everything
+    # defaults off, which is the pre-QoS behaviour (unbounded ingress,
+    # direct fan-out, no breakers, no degradation).
+    #
+    # ``qos_ingress_rate`` (messages/second of virtual time) switches on
+    # token-bucket admission control at the Dispatching Service ingress.
+    qos_ingress_rate: float | None = None
+    qos_ingress_burst: float = 64.0
+    qos_ingress_queue: int = 256
+    qos_shedding: str = "drop_oldest"  # or "priority"
+    # ``qos_consumer_queue`` switches on per-consumer delivery queues
+    # with slow-consumer quarantine.
+    qos_consumer_queue: int | None = None
+    qos_quarantine_after: float = 5.0
+    qos_parked_capacity: int = 1024
+    # ``qos_breaker_failures`` switches on fixed-network circuit
+    # breakers (dead-letters before a trip; reset = half-open probe
+    # delay in virtual seconds).
+    qos_breaker_failures: int | None = None
+    qos_breaker_reset: float = 30.0
+    # ``qos_degradation`` switches on the load-driven sensor
+    # down-throttling controller.
+    qos_degradation: bool = False
+    qos_degradation_period: float = 5.0
+    qos_degrade_after: int = 2
+    qos_restore_after: int = 3
+    qos_degrade_factor: float = 0.5
+    qos_min_rate: float = 0.1
+    qos_degrade_priority: int = 50
+
     # Super Coordinator
     predictive_coordinator: bool = False
     prediction_confidence: float = 0.6
@@ -122,4 +152,56 @@ class GarnetConfig:
                 "session_heartbeat_period must be shorter than "
                 "broker_lease_ttl or every lease expires between heartbeats"
             )
+        if self.qos_ingress_rate is not None:
+            if self.qos_ingress_rate <= 0:
+                raise ConfigurationError("qos_ingress_rate must be positive")
+            if self.qos_ingress_burst < 1:
+                raise ConfigurationError(
+                    "qos_ingress_burst must be at least one message"
+                )
+            if self.qos_ingress_queue < 1:
+                raise ConfigurationError(
+                    "qos_ingress_queue must be at least 1"
+                )
+        if self.qos_shedding not in ("drop_oldest", "priority"):
+            raise ConfigurationError(
+                f"unknown qos_shedding policy {self.qos_shedding!r} "
+                "(expected 'drop_oldest' or 'priority')"
+            )
+        if self.qos_consumer_queue is not None:
+            if self.qos_consumer_queue < 1:
+                raise ConfigurationError(
+                    "qos_consumer_queue must be at least 1"
+                )
+            if self.qos_quarantine_after <= 0:
+                raise ConfigurationError(
+                    "qos_quarantine_after must be positive"
+                )
+            if self.qos_parked_capacity < 1:
+                raise ConfigurationError(
+                    "qos_parked_capacity must be at least 1"
+                )
+        if self.qos_breaker_failures is not None:
+            if self.qos_breaker_failures < 1:
+                raise ConfigurationError(
+                    "qos_breaker_failures must be at least 1"
+                )
+            if self.qos_breaker_reset <= 0:
+                raise ConfigurationError("qos_breaker_reset must be positive")
+        if self.qos_degradation:
+            if self.qos_degradation_period <= 0:
+                raise ConfigurationError(
+                    "qos_degradation_period must be positive"
+                )
+            if self.qos_degrade_after < 1 or self.qos_restore_after < 1:
+                raise ConfigurationError(
+                    "qos_degrade_after and qos_restore_after must be "
+                    "at least 1"
+                )
+            if not 0 < self.qos_degrade_factor < 1:
+                raise ConfigurationError(
+                    "qos_degrade_factor must be in (0, 1)"
+                )
+            if self.qos_min_rate <= 0:
+                raise ConfigurationError("qos_min_rate must be positive")
         return self

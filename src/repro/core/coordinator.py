@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from repro.core.conflicts import MediationPolicy
 from repro.core.envelopes import StateChangeReport
 from repro.core.resource import ResourceManager
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 from repro.simnet.kernel import EventHandle
 
@@ -115,8 +117,9 @@ class _ConsumerView:
     detail: dict | None = None
 
 
-@dataclass(slots=True)
-class CoordinatorStats:
+class CoordinatorStats(RegistryBackedStats):
+    PREFIX = "coordinator"
+
     reports: int = 0
     reactive_actions: int = 0
     predictive_actions: int = 0
@@ -173,6 +176,7 @@ class SuperCoordinator:
         predictive: bool = False,
         confidence_threshold: float = 0.6,
         lead_fraction: float = 0.5,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 0.0 < confidence_threshold <= 1.0:
             raise ValueError("confidence_threshold must be in (0, 1]")
@@ -188,7 +192,7 @@ class SuperCoordinator:
         self._actions: dict[str, list[Action]] = defaultdict(list)
         self._global_rules: list[_GlobalRule] = []
         self._pending_predictions: dict[str, tuple[str, EventHandle]] = {}
-        self.stats = CoordinatorStats()
+        self.stats = CoordinatorStats(metrics)
         network.register_inbox(INBOX, self.on_report)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.envelopes import StreamArrival, StreamAdvertisement
 from repro.core.streamid import StreamId
@@ -154,8 +155,30 @@ class DispatchingService:
         self._route_cache: dict[StreamId, tuple[int, ...]] = {}
         self._advertised: set[StreamId] = set()
         self._route_guard: Callable[[str, StreamDescriptor], bool] | None = None
+        # Optional overload-protection hooks (repro.qos); typed loosely
+        # so the data path does not import the qos package.
+        self._admission: Any | None = None
+        self._delivery: Any | None = None
         self.stats = DispatchStats(metrics)
         network.register_inbox(INBOX, self.on_arrival)
+
+    def set_admission(self, admission: Any | None) -> None:
+        """Install admission control in front of arrival processing.
+
+        ``admission.offer(arrival)`` decides whether each arrival is
+        processed now, queued for a later drain (which re-enters via
+        :meth:`process_admitted`), or shed.
+        """
+        self._admission = admission
+
+    def set_delivery_manager(self, delivery: Any | None) -> None:
+        """Route per-subscription deliveries through a delivery manager.
+
+        ``delivery.deliver(endpoint, arrival)`` replaces the direct
+        ``network.send`` per fan-out leg; ``delivery.release(endpoint)``
+        is called whenever an endpoint's subscriptions are dropped.
+        """
+        self._delivery = delivery
 
     def set_route_guard(
         self, guard: Callable[[str, StreamDescriptor], bool] | None
@@ -222,6 +245,10 @@ class DispatchingService:
         ]
         for sid in doomed:
             self.remove_subscription(sid)
+        if self._delivery is not None:
+            # A quarantined consumer's parked backlog must not outlive
+            # its subscriptions (lease reaping funnels through here).
+            self._delivery.release(endpoint)
         return len(doomed)
 
     def subscription_count(self) -> int:
@@ -239,6 +266,13 @@ class DispatchingService:
     # ------------------------------------------------------------------
     def on_arrival(self, arrival: StreamArrival) -> None:
         self.stats.arrivals += 1
+        if self._admission is not None:
+            self._admission.offer(arrival)
+            return
+        self.process_admitted(arrival)
+
+    def process_admitted(self, arrival: StreamArrival) -> None:
+        """Route one arrival that has passed (or bypassed) admission."""
         stream_id = arrival.message.stream_id
         if arrival.receiver_id < 0:
             # Published directly on the fixed network (derived streams);
@@ -264,15 +298,16 @@ class DispatchingService:
                 continue
             subscription.delivered += 1
             self.stats.deliveries += 1
-            self._network.send(
-                subscription.endpoint,
-                StreamArrival(
-                    message=arrival.message,
-                    received_at=arrival.received_at,
-                    receiver_id=arrival.receiver_id,
-                    delivered_at=delivered_at,
-                ),
+            outbound = StreamArrival(
+                message=arrival.message,
+                received_at=arrival.received_at,
+                receiver_id=arrival.receiver_id,
+                delivered_at=delivered_at,
             )
+            if self._delivery is not None:
+                self._delivery.deliver(subscription.endpoint, outbound)
+            else:
+                self._network.send(subscription.endpoint, outbound)
 
     def _compute_route(self, stream_id: StreamId) -> tuple[int, ...]:
         descriptor = self._registry.detect(stream_id)

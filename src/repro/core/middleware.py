@@ -52,6 +52,15 @@ from repro.core.streams import StreamRegistry
 from repro.errors import ConfigurationError, RegistrationError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import KernelProbe, Tracer
+from repro.qos import (
+    QOS_CONSUMER,
+    AdmissionController,
+    BreakerPolicy,
+    DegradationController,
+    DeliveryManager,
+    DropByStreamPriority,
+    DropOldest,
+)
 from repro.radio.array import ReceiverArray, TransmitterArray
 from repro.sensors.node import SensorNode, SensorStreamSpec
 from repro.simnet.fixednet import FixedNetwork
@@ -212,6 +221,28 @@ class ConsumerRuntime:
         return self._publisher_pool.allocate()
 
 
+@dataclass(slots=True)
+class QosRuntime:
+    """The deployment's installed overload-protection components.
+
+    Each slot is None when the corresponding ``qos_*`` config switch is
+    off; ``Garnet.qos`` always exists so callers (fault injectors,
+    sessions, operator tooling) can probe without hasattr dances.
+    """
+
+    admission: AdmissionController | None = None
+    delivery: DeliveryManager | None = None
+    degradation: DegradationController | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.admission is not None
+            or self.delivery is not None
+            or self.degradation is not None
+        )
+
+
 class Garnet:
     """A complete simulated Garnet deployment.
 
@@ -277,7 +308,9 @@ class Garnet:
             self.network, self.registry, metrics=self._metrics
         )
         self.orphanage = Orphanage(
-            self.network, backlog_per_stream=cfg.orphanage_backlog
+            self.network,
+            backlog_per_stream=cfg.orphanage_backlog,
+            metrics=self._metrics,
         )
         self.broker = Broker(
             self.network,
@@ -345,10 +378,70 @@ class Garnet:
             predictive=cfg.predictive_coordinator,
             confidence_threshold=cfg.prediction_confidence,
             lead_fraction=cfg.prediction_lead_fraction,
+            metrics=self._metrics,
         )
         self.control = ControlPath(
             self.resource_manager, self.actuation, metrics=self._metrics
         )
+
+        # Overload protection (repro.qos): each component installs only
+        # when its config switch is on, so default deployments keep the
+        # historical event sequence exactly.
+        self.qos = QosRuntime()
+        if cfg.qos_breaker_failures is not None:
+            self.network.set_breaker_policy(
+                BreakerPolicy(
+                    failure_threshold=cfg.qos_breaker_failures,
+                    reset_timeout=cfg.qos_breaker_reset,
+                )
+            )
+        if cfg.qos_ingress_rate is not None:
+            shedding = (
+                DropByStreamPriority(self._stream_priority)
+                if cfg.qos_shedding == "priority"
+                else DropOldest()
+            )
+            self.qos.admission = AdmissionController(
+                self.sim,
+                self.dispatcher.process_admitted,
+                rate=cfg.qos_ingress_rate,
+                burst=cfg.qos_ingress_burst,
+                queue_capacity=cfg.qos_ingress_queue,
+                policy=shedding,
+                metrics=self._metrics,
+            )
+            self.dispatcher.set_admission(self.qos.admission)
+        if cfg.qos_consumer_queue is not None:
+            self.qos.delivery = DeliveryManager(
+                self.network,
+                queue_capacity=cfg.qos_consumer_queue,
+                quarantine_after=cfg.qos_quarantine_after,
+                parked_capacity=cfg.qos_parked_capacity,
+                metrics=self._metrics,
+            )
+            self.dispatcher.set_delivery_manager(self.qos.delivery)
+        if cfg.qos_degradation:
+            self.qos.degradation = DegradationController(
+                self.sim,
+                self.network,
+                self.control,
+                self.resource_manager,
+                token=self.auth.issue(
+                    QOS_CONSUMER, Permission.trusted_consumer()
+                ),
+                metrics=self._metrics,
+                period=cfg.qos_degradation_period,
+                degrade_after=cfg.qos_degrade_after,
+                restore_after=cfg.qos_restore_after,
+                degrade_factor=cfg.qos_degrade_factor,
+                min_rate=cfg.qos_min_rate,
+                priority=cfg.qos_degrade_priority,
+                ingress_queue_capacity=(
+                    cfg.qos_ingress_queue
+                    if cfg.qos_ingress_rate is not None
+                    else None
+                ),
+            )
 
         self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
@@ -376,9 +469,34 @@ class Garnet:
                 period=cfg.location_stream_period,
             )
 
+    def _stream_priority(self, arrival) -> int:
+        """Shedding priority for one arrival (``DropByStreamPriority``).
+
+        A stream advertised with a ``qos_priority`` attribute uses it;
+        otherwise physical sensor streams outrank derived/publisher
+        streams, so a flood published on the fixed network is shed
+        before field telemetry is touched.
+        """
+        stream_id = arrival.message.stream_id
+        descriptor = self.registry.find(stream_id)
+        if descriptor is not None:
+            priority = descriptor.attributes.get("qos_priority")
+            if priority is not None:
+                return int(priority)
+        return 0 if stream_id.is_derived else 1
+
     # ------------------------------------------------------------------
     # Identity & types
     # ------------------------------------------------------------------
+    def allocate_publisher_id(self) -> int:
+        """Allocate a publisher id in the derived (virtual-sensor) range.
+
+        Sessions do this implicitly on first publish; the public method
+        exists for infrastructure that publishes without a session (e.g.
+        the ``FloodBurst`` fault's synthetic load generator).
+        """
+        return self._publisher_ids.allocate()
+
     def issue_token(
         self, principal: str, permissions: Permission | None = None
     ) -> Token:
@@ -704,8 +822,30 @@ class Garnet:
         lines.append(
             f"  streams  : {len(self.registry)} known, "
             f"{len(self.orphanage.orphan_streams())} orphaned "
-            f"({self.orphanage.total_received} orphan messages)"
+            f"({self.orphanage.total_received} orphan messages, "
+            f"{self.orphanage.stats.evicted} evicted)"
         )
+        if self.qos.enabled:
+            parts = []
+            if self.qos.admission is not None:
+                admission = self.qos.admission.stats
+                parts.append(
+                    f"ingress {admission.admitted} admitted / "
+                    f"{admission.shed} shed"
+                )
+            if self.qos.delivery is not None:
+                delivery = self.qos.delivery.stats
+                parts.append(
+                    f"{delivery.quarantines} quarantines "
+                    f"({delivery.replayed} replayed)"
+                )
+            if self.qos.degradation is not None:
+                degradation = self.qos.degradation.stats
+                parts.append(
+                    f"{degradation.degradations} degradations / "
+                    f"{degradation.restorations} restorations"
+                )
+            lines.append("  qos      : " + ", ".join(parts))
         return "\n".join(lines)
 
     def summary(self) -> dict[str, float]:
@@ -726,4 +866,5 @@ class Garnet:
             ),
             "actuation.failed": float(self.actuation.stats.failed),
             "orphanage.received": float(self.orphanage.total_received),
+            "orphanage.evicted": float(self.orphanage.stats.evicted),
         }

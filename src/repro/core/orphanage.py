@@ -18,11 +18,25 @@ from dataclasses import dataclass
 
 from repro.core.envelopes import StreamArrival
 from repro.core.streamid import StreamId
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
 from repro.simnet.fixednet import FixedNetwork
 
 INBOX = "garnet.orphanage"
 
 Analyzer = Callable[[StreamArrival], None]
+
+
+class OrphanageStats(RegistryBackedStats):
+    PREFIX = "orphanage"
+
+    received: int = 0
+    evicted: int = 0
+    """Backlog entries silently displaced by newer arrivals (bounded
+    ``deque(maxlen)`` semantics made visible: an eviction is data loss,
+    and capacity tuning needs a number to look at)."""
+    replayed: int = 0
+    discarded: int = 0
 
 
 @dataclass(slots=True)
@@ -69,6 +83,7 @@ class Orphanage:
         self,
         network: FixedNetwork,
         backlog_per_stream: int = 256,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if backlog_per_stream < 0:
             raise ValueError("backlog_per_stream must be non-negative")
@@ -76,15 +91,20 @@ class Orphanage:
         self._capacity = backlog_per_stream
         self._streams: dict[StreamId, _OrphanStream] = {}
         self._analyzers: list[Analyzer] = []
-        self.total_received = 0
+        self.stats = OrphanageStats(metrics)
         network.register_inbox(INBOX, self.on_arrival)
+
+    @property
+    def total_received(self) -> int:
+        """Alias of ``stats.received`` (the historical attribute name)."""
+        return self.stats.received
 
     def add_analyzer(self, analyzer: Analyzer) -> None:
         """Run ``analyzer`` over every orphaned arrival (policy hook)."""
         self._analyzers.append(analyzer)
 
     def on_arrival(self, arrival: StreamArrival) -> None:
-        self.total_received += 1
+        self.stats.received += 1
         stream_id = arrival.message.stream_id
         state = self._streams.get(stream_id)
         if state is None:
@@ -96,6 +116,10 @@ class Orphanage:
         state.last_seen_at = arrival.received_at
         state.total_payload_bytes += len(arrival.message.payload)
         if self._capacity > 0:
+            if len(state.backlog) == self._capacity:
+                # maxlen is about to displace the oldest entry; the deque
+                # does it silently, the stats must not.
+                self.stats.evicted += 1
             state.backlog.append(arrival)
         for analyzer in self._analyzers:
             analyzer(arrival)
@@ -144,9 +168,13 @@ class Orphanage:
             arrivals = arrivals[-limit:]
         for arrival in arrivals:
             self._network.send(endpoint, arrival)
+        self.stats.replayed += len(arrivals)
         return len(arrivals)
 
     def discard(self, stream_id: StreamId) -> int:
         """Drop state for a stream once a real consumer has claimed it."""
         state = self._streams.pop(stream_id, None)
-        return 0 if state is None else len(state.backlog)
+        if state is None:
+            return 0
+        self.stats.discarded += len(state.backlog)
+        return len(state.backlog)

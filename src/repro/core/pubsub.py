@@ -175,6 +175,11 @@ class Broker(RpcEndpoint):
         Called lazily from every broker operation (and by the session
         heartbeat path), so a dead consumer's subscriptions disappear the
         next time anything touches the broker after the TTL passes.
+
+        Reaping funnels through ``dispatcher.remove_endpoint``, which
+        also releases any QoS delivery backlog (queued or quarantined
+        messages) parked for the endpoint — a reaped consumer keeps no
+        claim on middleware memory.
         """
         if self._lease_ttl is None:
             return 0

@@ -150,6 +150,14 @@ class GarnetSession:
         return self._closed
 
     @property
+    def quarantined(self) -> bool:
+        """True while QoS delivery has parked this session as a slow
+        consumer (:class:`repro.qos.DeliveryManager`). Always False when
+        per-consumer delivery queues are disabled."""
+        delivery = self._deployment.qos.delivery
+        return delivery is not None and delivery.is_quarantined(self.endpoint)
+
+    @property
     def subscription_ids(self) -> tuple[int, ...]:
         return tuple(self._subscriptions)
 

@@ -9,9 +9,11 @@ recovered. Same seed + same plan = identical run, every time.
 from repro.faults.injector import FaultInjector, inject
 from repro.faults.plan import (
     BrokerCrash,
+    ConsumerStall,
     DropBurst,
     FaultEvent,
     FaultPlan,
+    FloodBurst,
     LatencySpike,
     NetworkPartition,
     ReceiverOutage,
@@ -20,10 +22,12 @@ from repro.faults.plan import (
 
 __all__ = [
     "BrokerCrash",
+    "ConsumerStall",
     "DropBurst",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "FloodBurst",
     "LatencySpike",
     "NetworkPartition",
     "ReceiverOutage",

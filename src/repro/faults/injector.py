@@ -13,6 +13,8 @@ LatencySpike        ``FixedNetwork.set_latency_factor()``
 DropBurst           ``WirelessMedium.set_extra_loss()``
 ReceiverOutage      ``WirelessMedium.detach()`` / ``attach()``
 TransmitterOutage   ``TransmitterArray.set_online()``
+FloodBurst          synthetic publishes into ``garnet.dispatching``
+ConsumerStall       ``DeliveryManager.stall()`` / ``resume()``
 ==================  ====================================================
 
 Everything injected is counted under ``faults.*`` in the deployment's
@@ -30,16 +32,24 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.dispatching import INBOX as DISPATCH_INBOX
+from repro.core.envelopes import StreamArrival
+from repro.core.message import DataMessage
+from repro.core.streamid import StreamId
+from repro.errors import ConfigurationError
 from repro.faults.plan import (
     BrokerCrash,
+    ConsumerStall,
     DropBurst,
     FaultEvent,
     FaultPlan,
+    FloodBurst,
     LatencySpike,
     NetworkPartition,
     ReceiverOutage,
     TransmitterOutage,
 )
+from repro.util.ids import WrappingCounter
 
 _EVENT_COUNTERS: dict[type, str] = {
     BrokerCrash: "faults.broker_crashes",
@@ -48,7 +58,26 @@ _EVENT_COUNTERS: dict[type, str] = {
     DropBurst: "faults.drop_bursts",
     ReceiverOutage: "faults.receiver_outages",
     TransmitterOutage: "faults.transmitter_outages",
+    FloodBurst: "faults.flood_bursts",
+    ConsumerStall: "faults.consumer_stalls",
 }
+
+
+class _FloodState:
+    """One live flood: its synthetic streams and round-robin cursor."""
+
+    __slots__ = ("event", "streams", "payload", "index", "active")
+
+    def __init__(
+        self,
+        event: FloodBurst,
+        streams: list[tuple[StreamId, WrappingCounter]],
+    ) -> None:
+        self.event = event
+        self.streams = streams
+        self.payload = b"\x00" * event.payload_bytes
+        self.index = 0
+        self.active = True
 
 
 class FaultInjector:
@@ -71,10 +100,17 @@ class FaultInjector:
             kind: metrics.counter(name)
             for kind, name in _EVENT_COUNTERS.items()
         }
+        self._flood_messages = metrics.counter(
+            "faults.flood_messages",
+            help="synthetic messages injected by FloodBurst events",
+        )
         self._armed = False
         # Same-kind overlap bookkeeping (see module docstring).
         self._loss_windows: list[float] = []
         self._latency_factors: list[float] = []
+        # Keyed by event identity: duplicate FloodBurst literals in one
+        # plan are distinct windows with distinct synthetic streams.
+        self._floods: dict[int, _FloodState] = {}
 
     @property
     def plan(self) -> FaultPlan:
@@ -114,6 +150,12 @@ class FaultInjector:
                 self._deployment.transmitters.set_online(
                     transmitter_id, False
                 )
+        elif isinstance(event, FloodBurst):
+            self._begin_flood(event)
+        elif isinstance(event, ConsumerStall):
+            delivery = self._delivery_manager(event)
+            for endpoint in event.endpoints:
+                delivery.stall(endpoint)
 
     def _end(self, event: FaultEvent) -> None:
         self._recovered.inc()
@@ -139,8 +181,56 @@ class FaultInjector:
                 self._deployment.transmitters.set_online(
                     transmitter_id, True
                 )
+        elif isinstance(event, FloodBurst):
+            state = self._floods.pop(id(event), None)
+            if state is not None:
+                state.active = False
+        elif isinstance(event, ConsumerStall):
+            delivery = self._delivery_manager(event)
+            for endpoint in event.endpoints:
+                delivery.resume(endpoint)
 
     # ------------------------------------------------------------------
+    def _begin_flood(self, event: FloodBurst) -> None:
+        streams: list[tuple[StreamId, WrappingCounter]] = []
+        for _ in range(event.streams):
+            publisher = self._deployment.allocate_publisher_id()
+            streams.append((StreamId(publisher, 0), WrappingCounter(16)))
+        state = _FloodState(event, streams)
+        self._floods[id(event)] = state
+        self._flood_tick(state)
+
+    def _flood_tick(self, state: _FloodState) -> None:
+        sim = self._deployment.sim
+        if not state.active or sim.now >= state.event.ends_at:
+            return
+        stream_id, counter = state.streams[state.index % len(state.streams)]
+        state.index += 1
+        message = DataMessage(
+            stream_id=stream_id,
+            sequence=counter.next(),
+            payload=state.payload,
+        )
+        # receiver_id=-1 marks a direct fixed-net publish, the same
+        # envelope shape GarnetSession.publish emits.
+        self._deployment.network.send(
+            DISPATCH_INBOX,
+            StreamArrival(
+                message=message, received_at=sim.now, receiver_id=-1
+            ),
+        )
+        self._flood_messages.inc()
+        sim.schedule(1.0 / state.event.rate, self._flood_tick, state)
+
+    def _delivery_manager(self, event: ConsumerStall):
+        delivery = self._deployment.qos.delivery
+        if delivery is None:
+            raise ConfigurationError(
+                f"{event.describe()} needs per-consumer delivery queues: "
+                "set qos_consumer_queue on the deployment config"
+            )
+        return delivery
+
     def _apply_loss(self) -> None:
         extra = max(self._loss_windows, default=0.0)
         self._deployment.medium.set_extra_loss(extra)

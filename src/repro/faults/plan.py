@@ -18,7 +18,11 @@ Event vocabulary (all windows are ``[at, at + duration)``):
   interference on top of the configured loss model);
 - :class:`ReceiverOutage` — receiver-array elements go deaf;
 - :class:`TransmitterOutage` — transmitter-array antennas go dark (the
-  Message Replicator fails over around them).
+  Message Replicator fails over around them);
+- :class:`FloodBurst` — synthetic publishers flood the Dispatching
+  Service ingress (the overload lever behind ``bench_e17_overload``);
+- :class:`ConsumerStall` — named consumer endpoints stop draining their
+  QoS delivery queues (requires ``qos_consumer_queue``).
 """
 
 from __future__ import annotations
@@ -123,6 +127,58 @@ class TransmitterOutage(FaultEvent):
         if not self.transmitter_ids:
             raise ConfigurationError(
                 "a transmitter outage must name at least one transmitter"
+            )
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class FloodBurst(FaultEvent):
+    """Synthetic publishers flood the Dispatching Service ingress.
+
+    ``rate`` is the aggregate message rate (messages per virtual
+    second), spread round-robin across ``streams`` freshly allocated
+    derived stream ids. The flood enters through the fixed network
+    exactly like a session publish, so it contends with legitimate
+    traffic at the admission controller — the intended victim.
+    """
+
+    rate: float
+    streams: int = 1
+    payload_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"flood rate must be positive: {self.rate}"
+            )
+        if self.streams < 1:
+            raise ConfigurationError(
+                f"a flood needs at least one stream: {self.streams}"
+            )
+        if self.payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload_bytes must be non-negative: {self.payload_bytes}"
+            )
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ConsumerStall(FaultEvent):
+    """Named consumer endpoints stop draining deliveries for the window.
+
+    Models a consumer process that is alive (it may keep heartbeating
+    its lease) but wedged — GC pause, deadlock, saturated downstream
+    sink. Requires the deployment to run with per-consumer delivery
+    queues (``qos_consumer_queue``), whose slow-consumer detection is
+    the machinery under test.
+    """
+
+    endpoints: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if not self.endpoints:
+            raise ConfigurationError(
+                "a consumer stall must name at least one endpoint"
             )
 
 

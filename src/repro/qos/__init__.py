@@ -1,0 +1,48 @@
+"""repro.qos: overload protection & graceful degradation.
+
+The subsystem threads four mechanisms through both message paths:
+
+- :class:`~repro.qos.admission.AdmissionController` — token-bucket +
+  bounded-queue ingress for the Dispatching Service, with pluggable
+  :mod:`~repro.qos.shedding` policies;
+- :class:`~repro.qos.quarantine.DeliveryManager` — per-consumer delivery
+  queues, slow-consumer quarantine and orphan-style replay;
+- :class:`~repro.qos.breaker.CircuitBreaker` — per-endpoint breakers on
+  the fixed network, composing with the retry queue;
+- :class:`~repro.qos.degradation.DegradationController` — load-driven
+  sensor down-throttling through the mediated control path.
+
+Everything is counted under ``qos.*`` in the deployment's metrics
+registry and is deterministic under the virtual clock.
+"""
+
+from repro.qos.admission import AdmissionController, AdmissionStats
+from repro.qos.breaker import BreakerPolicy, CircuitBreaker
+from repro.qos.degradation import (
+    QOS_CONSUMER,
+    DegradationController,
+    DegradationStats,
+)
+from repro.qos.quarantine import DeliveryManager, DeliveryStats
+from repro.qos.shedding import (
+    DropByStreamPriority,
+    DropOldest,
+    SheddingPolicy,
+)
+from repro.qos.tokens import TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DegradationController",
+    "DegradationStats",
+    "DeliveryManager",
+    "DeliveryStats",
+    "DropByStreamPriority",
+    "DropOldest",
+    "QOS_CONSUMER",
+    "SheddingPolicy",
+    "TokenBucket",
+]

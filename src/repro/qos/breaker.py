@@ -1,0 +1,106 @@
+"""Circuit breakers for fixed-network endpoints.
+
+A breaker sits in front of one delivery destination and trips *open*
+after repeated dead-letters, so the retry queue stops hammering an
+endpoint the network has already proven dead (the composition the retry
+policy alone cannot provide: backoff spaces attempts out, the breaker
+stops scheduling them at all). After ``reset_timeout`` virtual seconds
+the breaker lets one *probe* delivery through (*half-open*); a success
+closes it, another failure re-opens it for a fresh timeout.
+
+Like :class:`~repro.qos.tokens.TokenBucket`, the state machine is pure
+over explicit timestamps: no ambient clock, no randomness, so the same
+``(now, outcome)`` sequence always walks the same state trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerPolicy:
+    """Trip/reset parameters shared by every breaker on a network.
+
+    ``failure_threshold`` consecutive dead-letters open the breaker;
+    after ``reset_timeout`` virtual seconds a single probe is allowed
+    through to test the endpoint.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be at least 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.reset_timeout <= 0:
+            raise ConfigurationError(
+                f"reset_timeout must be positive, got {self.reset_timeout}"
+            )
+
+    def build(self) -> "CircuitBreaker":
+        """One breaker instance (the fixed network keeps one per endpoint)."""
+        return CircuitBreaker(self)
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open state machine for one endpoint."""
+
+    __slots__ = ("policy", "state", "failures", "opened_at", "opened", "closed")
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.opened = 0
+        """Times this breaker has tripped open (monotonic)."""
+        self.closed = 0
+        """Times this breaker has recovered to closed after a trip."""
+
+    def allow(self, now: float) -> bool:
+        """May a delivery attempt proceed at ``now``?
+
+        Transitions open -> half-open when the reset timeout has lapsed;
+        the half-open state admits the attempt as the probe. The caller
+        must report the attempt's outcome via :meth:`record_success` /
+        :meth:`record_failure` before asking again.
+        """
+        if self.state == OPEN:
+            if now - self.opened_at >= self.policy.reset_timeout:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> bool:
+        """Note a completed delivery; returns True when this closed a trip."""
+        self.failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.closed += 1
+            return True
+        return False
+
+    def record_failure(self, now: float) -> bool:
+        """Note a dead-letter; returns True when this tripped the breaker."""
+        self.failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.failures >= self.policy.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = now
+            self.failures = 0
+            self.opened += 1
+            return True
+        return False

@@ -1,0 +1,261 @@
+"""Load-driven graceful degradation through the paper's return path.
+
+When the middleware is drowning, the cheapest place to shed load is the
+*source*: Section 5's mediated control path exists so consumers can
+re-configure sensors, and the :class:`DegradationController` uses that
+same path as a safety valve. On a periodic virtual-clock tick it reads
+the ``qos.*`` pressure signals (ingress/delivery sheds since the last
+tick, ingress queue fill); after ``degrade_after`` consecutive
+overloaded ticks it issues ``SET_RATE`` requests through the normal
+conflict-mediation machinery — same Resource Manager, same constraint
+checks, same actuation/ack pipeline as any consumer — halving (by
+default) each actuatable sensor's sampling rate. Once pressure has been
+clear for ``restore_after`` ticks, the original rates are re-requested
+and the controller's demands released.
+
+Quarantine pressure is deliberately *not* an input: one stalled consumer
+is that consumer's problem (the
+:class:`~repro.qos.quarantine.DeliveryManager` contains it); sensor
+down-throttling is reserved for system-wide overload that shedding alone
+is failing to absorb.
+
+State transitions are reported to the Super Coordinator as ordinary
+:class:`~repro.core.envelopes.StateChangeReport` messages (consumer
+``garnet.qos``, states ``overloaded``/``normal``), so global rules can
+compose with consumer-population state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.adaptive import RateRequestGate
+from repro.core.control import StreamUpdateCommand
+from repro.core.coordinator import INBOX as COORDINATOR_INBOX
+from repro.core.envelopes import StateChangeReport
+from repro.core.resource import ResourceManager
+from repro.core.security import Token
+from repro.core.streamid import StreamId
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.stats import RegistryBackedStats
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.kernel import PeriodicTask, Simulator
+
+#: The principal the controller acts as on the control path.
+QOS_CONSUMER = "garnet.qos"
+
+
+class DegradationStats(RegistryBackedStats):
+    PREFIX = "qos.degradation"
+
+    ticks: int = 0
+    overloaded_ticks: int = 0
+    degradations: int = 0
+    restorations: int = 0
+    denied: int = 0
+
+
+class DegradationController:
+    """Watches ``qos.*`` pressure; down-throttles sensors when drowning.
+
+    Parameters
+    ----------
+    control:
+        The deployment's control path (``request_update`` /
+        ``release_demands`` surface).
+    pressure_fn:
+        Override for the pressure signal (tests inject synthetic load);
+        the default reads shed-counter deltas and ingress queue fill
+        from the metrics registry. Any value > 0 counts as an
+        overloaded tick.
+    ingress_queue_capacity:
+        When set, ingress queue depth contributes ``depth/capacity`` to
+        the default pressure signal, so a persistently full queue
+        registers as overload even between sheds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FixedNetwork,
+        control: Any,
+        resource_manager: ResourceManager,
+        token: Token | None,
+        metrics: MetricsRegistry | None = None,
+        *,
+        period: float = 5.0,
+        degrade_after: int = 2,
+        restore_after: int = 3,
+        degrade_factor: float = 0.5,
+        min_rate: float = 0.1,
+        priority: int = 50,
+        pressure_fn: Callable[[], float] | None = None,
+        ingress_queue_capacity: int | None = None,
+        consumer: str = QOS_CONSUMER,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("degradation period must be positive")
+        if degrade_after < 1 or restore_after < 1:
+            raise ConfigurationError(
+                "degrade_after and restore_after must be at least 1"
+            )
+        if not 0 < degrade_factor < 1:
+            raise ConfigurationError(
+                f"degrade_factor must be in (0, 1), got {degrade_factor}"
+            )
+        if min_rate <= 0:
+            raise ConfigurationError("min_rate must be positive")
+        self._sim = sim
+        self._network = network
+        self._control = control
+        self._resource_manager = resource_manager
+        self._token = token
+        self._consumer = consumer
+        self._degrade_after = degrade_after
+        self._restore_after = restore_after
+        self._degrade_factor = degrade_factor
+        self._min_rate = min_rate
+        self._priority = priority
+        self._pressure_fn = pressure_fn or self._default_pressure
+        self._ingress_capacity = ingress_queue_capacity
+        self._overloaded_streak = 0
+        self._calm_streak = 0
+        self._last_shed_total = 0.0
+        self._reported_overloaded = False
+        #: stream -> rate believed before the first degradation step.
+        self._originals: dict[StreamId, float] = {}
+        self._gates: dict[StreamId, RateRequestGate] = {}
+        self.stats = DegradationStats(metrics)
+        registry = self.stats.registry
+        self._registry = registry
+        self._pressure_gauge = registry.gauge(
+            "qos.degradation.pressure",
+            help="pressure signal sampled at the last tick",
+        )
+        self._degraded_gauge = registry.gauge(
+            "qos.degradation.degraded_streams",
+            help="streams currently running below their original rate",
+        )
+        self._task = PeriodicTask(sim, period, self._tick)
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded_streams(self) -> dict[StreamId, float]:
+        """Streams currently degraded -> the rate to restore them to."""
+        return dict(self._originals)
+
+    @property
+    def overloaded(self) -> bool:
+        return self._reported_overloaded
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def _default_pressure(self) -> float:
+        registry = self._registry
+        shed_total = registry.value("qos.ingress.shed") + registry.value(
+            "qos.delivery.shed"
+        )
+        pressure = shed_total - self._last_shed_total
+        self._last_shed_total = shed_total
+        if self._ingress_capacity:
+            pressure += (
+                registry.value("qos.ingress.queue_depth")
+                / self._ingress_capacity
+            )
+        return pressure
+
+    def _tick(self) -> None:
+        self.stats.ticks += 1
+        pressure = self._pressure_fn()
+        self._pressure_gauge.set(pressure)
+        if pressure > 0:
+            self.stats.overloaded_ticks += 1
+            self._overloaded_streak += 1
+            self._calm_streak = 0
+        else:
+            self._calm_streak += 1
+            self._overloaded_streak = 0
+        if self._overloaded_streak >= self._degrade_after:
+            # Reset so a *further* degradation step needs a fresh streak
+            # (the first step usually relieves pressure; give it time).
+            self._overloaded_streak = 0
+            self._degrade()
+        elif self._originals and self._calm_streak >= self._restore_after:
+            self._calm_streak = 0
+            self._restore()
+
+    def _degrade(self) -> None:
+        acted = False
+        overview = self._resource_manager.overview()
+        for stream_id in sorted(overview):
+            spec = self._resource_manager.sensor_type_of(stream_id.sensor_id)
+            if spec is None or not spec.actuatable:
+                continue
+            current = overview[stream_id].rate
+            target = max(self._min_rate, round(current * self._degrade_factor, 3))
+            if target >= current:
+                continue
+            gate = self._gates.setdefault(stream_id, RateRequestGate())
+            if gate.is_denied(target):
+                continue
+            decision = self._control.request_update(
+                consumer=self._consumer,
+                stream_id=stream_id,
+                command=StreamUpdateCommand.SET_RATE,
+                value=target,
+                priority=self._priority,
+                token=self._token,
+            )
+            gate.record(target, decision.approved)
+            if decision.approved:
+                self._originals.setdefault(stream_id, current)
+                self.stats.degradations += 1
+                acted = True
+            else:
+                self.stats.denied += 1
+        self._degraded_gauge.set(len(self._originals))
+        if acted and not self._reported_overloaded:
+            self._reported_overloaded = True
+            self._report_state("overloaded")
+
+    def _restore(self) -> None:
+        # release_demands alone is not enough: when no other consumer
+        # holds a rate demand, withdrawal leaves the degraded value in
+        # place. Explicitly re-request the original rate first, then
+        # withdraw so other consumers' demands re-mediate freely.
+        for stream_id in sorted(self._originals):
+            decision = self._control.request_update(
+                consumer=self._consumer,
+                stream_id=stream_id,
+                command=StreamUpdateCommand.SET_RATE,
+                value=self._originals[stream_id],
+                priority=self._priority,
+                token=self._token,
+            )
+            if decision.approved:
+                self.stats.restorations += 1
+            else:
+                self.stats.denied += 1
+        self._control.release_demands(self._consumer)
+        self._originals.clear()
+        self._gates.clear()
+        self._degraded_gauge.set(0)
+        if self._reported_overloaded:
+            self._reported_overloaded = False
+            self._report_state("normal")
+
+    def _report_state(self, state: str) -> None:
+        if self._network.has_inbox(COORDINATOR_INBOX):
+            self._network.send(
+                COORDINATOR_INBOX,
+                StateChangeReport(
+                    consumer=self._consumer,
+                    state=state,
+                    reported_at=self._sim.now,
+                    detail={"degraded_streams": len(self._originals)},
+                ),
+            )

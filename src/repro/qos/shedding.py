@@ -1,0 +1,90 @@
+"""Shedding policies: who loses when the ingress queue is full.
+
+When the admission queue is at capacity and another arrival lands, one
+message has to go. The policy decides *which*: the incoming message, or
+a queued one it displaces. Policies are pure over the queue contents, so
+shedding decisions replay identically under the same seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.core.envelopes import StreamArrival
+
+#: Maps an arrival to its shedding priority (higher survives longer).
+PriorityFn = Callable[[StreamArrival], int]
+
+
+class SheddingPolicy:
+    """Chooses the victim when the bounded ingress queue overflows."""
+
+    name = "base"
+
+    def shed(
+        self, queue: deque[StreamArrival], incoming: StreamArrival
+    ) -> StreamArrival:
+        """Return the message to drop.
+
+        Either ``incoming`` (the new arrival is refused) or an element
+        this call has *removed* from ``queue`` (making room; the caller
+        then enqueues ``incoming``).
+        """
+        raise NotImplementedError
+
+
+class DropOldest(SheddingPolicy):
+    """FIFO shedding: the head of the queue makes way for new data.
+
+    The right default for live telemetry — the newest reading is the
+    most valuable one, and the displaced head was going to be the
+    stalest delivery anyway.
+    """
+
+    name = "drop_oldest"
+
+    def shed(
+        self, queue: deque[StreamArrival], incoming: StreamArrival
+    ) -> StreamArrival:
+        return queue.popleft()
+
+
+class DropByStreamPriority(SheddingPolicy):
+    """Shed the lowest-priority message in (queue + incoming).
+
+    ``priority_of`` scores each arrival; on a tie the oldest queued
+    message loses first (and the incoming message, being newest, loses
+    last among equals). A flood on a low-priority stream is therefore
+    shed before a single high-priority sensor reading is touched.
+    """
+
+    name = "priority"
+
+    def __init__(self, priority_of: PriorityFn) -> None:
+        if not callable(priority_of):
+            raise TypeError("priority_of must be callable")
+        self._priority_of = priority_of
+
+    def shed(
+        self, queue: deque[StreamArrival], incoming: StreamArrival
+    ) -> StreamArrival:
+        victim_index = -1  # -1 = the incoming message
+        victim_priority = self._priority_of(incoming)
+        for index, queued in enumerate(queue):
+            priority = self._priority_of(queued)
+            # <= walks to the *oldest* message of the lowest priority:
+            # later queue entries only displace the current victim when
+            # strictly lower, earlier ones win ties by iteration order.
+            if victim_index == -1:
+                if priority <= victim_priority:
+                    victim_index = index
+                    victim_priority = priority
+            elif priority < victim_priority:
+                victim_index = index
+                victim_priority = priority
+        if victim_index == -1:
+            return incoming
+        victim = queue[victim_index]
+        del queue[victim_index]
+        return victim

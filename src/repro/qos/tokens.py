@@ -1,0 +1,80 @@
+"""Token bucket: the admission-control rate limiter.
+
+A deliberately pure state machine over *explicit* virtual-clock
+timestamps: the bucket never reads a clock itself, so the same sequence
+of ``(now, take)`` calls always produces the same trajectory — the
+property ``tests/test_qos_properties.py`` asserts with hypothesis. The
+:class:`~repro.qos.admission.AdmissionController` feeds it ``sim.now``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an externally supplied clock.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second of virtual time.
+    capacity:
+        Maximum tokens held (the admissible burst size).
+    start:
+        Clock reading at construction; the bucket starts full.
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_updated_at")
+
+    def __init__(self, rate: float, capacity: float, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"token rate must be positive, got {rate}")
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"token capacity must be positive, got {capacity}"
+            )
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._updated_at = float(start)
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated_at:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._updated_at) * self.rate,
+            )
+            self._updated_at = now
+
+    def level(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available at ``now``; False otherwise."""
+        self._refill(now)
+        if self._tokens + 1e-12 >= tokens:
+            self._tokens = max(0.0, self._tokens - tokens)
+            return True
+        return False
+
+    def time_until(self, now: float, tokens: float = 1.0) -> float:
+        """Virtual seconds until ``tokens`` are available (0 when ready).
+
+        The answer is exact under the continuous-refill model, so a
+        drain scheduled at ``now + time_until(now)`` finds its token.
+        A request exceeding ``capacity`` can never be satisfied (refill
+        stops at the brim) — that is a configuration error, not a wait.
+        """
+        if tokens > self.capacity:
+            raise ConfigurationError(
+                f"{tokens} tokens can never accrue in a bucket of "
+                f"capacity {self.capacity}"
+            )
+        self._refill(now)
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate

@@ -21,6 +21,12 @@ jittered exponential backoff instead of silently vanishing. Deliveries
 that exhaust their retries (or fail with no retry policy configured) go
 through the *dead-letter hook* so callers can react, and are counted as
 ``fixednet.dead_lettered``.
+
+With a breaker policy installed (:meth:`set_breaker_policy`,
+``repro.qos``), each delivery destination additionally sits behind a
+circuit breaker: repeated dead-letters trip it open, further sends (and
+queued retries) are dropped immediately as ``"circuit open"``, and after
+the reset timeout a single half-open probe decides whether to close it.
 """
 
 from __future__ import annotations
@@ -51,6 +57,8 @@ class FixedNetStats(RegistryBackedStats):
     """Messages whose destination was unreachable at (final) delivery time."""
     dead_lettered: int = 0
     """Messages handed to the dead-letter hook after delivery gave up."""
+    dead_letter_errors: int = 0
+    """Dead-letter hook invocations that raised (and were isolated)."""
 
 
 class RpcEndpoint:
@@ -102,6 +110,8 @@ class FixedNetwork:
         self._dead_letter: DeadLetterHook | None = None
         self._partitioned: set[str] = set()
         self._latency_factor = 1.0
+        self._breaker_policy: Any | None = None
+        self._breakers: dict[str, Any] | None = None
         registry = self.stats.registry
         self._retries = registry.counter(
             "resilience.fixednet_retries",
@@ -142,12 +152,91 @@ class FixedNetwork:
 
         ``hook(destination, message, reason)`` fires once per abandoned
         message, after any configured retries are exhausted. Exceptions
-        from the hook propagate — a broken dead-letter consumer is a
-        deployment bug, not something to swallow.
+        from the hook are isolated and counted as
+        ``fixednet.dead_letter_errors`` — the hook is observability
+        riding on the delivery path, and a broken observer must not
+        abort the retry-queue drain that invoked it (the same isolation
+        PR 1 gave ControlPath actuation observers).
         """
         if hook is not None and not callable(hook):
             raise ConfigurationError("dead-letter hook must be callable")
         self._dead_letter = hook
+
+    def _dead_lettered(self, destination: str, message: Any, reason: str) -> None:
+        self.stats.dropped += 1
+        self.stats.dead_lettered += 1
+        # Breakers guard message-path endpoints: short-circuit drops have
+        # already been recorded, and RPC "service down" losses are the
+        # crash-fault model's territory, not an endpoint health signal.
+        if (
+            self._breakers is not None
+            and not reason.startswith("circuit")
+            and reason != "service down"
+        ):
+            breaker = self._breaker_for(destination)
+            if breaker.record_failure(self._sim.now):
+                self._breaker_opened.inc()
+        if self._dead_letter is not None:
+            try:
+                self._dead_letter(destination, message, reason)
+            except Exception:
+                self.stats.dead_letter_errors += 1
+
+    # ------------------------------------------------------------------
+    # Circuit breakers (repro.qos)
+    # ------------------------------------------------------------------
+    def set_breaker_policy(self, policy: Any | None) -> None:
+        """Install per-endpoint circuit breakers on the delivery path.
+
+        ``policy`` is a :class:`~repro.qos.breaker.BreakerPolicy` (any
+        object with a ``build()`` factory works; the network stays
+        decoupled from the qos package). With breakers installed, an
+        endpoint that keeps dead-lettering trips open: deliveries —
+        including queued retries re-entering the path — are dropped
+        immediately with reason ``"circuit open"`` instead of burning a
+        retry schedule each, until a half-open probe succeeds.
+        """
+        if policy is None:
+            self._breaker_policy = None
+            self._breakers = None
+            return
+        if not hasattr(policy, "build"):
+            raise ConfigurationError(
+                f"breaker policy must provide build(), got {policy!r}"
+            )
+        self._breaker_policy = policy
+        self._breakers = {}
+        registry = self.stats.registry
+        self._breaker_opened = registry.counter(
+            "qos.breaker_opened",
+            help="circuit breakers tripped open by repeated dead-letters",
+        )
+        self._breaker_closed = registry.counter(
+            "qos.breaker_closed",
+            help="circuit breakers closed again after a successful probe",
+        )
+        self._breaker_probes = registry.counter(
+            "qos.breaker_probes",
+            help="half-open probe deliveries attempted",
+        )
+        self._breaker_short_circuits = registry.counter(
+            "qos.breaker_short_circuits",
+            help="deliveries refused outright by an open breaker",
+        )
+
+    def _breaker_for(self, destination: str) -> Any:
+        breaker = self._breakers.get(destination)
+        if breaker is None:
+            breaker = self._breaker_policy.build()
+            self._breakers[destination] = breaker
+        return breaker
+
+    def breaker_state(self, destination: str) -> str | None:
+        """The breaker state for ``destination`` (None = no breakers)."""
+        if self._breakers is None:
+            return None
+        breaker = self._breakers.get(destination)
+        return breaker.state if breaker is not None else "closed"
 
     def partition(self, endpoints: Iterable[str]) -> None:
         """Sever the named endpoints from the bus until :meth:`heal`.
@@ -229,6 +318,23 @@ class FixedNetwork:
         span: Span | None = None,
         attempt: int = 0,
     ) -> None:
+        breaker = (
+            self._breaker_for(destination)
+            if self._breakers is not None
+            else None
+        )
+        if breaker is not None and not breaker.allow(self._sim.now):
+            # Open breaker: drop now — no retry schedule, no probe. A
+            # queued retry re-entering the path lands here too, so an
+            # endpoint that tripped mid-backoff stops being hammered.
+            if span is not None and self._tracer is not None:
+                self._tracer.finish(span, delivered=False)
+            self._breaker_short_circuits.inc()
+            self._dead_lettered(destination, message, "circuit open")
+            return
+        probing = breaker is not None and breaker.state == "half_open"
+        if probing:
+            self._breaker_probes.inc()
         handler = self._inboxes.get(destination)
         reachable = (
             handler is not None and destination not in self._partitioned
@@ -236,6 +342,13 @@ class FixedNetwork:
         if not reachable:
             if span is not None and self._tracer is not None:
                 self._tracer.finish(span, delivered=False)
+            if probing:
+                # A failed probe re-opens immediately; retrying it would
+                # defeat the point of probing one message at a time.
+                breaker.record_failure(self._sim.now)
+                self._breaker_opened.inc()
+                self._dead_lettered(destination, message, "circuit probe failed")
+                return
             policy = self._retry_policy
             if policy is not None and attempt < policy.max_attempts:
                 next_attempt = attempt + 1
@@ -256,15 +369,14 @@ class FixedNetwork:
             )
             if policy is not None:
                 reason += f" after {attempt} retries"
-            self.stats.dropped += 1
-            self.stats.dead_lettered += 1
-            if self._dead_letter is not None:
-                self._dead_letter(destination, message, reason)
+            self._dead_lettered(destination, message, reason)
             return
         if span is not None and self._tracer is not None:
             self._tracer.finish(span, delivered=True)
         if attempt > 0:
             self._redelivered.inc()
+        if breaker is not None and breaker.record_success(self._sim.now):
+            self._breaker_closed.inc()
         handler(message)
 
     # ------------------------------------------------------------------
@@ -338,12 +450,9 @@ class FixedNetwork:
         if service is None:
             # The service crashed between call and invoke; the in-flight
             # RPC is lost exactly like a real request hitting a dead host.
-            self.stats.dropped += 1
-            self.stats.dead_lettered += 1
-            if self._dead_letter is not None:
-                self._dead_letter(
-                    service_name, (operation, args, kwargs), "service down"
-                )
+            self._dead_lettered(
+                service_name, (operation, args, kwargs), "service down"
+            )
             return
         result = service.rpc_dispatch(operation, *args, **kwargs)
         if on_result is not None:

@@ -37,6 +37,34 @@ class TestStorage:
         assert report.messages_seen == 10
         assert report.messages_retained == 4
 
+    def test_evictions_are_counted(self, orphanage):
+        # 10 arrivals into a 4-slot backlog: the deque silently displaces
+        # six, the stats must say so.
+        for seq in range(10):
+            orphanage.on_arrival(arrival(StreamId(1, 0), seq))
+        assert orphanage.stats.evicted == 6
+        # A second stream below capacity evicts nothing.
+        for seq in range(3):
+            orphanage.on_arrival(arrival(StreamId(2, 0), seq))
+        assert orphanage.stats.evicted == 6
+
+    def test_stats_surface_in_metrics_registry(self, network):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        orphanage = Orphanage(network, backlog_per_stream=2, metrics=registry)
+        for seq in range(5):
+            orphanage.on_arrival(arrival(StreamId(1, 0), seq))
+        counters = registry.snapshot()["counters"]
+        assert counters["orphanage.received"] == 5.0
+        assert counters["orphanage.evicted"] == 3.0
+
+    def test_zero_backlog_never_counts_evictions(self, network):
+        orphanage = Orphanage(network, backlog_per_stream=0)
+        for seq in range(5):
+            orphanage.on_arrival(arrival(StreamId(1, 0), seq))
+        assert orphanage.stats.evicted == 0
+
     def test_streams_kept_separately(self, orphanage):
         orphanage.on_arrival(arrival(StreamId(1, 0), 0))
         orphanage.on_arrival(arrival(StreamId(2, 0), 0))

@@ -9,8 +9,10 @@ from repro.core.resource import StreamConfig
 from repro.errors import ConfigurationError
 from repro.faults import (
     BrokerCrash,
+    ConsumerStall,
     DropBurst,
     FaultPlan,
+    FloodBurst,
     LatencySpike,
     NetworkPartition,
     ReceiverOutage,
@@ -67,6 +69,14 @@ class TestPlan:
             LatencySpike(at=0.0, duration=1.0, factor=1.0)
         with pytest.raises(ConfigurationError):
             NetworkPartition(at=0.0, duration=1.0, endpoints=())
+        with pytest.raises(ConfigurationError):
+            FloodBurst(at=0.0, duration=1.0, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            FloodBurst(at=0.0, duration=1.0, rate=10.0, streams=0)
+        with pytest.raises(ConfigurationError):
+            FloodBurst(at=0.0, duration=1.0, rate=10.0, payload_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            ConsumerStall(at=0.0, duration=1.0, endpoints=())
 
     def test_canonical_plan_contents(self):
         plan = FaultPlan.canonical(endpoints=("consumer.app",))
@@ -187,6 +197,59 @@ class TestInjectorLevers:
         # the replicator failed over; in no case was the order lost.
         assert stats.blackouts == 0
         assert deployment.actuation.stats.acknowledged >= 1
+
+    def test_flood_burst_floods_dispatcher_ingress(self):
+        deployment = chaos_deployment()
+        inject(deployment, FaultPlan(events=(
+            FloodBurst(at=1.0, duration=2.0, rate=50.0, streams=2),
+        )))
+        deployment.run(4.0)
+        counters = deployment.metrics().snapshot()["counters"]
+        assert counters["faults.flood_bursts"] == 1.0
+        # ~100 synthetic messages in the window, none after it closes.
+        assert counters["faults.flood_messages"] >= 80.0
+        at_close = counters["faults.flood_messages"]
+        deployment.run(2.0)
+        counters = deployment.metrics().snapshot()["counters"]
+        assert counters["faults.flood_messages"] == at_close
+        # Unclaimed flood streams land in the Orphanage like any other
+        # un-subscribed data.
+        assert deployment.orphanage.total_received >= 80
+
+    def test_flood_streams_are_distinct(self):
+        deployment = chaos_deployment()
+        inject(deployment, FaultPlan(events=(
+            FloodBurst(at=0.5, duration=1.0, rate=20.0, streams=3),
+        )))
+        deployment.run(2.0)
+        assert len(deployment.orphanage.orphan_streams()) == 3
+
+    def test_consumer_stall_parks_then_resumes(self):
+        deployment = chaos_deployment(
+            qos_consumer_queue=4, qos_quarantine_after=1.0
+        )
+        session = deployment.connect("app")
+        delivery = deployment.qos.delivery
+        inject(deployment, FaultPlan(events=(
+            ConsumerStall(
+                at=1.0, duration=2.0, endpoints=(session.endpoint,)
+            ),
+        )))
+        deployment.run(1.5)
+        assert delivery.is_stalled(session.endpoint)
+        deployment.run(2.0)
+        assert not delivery.is_stalled(session.endpoint)
+        counters = deployment.metrics().snapshot()["counters"]
+        assert counters["faults.consumer_stalls"] == 1.0
+        assert counters["qos.delivery.resumes"] == 1.0
+
+    def test_consumer_stall_requires_qos_delivery(self):
+        deployment = chaos_deployment()  # no qos_consumer_queue
+        inject(deployment, FaultPlan(events=(
+            ConsumerStall(at=1.0, duration=1.0, endpoints=("consumer.x",)),
+        )))
+        with pytest.raises(ConfigurationError):
+            deployment.run(2.0)
 
     def test_double_arm_rejected(self):
         deployment = chaos_deployment()

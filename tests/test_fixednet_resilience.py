@@ -57,6 +57,48 @@ class TestDeadLetter:
         sim.run()
         assert network.stats.dead_lettered == 1
 
+    def test_raising_hook_is_isolated_and_counted(self, latent_network):
+        # A broken dead-letter observer must not abort the delivery path
+        # that invoked it — every message still dead-letters normally and
+        # each hook failure is counted.
+        sim, network = latent_network
+
+        def broken_hook(dest, message, reason):
+            raise RuntimeError("observer bug")
+
+        network.set_dead_letter(broken_hook)
+        network.send("gone.1", "a")
+        network.send("gone.2", "b")
+        sim.run()
+        assert network.stats.dead_lettered == 2
+        assert network.stats.dead_letter_errors == 2
+
+    def test_raising_hook_does_not_break_retry_drain(self, latent_network):
+        # Regression: with retries configured, the hook fires from the
+        # retry-queue drain; an exception there used to be able to abort
+        # the scheduled callback mid-event.
+        sim, network = latent_network
+        network.set_retry_policy(
+            BackoffPolicy(base=0.1, multiplier=1.0, max_attempts=2)
+        )
+
+        def broken_hook(dest, message, reason):
+            raise RuntimeError("observer bug")
+
+        network.set_dead_letter(broken_hook)
+        received = []
+        network.send("never.there", "x")
+        network.send("late.riser", "y")
+        sim.schedule(
+            0.15, lambda: network.register_inbox("late.riser", received.append)
+        )
+        sim.run()
+        # The doomed message dead-lettered (hook isolated); the late
+        # riser's retries still ran to redelivery.
+        assert network.stats.dead_lettered == 1
+        assert network.stats.dead_letter_errors == 1
+        assert received == ["y"]
+
 
 class TestRetry:
     def test_retry_redelivers_after_endpoint_returns(self, latent_network):

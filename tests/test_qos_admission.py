@@ -1,0 +1,214 @@
+"""Admission control: token bucket, shedding policies, bounded ingress."""
+
+from collections import deque
+
+import pytest
+
+from repro.core.envelopes import StreamArrival
+from repro.core.message import DataMessage
+from repro.core.streamid import StreamId
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.qos import (
+    AdmissionController,
+    DropByStreamPriority,
+    DropOldest,
+    TokenBucket,
+)
+from repro.simnet.kernel import Simulator
+
+
+def arrival(publisher: int = 1, sequence: int = 0, at: float = 0.0):
+    return StreamArrival(
+        message=DataMessage(
+            stream_id=StreamId(publisher, 0), sequence=sequence
+        ),
+        received_at=at,
+        receiver_id=-1,
+    )
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_burst(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0)
+        assert all(bucket.try_take(0.0) for _ in range(3))
+        assert not bucket.try_take(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        bucket.try_take(0.0, 2.0)
+        assert not bucket.try_take(0.4)  # 0.8 tokens accrued
+        assert bucket.try_take(0.5)  # exactly 1.0
+
+    def test_never_exceeds_capacity(self):
+        bucket = TokenBucket(rate=10.0, capacity=2.0)
+        assert bucket.level(100.0) == 2.0
+
+    def test_time_until_is_exact(self):
+        bucket = TokenBucket(rate=4.0, capacity=1.0)
+        bucket.try_take(0.0)
+        wait = bucket.time_until(0.0)
+        assert wait == pytest.approx(0.25)
+        assert bucket.try_take(wait)
+
+    def test_time_until_zero_when_ready(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        assert bucket.time_until(0.0) == 0.0
+
+    def test_clock_never_runs_backwards_internally(self):
+        # A stale timestamp (same event time seen twice) must not refill.
+        bucket = TokenBucket(rate=100.0, capacity=1.0)
+        bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+    def test_time_until_rejects_unsatisfiable_request(self):
+        # Refill stops at capacity: asking when 2 tokens will fit in a
+        # 1-token bucket has no finite answer and must not pretend to.
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            bucket.time_until(0.0, 2.0)
+
+
+class TestSheddingPolicies:
+    def test_drop_oldest_pops_head(self):
+        queue = deque([arrival(sequence=0), arrival(sequence=1)])
+        incoming = arrival(sequence=2)
+        victim = DropOldest().shed(queue, incoming)
+        assert victim.message.sequence == 0
+        assert [a.message.sequence for a in queue] == [1]
+
+    def test_priority_sheds_lowest_priority_oldest_first(self):
+        low0, low1 = arrival(publisher=1, sequence=0), arrival(1, 1)
+        high = arrival(publisher=2, sequence=2)
+        priorities = {1: 0, 2: 5}
+        policy = DropByStreamPriority(
+            lambda a: priorities[a.message.stream_id.sensor_id]
+        )
+        queue = deque([low0, high, low1])
+        victim = policy.shed(queue, arrival(publisher=2, sequence=3))
+        assert victim is low0
+        assert low1 in queue and high in queue
+
+    def test_priority_incoming_loses_tie_against_nothing_lower(self):
+        high0 = arrival(publisher=2, sequence=0)
+        policy = DropByStreamPriority(lambda a: 5)
+        queue = deque([high0])
+        incoming = arrival(publisher=2, sequence=1)
+        # Tie: the oldest queued message loses first, never the incoming.
+        assert policy.shed(queue, incoming) is high0
+
+    def test_priority_incoming_is_victim_when_strictly_lowest(self):
+        high = arrival(publisher=2, sequence=0)
+        priorities = {1: 0, 2: 5}
+        policy = DropByStreamPriority(
+            lambda a: priorities[a.message.stream_id.sensor_id]
+        )
+        queue = deque([high])
+        incoming = arrival(publisher=1, sequence=1)
+        assert policy.shed(queue, incoming) is incoming
+        assert list(queue) == [high]
+
+    def test_priority_fn_must_be_callable(self):
+        with pytest.raises(TypeError):
+            DropByStreamPriority("not-callable")
+
+
+class TestAdmissionController:
+    def make(self, sim, rate=2.0, burst=2.0, capacity=3, policy=None):
+        processed = []
+        controller = AdmissionController(
+            sim,
+            processed.append,
+            rate=rate,
+            burst=burst,
+            queue_capacity=capacity,
+            policy=policy or DropOldest(),
+            metrics=MetricsRegistry(clock=lambda: sim.now),
+        )
+        return controller, processed
+
+    def test_under_rate_processes_immediately(self):
+        sim = Simulator(seed=1)
+        controller, processed = self.make(sim)
+        assert controller.offer(arrival(sequence=0))
+        assert len(processed) == 1
+        assert controller.stats.admitted == 1
+        assert controller.queue_depth == 0
+
+    def test_burst_beyond_tokens_queues_then_drains(self):
+        sim = Simulator(seed=1)
+        controller, processed = self.make(sim, rate=2.0, burst=2.0)
+        for seq in range(4):
+            controller.offer(arrival(sequence=seq))
+        assert len(processed) == 2  # burst worth
+        assert controller.queue_depth == 2
+        sim.run(2.0)
+        assert len(processed) == 4
+        assert controller.queue_depth == 0
+        # Drain preserves arrival order.
+        assert [a.message.sequence for a in processed] == [0, 1, 2, 3]
+
+    def test_overflow_sheds_and_counts(self):
+        sim = Simulator(seed=1)
+        controller, processed = self.make(sim, rate=1.0, burst=1.0, capacity=2)
+        for seq in range(6):
+            controller.offer(arrival(sequence=seq))
+        # 1 admitted on the spot, 2 queued, 3 shed (drop-oldest keeps the
+        # newest two in the queue).
+        assert controller.stats.offered == 6
+        assert controller.stats.admitted == 1
+        assert controller.stats.shed == 3
+        assert controller.queue_depth == 2
+        sim.run(5.0)
+        assert [a.message.sequence for a in processed] == [0, 4, 5]
+
+    def test_priority_shedding_protects_high_priority(self):
+        sim = Simulator(seed=1)
+        priorities = {1: 0, 2: 1}
+        controller, processed = self.make(
+            sim,
+            rate=1.0,
+            burst=1.0,
+            capacity=2,
+            policy=DropByStreamPriority(
+                lambda a: priorities[a.message.stream_id.sensor_id]
+            ),
+        )
+        controller.offer(arrival(publisher=2, sequence=0))  # admitted
+        controller.offer(arrival(publisher=1, sequence=1))  # queued
+        controller.offer(arrival(publisher=1, sequence=2))  # queued (full)
+        # High-priority incoming displaces the oldest low-priority entry.
+        controller.offer(arrival(publisher=2, sequence=3))
+        # Equal-priority incoming displaces its older sibling (newest
+        # data wins ties).
+        controller.offer(arrival(publisher=1, sequence=4))
+        sim.run(5.0)
+        delivered = [
+            (a.message.stream_id.sensor_id, a.message.sequence)
+            for a in processed
+        ]
+        assert delivered == [(2, 0), (2, 3), (1, 4)]
+        assert controller.stats.shed == 2
+
+    def test_queue_depth_gauge_tracks(self):
+        sim = Simulator(seed=1)
+        controller, _ = self.make(sim, rate=1.0, burst=1.0, capacity=5)
+        for seq in range(3):
+            controller.offer(arrival(sequence=seq))
+        registry = controller.stats.registry
+        assert registry.value("qos.ingress.queue_depth") == 2.0
+        sim.run(5.0)
+        assert registry.value("qos.ingress.queue_depth") == 0.0
+
+    def test_capacity_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(
+                sim, lambda a: None, 1.0, 1.0, 0, DropOldest()
+            )

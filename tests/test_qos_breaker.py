@@ -1,0 +1,188 @@
+"""Circuit breakers: state machine and fixed-network integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos import BreakerPolicy, CircuitBreaker
+from repro.simnet.fixednet import FixedNetwork
+from repro.simnet.kernel import Simulator
+from repro.util.backoff import BackoffPolicy
+
+
+class TestStateMachine:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(reset_timeout=0.0)
+
+    def test_trips_open_at_threshold(self):
+        breaker = BreakerPolicy(failure_threshold=3, reset_timeout=10.0).build()
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.record_failure(2.0)  # third strike trips
+        assert breaker.state == "open"
+        assert breaker.opened == 1
+        assert not breaker.allow(2.0)
+
+    def test_success_resets_the_failure_count(self):
+        breaker = BreakerPolicy(failure_threshold=2, reset_timeout=10.0).build()
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        assert not breaker.record_failure(2.0)  # count restarted
+        assert breaker.state == "closed"
+
+    def test_half_open_after_reset_timeout(self):
+        breaker = BreakerPolicy(failure_threshold=1, reset_timeout=5.0).build()
+        breaker.record_failure(0.0)
+        assert not breaker.allow(4.9)
+        assert breaker.allow(5.0)  # the probe
+        assert breaker.state == "half_open"
+
+    def test_probe_success_closes(self):
+        breaker = BreakerPolicy(failure_threshold=1, reset_timeout=5.0).build()
+        breaker.record_failure(0.0)
+        breaker.allow(5.0)
+        assert breaker.record_success(5.1)
+        assert breaker.state == "closed"
+        assert breaker.closed == 1
+
+    def test_probe_failure_reopens_for_fresh_timeout(self):
+        breaker = BreakerPolicy(failure_threshold=3, reset_timeout=5.0).build()
+        for at in (0.0, 1.0, 2.0):
+            breaker.record_failure(at)
+        breaker.allow(7.0)  # half-open
+        assert breaker.record_failure(7.1)  # single probe failure re-trips
+        assert breaker.state == "open"
+        assert breaker.opened == 2
+        assert not breaker.allow(12.0)
+        assert breaker.allow(12.1)
+
+    def test_closed_state_always_allows(self):
+        breaker = CircuitBreaker(BreakerPolicy())
+        assert breaker.allow(0.0)
+        assert breaker.allow(1e9)
+
+
+class TestFixedNetworkIntegration:
+    def make_network(self, failures=3, reset=10.0, retry=False):
+        sim = Simulator(seed=5)
+        network = FixedNetwork(
+            sim,
+            message_latency=0.001,
+            retry_policy=(
+                BackoffPolicy(base=0.2, multiplier=1.0, max_attempts=2)
+                if retry
+                else None
+            ),
+        )
+        network.set_breaker_policy(
+            BreakerPolicy(failure_threshold=failures, reset_timeout=reset)
+        )
+        return sim, network
+
+    def counters(self, network):
+        return network.stats.registry.snapshot()["counters"]
+
+    def test_repeated_dead_letters_trip_open(self):
+        sim, network = self.make_network(failures=3)
+        for _ in range(3):
+            network.send("dead.end", "x")
+        sim.run()
+        assert network.breaker_state("dead.end") == "open"
+        assert self.counters(network)["qos.breaker_opened"] == 1.0
+
+    def test_open_breaker_short_circuits_sends(self):
+        sim, network = self.make_network(failures=2)
+        for _ in range(2):
+            network.send("dead.end", "x")
+        sim.run()
+        letters = []
+        network.set_dead_letter(lambda *args: letters.append(args))
+        network.send("dead.end", "refused")
+        sim.run()
+        assert letters[0][2] == "circuit open"
+        counters = self.counters(network)
+        assert counters["qos.breaker_short_circuits"] == 1.0
+        # Short circuits are dead-letters, not breaker failures: the
+        # breaker tripped exactly once.
+        assert counters["qos.breaker_opened"] == 1.0
+
+    def test_probe_success_closes_and_delivers(self):
+        sim, network = self.make_network(failures=2, reset=5.0)
+        for _ in range(2):
+            network.send("flaky", "x")
+        sim.run()
+        assert network.breaker_state("flaky") == "open"
+        received = []
+        network.register_inbox("flaky", received.append)
+        # Before the reset timeout: still refused despite the inbox.
+        network.send("flaky", "early")
+        sim.run()
+        assert received == []
+        # After the timeout the next send is the half-open probe; it
+        # lands, closing the breaker for the one after.
+        sim.run(6.0)
+        network.send("flaky", "probe")
+        network.send("flaky", "normal")
+        sim.run()
+        assert received == ["probe", "normal"]
+        counters = self.counters(network)
+        assert counters["qos.breaker_probes"] == 1.0
+        assert counters["qos.breaker_closed"] == 1.0
+        assert network.breaker_state("flaky") == "closed"
+
+    def test_probe_failure_reopens_without_retry(self):
+        sim, network = self.make_network(failures=1, reset=2.0, retry=True)
+        network.send("void", "x")
+        sim.run()
+        assert network.breaker_state("void") == "open"
+        letters = []
+        network.set_dead_letter(lambda *args: letters.append(args))
+        sim.run(3.0)
+        network.send("void", "probe")
+        sim.run()
+        # The failed probe dead-letters immediately — no retry schedule
+        # keeps hammering an endpoint the breaker is guarding.
+        assert letters[0][2] == "circuit probe failed"
+        assert network.breaker_state("void") == "open"
+        assert self.counters(network)["qos.breaker_opened"] == 2.0
+
+    def test_partition_trips_heal_recovers_end_to_end(self):
+        sim, network = self.make_network(failures=3, reset=4.0)
+        received = []
+        network.register_inbox("consumer.app", received.append)
+        network.partition(["consumer.app"])
+        for i in range(4):
+            network.send("consumer.app", i)
+        sim.run()
+        assert network.breaker_state("consumer.app") == "open"
+        network.heal()
+        sim.run(5.0)
+        network.send("consumer.app", "back")
+        sim.run()
+        assert received == ["back"]
+        assert network.breaker_state("consumer.app") == "closed"
+
+    def test_breakers_are_per_destination(self):
+        sim, network = self.make_network(failures=2)
+        received = []
+        network.register_inbox("healthy", received.append)
+        for _ in range(2):
+            network.send("dead.end", "x")
+        network.send("healthy", "fine")
+        sim.run()
+        assert network.breaker_state("dead.end") == "open"
+        assert network.breaker_state("healthy") == "closed"
+        assert received == ["fine"]
+
+    def test_policy_without_build_rejected(self):
+        sim = Simulator(seed=1)
+        network = FixedNetwork(sim, message_latency=0.001)
+        with pytest.raises(ConfigurationError):
+            network.set_breaker_policy(object())
+
+    def test_no_policy_reports_none(self):
+        sim = Simulator(seed=1)
+        network = FixedNetwork(sim, message_latency=0.001)
+        assert network.breaker_state("anything") is None
