@@ -32,6 +32,10 @@ class GarnetConfig:
     bitrate: float = 250_000.0
     loss_model: LossModel | None = field(default_factory=LossModel)
     per_hop_latency: float = 0.001
+    #: Grid-index static listeners so broadcast prunes out-of-range ones
+    #: without visiting them. Behaviour-neutral (same seed ⇒ identical
+    #: traces); exposed as a kill switch for A/B perf measurement.
+    wireless_spatial_index: bool = True
 
     # Fixed network
     message_latency: float = 0.0005

@@ -150,7 +150,20 @@ class DispatchingService:
         self._orphanage_inbox = orphanage_inbox
         self._subscriptions: dict[int, Subscription] = {}
         self._exact: dict[StreamId, set[int]] = {}
-        self._patterned: dict[int, Subscription] = {}
+        # Patterned subscriptions are bucketed by their most selective
+        # pinned field so _compute_route only examines plausible
+        # candidates: patterns pinning a sensor_id live in _by_sensor,
+        # remaining patterns pinning an exact (non-wildcard) kind live
+        # in _by_kind, everything else is scanned unconditionally from
+        # _wild. Bucketing is a pure pruning step — a pattern outside
+        # the probed buckets provably cannot match — and matches() is
+        # still consulted per candidate.
+        self._by_sensor: dict[int, dict[int, Subscription]] = {}
+        self._by_kind: dict[str, dict[int, Subscription]] = {}
+        self._wild: dict[int, Subscription] = {}
+        # Per-endpoint subscription ids so remove_endpoint (every lease
+        # reap under churn) needn't scan the whole table.
+        self._by_endpoint: dict[str, set[int]] = {}
         self._next_subscription_id = 1
         self._route_cache: dict[StreamId, tuple[int, ...]] = {}
         self._advertised: set[StreamId] = set()
@@ -209,15 +222,25 @@ class DispatchingService:
         self._next_subscription_id += 1
         subscription = Subscription(subscription_id, endpoint, pattern)
         self._subscriptions[subscription_id] = subscription
+        self._by_endpoint.setdefault(endpoint, set()).add(subscription_id)
         if pattern.stream_id is not None:
             self._exact.setdefault(pattern.stream_id, set()).add(
                 subscription_id
             )
             self._route_cache.pop(pattern.stream_id, None)
         else:
-            self._patterned[subscription_id] = subscription
+            self._pattern_bucket(pattern)[subscription_id] = subscription
             self._route_cache.clear()
         return subscription_id
+
+    def _pattern_bucket(self, pattern: SubscriptionPattern) -> dict[int, Subscription]:
+        """The bucket a (non-exact) pattern lives in; creates it on demand."""
+        if pattern.sensor_id is not None:
+            return self._by_sensor.setdefault(pattern.sensor_id, {})
+        kind = pattern.kind
+        if kind is not None and not kind.endswith("*"):
+            return self._by_kind.setdefault(kind, {})
+        return self._wild
 
     def remove_subscription(self, subscription_id: int) -> None:
         subscription = self._subscriptions.pop(subscription_id, None)
@@ -225,24 +248,41 @@ class DispatchingService:
             raise SubscriptionError(
                 f"unknown subscription {subscription_id}"
             )
-        if subscription.pattern.stream_id is not None:
-            targets = self._exact.get(subscription.pattern.stream_id)
+        endpoints = self._by_endpoint.get(subscription.endpoint)
+        if endpoints is not None:
+            endpoints.discard(subscription_id)
+            if not endpoints:
+                del self._by_endpoint[subscription.endpoint]
+        pattern = subscription.pattern
+        if pattern.stream_id is not None:
+            targets = self._exact.get(pattern.stream_id)
             if targets is not None:
                 targets.discard(subscription_id)
                 if not targets:
-                    del self._exact[subscription.pattern.stream_id]
-            self._route_cache.pop(subscription.pattern.stream_id, None)
+                    del self._exact[pattern.stream_id]
+            self._route_cache.pop(pattern.stream_id, None)
         else:
-            self._patterned.pop(subscription_id, None)
+            if pattern.sensor_id is not None:
+                bucket = self._by_sensor.get(pattern.sensor_id)
+                if bucket is not None:
+                    bucket.pop(subscription_id, None)
+                    if not bucket:
+                        del self._by_sensor[pattern.sensor_id]
+            elif pattern.kind is not None and not pattern.kind.endswith("*"):
+                bucket = self._by_kind.get(pattern.kind)
+                if bucket is not None:
+                    bucket.pop(subscription_id, None)
+                    if not bucket:
+                        del self._by_kind[pattern.kind]
+            else:
+                self._wild.pop(subscription_id, None)
             self._route_cache.clear()
 
     def remove_endpoint(self, endpoint: str) -> int:
         """Drop every subscription held by ``endpoint``; returns the count."""
-        doomed = [
-            sid
-            for sid, sub in self._subscriptions.items()
-            if sub.endpoint == endpoint
-        ]
+        # Ascending id order matches the old full-table scan (ids are
+        # allocated monotonically, so table order was ascending too).
+        doomed = sorted(self._by_endpoint.get(endpoint, ()))
         for sid in doomed:
             self.remove_subscription(sid)
         if self._delivery is not None:
@@ -312,9 +352,14 @@ class DispatchingService:
     def _compute_route(self, stream_id: StreamId) -> tuple[int, ...]:
         descriptor = self._registry.detect(stream_id)
         targets = set(self._exact.get(stream_id, ()))
-        for subscription_id, subscription in self._patterned.items():
-            if subscription.pattern.matches(descriptor):
-                targets.add(subscription_id)
+        sensor_bucket = self._by_sensor.get(stream_id.sensor_id)
+        kind_bucket = self._by_kind.get(descriptor.kind)
+        for bucket in (sensor_bucket, kind_bucket, self._wild):
+            if not bucket:
+                continue
+            for subscription_id, subscription in bucket.items():
+                if subscription.pattern.matches(descriptor):
+                    targets.add(subscription_id)
         if self._route_guard is not None:
             targets = {
                 sid

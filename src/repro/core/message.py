@@ -30,6 +30,7 @@ The payload is opaque: the codec moves bytes and never interprets them
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
 
 from repro.core.flags import (
@@ -42,7 +43,7 @@ from repro.core.flags import (
 from repro.core.streamid import StreamId
 from repro.errors import ChecksumError, CodecError, TruncatedMessageError
 from repro.util.bitfields import check_range, read_uint, write_uint
-from repro.util.crc import crc16_ccitt
+from repro.util.crc import crc16_ccitt, crc16_ccitt_reference
 
 FIXED_HEADER_BYTES = 9
 MAX_SEQUENCE = (1 << 16) - 1
@@ -50,6 +51,32 @@ MAX_PAYLOAD_BYTES = (1 << 16) - 1
 MAX_EXTENSION_VALUE_BYTES = 255
 MAX_EXTENSIONS = 255
 CHECKSUM_BYTES = 2
+
+# Precompiled layout of the 9-byte fixed header (Figure 2): header byte,
+# 32-bit stream word, 16-bit sequence, 16-bit payload size — all
+# big-endian. One C-level pack/unpack replaces four Python-level
+# ``write_uint``/``read_uint`` calls on the hot path.
+_FIXED_HEADER = struct.Struct(">BIHH")
+
+_F_ACK = int(HeaderFlags.ACK)
+_F_FUSED = int(HeaderFlags.FUSED)
+_F_RELAYED = int(HeaderFlags.RELAYED)
+_F_EXTENDED = int(HeaderFlags.EXTENDED)
+_F_ENCRYPTED = int(HeaderFlags.ENCRYPTED)
+_VERSION_BYTE = PROTOCOL_VERSION << 5
+
+# decode_prefix builds messages with __new__ + object.__setattr__: the
+# frozen-dataclass __init__ routes every field through the same
+# object.__setattr__ anyway, so this is the identical end state minus
+# the argument re-binding — measurably faster on the decode hot path.
+_NEW_MESSAGE = None  # bound after DataMessage is defined
+_SET_FIELD = object.__setattr__
+
+# Decoded StreamIds interned by wire word: a deployment has few distinct
+# streams, so nearly every decode is a dict hit instead of a NamedTuple
+# construction. Cleared wholesale if adversarial input floods it.
+_STREAM_ID_CACHE: dict[int, StreamId] = {}
+_STREAM_ID_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,6 +161,9 @@ class DataMessage:
         ]
 
 
+_NEW_MESSAGE = DataMessage.__new__
+
+
 class MessageCodec:
     """Encodes/decodes :class:`DataMessage` per the Figure 2 layout.
 
@@ -165,7 +195,113 @@ class MessageCodec:
         return size
 
     def encode(self, message: DataMessage) -> bytes:
-        """Serialise ``message``; raises :class:`CodecError` on bad fields."""
+        """Serialise ``message``; raises :class:`CodecError` on bad fields.
+
+        This is the precompiled-``struct`` fast path. It produces output
+        byte-identical to :meth:`encode_reference` (the validating
+        field-by-field implementation, kept as the executable spec and
+        property-tested against this one); any message whose fields fail
+        the fast path's cheap range checks is re-encoded through the
+        reference path so error types and messages stay identical too.
+        """
+        payload = message.payload
+        extensions = message.extensions
+        ack = message.ack_request_id
+        hops = message.hop_count
+        sensor_id, stream_index = message.stream_id
+        sequence = message.sequence
+        if (
+            message.version != PROTOCOL_VERSION
+            or sensor_id.__class__ is not int
+            or stream_index.__class__ is not int
+            or sequence.__class__ is not int
+            or not 0 <= sensor_id <= 0xFFFFFF
+            or not 0 <= stream_index <= 0xFF
+            or not 0 <= sequence <= 0xFFFF
+            or len(payload) > MAX_PAYLOAD_BYTES
+            or len(extensions) > MAX_EXTENSIONS
+        ):
+            return self.encode_reference(message)
+        flags = 0
+        if message.fused:
+            flags |= _F_FUSED
+        if message.encrypted:
+            flags |= _F_ENCRYPTED
+        payload_size = len(payload)
+        if ack is None and hops is None and not extensions:
+            # Leanest (and overwhelmingly common) shape: no optional
+            # fields, so the message is header + payload + CRC and we
+            # can concatenate immutable bytes instead of filling a
+            # preallocated bytearray.
+            body = _FIXED_HEADER.pack(
+                _VERSION_BYTE | flags,
+                (sensor_id << 8) | stream_index,
+                sequence,
+                payload_size,
+            ) + payload
+            if self._checksum:
+                return body + crc16_ccitt(body).to_bytes(2, "big")
+            return body
+        size = FIXED_HEADER_BYTES + payload_size
+        if ack is not None:
+            if ack.__class__ is not int or not 0 <= ack <= 0xFFFF:
+                return self.encode_reference(message)
+            flags |= _F_ACK
+            size += 2
+        if hops is not None:
+            if hops.__class__ is not int or not 0 <= hops <= 0xFF:
+                return self.encode_reference(message)
+            flags |= _F_RELAYED
+            size += 1
+        if extensions:
+            flags |= _F_EXTENDED
+            size += 1 + sum(2 + len(value) for _, value in extensions)
+        if self._checksum:
+            size += CHECKSUM_BYTES
+
+        buffer = bytearray(size)
+        _FIXED_HEADER.pack_into(
+            buffer,
+            0,
+            _VERSION_BYTE | flags,
+            (sensor_id << 8) | stream_index,
+            sequence,
+            payload_size,
+        )
+        offset = FIXED_HEADER_BYTES
+        if ack is not None:
+            buffer[offset] = ack >> 8
+            buffer[offset + 1] = ack & 0xFF
+            offset += 2
+        if hops is not None:
+            buffer[offset] = hops
+            offset += 1
+        if extensions:
+            buffer[offset] = len(extensions)
+            offset += 1
+            for ext_type, value in extensions:
+                length = len(value)
+                if (
+                    ext_type.__class__ is not int
+                    or not 0 <= ext_type <= 0xFF
+                    or length > MAX_EXTENSION_VALUE_BYTES
+                ):
+                    return self.encode_reference(message)
+                buffer[offset] = ext_type
+                buffer[offset + 1] = length
+                offset += 2
+                buffer[offset : offset + length] = value
+                offset += length
+        buffer[offset : offset + payload_size] = payload
+        offset += payload_size
+        if self._checksum:
+            crc = crc16_ccitt(buffer[:offset])
+            buffer[offset] = crc >> 8
+            buffer[offset + 1] = crc & 0xFF
+        return bytes(buffer)
+
+    def encode_reference(self, message: DataMessage) -> bytes:
+        """The validating field-by-field encoder (reference semantics)."""
         if len(message.payload) > MAX_PAYLOAD_BYTES:
             raise CodecError(
                 f"payload of {len(message.payload)} bytes exceeds the "
@@ -199,7 +335,9 @@ class MessageCodec:
                 buffer.extend(value)
         buffer.extend(message.payload)
         if self._checksum:
-            write_uint(buffer, crc16_ccitt(bytes(buffer)), 2, "checksum")
+            write_uint(
+                buffer, crc16_ccitt_reference(bytes(buffer)), 2, "checksum"
+            )
         return bytes(buffer)
 
     def decode(self, data: bytes) -> DataMessage:
@@ -216,7 +354,124 @@ class MessageCodec:
 
         Returns ``(message, bytes_consumed)`` so callers can unpack
         back-to-back messages from one buffer.
+
+        Fast path: one precompiled-``struct`` unpack for the fixed
+        header and ``memoryview``-based slicing, so ``data`` may be any
+        bytes-like object (bytes, bytearray, memoryview) and only the
+        payload and extension values are copied out. Truncated inputs
+        are re-parsed through :meth:`decode_prefix_reference` so the
+        error carries the same field-level diagnostics.
         """
+        if type(data) is bytes:
+            # bytes supports the same indexing/slicing the parse below
+            # needs, and slices of it are already the bytes objects the
+            # message wants — skip the memoryview entirely.
+            view = data
+            length = len(data)
+        else:
+            view = data if type(data) is memoryview else memoryview(data)
+            length = view.nbytes
+        if length < FIXED_HEADER_BYTES:
+            return self.decode_prefix_reference(data)
+        header_byte, stream_word, sequence, payload_size = (
+            _FIXED_HEADER.unpack_from(view, 0)
+        )
+        version = header_byte >> 5
+        if version != PROTOCOL_VERSION:
+            raise CodecError(
+                f"unsupported protocol version {version} "
+                f"(expected {PROTOCOL_VERSION})"
+            )
+        flags = header_byte & 0x1F
+        offset = FIXED_HEADER_BYTES
+
+        ack_request_id: int | None = None
+        if flags & _F_ACK:
+            if offset + 2 > length:
+                return self.decode_prefix_reference(data)
+            ack_request_id = (view[offset] << 8) | view[offset + 1]
+            offset += 2
+        hop_count: int | None = None
+        if flags & _F_RELAYED:
+            if offset + 1 > length:
+                return self.decode_prefix_reference(data)
+            hop_count = view[offset]
+            offset += 1
+        extensions: tuple[tuple[int, bytes], ...] = ()
+        if flags & _F_EXTENDED:
+            if offset + 1 > length:
+                return self.decode_prefix_reference(data)
+            count = view[offset]
+            offset += 1
+            if count == 0:
+                raise CodecError("EXTENDED flag set but extension count is 0")
+            parsed = []
+            for index in range(count):
+                if offset + 2 > length:
+                    return self.decode_prefix_reference(data)
+                ext_type = view[offset]
+                end = offset + 2 + view[offset + 1]
+                offset += 2
+                if end > length:
+                    raise TruncatedMessageError(
+                        f"extension[{index}] value truncated"
+                    )
+                parsed.append((ext_type, bytes(view[offset:end])))
+                offset = end
+            extensions = tuple(parsed)
+
+        payload_end = offset + payload_size
+        if payload_end > length:
+            raise TruncatedMessageError(
+                f"payload of {payload_size} bytes truncated at offset {offset}"
+            )
+        payload = bytes(view[offset:payload_end])
+        offset = payload_end
+
+        if self._checksum:
+            if offset + 2 > length:
+                return self.decode_prefix_reference(data)
+            stated = (view[offset] << 8) | view[offset + 1]
+            computed = crc16_ccitt(
+                data[:offset] if type(data) is bytes else bytes(view[:offset])
+            )
+            if stated != computed:
+                raise ChecksumError(
+                    f"CRC mismatch: stated 0x{stated:04x}, "
+                    f"computed 0x{computed:04x}"
+                )
+            offset += 2
+
+        stream_id = _STREAM_ID_CACHE.get(stream_word)
+        if stream_id is None:
+            if len(_STREAM_ID_CACHE) >= _STREAM_ID_CACHE_MAX:
+                _STREAM_ID_CACHE.clear()
+            stream_id = _STREAM_ID_CACHE[stream_word] = StreamId(
+                stream_word >> 8, stream_word & 0xFF
+            )
+        message = _NEW_MESSAGE(DataMessage)
+        _SET_FIELD(message, "stream_id", stream_id)
+        _SET_FIELD(message, "sequence", sequence)
+        _SET_FIELD(message, "payload", payload)
+        _SET_FIELD(message, "fused", bool(flags & _F_FUSED))
+        _SET_FIELD(message, "encrypted", bool(flags & _F_ENCRYPTED))
+        _SET_FIELD(message, "ack_request_id", ack_request_id)
+        _SET_FIELD(message, "hop_count", hop_count)
+        _SET_FIELD(message, "extensions", extensions)
+        _SET_FIELD(message, "version", version)
+        return message, offset
+
+    def decode_reference(self, data: bytes) -> DataMessage:
+        """Reference-path twin of :meth:`decode` (for property tests)."""
+        message, consumed = self.decode_prefix_reference(data)
+        if consumed != len(data):
+            raise CodecError(
+                f"{len(data) - consumed} unexpected trailing bytes after message"
+            )
+        return message
+
+    def decode_prefix_reference(self, data: bytes) -> tuple[DataMessage, int]:
+        """The validating field-by-field decoder (reference semantics)."""
         header_byte, offset = read_uint(data, 0, 1, "header")
         version, flags = unpack_header(header_byte)
         if version != PROTOCOL_VERSION:
@@ -264,7 +519,7 @@ class MessageCodec:
 
         if self._checksum:
             stated, new_offset = read_uint(data, offset, 2, "checksum")
-            computed = crc16_ccitt(bytes(data[:offset]))
+            computed = crc16_ccitt_reference(bytes(data[:offset]))
             if stated != computed:
                 raise ChecksumError(
                     f"CRC mismatch: stated 0x{stated:04x}, "

@@ -291,6 +291,7 @@ class Garnet:
             bitrate=cfg.bitrate,
             loss_model=cfg.loss_model,
             per_hop_latency=cfg.per_hop_latency,
+            spatial_index=cfg.wireless_spatial_index,
         )
         self.registry = StreamRegistry()
         self.auth = AuthService(cfg.deployment_secret)

@@ -174,7 +174,7 @@ class FaultInjector:
             for receiver_id in event.receiver_ids:
                 receiver = self._receiver(receiver_id)
                 self._deployment.medium.attach(
-                    receiver, receiver.reception_range
+                    receiver, receiver.reception_range, static=True
                 )
         elif isinstance(event, TransmitterOutage):
             for transmitter_id in event.transmitter_ids:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 import weakref
+from bisect import bisect_left
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 
@@ -140,9 +141,15 @@ class Histogram:
             self._min = value
         if value > self._max:
             self._max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._bucket_counts[i] += 1
+        # _bucket_counts is per-bucket (non-cumulative); a single bisect
+        # replaces a full scan on what is one of the simulator's hottest
+        # calls (every scheduled event and finished span lands here).
+        # The <= re-check keeps NaN observations out of bucket 0, exactly
+        # as the old linear scan did.
+        buckets = self.buckets
+        i = bisect_left(buckets, value)
+        if i < len(buckets) and value <= buckets[i]:
+            self._bucket_counts[i] += 1
 
     @property
     def count(self) -> int:
@@ -169,7 +176,7 @@ class Histogram:
         out: dict[str, int] = {}
         running = 0
         for bound, in_bucket in zip(self.buckets, self._bucket_counts):
-            running = in_bucket  # counts are already cumulative per bound
+            running += in_bucket  # stored per-bucket; cumulate on read
             out[format_bound(bound)] = running
         out["+Inf"] = self._count
         return out

@@ -94,6 +94,17 @@ class RegistryBackedStats:
     def registry(self) -> MetricsRegistry:
         return self._registry
 
+    def counter(self, name: str) -> Counter:
+        """The live backing counter for declared field ``name``.
+
+        Hot paths cache this and call ``inc()`` directly: a plain
+        ``stats.field += 1`` costs two property round-trips (read via
+        ``value``, write via ``set``) per increment. Caches go stale
+        across :meth:`bind`, which re-homes the counters — re-fetch
+        after binding.
+        """
+        return self._counters[name]
+
     @property
     def prefix(self) -> str:
         return self._prefix

@@ -58,7 +58,7 @@ class ReceiverArray:
                 codec=codec,
             )
             self.receivers.append(receiver)
-            medium.attach(receiver, reception_range)
+            medium.attach(receiver, reception_range, static=True)
             if location_service is not None:
                 location_service.register_receiver(
                     receiver.receiver_id, position

@@ -55,7 +55,7 @@ from repro.sensors.firmware import (
 from repro.sensors.sampling import SampleCodec, Sampler
 from repro.simnet.geometry import Point
 from repro.simnet.kernel import PeriodicTask, Simulator
-from repro.simnet.mobility import MobilityModel
+from repro.simnet.mobility import MobilityModel, Stationary
 from repro.simnet.wireless import RadioFrame, WirelessMedium
 from repro.util.ids import WrappingCounter
 
@@ -169,8 +169,12 @@ class SensorNode:
             # power: high-power fixed transmitters are audible from well
             # beyond the node's own (battery-limited) transmit range, so
             # sensitivity is unbounded by default and links are limited by
-            # the *emitter's* range.
-            medium.attach(self, rx_range)
+            # the *emitter's* range. A stationary node's antenna never
+            # moves, so it qualifies for the medium's broadcast-pruning
+            # index; roaming nodes must stay on the exhaustive scan.
+            medium.attach(
+                self, rx_range, static=isinstance(mobility, Stationary)
+            )
 
     # ------------------------------------------------------------------
     @property

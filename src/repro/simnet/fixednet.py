@@ -98,6 +98,10 @@ class FixedNetwork:
         self._inboxes: dict[str, Callable[[Any], None]] = {}
         self._services: dict[str, RpcEndpoint] = {}
         self.stats = FixedNetStats(metrics)
+        # send() runs once per routed message; increment the backing
+        # counter directly instead of paying the stats property pair.
+        # (FixedNetStats is never re-bound, so the cache cannot go stale.)
+        self._messages_total = self.stats.counter("messages")
         self._tracer = tracer
         self._retry_policy = retry_policy
         # Forked only when retries can jitter, so deployments without a
@@ -297,7 +301,7 @@ class FixedNetwork:
         is installed, in which case the message is retried with backoff
         and dead-lettered only after the policy gives up.
         """
-        self.stats.messages += 1
+        self._messages_total.inc()
         span = (
             self._tracer.begin("fixednet.deliver", destination=destination)
             if self._tracer is not None

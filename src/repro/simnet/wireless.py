@@ -24,13 +24,19 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Protocol
 
 from repro.errors import ConfigurationError
 from repro.simnet.geometry import Point
 from repro.simnet.kernel import Simulator
+from repro.simnet.spatial import UniformGridIndex
 
 _SPEED_OF_LIGHT = 3.0e8  # m/s
+
+#: Below this many static listeners the grid's bookkeeping costs more
+#: than the linear scan it avoids.
+_MIN_INDEXED_LISTENERS = 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +49,14 @@ class RadioFrame:
     sent_at: float
     received_at: float
     channel: int = 0
+
+
+# broadcast() builds one frozen RadioFrame per delivery; __new__ plus
+# direct slot writes skips the generated __init__ frame (same trick as
+# the codec's DataMessage fast path).
+_NEW_FRAME = RadioFrame.__new__
+_SET_FRAME_FIELD = object.__setattr__
+_RSSI_CACHE_MAX = 65536
 
 
 class RadioListener(Protocol):
@@ -106,6 +120,34 @@ def log_distance_rssi(
     return tx_power_dbm - loss
 
 
+class _Attachment:
+    """One ``attach()`` call: a listener plus its radio parameters.
+
+    ``seq`` is the attach-order serial number; candidate iteration sorts
+    on it so loss-model RNG draws happen in exactly the order the
+    unindexed linear scan produced them. ``position`` caches the antenna
+    location for static listeners (queried once, at attach time).
+    """
+
+    __slots__ = ("listener", "radio_range", "channel", "seq", "static", "position")
+
+    def __init__(
+        self,
+        listener: "RadioListener",
+        radio_range: float,
+        channel: int,
+        seq: int,
+        static: bool,
+        position: Point | None,
+    ) -> None:
+        self.listener = listener
+        self.radio_range = radio_range
+        self.channel = channel
+        self.seq = seq
+        self.static = static
+        self.position = position
+
+
 @dataclass(slots=True)
 class MediumStats:
     """Aggregate counters the duplicate-filtering experiment (E2) reads."""
@@ -136,6 +178,11 @@ class WirelessMedium:
         unit tests.
     per_hop_latency:
         Fixed MAC/processing latency added to every delivery.
+    spatial_index:
+        Maintain a uniform-grid index over *static* listeners so
+        ``broadcast`` prunes out-of-range ones without visiting them.
+        Pruning is exact, so disabling the index (the kill switch for
+        A/B benchmarking) changes timing only, never results.
     """
 
     def __init__(
@@ -144,6 +191,7 @@ class WirelessMedium:
         bitrate: float = 250_000.0,
         loss_model: LossModel | None = None,
         per_hop_latency: float = 0.001,
+        spatial_index: bool = True,
     ) -> None:
         if bitrate <= 0:
             raise ConfigurationError(f"bitrate must be positive: {bitrate}")
@@ -153,15 +201,33 @@ class WirelessMedium:
         self._bitrate = bitrate
         self._loss_model = loss_model
         self._per_hop_latency = per_hop_latency
-        self._listeners: list[tuple[RadioListener, float, int]] = []
+        self._attach_seq = 0
+        #: Listeners whose position may change between broadcasts; always
+        #: scanned linearly, in attach order (the pre-index behaviour).
+        self._mobile: list[_Attachment] = []
+        #: Listeners attached with ``static=True``; binned in the grid.
+        self._static: list[_Attachment] = []
+        self._static_by_listener: dict[int, list[_Attachment]] = {}
+        self._static_channel_counts: dict[int, int] = {}
+        self._use_spatial_index = spatial_index
+        self._grid: UniformGridIndex | None = None
         self._rng = sim.fork_rng()
+        #: distance -> RSSI memo. Static topologies re-broadcast over the
+        #: same sensor/listener pairs every sampling round, so the
+        #: log-distance computation repeats with identical inputs.
+        self._rssi_cache: dict[float, float] = {}
         self.stats = MediumStats()
         self._snoopers: list[Callable[[bytes, Point], None]] = []
         self._extra_loss = 0.0
 
     @property
     def listener_count(self) -> int:
-        return len(self._listeners)
+        return len(self._mobile) + len(self._static)
+
+    @property
+    def indexed_listener_count(self) -> int:
+        """How many listeners sit in the static (grid-indexed) tier."""
+        return len(self._static)
 
     @property
     def extra_loss(self) -> float:
@@ -182,20 +248,60 @@ class WirelessMedium:
         self._extra_loss = probability
 
     def attach(
-        self, listener: RadioListener, radio_range: float, channel: int = 0
+        self,
+        listener: RadioListener,
+        radio_range: float,
+        channel: int = 0,
+        *,
+        static: bool = False,
     ) -> None:
-        """Register a listener with the sensitivity range of its radio."""
+        """Register a listener with the sensitivity range of its radio.
+
+        Pass ``static=True`` only when the listener's ``position`` never
+        changes (fixed receivers, :class:`~repro.simnet.mobility.Stationary`
+        sensors): static listeners are binned into the broadcast pruning
+        index at their current position and are never re-queried. Mobile
+        listeners keep the exhaustive per-broadcast scan.
+        """
         if radio_range <= 0:
             raise ConfigurationError(
                 f"radio_range must be positive: {radio_range}"
             )
-        self._listeners.append((listener, radio_range, channel))
+        entry = _Attachment(
+            listener,
+            radio_range,
+            channel,
+            self._attach_seq,
+            static,
+            listener.position if static else None,
+        )
+        self._attach_seq += 1
+        if static:
+            self._static.append(entry)
+            self._static_by_listener.setdefault(id(listener), []).append(entry)
+            self._static_channel_counts[channel] = (
+                self._static_channel_counts.get(channel, 0) + 1
+            )
+            if self._grid is not None:
+                self._grid.insert(entry, entry.position)
+        else:
+            self._mobile.append(entry)
 
     def detach(self, listener: RadioListener) -> None:
         """Remove a listener; unknown listeners are ignored."""
-        self._listeners = [
-            entry for entry in self._listeners if entry[0] is not listener
+        self._mobile = [
+            entry for entry in self._mobile if entry.listener is not listener
         ]
+        doomed = self._static_by_listener.pop(id(listener), None)
+        if not doomed:
+            return
+        self._static = [
+            entry for entry in self._static if entry.listener is not listener
+        ]
+        for entry in doomed:
+            self._static_channel_counts[entry.channel] -= 1
+            if self._grid is not None:
+                self._grid.remove(entry)
 
     def add_snooper(self, snooper: Callable[[bytes, Point], None]) -> None:
         """Observe every transmission regardless of range/loss (test hook)."""
@@ -215,56 +321,161 @@ class WirelessMedium:
         if it does, receives its own :class:`RadioFrame` after propagation
         plus serialisation delay. The transmitter itself can be passed as
         ``exclude`` so nodes do not hear their own frames.
+
+        Static listeners beyond ``tx_range`` are pruned through the grid
+        index without being visited; candidates are then walked in attach
+        order, so for every in-range listener the loss-model RNG draws —
+        and therefore all downstream behaviour — are bit-identical to the
+        exhaustive linear scan.
         """
         if tx_range <= 0:
             raise ConfigurationError(f"tx_range must be positive: {tx_range}")
         now = self._sim.now
-        self.stats.transmissions += 1
-        self.stats.bytes_sent += len(payload)
+        stats = self.stats
+        stats.transmissions += 1
+        stats.bytes_sent += len(payload)
         for snooper in self._snoopers:
             snooper(payload, origin)
         serialisation = len(payload) * 8.0 / self._bitrate
         scheduled = 0
-        for listener, rx_range, rx_channel in self._listeners:
-            if rx_channel != channel or listener is exclude:
+
+        static = self._static
+        static_candidates = static
+        if (
+            self._use_spatial_index
+            and len(static) >= _MIN_INDEXED_LISTENERS
+            and math.isfinite(tx_range)
+        ):
+            grid = self._ensure_grid(tx_range)
+            if grid.cells_for_radius(tx_range) < len(static):
+                static_candidates = grid.query_disc(origin, tx_range)
+                static_candidates.sort(key=_SEQ_KEY)
+        candidates = _merge_attach_order(static_candidates, self._mobile)
+
+        loss_model = self._loss_model
+        extra_loss = self._extra_loss
+        rng_random = self._rng.random
+        schedule_at = self._sim.schedule_at
+        rssi_cache = self._rssi_cache
+        hypot = math.hypot
+        origin_x = origin.x
+        origin_y = origin.y
+        examined_static = 0
+        for entry in candidates:
+            if entry.channel != channel or entry.listener is exclude:
                 continue
-            distance = origin.distance_to(listener.position)
-            reach = min(tx_range, rx_range)
+            if entry.static:
+                examined_static += 1
+                position = entry.position
+            else:
+                position = entry.listener.position
+            # Inlined Point.distance_to (hypot is sign-insensitive, so
+            # this is bit-identical to origin.distance_to(position)).
+            distance = hypot(position.x - origin_x, position.y - origin_y)
+            rx_range = entry.radio_range
+            reach = tx_range if tx_range < rx_range else rx_range
             if distance > reach:
-                self.stats.out_of_range += 1
+                stats.out_of_range += 1
                 continue
-            if self._loss_model is not None:
-                p_loss = self._loss_model.loss_probability(distance, reach)
-                if self._extra_loss > 0.0:
+            if loss_model is not None:
+                p_loss = loss_model.loss_probability(distance, reach)
+                if extra_loss > 0.0:
                     # Independent failure modes: survive both or lose.
-                    p_loss = 1.0 - (1.0 - p_loss) * (1.0 - self._extra_loss)
-                if self._rng.random() < p_loss:
-                    self.stats.losses += 1
-                    if self._extra_loss > 0.0:
-                        self.stats.burst_losses += 1
+                    p_loss = 1.0 - (1.0 - p_loss) * (1.0 - extra_loss)
+                if rng_random() < p_loss:
+                    stats.losses += 1
+                    if extra_loss > 0.0:
+                        stats.burst_losses += 1
                     continue
-            elif self._extra_loss > 0.0:
-                if self._rng.random() < self._extra_loss:
-                    self.stats.losses += 1
-                    self.stats.burst_losses += 1
+            elif extra_loss > 0.0:
+                if rng_random() < extra_loss:
+                    stats.losses += 1
+                    stats.burst_losses += 1
                     continue
             delay = (
                 self._per_hop_latency
                 + serialisation
                 + distance / _SPEED_OF_LIGHT
             )
-            frame = RadioFrame(
-                payload=payload,
-                rssi=log_distance_rssi(distance),
-                sent_at=now,
-                received_at=now + delay,
-                channel=channel,
-            )
-            self._sim.schedule(delay, self._deliver, listener, frame)
+            rssi = rssi_cache.get(distance)
+            if rssi is None:
+                if len(rssi_cache) >= _RSSI_CACHE_MAX:
+                    # Mobile listeners produce ever-fresh distances;
+                    # reset rather than grow without bound.
+                    rssi_cache.clear()
+                rssi = rssi_cache[distance] = log_distance_rssi(distance)
+            # Construct the (frozen, slots) frame without the dataclass
+            # __init__ frame; delivery scheduling bypasses the schedule()
+            # wrapper the same way. Both are per-delivery costs.
+            frame = _NEW_FRAME(RadioFrame)
+            _SET_FRAME_FIELD(frame, "payload", payload)
+            _SET_FRAME_FIELD(frame, "rssi", rssi)
+            _SET_FRAME_FIELD(frame, "sent_at", now)
+            _SET_FRAME_FIELD(frame, "received_at", now + delay)
+            _SET_FRAME_FIELD(frame, "channel", channel)
+            schedule_at(now + delay, self._deliver, entry.listener, frame)
             scheduled += 1
+
+        # Grid-pruned static listeners are out of range by construction;
+        # count them exactly as the linear scan would have, without the
+        # visit. (When no pruning happened the bracket is zero.)
+        total_static = self._static_channel_counts.get(channel, 0)
+        if total_static > examined_static:
+            excluded = 0
+            if exclude is not None:
+                excluded = sum(
+                    1
+                    for entry in self._static_by_listener.get(id(exclude), ())
+                    if entry.channel == channel
+                )
+            stats.out_of_range += total_static - excluded - examined_static
         return scheduled
+
+    def _ensure_grid(self, tx_range: float) -> UniformGridIndex:
+        """The static-listener grid, (re)built so cells stay near the
+        largest radio range seen — the cell-count/candidate-count sweet
+        spot for disc queries."""
+        grid = self._grid
+        if grid is None or tx_range > grid.cell_size * 4.0:
+            # Cells at half the radio range: a disc query's cell
+            # bounding box then covers ~2x the disc area (vs ~5x with
+            # range-sized cells), so fewer false candidates per query
+            # at a still-trivial per-query cell count (~36).
+            grid = UniformGridIndex(tx_range * 0.5)
+            for entry in self._static:
+                grid.insert(entry, entry.position)
+            self._grid = grid
+        return grid
 
     def _deliver(self, listener: RadioListener, frame: RadioFrame) -> None:
         self.stats.deliveries += 1
         self.stats.bytes_delivered += len(frame.payload)
         listener.on_radio_receive(frame)
+
+
+_SEQ_KEY = attrgetter("seq")
+
+
+def _merge_attach_order(
+    static: list[_Attachment], mobile: list[_Attachment]
+) -> list[_Attachment]:
+    """Merge two attach-order-sorted entry lists, preserving the order."""
+    if not mobile:
+        return static
+    if not static:
+        return mobile
+    merged: list[_Attachment] = []
+    append = merged.append
+    i = j = 0
+    n_static, n_mobile = len(static), len(mobile)
+    while i < n_static and j < n_mobile:
+        left, right = static[i], mobile[j]
+        if left.seq < right.seq:
+            append(left)
+            i += 1
+        else:
+            append(right)
+            j += 1
+    merged.extend(static[i:])
+    merged.extend(mobile[j:])
+    return merged

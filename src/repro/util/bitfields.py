@@ -17,9 +17,15 @@ def check_range(field: str, value: int, bits: int) -> int:
 
     Returns the value unchanged so callers can use it inline.
     """
-    if not isinstance(value, int) or isinstance(value, bool):
-        raise FieldRangeError(field, value, (1 << bits) - 1)
     maximum = (1 << bits) - 1
+    if value.__class__ is int:
+        # Exact-int fast path: the overwhelmingly common case on the
+        # codec hot paths, and cannot be a bool.
+        if 0 <= value <= maximum:
+            return value
+        raise FieldRangeError(field, value, maximum)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FieldRangeError(field, value, maximum)
     if value < 0 or value > maximum:
         raise FieldRangeError(field, value, maximum)
     return value

@@ -6,11 +6,24 @@ Service explicitly adds checksums to control messages (Section 4.2). We
 use CRC-16/CCITT-FALSE for message checksums (compact enough for the small
 control frames) and expose CRC-32 for bulk payload integrity.
 
-Both implementations are table-driven and pure Python so the library has
-no binary dependencies.
+Both algorithms keep a table-driven pure-Python implementation as the
+executable spec (``*_reference``) and take a stdlib C fast path when one
+exists: :func:`zlib.crc32` computes the same IEEE 802.3 polynomial with
+identical chaining semantics, and :func:`binascii.crc_hqx` is the same
+0x1021 MSB-first register update as CRC-16/CCITT-FALSE — seeding it with
+0xFFFF (or any chained ``initial``) yields bit-identical checksums.
+Equivalence of fast and reference paths, including arbitrary initial
+values, is pinned by ``tests/test_util_crc.py``.
 """
 
 from __future__ import annotations
+
+from binascii import crc_hqx as _crc_hqx
+
+try:
+    from zlib import crc32 as _zlib_crc32
+except ImportError:  # pragma: no cover - CPython always ships zlib
+    _zlib_crc32 = None
 
 
 def _build_crc16_table(poly: int) -> tuple[int, ...]:
@@ -43,29 +56,52 @@ _CRC16_TABLE = _build_crc16_table(0x1021)
 _CRC32_TABLE = _build_crc32_table(0xEDB88320)
 
 
+def crc16_ccitt_reference(data: bytes, initial: int = 0xFFFF) -> int:
+    """Byte-at-a-time CRC-16/CCITT-FALSE; the executable spec for
+    :func:`crc16_ccitt`."""
+    crc = initial & 0xFFFF
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ table[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
 def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
     """Return the CRC-16/CCITT-FALSE checksum of ``data``.
 
     Parameters
     ----------
     data:
-        The bytes to checksum.
+        The bytes to checksum (any bytes-like object).
     initial:
         Starting register value; chain calls by passing a previous result.
+
+    Delegates to :func:`binascii.crc_hqx`: "CRC-HQX" is the identical
+    polynomial (0x1021), shift direction (MSB-first) and register update
+    — the only difference from CRC-16/CCITT-FALSE is convention over the
+    *default* seed, which this wrapper supplies.
     """
-    crc = initial & 0xFFFF
+    return _crc_hqx(data, initial & 0xFFFF)
+
+
+def crc32_ieee_reference(data: bytes, initial: int = 0) -> int:
+    """Pure-Python CRC-32 (IEEE 802.3); the executable spec for
+    :func:`crc32_ieee` and the fallback when zlib is unavailable."""
+    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    table = _CRC32_TABLE
     for byte in data:
-        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]
-    return crc
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
 
 
 def crc32_ieee(data: bytes, initial: int = 0) -> int:
     """Return the CRC-32 (IEEE 802.3) checksum of ``data``.
 
-    Compatible with :func:`zlib.crc32`; implemented locally so the wire
-    format is self-contained and portable.
+    Delegates to :func:`zlib.crc32` (same polynomial, same finalised
+    chaining convention: pass a previous result as ``initial`` to
+    continue a running checksum) when available, falling back to the
+    self-contained table-driven implementation otherwise.
     """
-    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
-    for byte in data:
-        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
-    return crc ^ 0xFFFFFFFF
+    if _zlib_crc32 is not None:
+        return _zlib_crc32(data, initial & 0xFFFFFFFF)
+    return crc32_ieee_reference(data, initial)

@@ -1,0 +1,134 @@
+"""Determinism regression for the E18 hot-path optimizations.
+
+The spatial broadcast index, struct-based codec, kernel tombstone
+compaction and dispatch endpoint index are all required to be *bit-free*
+optimizations: same seed ⇒ byte-identical delivery traces and metrics.
+This module pins that down two ways:
+
+- two same-seed runs of a ``bench_scale``-shaped deployment must produce
+  identical digests (catches nondeterminism introduced by new index
+  structures, e.g. set iteration order);
+- the digest must equal a golden value recorded against the
+  *pre-optimization* code paths (linear broadcast scan, validating
+  codec, uncompacted kernel, unindexed dispatch), so every optimized
+  path is proven to preserve RNG draw order and event ordering exactly.
+
+The deployment deliberately mixes stationary and mobile sensors and
+keeps the loss model enabled so the wireless RNG draw order — the most
+fragile invariant under the spatial index — is exercised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.config import GarnetConfig
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.middleware import Garnet
+from repro.core.operators import CollectingConsumer
+from repro.core.resource import StreamConfig
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import ConstantSampler, SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.simnet.mobility import RandomWaypoint
+from repro.simnet.wireless import LossModel
+
+# Digest of the delivery trace + metrics snapshot produced by the seed
+# (pre-optimization) implementation at commit 6a3a43b. Do NOT update
+# this constant to make a failing optimization pass: a mismatch means
+# the optimized hot paths changed observable behaviour.
+GOLDEN_DIGEST = (
+    "4273315abc31463d34445fad8b20bbe26c6078f2863835d4485619767f2c2d3e"
+)
+
+SEED = 2024
+DURATION = 20.0
+SENSORS = 24
+CONSUMERS = 3
+CODEC = SampleCodec(0.0, 100.0)
+
+
+def build_deployment(
+    seed: int, *, spatial_index: bool = True
+) -> tuple[Garnet, list[CollectingConsumer]]:
+    area = Rect(0.0, 0.0, 1200.0, 1200.0)
+    config = GarnetConfig(
+        area=area,
+        receiver_rows=4,
+        receiver_cols=4,
+        receiver_overlap=1.5,
+        loss_model=LossModel(),
+        publish_location_stream=False,
+        wireless_spatial_index=spatial_index,
+    )
+    deployment = Garnet(config=config, seed=seed)
+    deployment.define_sensor_type("g", {})
+    rng = deployment.sim.fork_rng()
+    for index in range(SENSORS):
+        spec = SensorStreamSpec(
+            0,
+            ConstantSampler(42.0),
+            CODEC,
+            config=StreamConfig(rate=2.0),
+            kind="scale",
+        )
+        position = Point(
+            rng.uniform(0.0, area.x_max), rng.uniform(0.0, area.y_max)
+        )
+        if index % 3 == 0:
+            # Every third sensor roams so the mobile (linear-scan) side
+            # of the broadcast index is exercised alongside the grid.
+            mobility = RandomWaypoint(
+                area, deployment.sim.fork_rng(), start=position
+            )
+        else:
+            mobility = position
+        deployment.add_sensor("g", [spec], mobility=mobility)
+    consumers = []
+    for index in range(CONSUMERS):
+        consumer = CollectingConsumer(
+            f"c{index}", SubscriptionPattern(kind="scale")
+        )
+        deployment.add_consumer(consumer)
+        consumers.append(consumer)
+    return deployment, consumers
+
+
+def run_digest(seed: int, *, spatial_index: bool = True) -> str:
+    deployment, consumers = build_deployment(
+        seed, spatial_index=spatial_index
+    )
+    deployment.run(DURATION)
+    hasher = hashlib.sha256()
+    for consumer in consumers:
+        for arrival in consumer.arrivals:
+            message = arrival.message
+            record = (
+                f"{consumer.name}|{message.stream_id.pack()}|"
+                f"{message.sequence}|{message.payload.hex()}|"
+                f"{arrival.receiver_id}|{arrival.received_at!r}|"
+                f"{arrival.delivered_at!r}\n"
+            )
+            hasher.update(record.encode())
+    for key, value in sorted(deployment.summary().items()):
+        hasher.update(f"{key}={value!r}\n".encode())
+    stats = deployment.medium.stats
+    hasher.update(
+        f"medium|{stats.transmissions}|{stats.deliveries}|"
+        f"{stats.losses}|{stats.out_of_range}\n".encode()
+    )
+    return hasher.hexdigest()
+
+
+def test_same_seed_runs_are_identical():
+    assert run_digest(SEED) == run_digest(SEED)
+
+
+def test_matches_pre_optimization_golden_digest():
+    assert run_digest(SEED) == GOLDEN_DIGEST
+
+
+def test_spatial_index_kill_switch_is_behaviour_neutral():
+    # The linear-scan path (wireless_spatial_index=False) and the grid
+    # path must be indistinguishable down to the digest.
+    assert run_digest(SEED, spatial_index=False) == GOLDEN_DIGEST

@@ -231,3 +231,49 @@ def test_id_pool_never_double_allocates(operations):
             victim = held.pop(model_rng.randrange(len(held)))
             pool.release(victim)
     assert pool.in_use == len(held)
+
+
+# ----------------------------------------------------------------------
+# Codec: the struct fast path is byte-identical to the reference path
+# ----------------------------------------------------------------------
+
+_stream_ids = st.builds(
+    StreamId, st.integers(0, 0xFFFFFF), st.integers(0, 0xFF)
+)
+_extensions = st.lists(
+    st.tuples(st.integers(0, 0xFF), st.binary(max_size=24)),
+    max_size=4,
+).map(tuple)
+_messages = st.builds(
+    DataMessage,
+    stream_id=_stream_ids,
+    sequence=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=160),
+    fused=st.booleans(),
+    encrypted=st.booleans(),
+    ack_request_id=st.none() | st.integers(0, 0xFFFF),
+    hop_count=st.none() | st.integers(0, 0xFF),
+    extensions=_extensions,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_messages, st.booleans())
+def test_fast_codec_is_byte_identical_to_reference(message, checksum):
+    """encode/decode (struct fast path) and encode_reference/
+    decode_reference (validating path) must agree byte-for-byte on
+    every representable message, with and without checksums."""
+    codec = MessageCodec(checksum=checksum)
+    wire = codec.encode(message)
+    assert wire == codec.encode_reference(message)
+    assert codec.encoded_size(message) == len(wire)
+    decoded = codec.decode(wire)
+    assert decoded == codec.decode_reference(wire)
+    assert decoded == message
+    # decode_prefix must consume exactly the message and accept any
+    # bytes-like container without changing the result.
+    prefixed, consumed = codec.decode_prefix(wire + b"\xAAtrailing")
+    assert consumed == len(wire)
+    assert prefixed == message
+    assert codec.decode(bytearray(wire)) == message
+    assert codec.decode(memoryview(wire)) == message

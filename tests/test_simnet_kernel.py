@@ -178,3 +178,67 @@ class TestPeriodicTask:
         task = PeriodicTask(sim, 1.0, once)
         sim.run(until=10.0)
         assert count[0] == 1
+
+
+class TestTombstoneCompaction:
+    def test_mass_cancellation_does_not_grow_queue_unbounded(self, sim):
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(10_000)
+        ]
+        for handle in handles:
+            handle.cancel()
+        # Every event is cancelled: none are live, and compaction must
+        # have reclaimed almost all the tombstone slots (the heap may
+        # keep a sub-threshold residue).
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending == len(sim._queue)
+        assert len(sim._queue) < 200
+        assert sim.run() == 0
+
+    def test_interleaved_cancellation_preserves_order(self, sim):
+        fired = []
+        handles = [
+            sim.schedule(float(i + 1), fired.append, i) for i in range(1_000)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 3 != 0:
+                handle.cancel()
+        sim.run()
+        assert fired == [i for i in range(1_000) if i % 3 == 0]
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending == 0
+
+    def test_pending_events_counts_live_only(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert sim.pending_events == 1
+        assert sim.cancelled_pending == 1
+        keep.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_execution_does_not_drift_counts(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # late cancel of an already-fired event
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_remains_idempotent_for_counting(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.cancelled_pending == 1
+
+    def test_cancel_from_callback_during_run(self, sim):
+        fired = []
+        later = [sim.schedule(2.0 + i, fired.append, i) for i in range(200)]
+
+        def cancel_most():
+            for handle in later[10:]:
+                handle.cancel()
+
+        sim.schedule(1.0, cancel_most)
+        sim.run()
+        assert fired == list(range(10))
+        assert sim.pending_events == 0

@@ -1,0 +1,104 @@
+"""The uniform-grid spatial index: exactness of disc queries."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simnet.geometry import Point
+from repro.simnet.spatial import UniformGridIndex
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_non_positive_or_non_finite_cell_size(self, bad):
+        with pytest.raises(ConfigurationError):
+            UniformGridIndex(bad)
+
+
+class TestMembership:
+    def test_insert_query_remove(self):
+        grid = UniformGridIndex(10.0)
+        grid.insert("a", Point(5.0, 5.0))
+        assert "a" in grid
+        assert len(grid) == 1
+        assert list(grid.query_disc(Point(5.0, 5.0), 1.0)) == ["a"]
+        assert grid.remove("a") is True
+        assert "a" not in grid
+        assert list(grid.query_disc(Point(5.0, 5.0), 1.0)) == []
+
+    def test_remove_unknown_returns_false(self):
+        grid = UniformGridIndex(10.0)
+        assert grid.remove("ghost") is False
+
+    def test_move_rebins(self):
+        grid = UniformGridIndex(10.0)
+        grid.insert("a", Point(5.0, 5.0))
+        grid.move("a", Point(95.0, 95.0))
+        assert len(grid) == 1
+        assert list(grid.query_disc(Point(5.0, 5.0), 3.0)) == []
+        assert list(grid.query_disc(Point(95.0, 95.0), 3.0)) == ["a"]
+
+    def test_reinsert_same_cell_is_idempotent(self):
+        grid = UniformGridIndex(10.0)
+        grid.insert("a", Point(5.0, 5.0))
+        grid.insert("a", Point(6.0, 6.0))  # same cell
+        assert list(grid.query_disc(Point(5.0, 5.0), 5.0)) == ["a"]
+
+    def test_all_keys(self):
+        grid = UniformGridIndex(10.0)
+        grid.insert("a", Point(1.0, 1.0))
+        grid.insert("b", Point(500.0, 500.0))
+        assert sorted(grid.all_keys()) == ["a", "b"]
+
+    def test_negative_coordinates(self):
+        grid = UniformGridIndex(7.0)
+        grid.insert("a", Point(-3.0, -11.0))
+        assert list(grid.query_disc(Point(-3.0, -11.0), 0.5)) == ["a"]
+
+
+class TestCellsForRadius:
+    def test_grows_with_radius(self):
+        grid = UniformGridIndex(10.0)
+        previous = 0
+        for radius in (1.0, 10.0, 50.0, 200.0):
+            count = grid.cells_for_radius(radius)
+            assert count >= previous
+            previous = count
+
+    def test_is_an_upper_bound_on_cells_visited(self):
+        grid = UniformGridIndex(10.0)
+        # A query never visits more cells than the bounding-box estimate.
+        radius = 25.0
+        span = math.floor(2.0 * radius / 10.0) + 2
+        assert grid.cells_for_radius(radius) == span * span
+
+
+# The property that makes pruning exact in WirelessMedium.broadcast:
+# query_disc may yield extras (re-checked by the caller) but must NEVER
+# miss a key whose binned position lies within the radius.
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(0.5, 300.0),
+    st.lists(
+        st.tuples(
+            st.floats(-500.0, 1500.0, allow_nan=False),
+            st.floats(-500.0, 1500.0, allow_nan=False),
+        ),
+        max_size=40,
+    ),
+    st.floats(-500.0, 1500.0, allow_nan=False),
+    st.floats(-500.0, 1500.0, allow_nan=False),
+    st.floats(0.0, 800.0, allow_nan=False),
+)
+def test_query_disc_never_misses(cell_size, points, cx, cy, radius):
+    grid = UniformGridIndex(cell_size)
+    for index, (x, y) in enumerate(points):
+        grid.insert(index, Point(x, y))
+    center = Point(cx, cy)
+    found = set(grid.query_disc(center, radius))
+    for index, (x, y) in enumerate(points):
+        if (x - cx) ** 2 + (y - cy) ** 2 <= radius * radius:
+            assert index in found

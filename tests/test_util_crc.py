@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.crc import crc16_ccitt, crc32_ieee
+from repro.util.crc import (
+    crc16_ccitt,
+    crc16_ccitt_reference,
+    crc32_ieee,
+    crc32_ieee_reference,
+)
 
 CHECK_INPUT = b"123456789"
 
@@ -67,3 +72,32 @@ def test_crc16_bit_flip_always_detected(blob, bit):
 @pytest.mark.parametrize("func", [crc16_ccitt, crc32_ieee])
 def test_crc_is_deterministic(func):
     assert func(b"same input") == func(b"same input")
+
+
+# ----------------------------------------------------------------------
+# Fast-path vs reference equivalence (the E18 hot-path contract)
+# ----------------------------------------------------------------------
+
+def test_crc16_fast_path_matches_reference_across_sizes():
+    # The fast path (binascii.crc_hqx) must agree with the byte-at-a-time
+    # spec at every size, including the empty buffer and odd lengths.
+    for size in range(0, 40):
+        blob = bytes(range(size))
+        assert crc16_ccitt(blob) == crc16_ccitt_reference(blob)
+
+
+@given(st.binary(max_size=600), st.integers(0, 0xFFFF))
+def test_crc16_fast_matches_reference_with_initials(blob, initial):
+    assert crc16_ccitt(blob, initial) == crc16_ccitt_reference(blob, initial)
+
+
+@given(st.binary(max_size=600), st.integers(0, 0xFFFFFFFF))
+def test_crc32_zlib_path_matches_pure_reference(blob, initial):
+    assert crc32_ieee(blob, initial) == crc32_ieee_reference(blob, initial)
+
+
+def test_crc16_fast_accepts_bytearray_and_memoryview():
+    blob = bytes(range(64))
+    expected = crc16_ccitt_reference(blob)
+    assert crc16_ccitt(bytearray(blob)) == expected
+    assert crc16_ccitt(memoryview(blob)) == expected
