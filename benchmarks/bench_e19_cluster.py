@@ -1,0 +1,342 @@
+"""E19: clustered federation — throughput scaling and crash failover.
+
+Standalone script (not a pytest benchmark), same contract as E18: CI
+runs it as a smoke job (``--quick --check``) and the repo commits its
+JSON output as the tracked baseline.
+
+Sections
+--------
+- **scaling**: aggregate dispatch throughput (deliveries per simulated
+  second) of a clustered deployment at 1, 2, 4 and 8 broker nodes. Each
+  node carries its own publisher + subscriber pair with streams pinned
+  to their home broker, and each node has its own ingress admission
+  budget (``qos_ingress_rate``) — the per-broker capacity model. A
+  federation of N brokers must deliver ~N× the admitted throughput of
+  one; the acceptance gate is ≥2.5× at 4 brokers.
+- **once_per_link**: interest aggregation under remote fan-out — 8
+  messages to 3 consumers behind one inter-broker link must cross that
+  link exactly 8 times (the Fjords property).
+- **failover**: a 3-broker federation streaming through an injected
+  owner crash (``BrokerCrash(broker=...)``) plus a short fixed-network
+  partition of one consumer, with retries on. Every consumer must see a
+  ≥0.95 delivery ratio with zero duplicates, and two same-seed runs must
+  produce identical delivery traces.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e19_cluster.py [--quick]
+        [--check] [--output BENCH_e19_cluster.json]
+
+``--check`` validates the acceptance gates above on the fresh numbers
+and, when the committed baseline exists, fails if the 4-broker scaling
+ratio regressed by more than 30%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import GarnetConfig
+from repro.core.middleware import Garnet
+from repro.faults import BrokerCrash, FaultPlan, NetworkPartition, inject
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_e19_cluster.json"
+)
+REGRESSION_TOLERANCE = 0.7
+SCALING_GATE_4X = 2.5
+DELIVERY_RATIO_GATE = 0.95
+
+
+def _cluster_config(brokers: int, **overrides) -> GarnetConfig:
+    defaults = dict(
+        cluster_enabled=True,
+        cluster_brokers=brokers,
+        cluster_failover_check_period=0.5,
+        publish_location_stream=False,
+    )
+    defaults.update(overrides)
+    return GarnetConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Scaling
+# ----------------------------------------------------------------------
+def _scaling_run(
+    brokers: int, duration: float, rate_per_node: float
+) -> float:
+    """Aggregate deliveries per simulated second at ``brokers`` nodes."""
+    config = _cluster_config(
+        brokers,
+        qos_ingress_rate=rate_per_node,
+        qos_ingress_burst=1.0,
+        qos_ingress_queue=64,
+    )
+    deployment = Garnet(config=config, seed=19)
+    publishers = []
+    for index in range(brokers):
+        name = f"b{index}"
+        subscriber = deployment.connect(f"sub{index}", broker=name)
+        subscriber.subscribe(kind=f"k{index}")
+        publisher = deployment.connect(f"pub{index}", broker=name)
+        publishers.append((index, publisher))
+    deployment.run(0.25)
+    # Pin every publisher's stream to its home broker so the scaling
+    # section measures per-broker dispatch capacity, not link traffic.
+    for index, publisher in publishers:
+        stream = publisher.publish(0, b"w", kind=f"k{index}")
+        deployment.cluster.shards.pin(stream, f"b{index}")
+    deployment.run(0.25)
+    start = deployment.dispatcher.stats.deliveries
+    # Offer 2x each node's admission budget so ingress is saturated and
+    # the admission controllers set the pace.
+    step = 0.1
+    burst = max(1, int(rate_per_node * step * 2))
+    steps = int(duration / step)
+    for _ in range(steps):
+        for index, publisher in publishers:
+            for _ in range(burst):
+                publisher.publish(0, b"\x2a" * 8, kind=f"k{index}")
+        deployment.run(step)
+    deployment.run(2.0)  # drain admission queues
+    delivered = deployment.dispatcher.stats.deliveries - start
+    return delivered / duration
+
+
+def bench_scaling(duration: float, rate_per_node: float) -> dict:
+    results: dict = {"rate_per_node": rate_per_node, "brokers": {}}
+    base = None
+    for brokers in (1, 2, 4, 8):
+        throughput = _scaling_run(brokers, duration, rate_per_node)
+        if base is None:
+            base = throughput
+        results["brokers"][str(brokers)] = {
+            "deliveries_per_sim_s": round(throughput, 1),
+            "speedup_vs_1": round(throughput / base, 2),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Once per link
+# ----------------------------------------------------------------------
+def bench_once_per_link(messages: int) -> dict:
+    deployment = Garnet(config=_cluster_config(3), seed=19)
+    publisher = deployment.connect("pub", broker="b0")
+    consumers = []
+    for index in range(3):
+        session = deployment.connect(f"c{index}", broker="b2")
+        seen: list[int] = []
+        session.on_data(lambda a, seen=seen: seen.append(a.message.sequence))
+        session.subscribe(kind="shared*")
+        consumers.append(seen)
+    deployment.run(0.5)
+    stream = publisher.publish(0, b"w", kind="shared")
+    deployment.run(0.5)
+    deployment.cluster.shards.pin(stream, "b1")
+    before = deployment.cluster.stats.forwards
+    for index in range(1, messages + 1):
+        publisher.publish(0, index.to_bytes(2, "big"), kind="shared")
+        deployment.run(0.2)
+    crossings = deployment.cluster.stats.forwards - before
+    return {
+        "messages": messages,
+        "remote_consumers": len(consumers),
+        "link_crossings": crossings,
+        "deliveries": sum(len(seen) for seen in consumers),
+    }
+
+
+# ----------------------------------------------------------------------
+# Failover
+# ----------------------------------------------------------------------
+def _failover_run(duration: float, seed: int) -> dict:
+    config = _cluster_config(
+        3,
+        fixednet_retry_base=0.05,
+        fixednet_retry_max=1.0,
+        fixednet_retry_attempts=8,
+    )
+    deployment = Garnet(config=config, seed=seed)
+    publisher = deployment.connect("pub", broker="b0")
+    traces: list[list[int]] = []
+    for index in range(3):
+        session = deployment.connect(f"f{index}", broker="b2")
+        seen: list[int] = []
+        session.on_data(lambda a, seen=seen: seen.append(a.message.sequence))
+        session.subscribe(kind="tele*")
+        traces.append(seen)
+    deployment.run(0.5)
+    stream = publisher.publish(0, b"\x00\x00", kind="tele")
+    deployment.cluster.shards.pin(stream, "b1")
+    deployment.run(0.5)
+
+    crash_at = duration * 0.3
+    crash_for = duration * 0.25
+    partition_at = duration * 0.7
+    plan = FaultPlan(
+        events=(
+            BrokerCrash(at=crash_at, duration=crash_for, broker="b1"),
+            NetworkPartition(
+                at=partition_at,
+                duration=min(1.5, duration * 0.1),
+                endpoints=("consumer.f0",),
+            ),
+        )
+    )
+    inject(deployment, plan)
+
+    published = 1  # the warmup message
+    step = 0.1
+    while deployment.sim.now < duration:
+        publisher.publish(
+            0, published.to_bytes(2, "big"), kind="tele"
+        )
+        published += 1
+        deployment.run(step)
+    deployment.run(5.0)  # retries, replay and reroutes settle
+
+    stats = deployment.cluster.stats
+    ratios = []
+    duplicates = 0
+    for seen in traces:
+        duplicates += len(seen) - len(set(seen))
+        ratios.append(len(set(seen)) / published)
+    digest = hashlib.sha256()
+    for index, seen in enumerate(traces):
+        digest.update(f"{index}:{','.join(map(str, seen))};".encode())
+    return {
+        "published": published,
+        "delivery_ratios": [round(r, 4) for r in ratios],
+        "min_delivery_ratio": round(min(ratios), 4),
+        "duplicates": duplicates,
+        "handoffs": stats.handoffs,
+        "streams_reassigned": stats.streams_reassigned,
+        "replayed": stats.replayed,
+        "reroutes": stats.reroutes,
+        "dedupe_hits": stats.dedupe_hits,
+        "trace_digest": digest.hexdigest(),
+    }
+
+
+def bench_failover(duration: float) -> dict:
+    first = _failover_run(duration, seed=23)
+    second = _failover_run(duration, seed=23)
+    result = dict(first)
+    result["deterministic"] = (
+        first["trace_digest"] == second["trace_digest"]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_all(quick: bool) -> dict:
+    duration = 10.0 if quick else 30.0
+    rate = 40.0
+    messages = 8 if quick else 24
+    failover_duration = 12.0 if quick else 40.0
+    return {
+        "experiment": "E19 clustered federation",
+        "mode": "quick" if quick else "full",
+        "scaling": bench_scaling(duration, rate),
+        "once_per_link": bench_once_per_link(messages),
+        "failover": bench_failover(failover_duration),
+    }
+
+
+def check_acceptance(fresh: dict) -> list[str]:
+    """Hard gates from DESIGN/E19 (independent of any baseline)."""
+    failures = []
+    speedup4 = fresh["scaling"]["brokers"]["4"]["speedup_vs_1"]
+    if speedup4 < SCALING_GATE_4X:
+        failures.append(
+            f"scaling: 4-broker speedup {speedup4} < {SCALING_GATE_4X}"
+        )
+    link = fresh["once_per_link"]
+    if link["link_crossings"] != link["messages"]:
+        failures.append(
+            "once_per_link: "
+            f"{link['link_crossings']} crossings for {link['messages']} "
+            "messages (must be exactly one per message)"
+        )
+    failover = fresh["failover"]
+    if failover["min_delivery_ratio"] < DELIVERY_RATIO_GATE:
+        failures.append(
+            f"failover: delivery ratio {failover['min_delivery_ratio']} "
+            f"< {DELIVERY_RATIO_GATE} through owner crash"
+        )
+    if failover["duplicates"]:
+        failures.append(
+            f"failover: {failover['duplicates']} duplicate deliveries"
+        )
+    if failover["handoffs"] < 1 or failover["replayed"] < 1:
+        failures.append("failover: no handoff/replay actually exercised")
+    if not failover["deterministic"]:
+        failures.append("failover: same-seed runs diverged")
+    return failures
+
+
+def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
+    failures = []
+    old = (
+        baseline.get("scaling", {})
+        .get("brokers", {})
+        .get("4", {})
+        .get("speedup_vs_1")
+    )
+    new = fresh["scaling"]["brokers"]["4"]["speedup_vs_1"]
+    if old and new < old * REGRESSION_TOLERANCE:
+        failures.append(
+            f"scaling[4].speedup_vs_1 regressed: "
+            f"{new} < {REGRESSION_TOLERANCE} * {old}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short simulated windows (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when acceptance gates or the committed baseline are "
+        "violated",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write (and read the baseline) JSON",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check and args.output.exists():
+        baseline = json.loads(args.output.read_text())
+
+    fresh = run_all(args.quick)
+    print(json.dumps(fresh, indent=2))
+
+    if args.check:
+        failures = check_acceptance(fresh)
+        if baseline is not None:
+            failures += check_against_baseline(fresh, baseline)
+        if failures:
+            for failure in failures:
+                print(f"E19 CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("e19 check: acceptance gates hold")
+    else:
+        args.output.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

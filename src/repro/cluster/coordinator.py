@@ -1,0 +1,127 @@
+"""Handoff machinery: the replay buffer and the cluster coordinator.
+
+The coordinator is the control loop that turns broker-liveness changes
+into ownership handoffs. It polls each node's broker (the same ``up``
+flag the lease/heartbeat machinery exposes) on a periodic task; when the
+live set changes it recomputes stream ownership under the new membership
+and replays the affected streams' buffered backlog to their new owners,
+so subscribed consumers see a gap-free stream across the crash.
+
+The :class:`HandoffBuffer` is the orphanage-style bounded backlog behind
+that replay: every fresh arrival entering the cluster is teed into it
+(idempotently, keyed by sequence) *before* any forwarding, so a message
+lost in flight to a dead owner is still replayable. Per-node sequence
+windows (:class:`~repro.cluster.link.SequenceWindow`) make the replay
+no-duplicate: copies a consumer already received are suppressed at the
+new owner and at every link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.cluster.link import ReplayedPublish
+from repro.core.envelopes import StreamArrival
+from repro.core.streamid import StreamId
+from repro.simnet.kernel import PeriodicTask
+
+
+class _BufferEntry:
+    __slots__ = ("backlog", "sequences")
+
+    def __init__(self, capacity: int) -> None:
+        self.backlog: deque[StreamArrival] = deque(maxlen=capacity)
+        self.sequences: set[int] = set()
+
+
+class HandoffBuffer:
+    """Bounded per-stream backlog of recent arrivals, keyed by sequence."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("handoff backlog capacity must be at least 1")
+        self._capacity = capacity
+        self._streams: dict[StreamId, _BufferEntry] = {}
+
+    def add(self, stream_id: StreamId, arrival: StreamArrival) -> bool:
+        """Retain ``arrival``; False when its sequence is already held.
+
+        Idempotence matters because an arrival is teed both where it
+        enters the cluster and again at the owner it was forwarded to.
+        """
+        entry = self._streams.get(stream_id)
+        if entry is None:
+            entry = _BufferEntry(self._capacity)
+            self._streams[stream_id] = entry
+        sequence = arrival.message.sequence
+        if sequence in entry.sequences:
+            return False
+        if len(entry.backlog) == self._capacity:
+            evicted = entry.backlog[0]
+            entry.sequences.discard(evicted.message.sequence)
+        entry.backlog.append(arrival)
+        entry.sequences.add(sequence)
+        return True
+
+    def streams(self) -> list[StreamId]:
+        return list(self._streams)
+
+    def entries(self, stream_id: StreamId) -> list[StreamArrival]:
+        entry = self._streams.get(stream_id)
+        return list(entry.backlog) if entry is not None else []
+
+    def retained(self, stream_id: StreamId) -> int:
+        entry = self._streams.get(stream_id)
+        return len(entry.backlog) if entry is not None else 0
+
+
+class ClusterCoordinator:
+    """Detects owner crashes and executes ownership handoff with replay."""
+
+    def __init__(
+        self,
+        runtime: Any,
+        sim: Any,
+        network: Any,
+        period: float,
+    ) -> None:
+        self._runtime = runtime
+        self._network = network
+        self._task = PeriodicTask(sim, period, self.check)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def check(self) -> None:
+        """One liveness poll; rebalances when membership changed."""
+        runtime = self._runtime
+        live = frozenset(
+            name for name, node in runtime.nodes.items() if node.up
+        )
+        runtime.update_balance_gauges(live)
+        if live == runtime.live:
+            return
+        old_live = runtime.live
+        runtime.live = live
+        runtime.stats.handoffs += 1
+        moved = 0
+        replayed = 0
+        for stream_id in runtime.buffer.streams():
+            old_owner = runtime.shards.owner(stream_id, old_live)
+            new_owner = runtime.shards.owner(stream_id, live)
+            if new_owner == old_owner:
+                continue
+            moved += 1
+            node = runtime.nodes[new_owner]
+            if not node.up:
+                # Nobody live to hand this stream to; the buffer keeps
+                # the backlog for a later membership change.
+                continue
+            for arrival in runtime.buffer.entries(stream_id):
+                self._network.send(
+                    node.link_inbox, ReplayedPublish(arrival=arrival)
+                )
+                replayed += 1
+        runtime.stats.streams_reassigned += moved
+        runtime.stats.replayed += replayed

@@ -1,0 +1,112 @@
+"""Inter-broker links: the frames brokers exchange, and their endpoint.
+
+Each broker node listens on one link inbox
+(``garnet.cluster.link.<name>``) for three frame kinds:
+
+- :class:`RemoteDelivery` — the owning broker fans a message out to a
+  peer with aggregated local interest. Interest aggregation guarantees
+  the Fjords property: one frame per message per link, however many of
+  the peer's consumers are subscribed; the peer's dispatcher performs
+  the local fan-out.
+- :class:`ReplayedPublish` — the ClusterCoordinator replays buffered
+  messages to a stream's new owner after an ownership handoff.
+- :class:`InterestUpdate` — a broker announces that one of its local
+  subscriptions was added or removed; peers maintain per-origin
+  refcounted pattern tables from these.
+
+All three ride the ordinary :class:`~repro.simnet.fixednet.FixedNetwork`
+send path, so partitions, retry policies and per-destination circuit
+breakers apply to inter-broker traffic exactly as they do to consumer
+deliveries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+
+LINK_INBOX_PREFIX = "garnet.cluster.link."
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RemoteDelivery:
+    """One message crossing one link to one interested peer broker."""
+
+    origin: str
+    arrival: StreamArrival
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ReplayedPublish:
+    """A handoff replay: owner-path processing at the new owner."""
+
+    arrival: StreamArrival
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class InterestUpdate:
+    """A peer broker gained (or lost) a local subscription."""
+
+    origin: str
+    pattern: SubscriptionPattern
+    added: bool
+
+
+class SequenceWindow:
+    """A bounded set of recently-seen sequence numbers for one stream.
+
+    The no-duplicate guarantee across link deliveries, handoff replays
+    and post-handoff fresh traffic: ``add`` returns False when the
+    sequence was already recorded. Capacity-bounded FIFO eviction keeps
+    per-stream state at ``window`` entries.
+    """
+
+    __slots__ = ("_seen", "_order", "_window")
+
+    def __init__(self, window: int) -> None:
+        self._window = window
+        self._seen: set[int] = set()
+        self._order: deque[int] = deque()
+
+    def add(self, sequence: int) -> bool:
+        if sequence in self._seen:
+            return False
+        if len(self._order) == self._window:
+            self._seen.discard(self._order.popleft())
+        self._seen.add(sequence)
+        self._order.append(sequence)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class InterBrokerLink:
+    """One node's link endpoint: decodes frames onto its router."""
+
+    def __init__(self, name: str, network: Any, router: Any) -> None:
+        self.name = name
+        self.inbox = LINK_INBOX_PREFIX + name
+        self._network = network
+        self._router = router
+        network.register_inbox(self.inbox, self.on_frame)
+
+    def on_frame(self, frame: Any) -> None:
+        if isinstance(frame, RemoteDelivery):
+            self._router.deliver_remote(frame)
+        elif isinstance(frame, ReplayedPublish):
+            self._router.deliver_replayed(frame.arrival)
+        elif isinstance(frame, InterestUpdate):
+            self._router.apply_interest(frame)
+
+    def unregister(self) -> None:
+        if self._network.has_inbox(self.inbox):
+            self._network.unregister_inbox(self.inbox)
+
+    def register(self) -> None:
+        if not self._network.has_inbox(self.inbox):
+            self._network.register_inbox(self.inbox, self.on_frame)

@@ -1,0 +1,82 @@
+"""One broker node: the per-broker slice of a clustered deployment.
+
+A :class:`BrokerNode` groups the services that exist once *per broker*
+in a federation — Broker front door, Dispatching Service, Orphanage,
+optional per-node admission controller, and the node's inter-broker
+link. Node ``b0`` (the *primary*) wraps the deployment's historical
+single-broker instances under their historical inbox names, so every
+pre-cluster API (``deployment.broker`` etc.) keeps meaning "the primary
+node" when clustering is on.
+
+Crashing a node models the whole broker host dying: the broker loses
+its session state and the node's dispatch and link inboxes leave the
+fixed network (in-flight frames dead-letter — exactly the gap handoff
+replay exists to fill). The orphanage's retained backlog survives a
+crash, like data already flushed to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dispatching import DispatchingService
+from repro.core.orphanage import Orphanage
+from repro.core.pubsub import Broker
+
+
+class BrokerNode:
+    """Name + per-broker services + liveness levers."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Any,
+        broker: Broker,
+        dispatcher: DispatchingService,
+        orphanage: Orphanage,
+        admission: Any | None = None,
+    ) -> None:
+        self.name = name
+        self._network = network
+        self.broker = broker
+        self.dispatcher = dispatcher
+        self.orphanage = orphanage
+        self.admission = admission
+        # Installed by the ClusterRuntime once the node's router exists.
+        self.link: Any | None = None
+
+    @property
+    def dispatch_inbox(self) -> str:
+        return self.dispatcher.inbox
+
+    @property
+    def link_inbox(self) -> str:
+        return self.link.inbox
+
+    @property
+    def up(self) -> bool:
+        return self.broker.up
+
+    def crash(self) -> None:
+        """Kill the whole node (broker state, dispatch + link inboxes)."""
+        if not self.broker.up:
+            return
+        # Broker first: tearing down its endpoints fires InterestRemove
+        # frames to the peers while this node can still send.
+        self.broker.crash()
+        if self._network.has_inbox(self.dispatch_inbox):
+            self._network.unregister_inbox(self.dispatch_inbox)
+        if self.link is not None:
+            self.link.unregister()
+
+    def restart(self) -> None:
+        """Bring the node back empty; sessions recover via heartbeat."""
+        if self.broker.up:
+            return
+        self.broker.restart()
+        if not self._network.has_inbox(self.dispatch_inbox):
+            self._network.register_inbox(
+                self.dispatch_inbox, self.dispatcher.on_arrival
+            )
+        if self.link is not None:
+            self.link.register()

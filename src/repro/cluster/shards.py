@@ -1,0 +1,125 @@
+"""Stream ownership: consistent hashing over StreamIds with pins.
+
+Every stream in a clustered deployment has exactly one *owner* broker —
+the node that routes it, advertises it, feeds its once-per-link
+inter-broker legs and (when nobody wants it) orphans it. Ownership is
+assigned by consistent hashing over the stream identity so that adding
+or removing a broker moves only ``~1/N`` of the streams, and can be
+overridden per stream with an explicit pin (the lever experiments use to
+place load deliberately).
+
+Hashing uses :func:`hashlib.blake2b` rather than Python's builtin
+``hash``: the builtin is salted per process, which would break the
+same-seed ⇒ same-owners determinism contract the golden-digest tests
+enforce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from collections.abc import Iterable
+
+from repro.core.streamid import StreamId
+from repro.errors import ConfigurationError
+
+
+def _hash64(key: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "big"
+    )
+
+
+class StreamShardMap:
+    """Consistent-hash ring mapping streams to owning brokers."""
+
+    def __init__(
+        self, brokers: Iterable[str], virtual_nodes: int = 64
+    ) -> None:
+        self._brokers = tuple(brokers)
+        if not self._brokers:
+            raise ConfigurationError("a shard map needs at least one broker")
+        if len(set(self._brokers)) != len(self._brokers):
+            raise ConfigurationError("duplicate broker names in shard map")
+        if virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be at least 1")
+        entries: list[tuple[int, str]] = []
+        for broker in self._brokers:
+            for replica in range(virtual_nodes):
+                entries.append(
+                    (_hash64(f"{broker}#{replica}".encode()), broker)
+                )
+        # Sorting by (hash, name) makes hash collisions (however
+        # unlikely at 64 bits) resolve identically everywhere.
+        entries.sort()
+        self._ring = entries
+        self._hashes = [entry[0] for entry in entries]
+        self._pins: dict[StreamId, str] = {}
+
+    @property
+    def brokers(self) -> tuple[str, ...]:
+        return self._brokers
+
+    # ------------------------------------------------------------------
+    # Pins
+    # ------------------------------------------------------------------
+    def pin(self, stream_id: StreamId, broker: str) -> None:
+        """Force ``stream_id``'s ownership onto ``broker``.
+
+        Pins win over the ring while the pinned broker is live; when it
+        is down the stream falls back to the ring walk like any other.
+        """
+        if broker not in self._brokers:
+            raise ConfigurationError(
+                f"cannot pin to unknown broker {broker!r}"
+            )
+        self._pins[stream_id] = broker
+
+    def unpin(self, stream_id: StreamId) -> None:
+        self._pins.pop(stream_id, None)
+
+    def pinned(self, stream_id: StreamId) -> str | None:
+        return self._pins.get(stream_id)
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def owner(
+        self, stream_id: StreamId, live: frozenset[str] | None = None
+    ) -> str:
+        """The broker owning ``stream_id`` under the ``live`` member set.
+
+        ``live=None`` (or an empty set — nobody is up, so the answer is
+        moot but must stay deterministic) means full membership. The
+        ring is walked clockwise from the stream's hash to the first
+        virtual node whose broker is live, so a dead owner's streams
+        redistribute over the survivors and return home on restart.
+        """
+        if live is not None and not live:
+            live = None
+        pinned = self._pins.get(stream_id)
+        if pinned is not None and (live is None or pinned in live):
+            return pinned
+        point = _hash64(
+            f"{stream_id.sensor_id}:{stream_id.stream_index}".encode()
+        )
+        start = bisect_left(self._hashes, point)
+        size = len(self._ring)
+        for step in range(size):
+            broker = self._ring[(start + step) % size][1]
+            if live is None or broker in live:
+                return broker
+        # Unreachable: live is non-empty and every broker appears on
+        # the ring, but fall back to the first ring entry regardless.
+        return self._ring[start % size][1]
+
+    def assignments(
+        self,
+        streams: Iterable[StreamId],
+        live: frozenset[str] | None = None,
+    ) -> dict[str, int]:
+        """Owned-stream counts per broker (the shard-balance view)."""
+        counts = {broker: 0 for broker in self._brokers}
+        for stream_id in streams:
+            counts[self.owner(stream_id, live)] += 1
+        return counts

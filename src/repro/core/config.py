@@ -113,6 +113,27 @@ class GarnetConfig:
     qos_min_rate: float = 0.1
     qos_degrade_priority: int = 50
 
+    # Clustered federation (repro.cluster). Defaults off: the single-
+    # broker deployment is byte-identical to the pre-cluster behaviour
+    # (the golden digest in tests/test_perf_determinism.py pins this).
+    #
+    # ``cluster_enabled`` stands up ``cluster_brokers`` broker nodes over
+    # the fixed network; stream ownership is assigned by consistent
+    # hashing (``cluster_virtual_nodes`` ring entries per broker, with
+    # explicit pin overrides), publishes/interest cross brokers over
+    # InterBrokerLink inboxes, and a ClusterCoordinator polls broker
+    # liveness every ``cluster_failover_check_period`` virtual seconds to
+    # execute ownership handoff with replay from a bounded per-stream
+    # backlog (``cluster_handoff_backlog``). ``cluster_dedupe_window``
+    # bounds the per-stream sequence window each node keeps to suppress
+    # duplicate deliveries across link/replay paths.
+    cluster_enabled: bool = False
+    cluster_brokers: int = 2
+    cluster_virtual_nodes: int = 64
+    cluster_failover_check_period: float = 1.0
+    cluster_handoff_backlog: int = 64
+    cluster_dedupe_window: int = 512
+
     # Super Coordinator
     predictive_coordinator: bool = False
     prediction_confidence: float = 0.6
@@ -208,4 +229,23 @@ class GarnetConfig:
                 )
             if self.qos_min_rate <= 0:
                 raise ConfigurationError("qos_min_rate must be positive")
+        if self.cluster_brokers < 1:
+            raise ConfigurationError("cluster_brokers must be at least 1")
+        if self.cluster_enabled:
+            if self.cluster_virtual_nodes < 1:
+                raise ConfigurationError(
+                    "cluster_virtual_nodes must be at least 1"
+                )
+            if self.cluster_failover_check_period <= 0:
+                raise ConfigurationError(
+                    "cluster_failover_check_period must be positive"
+                )
+            if self.cluster_handoff_backlog < 1:
+                raise ConfigurationError(
+                    "cluster_handoff_backlog must be at least 1"
+                )
+            if self.cluster_dedupe_window < 1:
+                raise ConfigurationError(
+                    "cluster_dedupe_window must be at least 1"
+                )
         return self

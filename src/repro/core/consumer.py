@@ -160,18 +160,6 @@ class Consumer:
         self._subscription_ids.append(subscription_id)
         return subscription_id
 
-    def subscribe_stream(self, stream_id: StreamId) -> int:
-        """Deprecated: use ``subscribe(stream_id=...)``."""
-        import warnings
-
-        warnings.warn(
-            "Consumer.subscribe_stream is deprecated; use "
-            "Consumer.subscribe(stream_id=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.subscribe(stream_id=stream_id)
-
     def unsubscribe(self, subscription_id: int) -> None:
         runtime = self._require_runtime()
         session_unsubscribe = getattr(runtime, "unsubscribe", None)

@@ -144,10 +144,14 @@ class DispatchingService:
         registry: StreamRegistry,
         orphanage_inbox: str = ORPHANAGE_INBOX,
         metrics: MetricsRegistry | None = None,
+        inbox: str = INBOX,
+        broker_inbox: str = BROKER_INBOX,
     ) -> None:
         self._network = network
         self._registry = registry
         self._orphanage_inbox = orphanage_inbox
+        self.inbox = inbox
+        self._broker_inbox = broker_inbox
         self._subscriptions: dict[int, Subscription] = {}
         self._exact: dict[StreamId, set[int]] = {}
         # Patterned subscriptions are bucketed by their most selective
@@ -172,8 +176,11 @@ class DispatchingService:
         # so the data path does not import the qos package.
         self._admission: Any | None = None
         self._delivery: Any | None = None
+        # Cluster routing hook (repro.cluster); None on single-broker
+        # deployments, keeping the historical data path untouched.
+        self._cluster: Any | None = None
         self.stats = DispatchStats(metrics)
-        network.register_inbox(INBOX, self.on_arrival)
+        network.register_inbox(inbox, self.on_arrival)
 
     def set_admission(self, admission: Any | None) -> None:
         """Install admission control in front of arrival processing.
@@ -192,6 +199,20 @@ class DispatchingService:
         is called whenever an endpoint's subscriptions are dropped.
         """
         self._delivery = delivery
+
+    def set_cluster(self, cluster: Any | None) -> None:
+        """Install this node's cluster router (repro.cluster).
+
+        ``cluster.on_fresh(arrival)`` decides whether a fresh arrival is
+        processed here (this broker owns the stream) or forwarded to the
+        owning broker; ``cluster.remote_targets(stream_id)`` yields the
+        inter-broker link inboxes with aggregated remote interest;
+        ``cluster.filter_local(...)`` suppresses duplicate local
+        deliveries for streams that also travel over links or handoff
+        replay; ``cluster.interest_added/removed`` propagate subscription
+        interest to peer brokers.
+        """
+        self._cluster = cluster
 
     def set_route_guard(
         self, guard: Callable[[str, StreamDescriptor], bool] | None
@@ -231,6 +252,8 @@ class DispatchingService:
         else:
             self._pattern_bucket(pattern)[subscription_id] = subscription
             self._route_cache.clear()
+        if self._cluster is not None:
+            self._cluster.interest_added(pattern)
         return subscription_id
 
     def _pattern_bucket(self, pattern: SubscriptionPattern) -> dict[int, Subscription]:
@@ -277,6 +300,8 @@ class DispatchingService:
             else:
                 self._wild.pop(subscription_id, None)
             self._route_cache.clear()
+        if self._cluster is not None:
+            self._cluster.interest_removed(pattern)
 
     def remove_endpoint(self, endpoint: str) -> int:
         """Drop every subscription held by ``endpoint``; returns the count."""
@@ -300,6 +325,8 @@ class DispatchingService:
             self._route_cache.clear()
         else:
             self._route_cache.pop(stream_id, None)
+        if self._cluster is not None:
+            self._cluster.invalidate(stream_id)
 
     # ------------------------------------------------------------------
     # Data path
@@ -313,6 +340,12 @@ class DispatchingService:
 
     def process_admitted(self, arrival: StreamArrival) -> None:
         """Route one arrival that has passed (or bypassed) admission."""
+        cluster = self._cluster
+        if cluster is not None and not cluster.on_fresh(arrival):
+            # Another broker owns this stream; the router has buffered
+            # the arrival for handoff replay and forwarded it to the
+            # owner's dispatch inbox. Stream stats are observed there.
+            return
         stream_id = arrival.message.stream_id
         if arrival.receiver_id < 0:
             # Published directly on the fixed network (derived streams);
@@ -323,15 +356,83 @@ class DispatchingService:
                 arrival.message.sequence,
             )
         self._advertise_if_new(stream_id)
+        if cluster is None:
+            route = self._route_cache.get(stream_id)
+            if route is None:
+                route = self._compute_route(stream_id)
+                self._route_cache[stream_id] = route
+            if not route:
+                self.stats.orphaned += 1
+                self._network.send(self._orphanage_inbox, arrival)
+                return
+            self._fan_out(route, arrival)
+            return
+        self._route_and_deliver_clustered(arrival, stream_id)
+
+    def process_replayed(self, arrival: StreamArrival) -> None:
+        """Owner-path processing for a handoff-replayed arrival.
+
+        Replay re-enters below admission and below the fresh-arrival
+        cluster gate: the stream was already observed and buffered when
+        it first entered the cluster, so only routing and fan-out run.
+        Local deliveries are recorded in the dedupe window so a consumer
+        that already received a copy (over a link, before the handoff)
+        does not see it twice.
+        """
+        stream_id = arrival.message.stream_id
+        self._advertise_if_new(stream_id)
+        self._route_and_deliver_clustered(
+            arrival, stream_id, record_local=True
+        )
+
+    def process_remote_delivery(self, arrival: StreamArrival) -> int:
+        """Local-only fan-out for an arrival received over a link.
+
+        The owning broker already routed this message; here it may only
+        reach this node's own subscribers — never the Orphanage, never
+        another link (that would defeat once-per-link aggregation).
+        Returns the number of local deliveries.
+        """
+        stream_id = arrival.message.stream_id
+        self._advertise_if_new(stream_id)
         route = self._route_cache.get(stream_id)
         if route is None:
             route = self._compute_route(stream_id)
             self._route_cache[stream_id] = route
         if not route:
+            return 0
+        return self._fan_out(route, arrival)
+
+    def _route_and_deliver_clustered(
+        self,
+        arrival: StreamArrival,
+        stream_id: StreamId,
+        *,
+        record_local: bool = False,
+    ) -> None:
+        """Owner-side routing: local fan-out plus once-per-link legs."""
+        cluster = self._cluster
+        route = self._route_cache.get(stream_id)
+        if route is None:
+            route = self._compute_route(stream_id)
+            self._route_cache[stream_id] = route
+        remote = cluster.remote_targets(stream_id)
+        if not route and not remote:
             self.stats.orphaned += 1
             self._network.send(self._orphanage_inbox, arrival)
             return
+        if route and cluster.filter_local(
+            stream_id, arrival.message.sequence, record=record_local
+        ):
+            self._fan_out(route, arrival)
+        for link_inbox in remote:
+            cluster.send_remote(link_inbox, arrival)
+
+    def _fan_out(
+        self, route: tuple[int, ...], arrival: StreamArrival
+    ) -> int:
         delivered_at = self._network.sim.now
+        delivered = 0
         for subscription_id in route:
             subscription = self._subscriptions.get(subscription_id)
             if subscription is None:
@@ -348,6 +449,8 @@ class DispatchingService:
                 self._delivery.deliver(subscription.endpoint, outbound)
             else:
                 self._network.send(subscription.endpoint, outbound)
+            delivered += 1
+        return delivered
 
     def _compute_route(self, stream_id: StreamId) -> tuple[int, ...]:
         descriptor = self._registry.detect(stream_id)
@@ -376,9 +479,9 @@ class DispatchingService:
         self._advertised.add(stream_id)
         descriptor = self._registry.detect(stream_id)
         self.stats.advertisements += 1
-        if self._network.has_inbox(BROKER_INBOX):
+        if self._network.has_inbox(self._broker_inbox):
             self._network.send(
-                BROKER_INBOX,
+                self._broker_inbox,
                 StreamAdvertisement(
                     stream_id=stream_id,
                     kind=descriptor.kind,

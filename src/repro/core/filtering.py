@@ -107,6 +107,7 @@ class FilteringService:
         reorder_timeout: float = 0.0,
         max_held: int = 64,
         metrics: MetricsRegistry | None = None,
+        dispatch_inbox: str = DISPATCH_INBOX,
     ) -> None:
         if not 1 <= window <= (1 << (SEQUENCE_BITS - 1)) - 1:
             raise ValueError(
@@ -122,6 +123,7 @@ class FilteringService:
         self._reorder_timeout = reorder_timeout
         self._max_held = max_held
         self._states: dict[StreamId, _StreamState] = {}
+        self._dispatch_inbox = dispatch_inbox
         self.stats = FilteringStats(metrics)
         network.register_inbox(INBOX, self.on_reception)
 
@@ -307,7 +309,7 @@ class FilteringService:
         )
         self.stats.delivered += 1
         self._network.send(
-            DISPATCH_INBOX,
+            self._dispatch_inbox,
             StreamArrival(
                 message=message,
                 received_at=reception.received_at,

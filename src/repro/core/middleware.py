@@ -296,7 +296,14 @@ class Garnet:
         self.registry = StreamRegistry()
         self.auth = AuthService(cfg.deployment_secret)
 
-        # Data path services
+        # Data path services. On clustered deployments filtered arrivals
+        # leave through the cluster ingress (which shard-routes them to
+        # their owning broker) instead of straight into the dispatcher.
+        filtering_kwargs: dict[str, Any] = {}
+        if cfg.cluster_enabled:
+            from repro.cluster.runtime import INGRESS_INBOX
+
+            filtering_kwargs["dispatch_inbox"] = INGRESS_INBOX
         self.filtering = FilteringService(
             self.network,
             self.registry,
@@ -304,6 +311,7 @@ class Garnet:
             reorder_timeout=cfg.reorder_timeout,
             max_held=cfg.reorder_max_held,
             metrics=self._metrics,
+            **filtering_kwargs,
         )
         self.dispatcher = DispatchingService(
             self.network, self.registry, metrics=self._metrics
@@ -443,6 +451,19 @@ class Garnet:
                     else None
                 ),
             )
+
+        # Clustered federation (repro.cluster): extra broker nodes,
+        # inter-broker links, the shard map and the handoff coordinator
+        # install only when switched on; otherwise a placeholder keeps
+        # ``deployment.cluster`` probe-able and the data path untouched.
+        if cfg.cluster_enabled:
+            from repro.cluster.runtime import ClusterRuntime
+
+            self.cluster: Any = ClusterRuntime(self)
+        else:
+            from repro.cluster.runtime import DisabledCluster
+
+            self.cluster = DisabledCluster()
 
         self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
@@ -614,6 +635,7 @@ class Garnet:
         token: Token | None = None,
         permissions: Permission | None = None,
         heartbeat_period: float | None | object = _USE_CONFIG,
+        broker: str | None = None,
     ) -> GarnetSession:
         """Open a :class:`GarnetSession`: the consumer-side front door.
 
@@ -628,7 +650,21 @@ class Garnet:
         ``session_heartbeat_period``) enables lease heartbeating and
         automatic crash recovery; pass ``None`` explicitly to disable
         heartbeats for this session regardless of the config.
+
+        On clustered deployments ``broker`` picks which broker node the
+        session is homed on (default: the primary). A session may home
+        anywhere; publishes and subscriptions are shard-routed to the
+        owning brokers transparently.
         """
+        node = None
+        if broker is not None:
+            if not self.cluster.enabled:
+                raise ConfigurationError(
+                    "connect(broker=...) requires cluster_enabled=True"
+                )
+            node = self.cluster.node(broker)
+        elif self.cluster.enabled:
+            node = self.cluster.primary
         if name is None:
             if token is None:
                 raise RegistrationError(
@@ -642,7 +678,7 @@ class Garnet:
         if heartbeat_period is _USE_CONFIG:
             heartbeat_period = self.config.session_heartbeat_period
         session = GarnetSession(
-            self, name, token, heartbeat_period=heartbeat_period
+            self, name, token, heartbeat_period=heartbeat_period, node=node
         )
         self._sessions[name] = session
         return session
@@ -702,19 +738,42 @@ class Garnet:
                 f"consumer {consumer.name!r} is not part of this deployment"
             )
         replayed = 0
-        for stream_id in list(self.orphanage.orphan_streams()):
-            if kind is not None:
-                descriptor = self.registry.find(stream_id)
-                stream_kind = descriptor.kind if descriptor else ""
-                if not (
-                    stream_kind == kind
-                    or (kind.endswith("*") and stream_kind.startswith(kind[:-1]))
-                ):
+        claimed: set[StreamId] = set()
+        for orphanage in self.orphanages():
+            for stream_id in list(orphanage.orphan_streams()):
+                if stream_id in claimed:
+                    orphanage.discard(stream_id)
                     continue
-            replayed += self.orphanage.replay(stream_id, consumer.endpoint)
-            self.orphanage.discard(stream_id)
-        self.dispatcher.invalidate_routes()
+                if kind is not None:
+                    descriptor = self.registry.find(stream_id)
+                    stream_kind = descriptor.kind if descriptor else ""
+                    if not (
+                        stream_kind == kind
+                        or (
+                            kind.endswith("*")
+                            and stream_kind.startswith(kind[:-1])
+                        )
+                    ):
+                        continue
+                claimed.add(stream_id)
+                replayed += orphanage.replay(stream_id, consumer.endpoint)
+                orphanage.discard(stream_id)
+        self.invalidate_routes()
         return replayed
+
+    def orphanages(self) -> list[Orphanage]:
+        """Every Orphanage in the deployment (one per broker node)."""
+        if self.cluster.enabled:
+            return self.cluster.orphanages()
+        return [self.orphanage]
+
+    def invalidate_routes(self) -> None:
+        """Flush memoised dispatch routing on every broker node."""
+        if self.cluster.enabled:
+            for node in self.cluster.nodes.values():
+                node.dispatcher.invalidate_routes()
+        else:
+            self.dispatcher.invalidate_routes()
 
     def remove_consumer(self, consumer: Consumer) -> None:
         """Retire a consumer: demands released, subscriptions dropped."""
@@ -847,10 +906,44 @@ class Garnet:
                     f"{degradation.restorations} restorations"
                 )
             lines.append("  qos      : " + ", ".join(parts))
+        if self.cluster.enabled:
+            cluster = self.cluster.stats
+            lines.append(
+                f"  cluster  : {len(self.cluster.live)}/"
+                f"{len(self.cluster.nodes)} brokers up, "
+                f"{cluster.forwards} link forwards "
+                f"({cluster.dedupe_hits} deduped), "
+                f"{cluster.handoffs} handoffs "
+                f"({cluster.streams_reassigned} streams, "
+                f"{cluster.replayed} replayed)"
+            )
         return "\n".join(lines)
 
     def summary(self) -> dict[str, float]:
-        """Cross-service counters for experiment reporting."""
+        """Cross-service counters for experiment reporting.
+
+        The key set is fixed for single-broker deployments (the golden
+        digest depends on it); ``cluster.*`` keys appear only when
+        clustering is enabled.
+        """
+        summary = self._base_summary()
+        if self.cluster.enabled:
+            cluster = self.cluster.stats
+            summary["cluster.ingress_routed"] = float(cluster.ingress_routed)
+            summary["cluster.publish_forwards"] = float(
+                cluster.publish_forwards
+            )
+            summary["cluster.forwards"] = float(cluster.forwards)
+            summary["cluster.dedupe_hits"] = float(cluster.dedupe_hits)
+            summary["cluster.handoffs"] = float(cluster.handoffs)
+            summary["cluster.streams_reassigned"] = float(
+                cluster.streams_reassigned
+            )
+            summary["cluster.replayed"] = float(cluster.replayed)
+            summary["cluster.reroutes"] = float(cluster.reroutes)
+        return summary
+
+    def _base_summary(self) -> dict[str, float]:
         return {
             "time": self.sim.now,
             "radio.transmissions": float(self.medium.stats.transmissions),

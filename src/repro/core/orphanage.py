@@ -84,6 +84,7 @@ class Orphanage:
         network: FixedNetwork,
         backlog_per_stream: int = 256,
         metrics: MetricsRegistry | None = None,
+        inbox: str = INBOX,
     ) -> None:
         if backlog_per_stream < 0:
             raise ValueError("backlog_per_stream must be non-negative")
@@ -91,8 +92,9 @@ class Orphanage:
         self._capacity = backlog_per_stream
         self._streams: dict[StreamId, _OrphanStream] = {}
         self._analyzers: list[Analyzer] = []
+        self.inbox = inbox
         self.stats = OrphanageStats(metrics)
-        network.register_inbox(INBOX, self.on_arrival)
+        network.register_inbox(inbox, self.on_arrival)
 
     @property
     def total_received(self) -> int:

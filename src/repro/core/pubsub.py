@@ -78,6 +78,8 @@ class Broker(RpcEndpoint):
         auth: AuthService,
         metrics: MetricsRegistry | None = None,
         lease_ttl: float | None = None,
+        service_name: str = SERVICE_NAME,
+        advertisement_inbox: str = BROKER_INBOX,
     ) -> None:
         if lease_ttl is not None and lease_ttl <= 0:
             raise ConfigurationError("lease_ttl must be positive or None")
@@ -86,14 +88,16 @@ class Broker(RpcEndpoint):
         self._dispatcher = dispatcher
         self._auth = auth
         self._lease_ttl = lease_ttl
+        self.service_name = service_name
+        self._advertisement_inbox = advertisement_inbox
         self._endpoints: dict[str, str] = {}  # endpoint -> principal
         self._permissions: dict[str, Permission] = {}  # endpoint -> perms
         self._leases: dict[str, float] = {}  # endpoint -> expires_at
         self._watchers: list[Callable[[StreamAdvertisement], None]] = []
         self._up = True
         self.stats = BrokerStats(metrics)
-        network.register_inbox(BROKER_INBOX, self._on_advertisement)
-        network.register_service(SERVICE_NAME, self)
+        network.register_inbox(advertisement_inbox, self._on_advertisement)
+        network.register_service(service_name, self)
         dispatcher.set_route_guard(self._route_guard)
 
     def _route_guard(self, endpoint: str, descriptor) -> bool:
@@ -137,16 +141,18 @@ class Broker(RpcEndpoint):
         self._permissions.clear()
         self._leases.clear()
         self._dispatcher.invalidate_routes()
-        self._network.unregister_service(SERVICE_NAME)
-        self._network.unregister_inbox(BROKER_INBOX)
+        self._network.unregister_service(self.service_name)
+        self._network.unregister_inbox(self._advertisement_inbox)
 
     def restart(self) -> None:
         """Bring a crashed broker back, empty: sessions must re-register."""
         if self._up:
             return
         self._up = True
-        self._network.register_service(SERVICE_NAME, self)
-        self._network.register_inbox(BROKER_INBOX, self._on_advertisement)
+        self._network.register_service(self.service_name, self)
+        self._network.register_inbox(
+            self._advertisement_inbox, self._on_advertisement
+        )
 
     def _require_up(self) -> None:
         if not self._up:
@@ -342,29 +348,6 @@ class Broker(RpcEndpoint):
         subscription_id = self._dispatcher.add_subscription(endpoint, pattern)
         self.stats.subscriptions += 1
         return subscription_id
-
-    def subscribe_stream(
-        self, token: Token, endpoint: str, stream_id: StreamId
-    ) -> int:
-        """Deprecated: use ``subscribe`` with a ``stream_id`` pattern.
-
-        .. deprecated::
-            Superseded by the :class:`~repro.core.session.GarnetSession`
-            surface (``session.subscribe(stream_id=...)``).
-        """
-        import warnings
-
-        warnings.warn(
-            "Broker.subscribe_stream is deprecated; use "
-            "Broker.subscribe(token, endpoint, "
-            "SubscriptionPattern(stream_id=...)) or "
-            "GarnetSession.subscribe(stream_id=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.subscribe(
-            token, endpoint, SubscriptionPattern(stream_id=stream_id)
-        )
 
     def unsubscribe(self, token: Token, subscription_id: int) -> None:
         self._require_up()

@@ -73,12 +73,17 @@ class GarnetSession:
         name: str,
         token: Token,
         heartbeat_period: float | None = None,
+        node: Any | None = None,
     ) -> None:
         if not name:
             raise SessionError("session name must be non-empty")
         self._deployment = deployment
         self._name = name
         self._token = token
+        # The cluster BrokerNode this session is homed on (None on
+        # single-broker deployments): its broker takes registrations and
+        # its dispatch inbox takes publishes.
+        self._node = node
         self._closed = False
         self._callbacks: list[DataCallback] = []
         # pattern per live subscription id — the re-subscription ledger
@@ -119,7 +124,14 @@ class GarnetSession:
 
     @property
     def broker(self):
+        if self._node is not None:
+            return self._node.broker
         return self._deployment.broker
+
+    @property
+    def home_broker(self) -> str | None:
+        """The cluster broker this session is homed on (None off-cluster)."""
+        return self._node.name if self._node is not None else None
 
     @property
     def control(self):
@@ -250,6 +262,12 @@ class GarnetSession:
     ) -> Decision:
         """Resource Manager approval + actuation, as this session."""
         self._require_open()
+        if self._node is not None:
+            # Observability only: control requests are cluster-global,
+            # but count how many target streams owned elsewhere.
+            self._deployment.cluster.note_control_request(
+                stream_id, self._node.name
+            )
         return self.control.request_update(
             consumer=self._name,
             token=self._token,
@@ -296,8 +314,13 @@ class GarnetSession:
             encrypted=encrypted,
             extensions=extensions,
         )
+        inbox = (
+            self._node.dispatch_inbox
+            if self._node is not None
+            else DISPATCH_INBOX
+        )
         self.network.send(
-            DISPATCH_INBOX,
+            inbox,
             StreamArrival(
                 message=message,
                 received_at=self.network.sim.now,
@@ -355,30 +378,50 @@ class GarnetSession:
         through to the Orphanage; on recovery, any orphaned stream a
         current subscription matches is replayed and released.
         """
-        orphanage = self._deployment.orphanage
         registry = self._deployment.registry
+        orphanages = self._deployment.orphanages()
         replayed = 0
-        for orphan_stream in list(orphanage.orphan_streams()):
-            descriptor = registry.find(orphan_stream)
-            if descriptor is None:
-                wanted = any(
-                    pattern.stream_id == orphan_stream
-                    for pattern in self._subscriptions.values()
+        seen: set[StreamId] = set()
+        for orphanage in orphanages:
+            for orphan_stream in list(orphanage.orphan_streams()):
+                if orphan_stream in seen:
+                    continue
+                seen.add(orphan_stream)
+                descriptor = registry.find(orphan_stream)
+                if descriptor is None:
+                    wanted = any(
+                        pattern.stream_id == orphan_stream
+                        for pattern in self._subscriptions.values()
+                    )
+                else:
+                    wanted = any(
+                        pattern.matches(descriptor)
+                        for pattern in self._subscriptions.values()
+                    )
+                if not wanted:
+                    continue
+                # An ownership handoff can leave copies of one stream's
+                # backlog in several nodes' Orphanages; replay from the
+                # deepest copy and release them all.
+                holders = [
+                    candidate
+                    for candidate in orphanages
+                    if orphan_stream in candidate.orphan_streams()
+                ]
+                best = max(
+                    holders,
+                    key=lambda held: held.report(
+                        orphan_stream
+                    ).messages_retained,
                 )
-            else:
-                wanted = any(
-                    pattern.matches(descriptor)
-                    for pattern in self._subscriptions.values()
-                )
-            if not wanted:
-                continue
-            count = orphanage.replay(orphan_stream, self.endpoint)
-            orphanage.discard(orphan_stream)
-            replayed += count
-            self.stats.orphans_replayed += count
-            self._orphan_replay_counter.inc(count)
+                count = best.replay(orphan_stream, self.endpoint)
+                for holder in holders:
+                    holder.discard(orphan_stream)
+                replayed += count
+                self.stats.orphans_replayed += count
+                self._orphan_replay_counter.inc(count)
         if replayed:
-            self._deployment.dispatcher.invalidate_routes()
+            self._deployment.invalidate_routes()
         return replayed
 
     # ------------------------------------------------------------------

@@ -104,6 +104,10 @@ class FaultInjector:
             "faults.flood_messages",
             help="synthetic messages injected by FloodBurst events",
         )
+        self._redundant = metrics.counter(
+            "faults.redundant",
+            help="fault actions that were already in effect (no-ops)",
+        )
         self._armed = False
         # Same-kind overlap bookkeeping (see module docstring).
         self._loss_windows: list[float] = []
@@ -132,7 +136,7 @@ class FaultInjector:
         self._counters[type(event)].inc()
         self._active.inc()
         if isinstance(event, BrokerCrash):
-            self._deployment.broker.crash()
+            self._crash_target(event).crash()
         elif isinstance(event, NetworkPartition):
             self._deployment.network.partition(event.endpoints)
         elif isinstance(event, LatencySpike):
@@ -147,9 +151,7 @@ class FaultInjector:
                 self._deployment.medium.detach(receiver)
         elif isinstance(event, TransmitterOutage):
             for transmitter_id in event.transmitter_ids:
-                self._deployment.transmitters.set_online(
-                    transmitter_id, False
-                )
+                self._set_transmitter_online(transmitter_id, False)
         elif isinstance(event, FloodBurst):
             self._begin_flood(event)
         elif isinstance(event, ConsumerStall):
@@ -161,7 +163,7 @@ class FaultInjector:
         self._recovered.inc()
         self._active.dec()
         if isinstance(event, BrokerCrash):
-            self._deployment.broker.restart()
+            self._crash_target(event).restart()
         elif isinstance(event, NetworkPartition):
             self._deployment.network.heal(event.endpoints)
         elif isinstance(event, LatencySpike):
@@ -178,9 +180,7 @@ class FaultInjector:
                 )
         elif isinstance(event, TransmitterOutage):
             for transmitter_id in event.transmitter_ids:
-                self._deployment.transmitters.set_online(
-                    transmitter_id, True
-                )
+                self._set_transmitter_online(transmitter_id, True)
         elif isinstance(event, FloodBurst):
             state = self._floods.pop(id(event), None)
             if state is not None:
@@ -221,6 +221,42 @@ class FaultInjector:
         )
         self._flood_messages.inc()
         sim.schedule(1.0 / state.event.rate, self._flood_tick, state)
+
+    def _crash_target(self, event: BrokerCrash):
+        """The object to crash/restart: a cluster node or the broker."""
+        cluster = getattr(self._deployment, "cluster", None)
+        clustered = cluster is not None and cluster.enabled
+        if event.broker is not None:
+            if not clustered:
+                raise ConfigurationError(
+                    f"{event.describe()} names broker {event.broker!r} but "
+                    "the deployment is not clustered"
+                )
+            return cluster.node(event.broker)
+        if clustered:
+            return cluster.primary
+        return self._deployment.broker
+
+    def _set_transmitter_online(
+        self, transmitter_id: int, online: bool
+    ) -> None:
+        """Apply one outage leg; redundant legs are counted no-ops.
+
+        A transmitter already in the requested state (overlapping outage
+        windows) or detached from the array entirely is not an error:
+        the fault's *intent* — that antenna being dark — already holds.
+        """
+        try:
+            transmitter = self._deployment.transmitters.transmitter(
+                transmitter_id
+            )
+        except ConfigurationError:
+            self._redundant.inc()
+            return
+        if transmitter.online == online:
+            self._redundant.inc()
+            return
+        transmitter.online = online
 
     def _delivery_manager(self, event: ConsumerStall):
         delivery = self._deployment.qos.delivery

@@ -57,7 +57,15 @@ class FaultEvent:
 
 @dataclass(frozen=True, slots=True, kw_only=True)
 class BrokerCrash(FaultEvent):
-    """The broker process dies at ``at`` and restarts at ``ends_at``."""
+    """The broker process dies at ``at`` and restarts at ``ends_at``.
+
+    On clustered deployments ``broker`` names which broker node to kill
+    (the whole node: session state, dispatch inbox and inter-broker
+    link); None means the primary. Naming a broker on a single-broker
+    deployment is a configuration error.
+    """
+
+    broker: str | None = None
 
 
 @dataclass(frozen=True, slots=True, kw_only=True)

@@ -140,28 +140,24 @@ class TestControlAndPublish:
 
 
 class TestDeprecationShims:
-    def test_consumer_subscribe_stream_warns_but_works(self, deployment):
+    def test_subscribe_stream_shims_are_gone(self, deployment):
+        """The deprecated ``subscribe_stream`` shims were removed; the
+        session/pattern API is the one way to subscribe."""
+        from repro.core.consumer import Consumer
+        from repro.core.pubsub import Broker
+
+        assert not hasattr(Broker, "subscribe_stream")
+        assert not hasattr(Consumer, "subscribe_stream")
+
+    def test_exact_stream_subscription_via_session(self, deployment):
         from tests.test_core_consumer import Recorder
 
         node = deployment.add_sensor("generic", [make_stream_spec()])
         consumer = Recorder()
         deployment.add_consumer(consumer)
-        with pytest.warns(DeprecationWarning, match="subscribe_stream"):
-            consumer.subscribe_stream(node.stream_ids()[0])
+        consumer.subscribe(stream_id=node.stream_ids()[0])
         deployment.run(3.0)
         assert consumer.seen
-
-    def test_broker_subscribe_stream_warns_but_works(self, deployment):
-        session = deployment.connect("legacy")
-        with pytest.warns(DeprecationWarning, match="subscribe_stream"):
-            subscription = deployment.broker.subscribe_stream(
-                session.token,
-                session.endpoint,
-                deployment.add_sensor(
-                    "generic", [make_stream_spec()]
-                ).stream_ids()[0],
-            )
-        assert subscription >= 1
 
     def test_consumer_attached_runtime_is_session(self, deployment):
         from repro.core.session import GarnetSession

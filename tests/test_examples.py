@@ -45,6 +45,12 @@ EXPECTED_MARKERS = {
         "mid-burst",
         "approved=False",
     ],
+    "cluster_failover.py": [
+        "federated brokers",
+        "subscribed via non-owner broker",
+        "owner b1 crashed mid-stream",
+        "gap-free delivery : True (no duplicates: True)",
+    ],
 }
 
 

@@ -41,6 +41,14 @@ GOLDEN_DIGEST = (
     "4273315abc31463d34445fad8b20bbe26c6078f2863835d4485619767f2c2d3e"
 )
 
+# Digest of the same deployment with clustering enabled across two
+# broker nodes (seed 2024). The trace differs from GOLDEN_DIGEST —
+# messages take inter-broker hops and the summary gains cluster.* keys
+# — but it must be reproducible bit-for-bit across runs and commits.
+CLUSTER_GOLDEN_DIGEST = (
+    "dc46d2cc64ca3595164b3baeda95e70d6208855cf46660b926fcc60b13d8e8cc"
+)
+
 SEED = 2024
 DURATION = 20.0
 SENSORS = 24
@@ -49,7 +57,7 @@ CODEC = SampleCodec(0.0, 100.0)
 
 
 def build_deployment(
-    seed: int, *, spatial_index: bool = True
+    seed: int, *, spatial_index: bool = True, cluster: bool = False
 ) -> tuple[Garnet, list[CollectingConsumer]]:
     area = Rect(0.0, 0.0, 1200.0, 1200.0)
     config = GarnetConfig(
@@ -60,6 +68,8 @@ def build_deployment(
         loss_model=LossModel(),
         publish_location_stream=False,
         wireless_spatial_index=spatial_index,
+        cluster_enabled=cluster,
+        cluster_brokers=2,
     )
     deployment = Garnet(config=config, seed=seed)
     deployment.define_sensor_type("g", {})
@@ -94,9 +104,11 @@ def build_deployment(
     return deployment, consumers
 
 
-def run_digest(seed: int, *, spatial_index: bool = True) -> str:
+def run_digest(
+    seed: int, *, spatial_index: bool = True, cluster: bool = False
+) -> str:
     deployment, consumers = build_deployment(
-        seed, spatial_index=spatial_index
+        seed, spatial_index=spatial_index, cluster=cluster
     )
     deployment.run(DURATION)
     hasher = hashlib.sha256()
@@ -132,3 +144,21 @@ def test_spatial_index_kill_switch_is_behaviour_neutral():
     # The linear-scan path (wireless_spatial_index=False) and the grid
     # path must be indistinguishable down to the digest.
     assert run_digest(SEED, spatial_index=False) == GOLDEN_DIGEST
+
+
+def test_cluster_disabled_is_byte_identical():
+    # The cluster kill switch: cluster_brokers configured but
+    # cluster_enabled=False must not perturb a single event, RNG draw
+    # or metric relative to the pre-cluster build.
+    assert run_digest(SEED, cluster=False) == GOLDEN_DIGEST
+
+
+def test_cluster_enabled_two_brokers_is_deterministic():
+    assert run_digest(SEED, cluster=True) == run_digest(SEED, cluster=True)
+
+
+def test_cluster_enabled_matches_recorded_digest():
+    # Shard routing (blake2b, not the salted builtin hash), interest
+    # broadcast and link forwarding must all be seed-stable across
+    # processes and commits.
+    assert run_digest(SEED, cluster=True) == CLUSTER_GOLDEN_DIGEST

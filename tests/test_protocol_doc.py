@@ -4,6 +4,15 @@ against the implementation, so the spec cannot silently drift."""
 import pathlib
 import re
 
+import dataclasses
+
+from repro.cluster import (
+    INGRESS_INBOX,
+    LINK_INBOX_PREFIX,
+    InterestUpdate,
+    RemoteDelivery,
+    ReplayedPublish,
+)
 from repro.core.control import (
     ControlCodec,
     StreamUpdateCommand,
@@ -70,3 +79,20 @@ def test_control_marker_byte_matches_doc():
 def test_virtual_floor_matches_doc():
     assert VIRTUAL_SENSOR_FLOOR == 0xF00000
     assert "0xF00000" in DOC
+
+
+def test_cluster_inbox_names_match_doc():
+    assert LINK_INBOX_PREFIX == "garnet.cluster.link."
+    assert INGRESS_INBOX == "garnet.cluster.ingress"
+    assert "`garnet.cluster.link.<name>`" in DOC
+    assert "`garnet.cluster.ingress`" in DOC
+
+
+def test_cluster_frame_fields_match_doc():
+    # The documented "(field, field)" signatures are the dataclass
+    # fields, in order.
+    for frame in (RemoteDelivery, ReplayedPublish, InterestUpdate):
+        fields = ", ".join(
+            f.name for f in dataclasses.fields(frame)
+        )
+        assert f"**{frame.__name__}** `({fields})`" in DOC, frame.__name__
