@@ -1,0 +1,228 @@
+"""E20: live wire — wall-clock throughput over real loopback sockets.
+
+Unlike E18/E19, which measure the simulated kernel against virtual
+time, E20 boots a real ``garnet-broker`` subprocess and measures the
+live transport (``repro.transport``) against the wall clock: a
+publisher LiveSession bursts UDP codec datagrams at the broker, a
+subscriber LiveSession counts what comes back out.
+
+Sections
+--------
+- **oneway**: publisher and subscriber are different sessions; the
+  publish loop bursts with micro-sleeps under an app-layer in-flight
+  window (loopback UDP has no flow control of its own), measuring
+  end-to-end live messages/second and the delivery ratio.
+- **control_rtt**: mean control-plane PING round-trip in microseconds —
+  TCP request/response through the broker's frame handler.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e20_livewire.py [--quick]
+        [--check] [--output BENCH_e20_livewire.json]
+
+``--check`` validates the acceptance gates (delivery ratio and a
+conservative msgs/s floor — wall-clock numbers vary across hosts, so
+the floor is deliberately low and the committed baseline is recorded
+for trajectory, not gating).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.transport import connect
+from repro.transport.cli import parse_announce
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_e20_livewire.json"
+)
+#: Wall-clock gates: loopback on any plausible host clears these with
+#: a wide margin; they exist to catch the transport falling on its face
+#: (event-loop stall, dropped pump, codec thrash), not to race hosts.
+DELIVERY_RATIO_GATE = 0.99
+THROUGHPUT_FLOOR = 2000.0
+BURST = 32
+BURST_PAUSE = 0.0005
+#: App-layer flow-control window: UDP has none, so the publisher keeps
+#: at most this many messages in flight (sent minus delivered). The
+#: broker's 4 MiB receive buffer holds several windows, so a sustained
+#: run never overflows it and the measured rate is the broker's real
+#: drain rate rather than an artifact of kernel drops.
+WINDOW = 1024
+
+
+class BrokerProcess:
+    """``garnet-broker`` as a child process, ports parsed from stdout."""
+
+    def __init__(self) -> None:
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.transport.cli", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        announce = self.process.stdout.readline().strip()
+        host, control_port, _ = parse_announce(announce)
+        self.url = f"garnet://{host}:{control_port}"
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+    def __enter__(self) -> "BrokerProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _drain(counter, expected: int, timeout: float = 5.0) -> None:
+    """Wait for late datagrams after the publish loop stops."""
+    deadline = time.monotonic() + timeout
+    last = -1
+    while time.monotonic() < deadline:
+        current = counter()
+        if current >= expected:
+            return
+        if current != last:
+            last = current
+            time.sleep(0.02)
+        else:
+            time.sleep(0.05)
+
+
+def bench_oneway(url: str, messages: int) -> dict:
+    with connect(url, "e20-pub") as publisher, connect(
+        url, "e20-sub"
+    ) as subscriber:
+        received = [0]
+        subscriber.on_data(lambda arrival: received.__setitem__(
+            0, received[0] + 1
+        ))
+        subscriber.subscribe(kind="wire")
+        publisher.publish(0, b"warmup", kind="wire")
+        _drain(lambda: received[0], 1)
+        received[0] = 0
+
+        payload = b"\x2a" * 32
+        start = time.perf_counter()
+        sent = 0
+        while sent < messages:
+            # Windowed pacing: loopback UDP has no flow control, so the
+            # publisher stalls whenever a full window is in flight.
+            while sent - received[0] >= WINDOW:
+                time.sleep(BURST_PAUSE)
+            budget = min(
+                BURST, messages - sent, WINDOW - (sent - received[0])
+            )
+            for _ in range(budget):
+                publisher.publish(0, payload)
+                sent += 1
+            time.sleep(BURST_PAUSE)
+        publish_elapsed = time.perf_counter() - start
+        _drain(lambda: received[0], messages)
+        total_elapsed = time.perf_counter() - start
+        delivered = received[0]
+    return {
+        "messages": messages,
+        "delivered": delivered,
+        "delivery_ratio": round(delivered / messages, 4),
+        "publish_wall_s": round(publish_elapsed, 4),
+        "wall_s": round(total_elapsed, 4),
+        "live_msgs_per_s": round(delivered / total_elapsed, 1),
+        "payload_bytes": len(payload),
+        "burst": BURST,
+    }
+
+
+def bench_control_rtt(url: str, pings: int) -> dict:
+    with connect(url, "e20-rtt") as session:
+        session.ping()  # warm the path
+        samples = []
+        for _ in range(pings):
+            start = time.perf_counter()
+            session.ping()
+            samples.append(time.perf_counter() - start)
+    return {
+        "pings": pings,
+        "mean_rtt_us": round(statistics.fmean(samples) * 1e6, 1),
+        "p99_rtt_us": round(
+            sorted(samples)[max(0, int(len(samples) * 0.99) - 1)] * 1e6, 1
+        ),
+    }
+
+
+def run_all(quick: bool) -> dict:
+    messages = 2_000 if quick else 20_000
+    pings = 100 if quick else 500
+    with BrokerProcess() as broker:
+        oneway = bench_oneway(broker.url, messages)
+        control = bench_control_rtt(broker.url, pings)
+    return {
+        "experiment": "E20 live wire (loopback sockets)",
+        "mode": "quick" if quick else "full",
+        "oneway": oneway,
+        "control_rtt": control,
+    }
+
+
+def check_acceptance(fresh: dict) -> list[str]:
+    failures = []
+    oneway = fresh["oneway"]
+    if oneway["delivery_ratio"] < DELIVERY_RATIO_GATE:
+        failures.append(
+            f"oneway: delivery ratio {oneway['delivery_ratio']} "
+            f"< {DELIVERY_RATIO_GATE}"
+        )
+    if oneway["live_msgs_per_s"] < THROUGHPUT_FLOOR:
+        failures.append(
+            f"oneway: {oneway['live_msgs_per_s']} msgs/s "
+            f"< floor {THROUGHPUT_FLOOR}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer messages (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when the acceptance gates are violated",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = run_all(args.quick)
+    print(json.dumps(fresh, indent=2))
+
+    if args.check:
+        failures = check_acceptance(fresh)
+        if failures:
+            for failure in failures:
+                print(f"E20 CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("e20 check: acceptance gates hold")
+    else:
+        args.output.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,22 +63,50 @@ class SequenceWindow:
     and post-handoff fresh traffic: ``add`` returns False when the
     sequence was already recorded. Capacity-bounded FIFO eviction keeps
     per-stream state at ``window`` entries.
+
+    Sensors emit **16-bit wrapping** sequences (the Figure 2 field), so
+    raw values legitimately repeat every 65,536 publishes. The window
+    therefore dedupes on *unwrapped* sequences: each incoming value is
+    projected onto an unbounded axis at the epoch serial-number
+    arithmetic (RFC 1982 style, :func:`repro.util.ids.sequence_is_newer`)
+    says it belongs to — within half the sequence space of the highest
+    sequence seen. A post-wrap reuse of sequence ``n`` unwraps to
+    ``n + 65536`` and is accepted; a genuine duplicate unwraps to the
+    same point and is dropped.
     """
 
-    __slots__ = ("_seen", "_order", "_window")
+    __slots__ = ("_seen", "_order", "_window", "_modulus", "_half", "_latest")
 
-    def __init__(self, window: int) -> None:
+    def __init__(self, window: int, bits: int = 16) -> None:
         self._window = window
+        self._modulus = 1 << bits
+        self._half = self._modulus >> 1
+        self._latest: int | None = None
         self._seen: set[int] = set()
         self._order: deque[int] = deque()
 
+    def _unwrap(self, sequence: int) -> int:
+        """Project a wrapped sequence onto the unbounded axis."""
+        latest = self._latest
+        if latest is None:
+            return sequence % self._modulus
+        diff = (sequence - latest) % self._modulus
+        if diff < self._half:
+            # Ahead of (or equal to) the newest seen: same or next epoch.
+            return latest + diff
+        # Behind the newest seen: a late copy from the current window.
+        return latest - (self._modulus - diff)
+
     def add(self, sequence: int) -> bool:
-        if sequence in self._seen:
+        unwrapped = self._unwrap(sequence)
+        if unwrapped in self._seen:
             return False
+        if self._latest is None or unwrapped > self._latest:
+            self._latest = unwrapped
         if len(self._order) == self._window:
             self._seen.discard(self._order.popleft())
-        self._seen.add(sequence)
-        self._order.append(sequence)
+        self._seen.add(unwrapped)
+        self._order.append(unwrapped)
         return True
 
     def __len__(self) -> int:
@@ -88,11 +116,19 @@ class SequenceWindow:
 class InterBrokerLink:
     """One node's link endpoint: decodes frames onto its router."""
 
-    def __init__(self, name: str, network: Any, router: Any) -> None:
+    def __init__(
+        self,
+        name: str,
+        network: Any,
+        router: Any,
+        unknown_frames: Any = None,
+    ) -> None:
         self.name = name
         self.inbox = LINK_INBOX_PREFIX + name
         self._network = network
         self._router = router
+        self._unknown_frames = unknown_frames
+        self.unknown_frame_count = 0
         network.register_inbox(self.inbox, self.on_frame)
 
     def on_frame(self, frame: Any) -> None:
@@ -102,6 +138,14 @@ class InterBrokerLink:
             self._router.deliver_replayed(frame.arrival)
         elif isinstance(frame, InterestUpdate):
             self._router.apply_interest(frame)
+        else:
+            # A frame kind this endpoint does not speak — a version skew
+            # or a misrouted payload. Dropping it is correct (the sender
+            # retries through the ordinary resilience machinery) but the
+            # drop must be visible, not silent.
+            self.unknown_frame_count += 1
+            if self._unknown_frames is not None:
+                self._unknown_frames.inc()
 
     def unregister(self) -> None:
         if self._network.has_inbox(self.inbox):

@@ -256,12 +256,21 @@ class ClusterRuntime:
                 node = self._build_node(name, deployment, shared_delivery)
             self.nodes[name] = node
 
+        # Dots are not representable as RegistryBackedStats fields, so
+        # this counter is registered explicitly rather than declared on
+        # ClusterStats.
+        self.unknown_frames = metrics.counter(
+            "cluster.link.unknown_frames",
+            help="link frames of unknown type dropped (version skew)",
+        )
         self.routers: dict[str, ClusterRouter] = {}
         for name, node in self.nodes.items():
             router = ClusterRouter(name, self, node.dispatcher)
             self.routers[name] = router
             node.dispatcher.set_cluster(router)
-            node.link = InterBrokerLink(name, self.network, router)
+            node.link = InterBrokerLink(
+                name, self.network, router, self.unknown_frames
+            )
 
         self.network.register_inbox(INGRESS_INBOX, self.on_ingress)
         self._brokers_up = metrics.gauge(

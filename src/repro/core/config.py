@@ -134,6 +134,15 @@ class GarnetConfig:
     cluster_handoff_backlog: int = 64
     cluster_dedupe_window: int = 512
 
+    # Live transport (repro.transport): where a LiveBroker binds when
+    # this deployment is served over real sockets (``garnet-broker``).
+    # Port 0 means "pick a free port and announce it"; the defaults keep
+    # everything on loopback, which is the only deployment mode the
+    # reproduction supports.
+    transport_host: str = "127.0.0.1"
+    transport_control_port: int = 0
+    transport_data_port: int = 0
+
     # Super Coordinator
     predictive_coordinator: bool = False
     prediction_confidence: float = 0.6
@@ -247,5 +256,13 @@ class GarnetConfig:
             if self.cluster_dedupe_window < 1:
                 raise ConfigurationError(
                     "cluster_dedupe_window must be at least 1"
+                )
+        if not self.transport_host:
+            raise ConfigurationError("transport_host must be non-empty")
+        for port_field in ("transport_control_port", "transport_data_port"):
+            port = getattr(self, port_field)
+            if not 0 <= port <= 65535:
+                raise ConfigurationError(
+                    f"{port_field} must be in [0, 65535], got {port}"
                 )
         return self

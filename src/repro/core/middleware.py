@@ -636,6 +636,7 @@ class Garnet:
         permissions: Permission | None = None,
         heartbeat_period: float | None | object = _USE_CONFIG,
         broker: str | None = None,
+        url: str | None = None,
     ) -> GarnetSession:
         """Open a :class:`GarnetSession`: the consumer-side front door.
 
@@ -655,7 +656,33 @@ class Garnet:
         session is homed on (default: the primary). A session may home
         anywhere; publishes and subscriptions are shard-routed to the
         owning brokers transparently.
+
+        ``url`` switches transports entirely: ``connect(url="garnet://
+        host:port", name=...)`` opens a socket-backed
+        :class:`~repro.transport.client.LiveSession` against a running
+        ``garnet-broker`` instead of a session on *this* deployment —
+        the same ``subscribe``/``publish``/``on_data`` surface over
+        real TCP/UDP. Token, permissions, heartbeat and broker homing
+        are simulated-transport concerns and do not combine with it.
         """
+        if url is not None:
+            if (
+                token is not None
+                or permissions is not None
+                or broker is not None
+                or heartbeat_period is not _USE_CONFIG
+            ):
+                raise ConfigurationError(
+                    "connect(url=...) opens a live-transport session; "
+                    "token/permissions/heartbeat_period/broker do not apply"
+                )
+            if name is None:
+                raise RegistrationError(
+                    "connect(url=...) needs an explicit session name"
+                )
+            from repro.transport.client import LiveSession
+
+            return LiveSession(url, name)
         node = None
         if broker is not None:
             if not self.cluster.enabled:
@@ -941,6 +968,11 @@ class Garnet:
             )
             summary["cluster.replayed"] = float(cluster.replayed)
             summary["cluster.reroutes"] = float(cluster.reroutes)
+            unknown = self.cluster.unknown_frames.value
+            if unknown:
+                # Conditional so healthy runs keep the pre-existing key
+                # set (the cluster golden digest hashes summary items).
+                summary["cluster.link.unknown_frames"] = float(unknown)
         return summary
 
     def _base_summary(self) -> dict[str, float]:

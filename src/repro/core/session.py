@@ -295,9 +295,7 @@ class GarnetSession:
     ) -> StreamId:
         """Publish one message on this session's derived stream."""
         self._require_open()
-        if self._publisher_id is None:
-            self._publisher_id = self.allocate_publisher_id()
-        stream_id = StreamId(self._publisher_id, stream_index)
+        stream_id = StreamId(self.ensure_publisher_id(), stream_index)
         counter = self._publish_sequences.get(stream_index)
         if counter is None:
             counter = WrappingCounter(16)
@@ -329,6 +327,17 @@ class GarnetSession:
         )
         self.stats.published += 1
         return stream_id
+
+    def ensure_publisher_id(self) -> int:
+        """This session's virtual-sensor id, allocated on first use.
+
+        Ordinarily :meth:`publish` allocates lazily; the live transport
+        broker calls this at handshake time so remote clients can build
+        their own :class:`StreamId` values for datagram publishes.
+        """
+        if self._publisher_id is None:
+            self._publisher_id = self.allocate_publisher_id()
+        return self._publisher_id
 
     @property
     def publisher_id(self) -> int | None:

@@ -95,3 +95,7 @@ class ServiceDownError(GarnetError):
 
 class SessionError(GarnetError):
     """A GarnetSession was used incorrectly (closed, double-connected...)."""
+
+
+class TransportError(GarnetError):
+    """A live-transport operation failed (framing, handshake, refusal)."""

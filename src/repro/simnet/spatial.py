@@ -99,7 +99,7 @@ class UniformGridIndex:
         """How many cells a disc query of ``radius`` would visit (upper
         bound); callers can compare against ``len(self)`` to decide
         whether a plain scan is cheaper."""
-        span = math.floor(2.0 * radius / self._cell) + 2
+        span = math.floor(2.0 * radius / self._cell) + 4
         return span * span
 
     def query_disc(self, center: Point, radius: float) -> list[Hashable]:
@@ -111,10 +111,17 @@ class UniformGridIndex:
         consumes them whole, so list extension is cheaper than yields."""
         cell = self._cell
         cells = self._cells
-        x_lo = math.floor((center.x - radius) / cell)
-        x_hi = math.floor((center.x + radius) / cell)
-        y_lo = math.floor((center.y - radius) / cell)
-        y_hi = math.floor((center.y + radius) / cell)
+        # One extra ring of cells beyond the floor-derived bounding box:
+        # a key binned a hair's breadth across a cell boundary (or at a
+        # coordinate whose squared distance underflows to zero) sits in
+        # a cell the tight box excludes even though callers' float
+        # distance checks count it as inside the disc. The ring cells
+        # are rejected by the per-cell gap prune below in the common
+        # case, so the widening costs a few comparisons, never a miss.
+        x_lo = math.floor((center.x - radius) / cell) - 1
+        x_hi = math.floor((center.x + radius) / cell) + 1
+        y_lo = math.floor((center.y - radius) / cell) - 1
+        y_hi = math.floor((center.y + radius) / cell) + 1
         radius_sq = radius * radius
         found: list[Hashable] = []
         extend = found.extend

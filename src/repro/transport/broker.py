@@ -1,0 +1,401 @@
+"""LiveBroker: serve a Garnet deployment over real sockets.
+
+The broker wraps an ordinary (simulated-kernel) :class:`Garnet`
+deployment and exposes its consumer surface on localhost:
+
+- **TCP control plane** — one connection per client session. HELLO
+  registers a :class:`~repro.core.session.GarnetSession` server-side
+  and announces the client's UDP port; SUBSCRIBE / UNSUBSCRIBE /
+  DISCOVER / ADVERTISE / PING / CLOSE map 1:1 onto the session API.
+- **UDP data plane** — one datagram is one
+  :class:`~repro.core.message.MessageCodec` message. Client publishes
+  arrive here and are injected into the Dispatching Service exactly the
+  way a session publish is; deliveries for subscribed clients go back
+  out as codec frames to the UDP address each HELLO announced.
+
+Everything runs on one asyncio event loop, so deployment state needs no
+locking: each control frame or datagram is handled, then the simulation
+kernel is pumped to quiescence (``run_until_idle``), which fires any
+resulting deliveries synchronously. The deployment therefore must not
+carry unbounded periodic tasks (the default broker deployment disables
+the location beacon for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any
+
+from repro.core.dispatching import INBOX as DISPATCH_INBOX
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.core.streamid import StreamId
+from repro.errors import GarnetError, TransportError
+from repro.transport.framing import (
+    ADVERTISE,
+    CLOSE,
+    DISCOVER,
+    HELLO,
+    PING,
+    RESPONSE_FLAG,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    ControlFrameAssembler,
+    encode_control_frame,
+)
+
+
+def _default_deployment() -> Any:
+    from repro.core.config import GarnetConfig
+    from repro.core.middleware import Garnet
+
+    # No sensors and no periodic tasks: the kernel must drain to idle
+    # after every injected event, so the location beacon stays off.
+    return Garnet(config=GarnetConfig(publish_location_stream=False))
+
+
+class _ClientConnection:
+    """Server-side state for one TCP control connection."""
+
+    def __init__(self, broker: "LiveBroker", peer_host: str) -> None:
+        self.broker = broker
+        self.peer_host = peer_host
+        self.session: Any | None = None
+        self.udp_address: tuple[str, int] | None = None
+        self.assembler = ControlFrameAssembler()
+
+    def close_session(self) -> None:
+        if self.session is not None and not self.session.closed:
+            self.session.close()
+        self.session = None
+
+
+class _DataPlaneProtocol(asyncio.DatagramProtocol):
+    def __init__(self, broker: "LiveBroker") -> None:
+        self._broker = broker
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._broker._on_datagram(data, addr)
+
+
+class LiveBroker:
+    """Asyncio server carrying a deployment's consumer surface.
+
+    Use from an event loop::
+
+        broker = LiveBroker()
+        await broker.start()
+        ...
+        await broker.stop()
+
+    ``control_port`` / ``data_port`` are the bound ports (resolved after
+    :meth:`start` when 0 was requested). ``garnet-broker`` (the CLI) is
+    a thin wrapper over this class.
+    """
+
+    def __init__(
+        self,
+        deployment: Any | None = None,
+        host: str | None = None,
+        control_port: int | None = None,
+        data_port: int | None = None,
+    ) -> None:
+        self.deployment = (
+            deployment if deployment is not None else _default_deployment()
+        )
+        config = self.deployment.config
+        self.host = host if host is not None else config.transport_host
+        self._requested_control_port = (
+            control_port
+            if control_port is not None
+            else config.transport_control_port
+        )
+        self._requested_data_port = (
+            data_port if data_port is not None else config.transport_data_port
+        )
+        self.control_port: int | None = None
+        self.data_port: int | None = None
+        self._codec = self.deployment.codec
+        self._server: asyncio.AbstractServer | None = None
+        self._udp: asyncio.DatagramTransport | None = None
+        self._closed = asyncio.Event()
+        self._connections: set[_ClientConnection] = set()
+        metrics = self.deployment.metrics()
+        self._datagrams_in = metrics.counter(
+            "transport.datagrams_in", help="data-plane datagrams received"
+        )
+        self._datagrams_out = metrics.counter(
+            "transport.datagrams_out", help="data-plane datagrams sent"
+        )
+        self._bad_datagrams = metrics.counter(
+            "transport.bad_datagrams",
+            help="datagrams the codec rejected (truncated, bad CRC)",
+        )
+        self._control_frames = metrics.counter(
+            "transport.control_frames", help="control-plane requests served"
+        )
+        self._unknown_control = metrics.counter(
+            "transport.unknown_control_frames",
+            help="control frames of unknown type refused",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self._requested_control_port
+        )
+        self.control_port = self._server.sockets[0].getsockname()[1]
+        # Build the data-plane socket by hand so its receive buffer can
+        # be raised before traffic arrives: client publish bursts have
+        # no flow control, and the default buffer drops most of one.
+        udp_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            udp_socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 22
+            )
+        except OSError:  # pragma: no cover - kernel may clamp
+            pass
+        udp_socket.setblocking(False)
+        udp_socket.bind((self.host, self._requested_data_port))
+        self._udp, _ = await loop.create_datagram_endpoint(
+            lambda: _DataPlaneProtocol(self), sock=udp_socket
+        )
+        self.data_port = self._udp.get_extra_info("sockname")[1]
+
+    async def stop(self) -> None:
+        for connection in list(self._connections):
+            connection.close_session()
+        self._connections.clear()
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pump()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    @property
+    def url(self) -> str:
+        if self.control_port is None:
+            raise TransportError("broker not started")
+        return f"garnet://{self.host}:{self.control_port}"
+
+    def _pump(self) -> None:
+        """Drain the simulation kernel after an injected event."""
+        self.deployment.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, addr) -> None:
+        self._datagrams_in.inc()
+        try:
+            message = self._codec.decode(data)
+        except GarnetError:
+            self._bad_datagrams.inc()
+            return
+        arrival = StreamArrival(
+            message=message,
+            received_at=self.deployment.sim.now,
+            receiver_id=-1,
+        )
+        self.deployment.network.send(DISPATCH_INBOX, arrival)
+        self._pump()
+
+    def _deliver_to_client(
+        self, connection: _ClientConnection, arrival: StreamArrival
+    ) -> None:
+        """session.on_data hook: fan one delivery out over UDP."""
+        if self._udp is None or connection.udp_address is None:
+            return
+        self._udp.sendto(
+            self._codec.encode(arrival.message), connection.udp_address
+        )
+        self._datagrams_out.inc()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        connection = _ClientConnection(self, peer[0] if peer else self.host)
+        self._connections.add(connection)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    frames = connection.assembler.feed(chunk)
+                except TransportError:
+                    break  # corrupt stream: drop the connection
+                closing = False
+                for frame_type, body in frames:
+                    response = self._handle_frame(
+                        connection, frame_type, body
+                    )
+                    writer.write(
+                        encode_control_frame(
+                            frame_type | RESPONSE_FLAG, response
+                        )
+                    )
+                    if frame_type == CLOSE:
+                        closing = True
+                await writer.drain()
+                if closing:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            connection.close_session()
+            self._pump()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _handle_frame(
+        self, connection: _ClientConnection, frame_type: int, body: dict
+    ) -> dict:
+        self._control_frames.inc()
+        try:
+            if frame_type == HELLO:
+                return self._on_hello(connection, body)
+            if connection.session is None:
+                raise TransportError("HELLO must precede other frames")
+            if frame_type == SUBSCRIBE:
+                return self._on_subscribe(connection, body)
+            if frame_type == UNSUBSCRIBE:
+                connection.session.unsubscribe(int(body["subscription_id"]))
+                self._pump()
+                return {"ok": True}
+            if frame_type == DISCOVER:
+                return self._on_discover(connection, body)
+            if frame_type == ADVERTISE:
+                return self._on_advertise(connection, body)
+            if frame_type == PING:
+                return {"ok": True, "time": self.deployment.sim.now}
+            if frame_type == CLOSE:
+                connection.close_session()
+                self._pump()
+                return {"ok": True}
+            self._unknown_control.inc()
+            raise TransportError(f"unknown frame type 0x{frame_type:02x}")
+        except GarnetError as exc:
+            return {"ok": False, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"malformed body: {exc!r}"}
+
+    def _on_hello(self, connection: _ClientConnection, body: dict) -> dict:
+        if connection.session is not None:
+            raise TransportError("session already established")
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise TransportError("HELLO needs a non-empty session name")
+        udp_port = int(body["udp_port"])
+        session = self.deployment.connect(name, heartbeat_period=None)
+        connection.session = session
+        connection.udp_address = (connection.peer_host, udp_port)
+        session.on_data(
+            lambda arrival, c=connection: self._deliver_to_client(c, arrival)
+        )
+        publisher_id = session.ensure_publisher_id()
+        self._pump()
+        return {
+            "ok": True,
+            "publisher_id": publisher_id,
+            "data_port": self.data_port,
+        }
+
+    def _on_subscribe(
+        self, connection: _ClientConnection, body: dict
+    ) -> dict:
+        stream_id = body.get("stream_id")
+        pattern = SubscriptionPattern(
+            stream_id=(
+                StreamId(int(stream_id[0]), int(stream_id[1]))
+                if stream_id is not None
+                else None
+            ),
+            sensor_id=(
+                int(body["sensor_id"])
+                if body.get("sensor_id") is not None
+                else None
+            ),
+            stream_index=(
+                int(body["stream_index"])
+                if body.get("stream_index") is not None
+                else None
+            ),
+            kind=body.get("kind"),
+            derived=body.get("derived"),
+        )
+        subscription_id = connection.session.subscribe(pattern)
+        self._pump()
+        return {"ok": True, "subscription_id": subscription_id}
+
+    def _on_discover(
+        self, connection: _ClientConnection, body: dict
+    ) -> dict:
+        descriptors = connection.session.discover(
+            kind=body.get("kind"),
+            sensor_id=(
+                int(body["sensor_id"])
+                if body.get("sensor_id") is not None
+                else None
+            ),
+            derived=body.get("derived"),
+        )
+        return {
+            "ok": True,
+            "streams": [
+                {
+                    "sensor_id": d.stream_id.sensor_id,
+                    "stream_index": d.stream_id.stream_index,
+                    "kind": d.kind,
+                    "publisher": d.publisher,
+                    "encrypted": d.encrypted,
+                    "derived": d.is_derived,
+                }
+                for d in descriptors
+            ],
+        }
+
+    def _on_advertise(
+        self, connection: _ClientConnection, body: dict
+    ) -> dict:
+        session = connection.session
+        stream_id = StreamId(
+            session.ensure_publisher_id(), int(body["stream_index"])
+        )
+        session.broker.advertise(
+            session.token,
+            stream_id,
+            kind=str(body.get("kind", "")),
+            encrypted=bool(body.get("encrypted", False)),
+        )
+        self._pump()
+        return {
+            "ok": True,
+            "stream_id": [stream_id.sensor_id, stream_id.stream_index],
+        }
+
+
+__all__ = ["LiveBroker"]

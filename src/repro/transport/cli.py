@@ -1,0 +1,117 @@
+"""``garnet-broker``: boot a live Garnet broker on localhost.
+
+Usage::
+
+    garnet-broker [--host 127.0.0.1] [--port 7341] [--data-port 0]
+
+Binds the TCP control plane on ``--port`` and the UDP data plane on
+``--data-port`` (0 picks free ports) and announces both on stdout::
+
+    garnet-broker listening control=127.0.0.1:7341 data=127.0.0.1:54012
+
+Scripts (the E20 benchmark, the CI transport-smoke job) parse that line
+to discover the ports, then connect with
+``repro.transport.connect("garnet://127.0.0.1:7341", name)``. The
+broker serves until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.transport.broker import LiveBroker
+
+#: Default control port; chosen outside the ephemeral range and free of
+#: registered-service collisions on typical hosts.
+DEFAULT_CONTROL_PORT = 7341
+
+ANNOUNCE_PREFIX = "garnet-broker listening"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="garnet-broker", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind both planes on (default: loopback)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_CONTROL_PORT,
+        help="TCP control-plane port (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--data-port",
+        type=int,
+        default=0,
+        help="UDP data-plane port (default: pick a free port)",
+    )
+    parser.add_argument(
+        "--no-checksum",
+        action="store_true",
+        help="serve a deployment whose codec skips the Figure 2 CRC",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    deployment = None
+    if args.no_checksum:
+        from repro.core.config import GarnetConfig
+        from repro.core.middleware import Garnet
+
+        deployment = Garnet(
+            config=GarnetConfig(
+                publish_location_stream=False, checksum=False
+            )
+        )
+    broker = LiveBroker(
+        deployment=deployment,
+        host=args.host,
+        control_port=args.port,
+        data_port=args.data_port,
+    )
+    await broker.start()
+    print(
+        f"{ANNOUNCE_PREFIX} "
+        f"control={broker.host}:{broker.control_port} "
+        f"data={broker.host}:{broker.data_port}",
+        flush=True,
+    )
+    try:
+        await broker.wait_closed()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await broker.stop()
+
+
+def parse_announce(line: str) -> tuple[str, int, int]:
+    """``(host, control_port, data_port)`` from the announce line."""
+    if not line.startswith(ANNOUNCE_PREFIX):
+        raise ValueError(f"not an announce line: {line!r}")
+    fields = dict(
+        part.split("=", 1)
+        for part in line[len(ANNOUNCE_PREFIX) :].split()
+        if "=" in part
+    )
+    control_host, control_port = fields["control"].rsplit(":", 1)
+    _, data_port = fields["data"].rsplit(":", 1)
+    return control_host, int(control_port), int(data_port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_serve(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""LiveSession: the socket client mirroring the GarnetSession surface.
+
+``connect("garnet://host:port", name)`` opens two sockets against a
+running :class:`~repro.transport.broker.LiveBroker` (or the
+``garnet-broker`` CLI):
+
+- a **TCP** connection for the control plane — requests are synchronous
+  (send a frame, block for its response), serialised under a lock;
+- a **UDP** socket for the data plane — publishes go out as
+  :class:`~repro.core.message.MessageCodec` datagrams, and a daemon
+  reader thread decodes incoming delivery datagrams into
+  :class:`~repro.core.envelopes.StreamArrival` values for the
+  ``on_data`` callbacks (the same callback shape simulated sessions
+  use, so consumer code ports across transports unchanged).
+
+The client is deliberately synchronous: experiment drivers and tests
+want straight-line code, and the broker end is where the concurrency
+lives.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.envelopes import StreamArrival
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.streamid import StreamId
+from repro.errors import GarnetError, TransportError
+from repro.transport.base import parse_garnet_url
+from repro.transport.framing import (
+    ADVERTISE,
+    CLOSE,
+    DISCOVER,
+    HELLO,
+    PING,
+    RESPONSE_FLAG,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    ControlFrameAssembler,
+    encode_control_frame,
+)
+
+DataCallback = Callable[[StreamArrival], None]
+
+#: Ask the kernel for a generous datagram receive buffer: loopback UDP
+#: still drops when a burst outruns the reader thread.
+_RECV_BUFFER = 1 << 22
+
+
+class LiveSession:
+    """A consumer session over real sockets.
+
+    Mirrors the :class:`~repro.core.session.GarnetSession` API surface
+    (``subscribe`` / ``unsubscribe`` / ``discover`` / ``publish`` /
+    ``on_data`` / ``close``) so code written against the simulated
+    middleware drives a live broker unchanged.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        name: str,
+        checksum: bool = True,
+        timeout: float = 10.0,
+    ) -> None:
+        if not name:
+            raise TransportError("session name must be non-empty")
+        self._name = name
+        self._codec = MessageCodec(checksum=checksum)
+        self._callbacks: list[DataCallback] = []
+        self._subscriptions: dict[int, dict] = {}
+        self._publish_sequences: dict[int, int] = {}
+        self._advertised: set[int] = set()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._assembler = ControlFrameAssembler()
+        self.deliveries = 0
+        self.published = 0
+
+        host, port = parse_garnet_url(url)
+        self._tcp = socket.create_connection((host, port), timeout=timeout)
+        self._tcp.settimeout(timeout)
+        self._udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self._udp.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, _RECV_BUFFER
+            )
+        except OSError:  # pragma: no cover - kernel may clamp, never raise
+            pass
+        # Bind on the interface the TCP connection resolved to, so the
+        # broker's deliveries (addressed to that interface) reach us.
+        self._udp.bind((self._tcp.getsockname()[0], 0))
+        self._udp_port = self._udp.getsockname()[1]
+
+        welcome = self._request(
+            HELLO, {"name": name, "udp_port": self._udp_port}
+        )
+        self._publisher_id = int(welcome["publisher_id"])
+        self._data_address = (host, int(welcome["data_port"]))
+
+        self._reader = threading.Thread(
+            target=self._read_datagrams,
+            name=f"garnet-live-{name}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def publisher_id(self) -> int:
+        return self._publisher_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def subscription_ids(self) -> tuple[int, ...]:
+        return tuple(self._subscriptions)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransportError(f"session {self._name!r} is closed")
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _request(self, frame_type: int, body: dict) -> dict:
+        """Send one control frame and block for its response."""
+        with self._lock:
+            self._tcp.sendall(encode_control_frame(frame_type, body))
+            while True:
+                chunk = self._tcp.recv(65536)
+                if not chunk:
+                    raise TransportError("broker closed the control channel")
+                frames = self._assembler.feed(chunk)
+                if frames:
+                    break
+        if len(frames) != 1:
+            raise TransportError(
+                f"expected one response, got {len(frames)} frames"
+            )
+        response_type, response = frames[0]
+        if response_type != (frame_type | RESPONSE_FLAG):
+            raise TransportError(
+                f"response type 0x{response_type:02x} does not answer "
+                f"request 0x{frame_type:02x}"
+            )
+        if not response.get("ok"):
+            raise TransportError(
+                response.get("error", "broker refused the request")
+            )
+        return response
+
+    def subscribe(
+        self,
+        *,
+        stream_id: StreamId | None = None,
+        sensor_id: int | None = None,
+        stream_index: int | None = None,
+        kind: str | None = None,
+        derived: bool | None = None,
+    ) -> int:
+        self._require_open()
+        body = {
+            "stream_id": list(stream_id) if stream_id is not None else None,
+            "sensor_id": sensor_id,
+            "stream_index": stream_index,
+            "kind": kind,
+            "derived": derived,
+        }
+        response = self._request(SUBSCRIBE, body)
+        subscription_id = int(response["subscription_id"])
+        self._subscriptions[subscription_id] = body
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        self._require_open()
+        self._request(UNSUBSCRIBE, {"subscription_id": subscription_id})
+        self._subscriptions.pop(subscription_id, None)
+
+    def discover(
+        self,
+        kind: str | None = None,
+        sensor_id: int | None = None,
+        derived: bool | None = None,
+    ) -> list[dict]:
+        self._require_open()
+        response = self._request(
+            DISCOVER,
+            {"kind": kind, "sensor_id": sensor_id, "derived": derived},
+        )
+        return response["streams"]
+
+    def ping(self) -> float:
+        """Round-trip the control plane; returns the broker's sim time."""
+        self._require_open()
+        return float(self._request(PING, {})["time"])
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def on_data(self, callback: DataCallback) -> None:
+        if not callable(callback):
+            raise TransportError(
+                f"data callback must be callable: {callback!r}"
+            )
+        self._callbacks.append(callback)
+
+    def publish(
+        self,
+        stream_index: int,
+        payload: bytes,
+        kind: str = "",
+        fused: bool = False,
+        encrypted: bool = False,
+        extensions: tuple[tuple[int, bytes], ...] = (),
+    ) -> StreamId:
+        """Publish one codec datagram on this session's derived stream."""
+        self._require_open()
+        stream_id = StreamId(self._publisher_id, stream_index)
+        if stream_index not in self._advertised:
+            self._advertised.add(stream_index)
+            if kind:
+                self._request(
+                    ADVERTISE,
+                    {
+                        "stream_index": stream_index,
+                        "kind": kind,
+                        "encrypted": encrypted,
+                    },
+                )
+        sequence = self._publish_sequences.get(stream_index, 0)
+        self._publish_sequences[stream_index] = (sequence + 1) % (1 << 16)
+        message = DataMessage(
+            stream_id=stream_id,
+            sequence=sequence,
+            payload=payload,
+            fused=fused,
+            encrypted=encrypted,
+            extensions=extensions,
+        )
+        self._udp.sendto(self._codec.encode(message), self._data_address)
+        self.published += 1
+        return stream_id
+
+    def _read_datagrams(self) -> None:
+        while True:
+            try:
+                data, _ = self._udp.recvfrom(65536)
+            except OSError:
+                return  # socket closed by close()
+            try:
+                message = self._codec.decode(data)
+            except GarnetError:
+                continue
+            arrival = StreamArrival(
+                message=message,
+                received_at=time.time(),
+                receiver_id=-1,
+            )
+            self.deliveries += 1
+            for callback in list(self._callbacks):
+                callback(arrival)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the session, sockets and reader thread. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._request(CLOSE, {})
+        except (TransportError, OSError):
+            pass  # broker already gone: local teardown still applies
+        try:
+            self._tcp.close()
+        finally:
+            self._udp.close()
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "LiveSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def connect(url: str, name: str, **kwargs: Any) -> LiveSession:
+    """Open a :class:`LiveSession` against a running broker."""
+    return LiveSession(url, name, **kwargs)
+
+
+__all__ = ["LiveSession", "connect"]

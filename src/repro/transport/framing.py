@@ -1,0 +1,137 @@
+"""Socket framing for the live transport's two planes.
+
+**Control plane (TCP).** A byte stream needs explicit message
+boundaries. Every control frame is::
+
+    [4-byte length, big-endian][1-byte frame type][JSON body, UTF-8]
+
+where the length counts the type byte plus the body. Responses echo the
+request's type with the high bit set (``type | RESPONSE_FLAG``) and
+always carry ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``.
+
+**Data plane (UDP).** No extra framing at all: one datagram is exactly
+one :class:`~repro.core.message.MessageCodec` message — the Figure 2
+wire format already delimits and checksums itself, so wrapping it again
+would just duplicate the codec's job.
+
+:class:`ControlFrameAssembler` reassembles control frames from
+arbitrarily fragmented stream chunks (TCP guarantees order, not
+boundaries); both the broker and the client run one per connection, and
+the partial-read tests drive it byte by byte.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import TransportError
+
+
+#: struct for the 4-byte big-endian length prefix.
+_LENGTH = struct.Struct(">I")
+LENGTH_PREFIX_BYTES = _LENGTH.size
+
+#: Upper bound on one control frame (type byte + JSON body). Control
+#: bodies are small metadata; anything bigger is a corrupt or hostile
+#: stream and tearing the connection down beats buffering it.
+MAX_CONTROL_FRAME = 1 << 20
+
+#: High bit distinguishes a response from the request it answers.
+RESPONSE_FLAG = 0x80
+
+# Request frame types (the full control vocabulary).
+HELLO = 0x01
+SUBSCRIBE = 0x02
+UNSUBSCRIBE = 0x03
+DISCOVER = 0x04
+ADVERTISE = 0x05
+PING = 0x06
+CLOSE = 0x07
+
+CONTROL_FRAME_NAMES: dict[int, str] = {
+    HELLO: "HELLO",
+    SUBSCRIBE: "SUBSCRIBE",
+    UNSUBSCRIBE: "UNSUBSCRIBE",
+    DISCOVER: "DISCOVER",
+    ADVERTISE: "ADVERTISE",
+    PING: "PING",
+    CLOSE: "CLOSE",
+}
+
+
+def encode_control_frame(frame_type: int, body: dict) -> bytes:
+    """Serialise one control frame (request or response)."""
+    if not 0 <= frame_type <= 0xFF:
+        raise TransportError(f"frame type {frame_type} not a byte")
+    encoded = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    length = 1 + len(encoded)
+    if length > MAX_CONTROL_FRAME:
+        raise TransportError(
+            f"control frame of {length} bytes exceeds {MAX_CONTROL_FRAME}"
+        )
+    return _LENGTH.pack(length) + bytes([frame_type]) + encoded
+
+
+class ControlFrameAssembler:
+    """Reassembles control frames from a fragmented TCP byte stream.
+
+    ``feed`` accepts whatever chunk the socket produced — half a length
+    prefix, three frames and a tail, anything — and returns every frame
+    completed by it, preserving order. State carries across calls.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[tuple[int, dict]]:
+        self._buffer.extend(chunk)
+        frames: list[tuple[int, dict]] = []
+        while True:
+            if len(self._buffer) < LENGTH_PREFIX_BYTES:
+                return frames
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length < 1 or length > MAX_CONTROL_FRAME:
+                raise TransportError(
+                    f"control frame length {length} out of range"
+                )
+            end = LENGTH_PREFIX_BYTES + length
+            if len(self._buffer) < end:
+                return frames
+            frame_type = self._buffer[LENGTH_PREFIX_BYTES]
+            raw = bytes(self._buffer[LENGTH_PREFIX_BYTES + 1 : end])
+            del self._buffer[:end]
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TransportError(
+                    f"control frame body is not JSON: {exc}"
+                ) from exc
+            if not isinstance(body, dict):
+                raise TransportError(
+                    f"control frame body must be an object, got {body!r}"
+                )
+            frames.append((frame_type, body))
+
+
+__all__ = [
+    "TransportError",
+    "LENGTH_PREFIX_BYTES",
+    "MAX_CONTROL_FRAME",
+    "RESPONSE_FLAG",
+    "HELLO",
+    "SUBSCRIBE",
+    "UNSUBSCRIBE",
+    "DISCOVER",
+    "ADVERTISE",
+    "PING",
+    "CLOSE",
+    "CONTROL_FRAME_NAMES",
+    "encode_control_frame",
+    "ControlFrameAssembler",
+]

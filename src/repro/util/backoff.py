@@ -69,10 +69,22 @@ class BackoffPolicy:
         return delay
 
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
-        """The actual delay before retry ``attempt``, jitter applied."""
+        """The actual delay before retry ``attempt``, jitter applied.
+
+        When jitter is configured the RNG is *required*: silently
+        returning the un-jittered nominal delay would hand every caller
+        that forgot to fork an RNG a synchronized retry storm with no
+        signal that the configured spread never happened.
+        """
         nominal = self.nominal_delay(attempt)
-        if self.jitter <= 0.0 or rng is None:
+        if self.jitter <= 0.0:
             return nominal
+        if rng is None:
+            raise ConfigurationError(
+                f"BackoffPolicy(jitter={self.jitter}) needs an rng: "
+                "callers must fork one from the simulation seed or "
+                "configure jitter=0"
+            )
         spread = nominal * self.jitter
         return max(0.0, nominal + rng.uniform(-spread, spread))
 

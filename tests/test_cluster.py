@@ -110,6 +110,26 @@ class TestSequenceWindow:
         assert window.add(1)
         assert not window.add(3)
 
+    def test_post_wrap_reuse_is_not_a_false_drop(self):
+        # Sensors emit 16-bit wrapping sequences: after 65536 publishes
+        # the raw values legitimately repeat. A window large enough to
+        # still remember the first epoch must unwrap, not drop.
+        window = SequenceWindow((1 << 16) + 256)
+        total = (1 << 16) + 50
+        accepted = sum(window.add(raw % (1 << 16)) for raw in range(total))
+        assert accepted == total
+
+    def test_duplicates_still_detected_across_the_wrap_boundary(self):
+        window = SequenceWindow(8)
+        for sequence in (65534, 65535, 0, 1):
+            assert window.add(sequence)
+        # A repeat from the current epoch and a late copy from the
+        # previous one both land on already-seen unwrapped points.
+        assert not window.add(0)
+        assert not window.add(65535)
+        # Fresh traffic keeps flowing.
+        assert window.add(2)
+
 
 # ----------------------------------------------------------------------
 # Cross-broker routing
@@ -326,3 +346,104 @@ class TestRedundantFaultActions:
         deployment.run(5.0)
         snapshot = deployment.metrics_snapshot()
         assert snapshot["counters"]["faults.redundant"] == 2
+
+
+# ----------------------------------------------------------------------
+# Unknown link frames (satellite: no silent drops on the link inbox)
+# ----------------------------------------------------------------------
+class TestUnknownLinkFrames:
+    def test_unknown_frame_is_counted_not_silently_eaten(self):
+        deployment = clustered()
+        link = deployment.cluster.nodes["b1"].link
+        assert "cluster.link.unknown_frames" not in deployment.summary()
+        # Through the real inbox path, as a skewed peer would send it.
+        deployment.network.send(link.inbox, {"type": "mystery"})
+        deployment.network.send(link.inbox, object())
+        deployment.run(0.5)
+        assert link.unknown_frame_count == 2
+        snapshot = deployment.metrics_snapshot()
+        assert snapshot["counters"]["cluster.link.unknown_frames"] == 2
+        assert deployment.summary()["cluster.link.unknown_frames"] == 2.0
+
+    def test_known_frames_do_not_touch_the_counter(self):
+        deployment = clustered()
+        publisher = deployment.connect("pub", broker="b0")
+        subscriber = deployment.connect("sub", broker="b2")
+        subscriber.subscribe(kind="temp*")
+        deployment.run(0.2)
+        publisher.publish(0, b"x", kind="temp")
+        deployment.run(0.5)
+        assert deployment.cluster.unknown_frames.value == 0.0
+        assert "cluster.link.unknown_frames" not in deployment.summary()
+
+    def test_direct_construction_without_counter_still_counts(self):
+        class NullNetwork:
+            def register_inbox(self, inbox, handler):
+                pass
+
+        from repro.cluster.link import InterBrokerLink
+
+        link = InterBrokerLink("solo", NullNetwork(), router=None)
+        link.on_frame("not a frame")
+        assert link.unknown_frame_count == 1
+
+
+# ----------------------------------------------------------------------
+# Sequence wraparound over the cluster path (satellite regression)
+# ----------------------------------------------------------------------
+class TestSequenceWrapOverCluster:
+    def test_wrap_through_link_path_loses_nothing_to_dedupe(self):
+        """A stream that crosses the 16-bit wrap mid-flight: every
+        post-wrap message survives the peer-side sequence window even
+        when the window still remembers the previous epoch.
+
+        Regression: the window used to dedupe on raw sequence values, so
+        with ``cluster_dedupe_window > 65536`` the first post-wrap reuse
+        of each sequence was falsely dropped as a duplicate.
+        """
+        from repro.cluster.link import RemoteDelivery
+        from repro.core.envelopes import StreamArrival
+        from repro.core.message import DataMessage
+
+        deployment = clustered(
+            brokers=2, cluster_dedupe_window=(1 << 16) + 512
+        )
+        publisher = deployment.connect("pub", broker="b0")
+        subscriber = deployment.connect("sub", broker="b1")
+        received: list[int] = []
+        subscriber.on_data(lambda a: received.append(a.message.sequence))
+        subscriber.subscribe(kind="wrap*")
+        deployment.run(0.2)
+        stream = publisher.publish(0, b"seed", kind="wrap")
+        deployment.cluster.shards.pin(stream, "b0")
+        deployment.run(0.3)
+        assert received == [0]
+
+        # Drive the b0 -> b1 link with one full epoch plus a tail, the
+        # way the owner fans out: one RemoteDelivery per message. Frames
+        # enter through the real link endpoint (on_frame), exercising
+        # the peer-side SequenceWindow and local fan-out.
+        link = deployment.cluster.nodes["b1"].link
+        total = (1 << 16) + 64
+        now = deployment.sim.now
+        for raw in range(1, total):
+            arrival = StreamArrival(
+                message=DataMessage(
+                    stream_id=stream, sequence=raw % (1 << 16)
+                ),
+                received_at=now,
+                receiver_id=-1,
+            )
+            link.on_frame(RemoteDelivery(origin="b0", arrival=arrival))
+            if raw % 8192 == 0:
+                # Flush the scheduled consumer deliveries in batches so
+                # the event heap stays small (coordinator timers keep
+                # the clustered kernel from ever going fully idle).
+                deployment.run(0.05)
+        deployment.run(0.5)
+
+        assert deployment.cluster.stats.dedupe_hits == 0
+        assert len(received) == total
+        # The tail of the stream — the post-wrap reuses of sequences
+        # 0..63 — arrived intact and in order.
+        assert received[-64:] == list(range(64))

@@ -96,3 +96,33 @@ def test_cluster_frame_fields_match_doc():
             f.name for f in dataclasses.fields(frame)
         )
         assert f"**{frame.__name__}** `({fields})`" in DOC, frame.__name__
+
+
+def test_control_frame_type_table_matches_implementation():
+    from repro.transport.framing import CONTROL_FRAME_NAMES
+
+    for frame_type, name in CONTROL_FRAME_NAMES.items():
+        assert f"| `0x{frame_type:02X}` | {name} |" in DOC, name
+
+
+def test_socket_framing_constants_match_doc():
+    from repro.transport.framing import (
+        MAX_CONTROL_FRAME,
+        RESPONSE_FLAG,
+        encode_control_frame,
+    )
+
+    assert RESPONSE_FLAG == 0x80
+    assert "response flag `0x80`" in DOC
+    assert MAX_CONTROL_FRAME == 1_048_576
+    assert "1,048,576" in DOC
+    # "counts the type byte plus the body, NOT the prefix itself"
+    wire = encode_control_frame(0x01, {})
+    assert int.from_bytes(wire[:4], "big") == len(wire) - 4
+
+
+def test_garnet_url_scheme_matches_doc():
+    from repro.transport.base import URL_SCHEME
+
+    assert URL_SCHEME == "garnet"
+    assert "`garnet://host:port`" in DOC

@@ -72,7 +72,9 @@ class TestCellsForRadius:
         grid = UniformGridIndex(10.0)
         # A query never visits more cells than the bounding-box estimate.
         radius = 25.0
-        span = math.floor(2.0 * radius / 10.0) + 2
+        # +4: the floor-derived bounding box, plus the safety ring of
+        # one cell per side that keeps boundary-binned keys findable.
+        span = math.floor(2.0 * radius / 10.0) + 4
         assert grid.cells_for_radius(radius) == span * span
 
 

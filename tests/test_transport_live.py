@@ -1,0 +1,304 @@
+"""Live transport: LiveBroker + LiveSession over real loopback sockets.
+
+The in-process tests run the broker's asyncio loop on a daemon thread
+and drive it with synchronous :class:`LiveSession` clients, which is
+exactly the topology the ``garnet-broker`` CLI serves; the final test
+exercises that CLI as a real subprocess.
+"""
+
+import asyncio
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.streamid import StreamId
+from repro.errors import TransportError
+from repro.transport import LiveBroker, connect
+from repro.transport.cli import parse_announce
+from repro.transport.framing import (
+    HELLO,
+    PING,
+    RESPONSE_FLAG,
+    SUBSCRIBE,
+    ControlFrameAssembler,
+    encode_control_frame,
+)
+
+
+def poll_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class BrokerHarness:
+    """Run a LiveBroker on its own event loop in a daemon thread."""
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="broker-loop", daemon=True
+        )
+        self.thread.start()
+        self.broker = LiveBroker()
+        asyncio.run_coroutine_threadsafe(
+            self.broker.start(), self.loop
+        ).result(10)
+
+    @property
+    def url(self):
+        return self.broker.url
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.broker.stop(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness():
+    h = BrokerHarness()
+    yield h
+    h.stop()
+
+
+class TestControlPlane:
+    def test_hello_announces_identity_and_data_port(self, harness):
+        with connect(harness.url, "alice") as session:
+            assert session.name == "alice"
+            assert session.publisher_id > 0
+            assert not session.closed
+        assert session.closed
+        session.close()  # idempotent
+
+    def test_every_control_frame_kind_roundtrips(self, harness):
+        # One live exchange per frame type: HELLO (in connect),
+        # ADVERTISE (first publish with a kind), SUBSCRIBE, DISCOVER,
+        # UNSUBSCRIBE, PING, CLOSE (in close).
+        with connect(harness.url, "pub") as publisher, connect(
+            harness.url, "sub"
+        ) as subscriber:
+            subscription = subscriber.subscribe(kind="temp")
+            stream_id = publisher.publish(0, b"\x01", kind="temp")
+            assert stream_id == StreamId(publisher.publisher_id, 0)
+            streams = subscriber.discover(kind="temp")
+            assert [
+                (s["sensor_id"], s["stream_index"], s["kind"], s["publisher"])
+                for s in streams
+            ] == [(publisher.publisher_id, 0, "temp", "pub")]
+            assert streams[0]["derived"] is True
+            subscriber.unsubscribe(subscription)
+            assert subscriber.subscription_ids == ()
+            assert subscriber.ping() >= 0.0
+
+    def test_publish_reaches_subscriber_over_udp(self, harness):
+        with connect(harness.url, "pub") as publisher, connect(
+            harness.url, "sub"
+        ) as subscriber:
+            received = []
+            subscriber.on_data(
+                lambda arrival: received.append(
+                    (arrival.message.sequence, arrival.message.payload)
+                )
+            )
+            subscriber.subscribe(kind="temp")
+            for index in range(5):
+                publisher.publish(0, bytes([index]), kind="temp")
+            assert poll_until(lambda: len(received) == 5)
+            assert received == [(i, bytes([i])) for i in range(5)]
+            assert subscriber.deliveries == 5
+            assert publisher.published == 5
+
+    def test_subscribe_by_exact_stream_id(self, harness):
+        with connect(harness.url, "pub") as publisher, connect(
+            harness.url, "sub"
+        ) as subscriber:
+            wanted = StreamId(publisher.publisher_id, 2)
+            received = []
+            subscriber.on_data(
+                lambda arrival: received.append(arrival.message.stream_id)
+            )
+            subscriber.subscribe(stream_id=wanted)
+            publisher.publish(2, b"yes", kind="match")
+            publisher.publish(3, b"no", kind="other")
+            assert poll_until(lambda: len(received) == 1)
+            time.sleep(0.05)  # window for a spurious second delivery
+            assert received == [wanted]
+
+    def test_broker_refusal_surfaces_as_transport_error(self, harness):
+        with connect(harness.url, "sub") as session:
+            with pytest.raises(TransportError):
+                session.unsubscribe(999)
+
+    def test_closed_session_refuses_further_calls(self, harness):
+        session = connect(harness.url, "gone")
+        session.close()
+        with pytest.raises(TransportError):
+            session.ping()
+        with pytest.raises(TransportError):
+            session.publish(0, b"x")
+
+
+class TestRawSocketEdges:
+    """Drive the control port with a bare socket: protocol edge cases."""
+
+    def _exchange(self, harness, wire, count=1, timeout=5.0):
+        host, port = harness.broker.host, harness.broker.control_port
+        with socket.create_connection((host, port), timeout=timeout) as tcp:
+            tcp.settimeout(timeout)
+            tcp.sendall(wire)
+            assembler = ControlFrameAssembler()
+            frames = []
+            while len(frames) < count:
+                chunk = tcp.recv(65536)
+                if not chunk:
+                    break
+                frames.extend(assembler.feed(chunk))
+        return frames
+
+    def test_subscribe_before_hello_is_refused(self, harness):
+        [(frame_type, body)] = self._exchange(
+            harness, encode_control_frame(SUBSCRIBE, {"kind": "temp"})
+        )
+        assert frame_type == SUBSCRIBE | RESPONSE_FLAG
+        assert body["ok"] is False
+        assert "HELLO" in body["error"]
+
+    def test_unknown_frame_type_is_refused_not_fatal(self, harness):
+        wire = encode_control_frame(
+            HELLO, {"name": "edge", "udp_port": 1}
+        ) + encode_control_frame(0x7F, {})
+        frames = self._exchange(harness, wire, count=2)
+        assert [t for t, _ in frames] == [
+            HELLO | RESPONSE_FLAG,
+            0x7F | RESPONSE_FLAG,
+        ]
+        assert frames[0][1]["ok"] is True
+        assert frames[1][1]["ok"] is False
+        assert "unknown frame type" in frames[1][1]["error"]
+        snapshot = harness.broker.deployment.metrics_snapshot()
+        assert snapshot["counters"]["transport.unknown_control_frames"] == 1
+
+    def test_split_frame_across_writes_reassembles(self, harness):
+        wire = encode_control_frame(HELLO, {"name": "slow", "udp_port": 1})
+        host, port = harness.broker.host, harness.broker.control_port
+        with socket.create_connection((host, port), timeout=5.0) as tcp:
+            tcp.settimeout(5.0)
+            # Dribble the frame: length prefix alone, then type byte,
+            # then the body in two chunks, with real flushes between.
+            for part in (wire[:4], wire[4:5], wire[5:9], wire[9:]):
+                tcp.sendall(part)
+                time.sleep(0.02)
+            assembler = ControlFrameAssembler()
+            frames = []
+            while not frames:
+                frames.extend(assembler.feed(tcp.recv(65536)))
+        [(frame_type, body)] = frames
+        assert frame_type == HELLO | RESPONSE_FLAG
+        assert body["ok"] is True
+
+    def test_corrupt_stream_drops_the_connection(self, harness):
+        host, port = harness.broker.host, harness.broker.control_port
+        with socket.create_connection((host, port), timeout=5.0) as tcp:
+            tcp.settimeout(5.0)
+            tcp.sendall(b"\xff\xff\xff\xff")  # absurd length prefix
+            assert tcp.recv(65536) == b""  # broker hung up
+
+    def test_bad_datagram_is_counted_not_fatal(self, harness):
+        udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            udp.sendto(
+                b"junk-not-a-codec-frame",
+                (harness.broker.host, harness.broker.data_port),
+            )
+            def bad_datagrams():
+                counters = harness.broker.deployment.metrics_snapshot()[
+                    "counters"
+                ]
+                return counters.get("transport.bad_datagrams")
+
+            assert poll_until(lambda: bad_datagrams() == 1)
+        finally:
+            udp.close()
+
+    def test_ping_via_raw_socket_roundtrips_sim_time(self, harness):
+        wire = encode_control_frame(
+            HELLO, {"name": "rawping", "udp_port": 1}
+        ) + encode_control_frame(PING, {})
+        frames = self._exchange(harness, wire, count=2)
+        assert frames[1][0] == PING | RESPONSE_FLAG
+        assert frames[1][1]["ok"] is True
+        assert frames[1][1]["time"] >= 0.0
+
+
+class TestGarnetConnectUrl:
+    def test_middleware_connect_dispatches_to_live_session(self, harness):
+        from repro.core.config import GarnetConfig
+        from repro.core.middleware import Garnet
+
+        deployment = Garnet(
+            config=GarnetConfig(publish_location_stream=False)
+        )
+        session = deployment.connect(name="via-url", url=harness.url)
+        try:
+            assert session.name == "via-url"
+            assert session.ping() >= 0.0
+        finally:
+            session.close()
+
+    def test_url_with_simulated_only_kwargs_is_rejected(self, harness):
+        from repro.core.config import GarnetConfig
+        from repro.core.middleware import Garnet
+        from repro.errors import ConfigurationError
+
+        deployment = Garnet(
+            config=GarnetConfig(publish_location_stream=False)
+        )
+        with pytest.raises(ConfigurationError):
+            deployment.connect("x", url=harness.url, token=object())
+
+
+class TestBrokerCli:
+    def test_garnet_broker_serves_a_real_client(self, tmp_path):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.transport.cli", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline().strip()
+            host, control_port, data_port = parse_announce(announce)
+            assert data_port > 0
+            url = f"garnet://{host}:{control_port}"
+            with connect(url, "cli-pub") as publisher, connect(
+                url, "cli-sub"
+            ) as subscriber:
+                received = []
+                subscriber.on_data(
+                    lambda arrival: received.append(arrival.message.payload)
+                )
+                subscriber.subscribe(kind="hello")
+                publisher.publish(0, b"hello", kind="hello")
+                assert poll_until(lambda: received == [b"hello"])
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_parse_announce_rejects_other_lines(self):
+        with pytest.raises(ValueError):
+            parse_announce("Traceback (most recent call last):")

@@ -53,6 +53,16 @@ class TestSchedule:
         for attempt in (1, 2, 3):
             assert policy.delay(attempt, None) == policy.nominal_delay(attempt)
 
+    def test_jitter_without_rng_is_rejected(self):
+        # A caller that configures jitter but forgets the RNG used to
+        # silently get the un-jittered delay back — a synchronized retry
+        # storm with no signal. It is now a loud configuration error.
+        policy = BackoffPolicy(base=1.0, jitter=0.25, max_attempts=3)
+        with pytest.raises(ConfigurationError, match="needs an rng"):
+            policy.delay(1)
+        with pytest.raises(ConfigurationError, match="needs an rng"):
+            policy.delay(2, None)
+
     def test_jitter_stays_within_fraction(self):
         policy = BackoffPolicy(
             base=4.0, multiplier=2.0, jitter=0.25, max_attempts=3
