@@ -1,0 +1,295 @@
+"""E21: durable stream store — append, cold replay and query costs.
+
+Standalone script (not a pytest benchmark), same contract as E18/E19:
+CI runs it as a smoke job (``--quick --check``) and the repo commits its
+JSON output as the tracked baseline.
+
+Sections
+--------
+- **append**: sustained append throughput (records per wall-clock
+  second) through :class:`StreamStore.append` for both backends, with
+  rotation and retention live (small segments, bounded per-stream
+  count) so the numbers include the policies, not just the write.
+- **cold_replay**: records per wall-clock second to reopen a
+  FileSegmentStore from disk and read a stream end-to-end — the
+  late-join path (``subscribe(replay='history')``) with a cold cache.
+  Correctness gate: every appended record must come back, in order.
+- **query**: wall-clock latency of ``store.read`` time-range queries
+  against a populated store (median / p95 over repeated windows), plus
+  a correctness gate on the returned bounds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e21_store.py [--quick]
+        [--check] [--output BENCH_e21_store.json]
+
+``--check`` validates the floors below on fresh numbers and, when the
+committed baseline exists, fails if append throughput regressed by more
+than 50% (wall-clock benches are noisy in CI; the floor catches real
+cliffs, not jitter). ``--check`` never overwrites the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.streamid import StreamId
+from repro.store import FileSegmentStore, MemorySegmentStore
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_e21_store.json"
+)
+REGRESSION_TOLERANCE = 0.5
+
+#: Wall-clock floors: deliberately far below a healthy interpreter so
+#: only a real cliff (accidental O(n^2) rescan, fsync per append, ...)
+#: trips them, not a loaded CI runner.
+APPEND_FLOOR_MEMORY = 20_000.0
+APPEND_FLOOR_FILE = 5_000.0
+REPLAY_FLOOR = 20_000.0
+QUERY_P95_CEILING_MS = 50.0
+
+CODEC = MessageCodec()
+STREAM = StreamId(7, 0)
+
+
+def _frames(count: int) -> list[bytes]:
+    return [
+        CODEC.encode(
+            DataMessage(
+                stream_id=STREAM,
+                sequence=index % (1 << 16),
+                payload=index.to_bytes(4, "big") + b"\x2a" * 12,
+            )
+        )
+        for index in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Append throughput
+# ----------------------------------------------------------------------
+def bench_append(records: int, tmp: Path) -> dict:
+    frames = _frames(records)
+    results: dict = {"records": records}
+    for backend in ("memory", "file"):
+        if backend == "memory":
+            store = MemorySegmentStore(
+                segment_bytes=32 * 1024, segments_per_stream=8
+            )
+        else:
+            store = FileSegmentStore(
+                tmp / "append",
+                segment_bytes=32 * 1024,
+                segments_per_stream=8,
+            )
+        begin = time.perf_counter()
+        for index, frame in enumerate(frames):
+            store.append(STREAM, float(index), -1, frame)
+        elapsed = time.perf_counter() - begin
+        store.close()
+        results[backend] = {
+            "seconds": round(elapsed, 4),
+            "records_per_s": round(records / elapsed, 1),
+            "rotations": store.stats.segments_rotated,
+            "evictions": store.stats.segments_evicted,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Cold replay throughput
+# ----------------------------------------------------------------------
+def bench_cold_replay(records: int, tmp: Path) -> dict:
+    directory = tmp / "replay"
+    frames = _frames(records)
+    # Sized so retention never evicts: the replayed set must equal the
+    # appended set for the completeness gate to mean anything.
+    with FileSegmentStore(
+        directory, segment_bytes=256 * 1024, segments_per_stream=4096
+    ) as store:
+        for index, frame in enumerate(frames):
+            store.append(STREAM, float(index), -1, frame)
+        retained = store.record_count(STREAM)
+    begin = time.perf_counter()
+    reopened = FileSegmentStore(
+        directory, segment_bytes=256 * 1024, segments_per_stream=4096
+    )
+    read_back = reopened.read(STREAM)
+    elapsed = time.perf_counter() - begin
+    expected = [float(i) for i in range(records)][-retained:]
+    ordered = [r.received_at for r in read_back] == expected
+    reopened.close()
+    return {
+        "records": records,
+        "retained": retained,
+        "replayed": len(read_back),
+        "ordered": ordered,
+        "seconds": round(elapsed, 4),
+        "records_per_s": round(len(read_back) / elapsed, 1),
+        "truncated_tail": reopened.stats.truncated_tail,
+    }
+
+
+# ----------------------------------------------------------------------
+# Query latency
+# ----------------------------------------------------------------------
+def bench_query(records: int, probes: int) -> dict:
+    store = MemorySegmentStore(
+        segment_bytes=16 * 1024, segments_per_stream=1024
+    )
+    for index, frame in enumerate(_frames(records)):
+        store.append(STREAM, float(index), -1, frame)
+    window = max(1.0, records / 50.0)
+    latencies_ms = []
+    correct = True
+    for probe in range(probes):
+        start = (probe * 37.0) % max(1.0, records - window)
+        end = start + window
+        begin = time.perf_counter()
+        result = store.read(STREAM, start=start, end=end)
+        latencies_ms.append((time.perf_counter() - begin) * 1000.0)
+        if result and not (
+            result[0].received_at >= start
+            and result[-1].received_at <= end
+        ):
+            correct = False
+    store.close()
+    latencies_ms.sort()
+    p95 = latencies_ms[int(0.95 * (len(latencies_ms) - 1))]
+    return {
+        "records": records,
+        "probes": probes,
+        "window_records": int(window),
+        "median_ms": round(statistics.median(latencies_ms), 3),
+        "p95_ms": round(p95, 3),
+        "bounds_respected": correct,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_all(quick: bool) -> dict:
+    records = 20_000 if quick else 100_000
+    probes = 50 if quick else 200
+    tmp = Path(tempfile.mkdtemp(prefix="bench-e21-"))
+    try:
+        return {
+            "experiment": "E21 durable stream store",
+            "mode": "quick" if quick else "full",
+            "append": bench_append(records, tmp),
+            "cold_replay": bench_cold_replay(records, tmp),
+            "query": bench_query(records // 4, probes),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def check_acceptance(fresh: dict) -> list[str]:
+    failures = []
+    append = fresh["append"]
+    if append["memory"]["records_per_s"] < APPEND_FLOOR_MEMORY:
+        failures.append(
+            f"append/memory {append['memory']['records_per_s']}/s "
+            f"< {APPEND_FLOOR_MEMORY}/s"
+        )
+    if append["file"]["records_per_s"] < APPEND_FLOOR_FILE:
+        failures.append(
+            f"append/file {append['file']['records_per_s']}/s "
+            f"< {APPEND_FLOOR_FILE}/s"
+        )
+    replay = fresh["cold_replay"]
+    if replay["retained"] != replay["records"]:
+        failures.append(
+            f"cold_replay: retention evicted "
+            f"{replay['records'] - replay['retained']} records from a "
+            "store sized to keep everything"
+        )
+    if replay["replayed"] != replay["retained"]:
+        failures.append(
+            f"cold_replay: {replay['replayed']} read back of "
+            f"{replay['retained']} retained"
+        )
+    if not replay["ordered"]:
+        failures.append("cold_replay: records came back out of order")
+    if replay["truncated_tail"]:
+        failures.append("cold_replay: clean shutdown reported a torn tail")
+    if replay["records_per_s"] < REPLAY_FLOOR:
+        failures.append(
+            f"cold_replay {replay['records_per_s']}/s < {REPLAY_FLOOR}/s"
+        )
+    query = fresh["query"]
+    if not query["bounds_respected"]:
+        failures.append("query: a result violated its [start, end] bounds")
+    if query["p95_ms"] > QUERY_P95_CEILING_MS:
+        failures.append(
+            f"query p95 {query['p95_ms']}ms > {QUERY_P95_CEILING_MS}ms"
+        )
+    return failures
+
+
+def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
+    failures = []
+    for backend in ("memory", "file"):
+        old = baseline.get("append", {}).get(backend, {}).get(
+            "records_per_s"
+        )
+        new = fresh["append"][backend]["records_per_s"]
+        if old and new < old * REGRESSION_TOLERANCE:
+            failures.append(
+                f"append/{backend} regressed: {new}/s < "
+                f"{REGRESSION_TOLERANCE} * {old}/s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller record counts (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when acceptance floors or the committed baseline are "
+        "violated",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write (and read the baseline) JSON",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check and args.output.exists():
+        baseline = json.loads(args.output.read_text())
+
+    fresh = run_all(args.quick)
+    print(json.dumps(fresh, indent=2))
+
+    if args.check:
+        failures = check_acceptance(fresh)
+        if baseline is not None:
+            failures += check_against_baseline(fresh, baseline)
+        if failures:
+            for failure in failures:
+                print(f"E21 CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("e21 check: acceptance gates hold")
+    else:
+        args.output.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,6 +134,27 @@ class GarnetConfig:
     cluster_handoff_backlog: int = 64
     cluster_dedupe_window: int = 512
 
+    # Durable stream store (repro.store). Default off: appends never
+    # happen, the ``store.*`` keys stay out of summary(), and the data
+    # path is byte-identical to the store-less build (golden digests).
+    #
+    # ``store_enabled`` installs a write-through tap at every broker
+    # node's dispatcher; ``store_backend`` picks where segments live
+    # ("memory" or "file" — the latter needs ``store_dir``). Segments
+    # rotate at ``store_segment_bytes``; retention evicts whole sealed
+    # segments by per-stream count, total byte budget and age (against
+    # virtual time). ``store_dedupe_window`` bounds the per-stream
+    # sequence window the tap uses to keep the log duplicate-free
+    # through cluster handoff replay.
+    store_enabled: bool = False
+    store_backend: str = "memory"
+    store_dir: str | None = None
+    store_segment_bytes: int = 64 * 1024
+    store_segments_per_stream: int = 8
+    store_max_bytes: int | None = None
+    store_max_age: float | None = None
+    store_dedupe_window: int = 512
+
     # Live transport (repro.transport): where a LiveBroker binds when
     # this deployment is served over real sockets (``garnet-broker``).
     # Port 0 means "pick a free port and announce it"; the defaults keep
@@ -256,6 +277,34 @@ class GarnetConfig:
             if self.cluster_dedupe_window < 1:
                 raise ConfigurationError(
                     "cluster_dedupe_window must be at least 1"
+                )
+        if self.store_backend not in ("memory", "file"):
+            raise ConfigurationError(
+                f"unknown store_backend {self.store_backend!r} "
+                "(expected 'memory' or 'file')"
+            )
+        if self.store_enabled:
+            if self.store_backend == "file" and not self.store_dir:
+                raise ConfigurationError(
+                    "store_backend='file' requires store_dir"
+                )
+            if self.store_segment_bytes < 1:
+                raise ConfigurationError(
+                    "store_segment_bytes must be at least 1"
+                )
+            if self.store_segments_per_stream < 1:
+                raise ConfigurationError(
+                    "store_segments_per_stream must be at least 1"
+                )
+            if self.store_max_bytes is not None and self.store_max_bytes < 1:
+                raise ConfigurationError(
+                    "store_max_bytes must be at least 1 byte"
+                )
+            if self.store_max_age is not None and self.store_max_age <= 0:
+                raise ConfigurationError("store_max_age must be positive")
+            if self.store_dedupe_window < 1:
+                raise ConfigurationError(
+                    "store_dedupe_window must be at least 1"
                 )
         if not self.transport_host:
             raise ConfigurationError("transport_host must be non-empty")

@@ -1,0 +1,134 @@
+"""ConnectOptions: the one validated shape behind every ``connect()``.
+
+Three connect flavours grew up side by side — the in-simulation default
+(``deployment.connect("app")``), cluster homing (``connect("app",
+broker="b2")``) and the live socket transport (``connect(name="app",
+url="garnet://host:port")``) — each validating its own corner of the
+argument space. This module is the consolidation: every entrypoint
+(:meth:`Garnet.connect`, :func:`repro.transport.client.connect`,
+:func:`repro.transport.connect`) normalises its arguments into one
+:class:`ConnectOptions` and calls :meth:`ConnectOptions.validate`, so a
+bad combination fails the same way with the same message no matter which
+door it came through.
+
+The split of error types is deliberate and load-bearing for callers:
+
+- :class:`~repro.errors.ConfigurationError` — the *combination* of
+  options is contradictory (``url=`` with ``broker=``, live-only knobs
+  on a simulated connect, ...).
+- :class:`~repro.errors.RegistrationError` — the options are coherent
+  but the caller's *identity* is missing (no ``name`` and no ``token``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError, RegistrationError
+
+#: Sentinel for "defer to the deployment config" — distinguishes an
+#: explicit ``heartbeat_period=None`` (disable heartbeats) from the
+#: argument not being passed at all.
+USE_CONFIG: Any = object()
+
+#: Defaults for the live-transport-only knobs; a non-default value on a
+#: simulated connect is a combination error, not a silent no-op.
+_DEFAULT_CHECKSUM = True
+_DEFAULT_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectOptions:
+    """Every argument any ``connect()`` flavour accepts, in one place.
+
+    ``name``/``token``/``permissions`` identify the consumer;
+    ``heartbeat_period`` and ``broker`` shape a *simulated* session
+    (lease heartbeating, cluster homing); ``url`` switches to the live
+    socket transport, whose only extra knobs are ``checksum`` and
+    ``timeout``. :meth:`validate` enforces that the two halves never
+    mix.
+    """
+
+    name: str | None = None
+    token: Any | None = None
+    permissions: Any | None = None
+    heartbeat_period: float | None | Any = USE_CONFIG
+    broker: str | None = None
+    url: str | None = None
+    checksum: bool = _DEFAULT_CHECKSUM
+    timeout: float = _DEFAULT_TIMEOUT
+
+    @property
+    def live(self) -> bool:
+        """True when these options describe a socket-backed session."""
+        return self.url is not None
+
+    def validate(self) -> "ConnectOptions":
+        """Reject contradictory combinations; returns self.
+
+        Raises :class:`ConfigurationError` for bad combinations and
+        :class:`RegistrationError` when no identity was supplied.
+        """
+        if self.live:
+            simulated_only = [
+                label
+                for label, given in (
+                    ("token", self.token is not None),
+                    ("permissions", self.permissions is not None),
+                    ("broker", self.broker is not None),
+                    (
+                        "heartbeat_period",
+                        self.heartbeat_period is not USE_CONFIG,
+                    ),
+                )
+                if given
+            ]
+            if simulated_only:
+                raise ConfigurationError(
+                    "connect(url=...) opens a live-transport session; "
+                    f"{'/'.join(simulated_only)} do(es) not apply"
+                )
+            if self.timeout <= 0:
+                raise ConfigurationError(
+                    f"connect timeout must be positive, got {self.timeout}"
+                )
+            if self.name is None:
+                raise RegistrationError(
+                    "connect(url=...) needs an explicit session name"
+                )
+            return self
+        live_only = [
+            label
+            for label, given in (
+                ("checksum", self.checksum is not _DEFAULT_CHECKSUM),
+                ("timeout", self.timeout != _DEFAULT_TIMEOUT),
+            )
+            if given
+        ]
+        if live_only:
+            raise ConfigurationError(
+                f"{'/'.join(live_only)} only apply to live-transport "
+                "sessions (connect(url=...))"
+            )
+        if self.name is None and self.token is None:
+            raise RegistrationError(
+                "connect() needs a session name or a token"
+            )
+        return self
+
+
+def open_live_session(options: ConnectOptions):
+    """Open the :class:`~repro.transport.client.LiveSession` an already-
+    validated live :class:`ConnectOptions` describes."""
+    from repro.transport.client import LiveSession
+
+    return LiveSession(
+        options.url,
+        options.name,
+        checksum=options.checksum,
+        timeout=options.timeout,
+    )
+
+
+__all__ = ["USE_CONFIG", "ConnectOptions", "open_live_session"]

@@ -179,6 +179,9 @@ class DispatchingService:
         # Cluster routing hook (repro.cluster); None on single-broker
         # deployments, keeping the historical data path untouched.
         self._cluster: Any | None = None
+        # Stream-store write-through tap (repro.store); None unless
+        # store_enabled, keeping the data path byte-identical otherwise.
+        self._store: Any | None = None
         self.stats = DispatchStats(metrics)
         network.register_inbox(inbox, self.on_arrival)
 
@@ -213,6 +216,17 @@ class DispatchingService:
         interest to peer brokers.
         """
         self._cluster = cluster
+
+    def set_store(self, tap: Any | None) -> None:
+        """Install a stream-store write-through tap (repro.store).
+
+        ``tap.record(arrival)`` appends each arrival this node processes
+        as the stream's owner — fresh traffic past the admission and
+        cluster gates, plus handoff replay — to the durable log. Link
+        fan-out (:meth:`process_remote_delivery`) never appends: the
+        owning node already did.
+        """
+        self._store = tap
 
     def set_route_guard(
         self, guard: Callable[[str, StreamDescriptor], bool] | None
@@ -355,6 +369,8 @@ class DispatchingService:
                 len(arrival.message.payload),
                 arrival.message.sequence,
             )
+        if self._store is not None:
+            self._store.record(arrival)
         self._advertise_if_new(stream_id)
         if cluster is None:
             route = self._route_cache.get(stream_id)
@@ -380,6 +396,10 @@ class DispatchingService:
         does not see it twice.
         """
         stream_id = arrival.message.stream_id
+        if self._store is not None:
+            # The old owner may have appended this before crashing; the
+            # tap's sequence window keeps the log duplicate-free.
+            self._store.record(arrival)
         self._advertise_if_new(stream_id)
         self._route_and_deliver_clustered(
             arrival, stream_id, record_local=True

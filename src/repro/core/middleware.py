@@ -15,11 +15,17 @@ sensor; the facade glues the approval to the issuance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.actuation import ActuationService
 from repro.core.config import GarnetConfig
+from repro.core.connect import (
+    USE_CONFIG,
+    ConnectOptions,
+    open_live_session,
+)
 from repro.core.constraints import ConstraintSet
 from repro.core.consumer import Consumer
 from repro.core.control import StreamUpdateCommand
@@ -71,9 +77,10 @@ from repro.simnet.wireless import WirelessMedium
 from repro.util.backoff import BackoffPolicy
 from repro.util.ids import IdPool
 
-#: Sentinel distinguishing "use the config default" from an explicit
-#: ``heartbeat_period=None`` (heartbeats off) in :meth:`Garnet.connect`.
-_USE_CONFIG = object()
+#: Back-compat alias: the sentinel now lives in :mod:`repro.core.connect`
+#: (it distinguishes "use the config default" from an explicit
+#: ``heartbeat_period=None``).
+_USE_CONFIG = USE_CONFIG
 
 #: Which command applies each configuration parameter on the wire.
 _PARAMETER_COMMANDS: dict[str, StreamUpdateCommand] = {
@@ -465,6 +472,30 @@ class Garnet:
 
             self.cluster = DisabledCluster()
 
+        # Durable stream store (repro.store): a write-through tap at
+        # every broker node's dispatcher, feeding the pluggable segment
+        # log. Off by default — no appends, no ``store.*`` summary keys,
+        # data path byte-identical (the golden digests pin this).
+        self.store: Any = None
+        self.store_tap: Any = None
+        if cfg.store_enabled:
+            from repro.store import StoreTap, build_store
+
+            self.store = build_store(
+                cfg, metrics=self._metrics, clock=lambda: self.sim.now
+            )
+            self.store_tap = StoreTap(
+                self.store, self.codec, window=cfg.store_dedupe_window
+            )
+            if self.cluster.enabled:
+                # Each shard owner persists its own streams: the tap
+                # (and its dedupe windows) is shared, so handoff replay
+                # at a new owner never double-appends.
+                for node in self.cluster.nodes.values():
+                    node.dispatcher.set_store(self.store_tap)
+            else:
+                self.dispatcher.set_store(self.store_tap)
+
         self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
         self._sensors: dict[int, SensorNode] = {}
@@ -634,9 +665,13 @@ class Garnet:
         name: str | None = None,
         token: Token | None = None,
         permissions: Permission | None = None,
-        heartbeat_period: float | None | object = _USE_CONFIG,
+        *legacy_positional: Any,
+        heartbeat_period: float | None | object = USE_CONFIG,
         broker: str | None = None,
         url: str | None = None,
+        checksum: bool = True,
+        timeout: float = 10.0,
+        options: ConnectOptions | None = None,
     ) -> GarnetSession:
         """Open a :class:`GarnetSession`: the consumer-side front door.
 
@@ -645,6 +680,12 @@ class Garnet:
 
         >>> session = deployment.connect("dashboard")       # doctest: +SKIP
         >>> session.subscribe(kind="temperature.*")         # doctest: +SKIP
+
+        All flavours normalise into one validated
+        :class:`~repro.core.connect.ConnectOptions` (pass a prebuilt
+        ``options=`` to share a shape across call sites); bad
+        combinations raise :class:`ConfigurationError`, a missing
+        identity raises :class:`RegistrationError`.
 
         ``name`` defaults to the token's principal when a token is
         supplied. ``heartbeat_period`` (default: the config's
@@ -663,46 +704,89 @@ class Garnet:
         ``garnet-broker`` instead of a session on *this* deployment —
         the same ``subscribe``/``publish``/``on_data`` surface over
         real TCP/UDP. Token, permissions, heartbeat and broker homing
-        are simulated-transport concerns and do not combine with it.
+        are simulated-transport concerns and do not combine with it;
+        ``checksum`` and ``timeout`` apply only to it.
         """
-        if url is not None:
-            if (
-                token is not None
-                or permissions is not None
-                or broker is not None
-                or heartbeat_period is not _USE_CONFIG
+        if legacy_positional:
+            # heartbeat_period / broker / url used to be positional
+            # parameters four through six; keep old call sites working
+            # one release longer.
+            if len(legacy_positional) > 3:
+                raise TypeError(
+                    "connect() takes at most 6 positional arguments "
+                    f"({3 + len(legacy_positional)} given)"
+                )
+            warnings.warn(
+                "passing heartbeat_period/broker/url positionally to "
+                "Garnet.connect() is deprecated; use keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy_names = ("heartbeat_period", "broker", "url")
+            legacy_defaults = (USE_CONFIG, None, None)
+            given = {"heartbeat_period": heartbeat_period,
+                     "broker": broker, "url": url}
+            for label, default, value in zip(
+                legacy_names, legacy_defaults, legacy_positional
             ):
+                if given[label] is not default:
+                    raise TypeError(
+                        f"connect() got multiple values for argument "
+                        f"{label!r}"
+                    )
+                given[label] = value
+            heartbeat_period = given["heartbeat_period"]
+            broker = given["broker"]
+            url = given["url"]
+        if options is not None:
+            explicit = (
+                name is not None
+                or token is not None
+                or permissions is not None
+                or heartbeat_period is not USE_CONFIG
+                or broker is not None
+                or url is not None
+                or checksum is not True
+                or timeout != 10.0
+            )
+            if explicit:
                 raise ConfigurationError(
-                    "connect(url=...) opens a live-transport session; "
-                    "token/permissions/heartbeat_period/broker do not apply"
+                    "connect(options=...) already carries every argument; "
+                    "do not combine it with individual keywords"
                 )
-            if name is None:
-                raise RegistrationError(
-                    "connect(url=...) needs an explicit session name"
-                )
-            from repro.transport.client import LiveSession
-
-            return LiveSession(url, name)
+        else:
+            options = ConnectOptions(
+                name=name,
+                token=token,
+                permissions=permissions,
+                heartbeat_period=heartbeat_period,
+                broker=broker,
+                url=url,
+                checksum=checksum,
+                timeout=timeout,
+            )
+        options.validate()
+        if options.live:
+            return open_live_session(options)
         node = None
-        if broker is not None:
+        if options.broker is not None:
             if not self.cluster.enabled:
                 raise ConfigurationError(
                     "connect(broker=...) requires cluster_enabled=True"
                 )
-            node = self.cluster.node(broker)
+            node = self.cluster.node(options.broker)
         elif self.cluster.enabled:
             node = self.cluster.primary
+        name = options.name
+        token = options.token
         if name is None:
-            if token is None:
-                raise RegistrationError(
-                    "connect() needs a session name or a token"
-                )
             name = token.principal
         if name in self._sessions:
             raise RegistrationError(f"session {name!r} already connected")
         if token is None:
-            token = self.issue_token(name, permissions)
-        if heartbeat_period is _USE_CONFIG:
+            token = self.issue_token(name, options.permissions)
+        heartbeat_period = options.heartbeat_period
+        if heartbeat_period is USE_CONFIG:
             heartbeat_period = self.config.session_heartbeat_period
         session = GarnetSession(
             self, name, token, heartbeat_period=heartbeat_period, node=node
@@ -793,6 +877,17 @@ class Garnet:
         if self.cluster.enabled:
             return self.cluster.orphanages()
         return [self.orphanage]
+
+    def twins(self) -> Any:
+        """A :class:`~repro.twins.TwinView` over the stream store.
+
+        Materialises last-known per-sensor state (one
+        :class:`~repro.twins.SensorTwin` per sensor, one property per
+        stream) from the durable log; requires ``store_enabled=True``.
+        """
+        from repro.twins import TwinView
+
+        return TwinView(self)
 
     def invalidate_routes(self) -> None:
         """Flush memoised dispatch routing on every broker node."""
@@ -944,6 +1039,17 @@ class Garnet:
                 f"({cluster.streams_reassigned} streams, "
                 f"{cluster.replayed} replayed)"
             )
+        if self.store is not None:
+            store = self.store.stats
+            lines.append(
+                f"  store    : {store.appended} appended "
+                f"({store.bytes_appended} B) across "
+                f"{len(self.store.streams())} streams / "
+                f"{self.store.segment_count()} segments, "
+                f"{store.records_evicted} evicted, "
+                f"{store.records_replayed} replayed, "
+                f"{store.queries} queries"
+            )
         return "\n".join(lines)
 
     def summary(self) -> dict[str, float]:
@@ -973,6 +1079,22 @@ class Garnet:
                 # Conditional so healthy runs keep the pre-existing key
                 # set (the cluster golden digest hashes summary items).
                 summary["cluster.link.unknown_frames"] = float(unknown)
+        if self.store is not None:
+            # ``store.*`` keys appear only when the store is enabled, so
+            # the store-less golden digests stay byte-identical.
+            store = self.store.stats
+            summary["store.appended"] = float(store.appended)
+            summary["store.bytes_appended"] = float(store.bytes_appended)
+            summary["store.duplicates_skipped"] = float(
+                store.duplicates_skipped
+            )
+            summary["store.segments"] = float(self.store.segment_count())
+            summary["store.segments_evicted"] = float(store.segments_evicted)
+            summary["store.records_evicted"] = float(store.records_evicted)
+            summary["store.replays"] = float(store.replays)
+            summary["store.records_replayed"] = float(store.records_replayed)
+            summary["store.queries"] = float(store.queries)
+            summary["store.truncated_tail"] = float(store.truncated_tail)
         return summary
 
     def _base_summary(self) -> dict[str, float]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
+from repro.cluster.link import SequenceWindow
 from repro.core.control import StreamUpdateCommand
 from repro.core.dispatching import INBOX as DISPATCH_INBOX
 from repro.core.dispatching import SubscriptionPattern
@@ -39,12 +40,15 @@ from repro.core.resource import Decision
 from repro.core.security import Token
 from repro.core.streamid import StreamId
 from repro.core.streams import StreamDescriptor
-from repro.errors import SessionError, SubscriptionError
+from repro.errors import SessionError, StoreError, SubscriptionError
 from repro.obs.stats import RegistryBackedStats
 from repro.simnet.kernel import PeriodicTask
 from repro.util.ids import WrappingCounter
 
 DataCallback = Callable[[StreamArrival], None]
+
+#: The replay vocabulary of :meth:`GarnetSession.subscribe`.
+REPLAY_MODES = ("none", "orphans", "history")
 
 
 class SessionStats(RegistryBackedStats):
@@ -57,6 +61,9 @@ class SessionStats(RegistryBackedStats):
     recoveries: int = 0
     resubscriptions: int = 0
     orphans_replayed: int = 0
+    history_replayed: int = 0
+    history_duplicates_dropped: int = 0
+    queries: int = 0
 
 
 class GarnetSession:
@@ -89,6 +96,11 @@ class GarnetSession:
         # pattern per live subscription id — the re-subscription ledger
         # recovery replays after a broker restart.
         self._subscriptions: dict[int, SubscriptionPattern] = {}
+        # Per-stream sequence windows primed by history replay: a live
+        # delivery whose sequence the replay already served is dropped,
+        # which is the gap-free/duplicate-free handover guarantee of
+        # ``subscribe(replay='history')``.
+        self._history_windows: dict[StreamId, SequenceWindow] = {}
         self._publisher_id: int | None = None
         self._publish_sequences: dict[int, WrappingCounter] = {}
         self.stats = SessionStats(prefix=f"session.{name}")
@@ -187,6 +199,15 @@ class GarnetSession:
         self._callbacks.append(callback)
 
     def _deliver(self, arrival: StreamArrival) -> None:
+        if self._history_windows:
+            window = self._history_windows.get(arrival.message.stream_id)
+            if window is not None and not window.add(
+                arrival.message.sequence
+            ):
+                # Already served by a history replay (it was in flight
+                # to the dispatcher when we read the store).
+                self.stats.history_duplicates_dropped += 1
+                return
         self.stats.deliveries += 1
         for callback in list(self._callbacks):
             callback(arrival)
@@ -215,14 +236,34 @@ class GarnetSession:
         stream_index: int | None = None,
         kind: str | None = None,
         derived: bool | None = None,
+        replay: str = "none",
     ) -> int:
         """Subscribe by explicit pattern or by pattern fields.
 
         ``session.subscribe(kind="temperature.*")`` and
         ``session.subscribe(SubscriptionPattern(kind="temperature.*"))``
         are equivalent; mixing both forms is an error.
+
+        ``replay`` selects what catches the subscriber up on data that
+        arrived *before* the subscription existed:
+
+        - ``'none'`` (default) — live deliveries only, the historical
+          behaviour.
+        - ``'orphans'`` — the Orphanage's bounded in-memory backlog for
+          matching streams is replayed into this session and released
+          (what crash recovery has always done, now on demand).
+        - ``'history'`` — the durable stream store replays every
+          retained record for matching streams, in order, before live
+          delivery continues; the handover is gap-free and
+          duplicate-free (messages in flight during the replay are
+          deduped by sequence). Requires ``store_enabled=True``.
         """
         self._require_open()
+        if replay not in REPLAY_MODES:
+            raise SubscriptionError(
+                f"unknown replay mode {replay!r}; expected one of "
+                f"{', '.join(REPLAY_MODES)}"
+            )
         fields_given = any(
             value is not None
             for value in (stream_id, sensor_id, stream_index, kind, derived)
@@ -239,10 +280,18 @@ class GarnetSession:
                 kind=kind,
                 derived=derived,
             )
+        if replay == "history" and self._deployment.store is None:
+            raise SubscriptionError(
+                "subscribe(replay='history') requires store_enabled=True"
+            )
         subscription_id = self.broker.subscribe(
             self._token, self.endpoint, pattern
         )
         self._subscriptions[subscription_id] = pattern
+        if replay == "orphans":
+            self._replay_orphans((pattern,))
+        elif replay == "history":
+            self._replay_history(pattern)
         return subscription_id
 
     def unsubscribe(self, subscription_id: int) -> None:
@@ -380,13 +429,20 @@ class GarnetSession:
             self._resubscriptions_counter.inc()
         self._replay_orphans()
 
-    def _replay_orphans(self) -> int:
+    def _replay_orphans(
+        self, patterns: tuple[SubscriptionPattern, ...] | None = None
+    ) -> int:
         """Pull matching Orphanage backlogs into this session's inbox.
 
         While the session's routes were missing, its streams' data fell
         through to the Orphanage; on recovery, any orphaned stream a
         current subscription matches is replayed and released.
+        ``patterns`` narrows the match set — ``subscribe(replay=
+        'orphans')`` passes just the new pattern; recovery passes None
+        (= every live subscription).
         """
+        if patterns is None:
+            patterns = tuple(self._subscriptions.values())
         registry = self._deployment.registry
         orphanages = self._deployment.orphanages()
         replayed = 0
@@ -396,18 +452,7 @@ class GarnetSession:
                 if orphan_stream in seen:
                     continue
                 seen.add(orphan_stream)
-                descriptor = registry.find(orphan_stream)
-                if descriptor is None:
-                    wanted = any(
-                        pattern.stream_id == orphan_stream
-                        for pattern in self._subscriptions.values()
-                    )
-                else:
-                    wanted = any(
-                        pattern.matches(descriptor)
-                        for pattern in self._subscriptions.values()
-                    )
-                if not wanted:
+                if not self._stream_wanted(orphan_stream, patterns, registry):
                     continue
                 # An ownership handoff can leave copies of one stream's
                 # backlog in several nodes' Orphanages; replay from the
@@ -432,6 +477,105 @@ class GarnetSession:
         if replayed:
             self._deployment.invalidate_routes()
         return replayed
+
+    @staticmethod
+    def _stream_wanted(
+        stream_id: StreamId,
+        patterns: tuple[SubscriptionPattern, ...],
+        registry: Any,
+    ) -> bool:
+        """Does any pattern match this stream (by descriptor or exact id)?"""
+        descriptor = registry.find(stream_id)
+        if descriptor is None:
+            return any(
+                pattern.stream_id == stream_id for pattern in patterns
+            )
+        return any(pattern.matches(descriptor) for pattern in patterns)
+
+    def _replay_history(self, pattern: SubscriptionPattern) -> int:
+        """Replay the durable store's retained records for one pattern.
+
+        Records are delivered synchronously (the subscription is already
+        installed, so anything published *during* the replay lands after
+        it), merged across matching streams in received-at order, and
+        every replayed sequence primes the per-stream dedupe window so a
+        live copy that was already in flight is dropped by
+        :meth:`_deliver` rather than double-delivered.
+        """
+        store = self._deployment.store
+        registry = self._deployment.registry
+        codec = self._deployment.codec
+        patterns = (pattern,)
+        records = []
+        for stream_id in store.streams():
+            if self._stream_wanted(stream_id, patterns, registry):
+                records.extend(store.read(stream_id))
+        # Stable sort: within one stream the store's append order is
+        # preserved even when received_at ties.
+        records.sort(key=lambda record: (record.received_at, record.stream_id))
+        now = self.network.sim.now
+        window_size = self._deployment.config.store_dedupe_window
+        replayed = 0
+        for record in records:
+            message = codec.decode(record.frame)
+            window = self._history_windows.get(record.stream_id)
+            if window is None:
+                window = SequenceWindow(window_size)
+                self._history_windows[record.stream_id] = window
+            if not window.add(message.sequence):
+                continue
+            arrival = StreamArrival(
+                message=message,
+                received_at=record.received_at,
+                receiver_id=record.receiver_id,
+                delivered_at=now,
+            )
+            replayed += 1
+            self.stats.deliveries += 1
+            for callback in list(self._callbacks):
+                callback(arrival)
+        store.stats.replays += 1
+        store.stats.records_replayed += replayed
+        self.stats.history_replayed += replayed
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Historical queries (requires store_enabled=True)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        stream_id: StreamId,
+        start: float | None = None,
+        end: float | None = None,
+        limit: int | None = None,
+    ) -> list[StreamArrival]:
+        """Read one stream's retained history as decoded arrivals.
+
+        ``start``/``end`` bound ``received_at`` inclusively (virtual
+        time); ``limit`` keeps the earliest N matches. Raises
+        :class:`StoreError` when the deployment has no store.
+        """
+        self._require_open()
+        store = self._deployment.store
+        if store is None:
+            raise StoreError(
+                "session.query() requires store_enabled=True on the "
+                "deployment"
+            )
+        codec = self._deployment.codec
+        records = store.read(stream_id, start=start, end=end, limit=limit)
+        store.stats.queries += 1
+        store.stats.records_queried += len(records)
+        self.stats.queries += 1
+        return [
+            StreamArrival(
+                message=codec.decode(record.frame),
+                received_at=record.received_at,
+                receiver_id=record.receiver_id,
+                delivered_at=self.network.sim.now,
+            )
+            for record in records
+        ]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -99,3 +99,7 @@ class SessionError(GarnetError):
 
 class TransportError(GarnetError):
     """A live-transport operation failed (framing, handshake, refusal)."""
+
+
+class StoreError(GarnetError):
+    """A stream-store operation failed (corrupt record, disabled store...)."""

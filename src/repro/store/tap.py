@@ -1,0 +1,62 @@
+"""StoreTap: the dispatch-path write-through into a StreamStore.
+
+The Dispatching Service calls :meth:`record` for every arrival that
+passes the admission and cluster-ownership gates (fresh traffic at the
+stream's owner) and for every handoff-replayed arrival. Those two paths
+can both see the same message — the owner appended it fresh, crashed,
+and the coordinator replays it to the new owner — so the tap fronts the
+store with one :class:`~repro.cluster.link.SequenceWindow` per stream:
+a sequence already appended is skipped (``store.duplicates_skipped``),
+which keeps the log gap-free *and* duplicate-free through crashes for
+exactly the same reason consumer deliveries are.
+
+Appends re-encode the message through the deployment codec, so the
+stored frame is the canonical Figure 2 wire image whatever path the
+arrival took (radio, session publish, UDP datagram, link replay).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.link import SequenceWindow
+from repro.core.envelopes import StreamArrival
+from repro.core.streamid import StreamId
+from repro.store.base import StreamStore
+
+
+class StoreTap:
+    """Dedupe-guarded append adapter installed into dispatchers."""
+
+    __slots__ = ("store", "_codec", "_window", "_seen", "_skip_counter")
+
+    def __init__(
+        self, store: StreamStore, codec: Any, window: int = 512
+    ) -> None:
+        self.store = store
+        self._codec = codec
+        self._window = window
+        self._seen: dict[StreamId, SequenceWindow] = {}
+        self._skip_counter = store.stats.counter("duplicates_skipped")
+
+    def record(self, arrival: StreamArrival) -> bool:
+        """Append one arrival; False when the dedupe window skipped it."""
+        message = arrival.message
+        stream_id = message.stream_id
+        entry = self._seen.get(stream_id)
+        if entry is None:
+            entry = SequenceWindow(self._window)
+            self._seen[stream_id] = entry
+        if not entry.add(message.sequence):
+            self._skip_counter.inc()
+            return False
+        self.store.append(
+            stream_id,
+            arrival.received_at,
+            arrival.receiver_id,
+            self._codec.encode(message),
+        )
+        return True
+
+
+__all__ = ["StoreTap"]

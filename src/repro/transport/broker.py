@@ -37,13 +37,21 @@ from repro.transport.framing import (
     CLOSE,
     DISCOVER,
     HELLO,
+    MAX_CONTROL_FRAME,
     PING,
+    QUERY,
     RESPONSE_FLAG,
     SUBSCRIBE,
     UNSUBSCRIBE,
     ControlFrameAssembler,
     encode_control_frame,
 )
+
+#: Ceiling on the hex-encoded record bytes one QUERY response carries;
+#: leaves headroom under MAX_CONTROL_FRAME for the JSON scaffolding.
+#: Responses that would exceed it are cut short with ``truncated: true``
+#: so the client can page with ``start=<last received_at>``.
+_QUERY_RESPONSE_BUDGET = MAX_CONTROL_FRAME // 2
 
 
 def _default_deployment() -> Any:
@@ -290,6 +298,8 @@ class LiveBroker:
                 return self._on_discover(connection, body)
             if frame_type == ADVERTISE:
                 return self._on_advertise(connection, body)
+            if frame_type == QUERY:
+                return self._on_query(connection, body)
             if frame_type == PING:
                 return {"ok": True, "time": self.deployment.sim.now}
             if frame_type == CLOSE:
@@ -347,9 +357,49 @@ class LiveBroker:
             kind=body.get("kind"),
             derived=body.get("derived"),
         )
-        subscription_id = connection.session.subscribe(pattern)
+        replay = body.get("replay") or "none"
+        subscription_id = connection.session.subscribe(
+            pattern, replay=str(replay)
+        )
         self._pump()
         return {"ok": True, "subscription_id": subscription_id}
+
+    def _on_query(self, connection: _ClientConnection, body: dict) -> dict:
+        store = self.deployment.store
+        if store is None:
+            raise TransportError(
+                "this broker has no stream store (store_enabled=False)"
+            )
+        raw_stream = body["stream_id"]
+        stream_id = StreamId(int(raw_stream[0]), int(raw_stream[1]))
+        start = body.get("start")
+        end = body.get("end")
+        limit = body.get("limit")
+        records = store.read(
+            stream_id,
+            start=float(start) if start is not None else None,
+            end=float(end) if end is not None else None,
+            limit=int(limit) if limit is not None else None,
+        )
+        store.stats.queries += 1
+        store.stats.records_queried += len(records)
+        entries = []
+        budget = _QUERY_RESPONSE_BUDGET
+        truncated = False
+        for record in records:
+            hex_frame = record.frame.hex()
+            if len(hex_frame) > budget:
+                truncated = True
+                break
+            budget -= len(hex_frame)
+            entries.append(
+                {
+                    "received_at": record.received_at,
+                    "receiver_id": record.receiver_id,
+                    "frame": hex_frame,
+                }
+            )
+        return {"ok": True, "records": entries, "truncated": truncated}
 
     def _on_discover(
         self, connection: _ClientConnection, body: dict

@@ -22,6 +22,7 @@ import asyncio
 import contextlib
 import sys
 
+from repro.errors import TransportError
 from repro.transport.broker import LiveBroker
 
 #: Default control port; chosen outside the ephemeral range and free of
@@ -57,18 +58,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve a deployment whose codec skips the Figure 2 CRC",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="retain published streams in a store (enables "
+        "replay='history' subscriptions and QUERY)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the store as file segments under DIR "
+        "(implies --store; default: in-memory segments)",
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
     deployment = None
-    if args.no_checksum:
+    if args.no_checksum or args.store or args.store_dir:
         from repro.core.config import GarnetConfig
         from repro.core.middleware import Garnet
 
         deployment = Garnet(
             config=GarnetConfig(
-                publish_location_stream=False, checksum=False
+                publish_location_stream=False,
+                checksum=not args.no_checksum,
+                store_enabled=bool(args.store or args.store_dir),
+                store_backend="file" if args.store_dir else "memory",
+                store_dir=args.store_dir,
             )
         )
     broker = LiveBroker(
@@ -93,17 +111,38 @@ async def _serve(args: argparse.Namespace) -> None:
 
 
 def parse_announce(line: str) -> tuple[str, int, int]:
-    """``(host, control_port, data_port)`` from the announce line."""
+    """``(host, control_port, data_port)`` from the announce line.
+
+    Raises :class:`TransportError` with the offending input for
+    anything that is not a complete, well-formed announce line —
+    scripts scrape this off a subprocess pipe, where truncation and
+    interleaved output are facts of life and a clear error beats a
+    KeyError three frames deep.
+    """
     if not line.startswith(ANNOUNCE_PREFIX):
-        raise ValueError(f"not an announce line: {line!r}")
+        raise TransportError(f"not a garnet-broker announce line: {line!r}")
     fields = dict(
         part.split("=", 1)
         for part in line[len(ANNOUNCE_PREFIX) :].split()
         if "=" in part
     )
-    control_host, control_port = fields["control"].rsplit(":", 1)
-    _, data_port = fields["data"].rsplit(":", 1)
-    return control_host, int(control_port), int(data_port)
+    endpoints = {}
+    for label in ("control", "data"):
+        value = fields.get(label)
+        if value is None:
+            raise TransportError(
+                f"announce line is missing its {label}= endpoint "
+                f"(truncated?): {line!r}"
+            )
+        host, _, port = value.rpartition(":")
+        if not host or not port.isdigit():
+            raise TransportError(
+                f"announce {label}= endpoint {value!r} is not host:port: "
+                f"{line!r}"
+            )
+        endpoints[label] = (host, int(port))
+    control_host, control_port = endpoints["control"]
+    return control_host, control_port, endpoints["data"][1]
 
 
 def main(argv: list[str] | None = None) -> int:

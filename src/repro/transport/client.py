@@ -37,6 +37,7 @@ from repro.transport.framing import (
     DISCOVER,
     HELLO,
     PING,
+    QUERY,
     RESPONSE_FLAG,
     SUBSCRIBE,
     UNSUBSCRIBE,
@@ -168,7 +169,13 @@ class LiveSession:
         stream_index: int | None = None,
         kind: str | None = None,
         derived: bool | None = None,
+        replay: str = "none",
     ) -> int:
+        """Install a subscription; ``replay`` mirrors the simulated
+        session's vocabulary (``'none' | 'orphans' | 'history'``) — with
+        ``'history'`` the broker replays the stream store's retained
+        records as ordinary data-plane datagrams before live delivery
+        continues."""
         self._require_open()
         body = {
             "stream_id": list(stream_id) if stream_id is not None else None,
@@ -176,11 +183,54 @@ class LiveSession:
             "stream_index": stream_index,
             "kind": kind,
             "derived": derived,
+            "replay": replay,
         }
         response = self._request(SUBSCRIBE, body)
         subscription_id = int(response["subscription_id"])
         self._subscriptions[subscription_id] = body
         return subscription_id
+
+    def query(
+        self,
+        stream_id: StreamId,
+        start: float | None = None,
+        end: float | None = None,
+        limit: int | None = None,
+    ) -> list[StreamArrival]:
+        """Read one stream's retained history from the broker's store.
+
+        Mirrors :meth:`GarnetSession.query`; records come back over the
+        control plane (hex-encoded codec frames) and are decoded into
+        :class:`StreamArrival` values. A response the broker had to cut
+        short (control frames are bounded) raises ``TransportError`` —
+        page with ``start``/``limit`` instead.
+        """
+        self._require_open()
+        response = self._request(
+            QUERY,
+            {
+                "stream_id": list(stream_id),
+                "start": start,
+                "end": end,
+                "limit": limit,
+            },
+        )
+        if response.get("truncated"):
+            raise TransportError(
+                "query response truncated by the control-frame cap; "
+                "narrow the range or pass a limit"
+            )
+        arrivals = []
+        for entry in response["records"]:
+            message = self._codec.decode(bytes.fromhex(entry["frame"]))
+            arrivals.append(
+                StreamArrival(
+                    message=message,
+                    received_at=float(entry["received_at"]),
+                    receiver_id=int(entry["receiver_id"]),
+                )
+            )
+        return arrivals
 
     def unsubscribe(self, subscription_id: int) -> None:
         self._require_open()
@@ -294,9 +344,26 @@ class LiveSession:
         self.close()
 
 
-def connect(url: str, name: str, **kwargs: Any) -> LiveSession:
-    """Open a :class:`LiveSession` against a running broker."""
-    return LiveSession(url, name, **kwargs)
+def connect(
+    url: str,
+    name: str | None = None,
+    *,
+    checksum: bool = True,
+    timeout: float = 10.0,
+) -> LiveSession:
+    """Open a :class:`LiveSession` against a running broker.
+
+    Thin alias over the unified connect path: the arguments are packed
+    into a :class:`~repro.core.connect.ConnectOptions` and validated
+    exactly as :meth:`Garnet.connect(url=...) <repro.core.middleware.
+    Garnet.connect>` would.
+    """
+    from repro.core.connect import ConnectOptions, open_live_session
+
+    options = ConnectOptions(
+        name=name, url=url, checksum=checksum, timeout=timeout
+    ).validate()
+    return open_live_session(options)
 
 
 __all__ = ["LiveSession", "connect"]

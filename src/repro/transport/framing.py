@@ -48,6 +48,7 @@ DISCOVER = 0x04
 ADVERTISE = 0x05
 PING = 0x06
 CLOSE = 0x07
+QUERY = 0x08
 
 CONTROL_FRAME_NAMES: dict[int, str] = {
     HELLO: "HELLO",
@@ -57,6 +58,7 @@ CONTROL_FRAME_NAMES: dict[int, str] = {
     ADVERTISE: "ADVERTISE",
     PING: "PING",
     CLOSE: "CLOSE",
+    QUERY: "QUERY",
 }
 
 
@@ -131,6 +133,7 @@ __all__ = [
     "ADVERTISE",
     "PING",
     "CLOSE",
+    "QUERY",
     "CONTROL_FRAME_NAMES",
     "encode_control_frame",
     "ControlFrameAssembler",

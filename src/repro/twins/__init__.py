@@ -1,0 +1,129 @@
+"""repro.twins: last-known digital-twin state per sensor.
+
+The durable stream store (:mod:`repro.store`) retains the tail of every
+stream; a *twin* is the materialised read model over it — "what is the
+most recent value of each of this sensor's streams, and when did we see
+it". The paper's Section 5 dashboards want exactly this shape: not the
+firehose, but the current picture of the field, one card per sensor.
+
+:class:`TwinView` is a cheap facade over a deployment's store (obtain
+one from :meth:`Garnet.twins`); it holds no state of its own — every
+call reads the store's per-stream ``last`` record, which the
+:class:`~repro.store.StreamStore` maintains in O(1) per append — so a
+view is never stale and never needs invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.streamid import StreamId
+from repro.errors import StoreError
+
+__all__ = ["SensorTwin", "TwinProperty", "TwinView"]
+
+
+@dataclass(frozen=True, slots=True)
+class TwinProperty:
+    """One stream's last-known value inside a sensor twin."""
+
+    stream_id: StreamId
+    kind: str
+    payload: bytes
+    sequence: int
+    received_at: float
+    receiver_id: int
+
+    @property
+    def stream_index(self) -> int:
+        return self.stream_id.stream_index
+
+
+@dataclass(frozen=True, slots=True)
+class SensorTwin:
+    """Last-known state of one sensor: a property per retained stream."""
+
+    sensor_id: int
+    derived: bool
+    properties: tuple[TwinProperty, ...] = field(default_factory=tuple)
+
+    @property
+    def last_seen(self) -> float:
+        """Most recent ``received_at`` across this twin's properties."""
+        return max(prop.received_at for prop in self.properties)
+
+    def property_for(self, stream_index: int) -> TwinProperty | None:
+        for prop in self.properties:
+            if prop.stream_index == stream_index:
+                return prop
+        return None
+
+
+class TwinView:
+    """Read-model facade over the store's per-stream last records."""
+
+    __slots__ = ("_deployment",)
+
+    def __init__(self, deployment: Any) -> None:
+        if deployment.store is None:
+            raise StoreError(
+                "twins require store_enabled=True on the deployment"
+            )
+        self._deployment = deployment
+
+    def _kind_of(self, stream_id: StreamId) -> str:
+        descriptor = self._deployment.registry.find(stream_id)
+        return descriptor.kind if descriptor is not None else ""
+
+    def sensor_ids(self) -> list[int]:
+        """Every sensor (or virtual publisher) with retained state."""
+        store = self._deployment.store
+        return sorted({sid.sensor_id for sid in store.streams()})
+
+    def twin(self, sensor_id: int) -> SensorTwin | None:
+        """Materialise one sensor's twin; None if nothing is retained."""
+        store = self._deployment.store
+        codec = self._deployment.codec
+        properties = []
+        derived = False
+        for stream_id in store.streams():
+            if stream_id.sensor_id != sensor_id:
+                continue
+            record = store.last(stream_id)
+            if record is None:
+                continue
+            message = codec.decode(record.frame)
+            derived = derived or stream_id.is_derived
+            properties.append(
+                TwinProperty(
+                    stream_id=stream_id,
+                    kind=self._kind_of(stream_id),
+                    payload=message.payload,
+                    sequence=message.sequence,
+                    received_at=record.received_at,
+                    receiver_id=record.receiver_id,
+                )
+            )
+        if not properties:
+            return None
+        properties.sort(key=lambda prop: prop.stream_index)
+        return SensorTwin(
+            sensor_id=sensor_id,
+            derived=derived,
+            properties=tuple(properties),
+        )
+
+    def all(self) -> list[SensorTwin]:
+        """Every materialisable twin, sorted by sensor id."""
+        twins = []
+        for sensor_id in self.sensor_ids():
+            twin = self.twin(sensor_id)
+            if twin is not None:
+                twins.append(twin)
+        return twins
+
+    def refresh(self, sensor_id: int) -> SensorTwin | None:
+        """Alias of :meth:`twin` — the view reads through, so a refresh
+        is just another materialisation."""
+        return self.twin(sensor_id)

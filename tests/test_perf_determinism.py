@@ -57,7 +57,11 @@ CODEC = SampleCodec(0.0, 100.0)
 
 
 def build_deployment(
-    seed: int, *, spatial_index: bool = True, cluster: bool = False
+    seed: int,
+    *,
+    spatial_index: bool = True,
+    cluster: bool = False,
+    store: bool = False,
 ) -> tuple[Garnet, list[CollectingConsumer]]:
     area = Rect(0.0, 0.0, 1200.0, 1200.0)
     config = GarnetConfig(
@@ -70,6 +74,7 @@ def build_deployment(
         wireless_spatial_index=spatial_index,
         cluster_enabled=cluster,
         cluster_brokers=2,
+        store_enabled=store,
     )
     deployment = Garnet(config=config, seed=seed)
     deployment.define_sensor_type("g", {})
@@ -105,10 +110,15 @@ def build_deployment(
 
 
 def run_digest(
-    seed: int, *, spatial_index: bool = True, cluster: bool = False
+    seed: int,
+    *,
+    spatial_index: bool = True,
+    cluster: bool = False,
+    store: bool = False,
+    trace_only: bool = False,
 ) -> str:
     deployment, consumers = build_deployment(
-        seed, spatial_index=spatial_index, cluster=cluster
+        seed, spatial_index=spatial_index, cluster=cluster, store=store
     )
     deployment.run(DURATION)
     hasher = hashlib.sha256()
@@ -122,8 +132,9 @@ def run_digest(
                 f"{arrival.delivered_at!r}\n"
             )
             hasher.update(record.encode())
-    for key, value in sorted(deployment.summary().items()):
-        hasher.update(f"{key}={value!r}\n".encode())
+    if not trace_only:
+        for key, value in sorted(deployment.summary().items()):
+            hasher.update(f"{key}={value!r}\n".encode())
     stats = deployment.medium.stats
     hasher.update(
         f"medium|{stats.transmissions}|{stats.deliveries}|"
@@ -162,3 +173,27 @@ def test_cluster_enabled_matches_recorded_digest():
     # broadcast and link forwarding must all be seed-stable across
     # processes and commits.
     assert run_digest(SEED, cluster=True) == CLUSTER_GOLDEN_DIGEST
+
+
+def test_store_disabled_is_byte_identical():
+    # The store kill switch: store_* config fields exist but
+    # store_enabled=False must not perturb a single event, RNG draw or
+    # metric relative to the pre-store build.
+    assert run_digest(SEED, store=False) == GOLDEN_DIGEST
+
+
+def test_store_enabled_leaves_the_delivery_trace_untouched():
+    # Store appends are a synchronous write-through with no events and
+    # no RNG draws: with the summary's store.* keys excluded, the
+    # store-on run is byte-identical to the golden trace, single-broker
+    # and clustered alike.
+    assert run_digest(SEED, store=True, trace_only=True) == run_digest(
+        SEED, trace_only=True
+    )
+    assert run_digest(
+        SEED, cluster=True, store=True, trace_only=True
+    ) == run_digest(SEED, cluster=True, trace_only=True)
+
+
+def test_store_enabled_is_deterministic():
+    assert run_digest(SEED, store=True) == run_digest(SEED, store=True)

@@ -7,6 +7,7 @@ exercises that CLI as a real subprocess.
 """
 
 import asyncio
+import random
 import socket
 import subprocess
 import sys
@@ -41,13 +42,13 @@ def poll_until(predicate, timeout=5.0, interval=0.005):
 class BrokerHarness:
     """Run a LiveBroker on its own event loop in a daemon thread."""
 
-    def __init__(self):
+    def __init__(self, deployment=None):
         self.loop = asyncio.new_event_loop()
         self.thread = threading.Thread(
             target=self.loop.run_forever, name="broker-loop", daemon=True
         )
         self.thread.start()
-        self.broker = LiveBroker()
+        self.broker = LiveBroker(deployment=deployment)
         asyncio.run_coroutine_threadsafe(
             self.broker.start(), self.loop
         ).result(10)
@@ -68,6 +69,21 @@ class BrokerHarness:
 @pytest.fixture
 def harness():
     h = BrokerHarness()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def store_harness():
+    from repro.core.config import GarnetConfig
+    from repro.core.middleware import Garnet
+
+    deployment = Garnet(
+        config=GarnetConfig(
+            publish_location_stream=False, store_enabled=True
+        )
+    )
+    h = BrokerHarness(deployment=deployment)
     yield h
     h.stop()
 
@@ -241,6 +257,60 @@ class TestRawSocketEdges:
         assert frames[1][1]["time"] >= 0.0
 
 
+class TestStoreOverTheWire:
+    """QUERY frames and replay='history' subscriptions over sockets."""
+
+    def test_query_returns_retained_history(self, store_harness):
+        with connect(store_harness.url, "pub") as publisher, connect(
+            store_harness.url, "reader"
+        ) as reader:
+            stream = None
+            for index in range(4):
+                stream = publisher.publish(0, bytes([index]), kind="temp")
+            store = store_harness.broker.deployment.store
+            assert poll_until(lambda: store.record_count(stream) == 4)
+            arrivals = reader.query(stream)
+            assert [a.message.payload for a in arrivals] == [
+                bytes([i]) for i in range(4)
+            ]
+            # Time-range and limit narrowing happen broker-side.
+            assert len(reader.query(stream, limit=2)) == 2
+            latest = arrivals[-1].received_at
+            tail = reader.query(stream, start=latest)
+            assert tail[-1].message.sequence == 3
+            assert all(a.received_at >= latest for a in tail)
+
+    def test_query_without_store_is_refused(self, harness):
+        with connect(harness.url, "reader") as reader:
+            with pytest.raises(TransportError, match="store"):
+                reader.query(StreamId(1, 0))
+
+    def test_history_replay_catches_up_late_joiner(self, store_harness):
+        with connect(store_harness.url, "pub") as publisher, connect(
+            store_harness.url, "late"
+        ) as late:
+            stream = None
+            for index in range(5):
+                stream = publisher.publish(0, bytes([index]), kind="temp")
+            store = store_harness.broker.deployment.store
+            assert poll_until(lambda: store.record_count(stream) == 5)
+            received = []
+            late.on_data(
+                lambda arrival: received.append(arrival.message.payload)
+            )
+            late.subscribe(stream_id=stream, replay="history")
+            assert poll_until(lambda: len(received) == 5)
+            # ...and the handover to live delivery is seamless.
+            publisher.publish(0, b"live", kind="temp")
+            assert poll_until(lambda: len(received) == 6)
+            assert received == [bytes([i]) for i in range(5)] + [b"live"]
+
+    def test_history_replay_without_store_is_refused(self, harness):
+        with connect(harness.url, "late") as late:
+            with pytest.raises(TransportError, match="store_enabled"):
+                late.subscribe(kind="temp", replay="history")
+
+
 class TestGarnetConnectUrl:
     def test_middleware_connect_dispatches_to_live_session(self, harness):
         from repro.core.config import GarnetConfig
@@ -300,5 +370,56 @@ class TestBrokerCli:
                 process.wait(timeout=10)
 
     def test_parse_announce_rejects_other_lines(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TransportError):
             parse_announce("Traceback (most recent call last):")
+
+    def test_parse_announce_roundtrips_the_emitted_format(self):
+        line = "garnet-broker listening control=127.0.0.1:7341 data=127.0.0.1:54012"
+        assert parse_announce(line) == ("127.0.0.1", 7341, 54012)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "garnet-broker listening",
+            "garnet-broker listening control=127.0.0.1:7341",
+            "garnet-broker listening data=127.0.0.1:54012",
+            "garnet-broker listening control=127.0.0.1 data=127.0.0.1:1",
+            "garnet-broker listening control=:7341 data=127.0.0.1:1",
+            "garnet-broker listening control=127.0.0.1:x data=127.0.0.1:1",
+            "garnet-broker listening control=127.0.0.1:7341 data=garbage",
+        ],
+    )
+    def test_parse_announce_raises_transport_error_on_garbled(self, line):
+        with pytest.raises(TransportError):
+            parse_announce(line)
+
+    def test_parse_announce_survives_fuzzed_truncation(self):
+        # Every prefix of a valid announce line either parses to the
+        # full result (only when complete) or raises TransportError —
+        # never KeyError/ValueError/IndexError from the guts.
+        line = "garnet-broker listening control=10.0.0.9:7341 data=10.0.0.9:54012"
+        rng = random.Random(0xE21)
+        cuts = set(range(len(line))) | {
+            rng.randrange(len(line)) for _ in range(64)
+        }
+        for cut in sorted(cuts):
+            truncated = line[:cut]
+            try:
+                parsed = parse_announce(truncated)
+            except TransportError:
+                continue
+            # A prefix cut can only shorten the final (data-port)
+            # digits; everything before it must have parsed intact.
+            assert parsed[:2] == ("10.0.0.9", 7341)
+            assert str(parsed[2]) == "54012"[: len(str(parsed[2]))]
+        # Garbled interior bytes must also fail cleanly.
+        for _ in range(128):
+            chars = list(line)
+            for _ in range(rng.randrange(1, 4)):
+                chars[rng.randrange(len(chars))] = chr(rng.randrange(32, 127))
+            mutated = "".join(chars)
+            try:
+                parse_announce(mutated)
+            except TransportError:
+                pass
