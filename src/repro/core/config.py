@@ -163,6 +163,17 @@ class GarnetConfig:
     transport_host: str = "127.0.0.1"
     transport_control_port: int = 0
     transport_data_port: int = 0
+    # Resilient live sessions: ``transport_resume_grace`` keeps a
+    # disconnected client's server-side session (subscriptions, parked
+    # deliveries, publisher id) alive for that many wall-clock seconds
+    # so a RESUME with the session's token can pick up where it left
+    # off. None (the default) disables parking entirely — a dropped
+    # control connection tears the session down immediately, the
+    # pre-resume behaviour. ``transport_park_capacity`` bounds the
+    # per-session parked-delivery buffer; overflow evicts oldest (the
+    # store, when enabled, still repairs evicted records on resume).
+    transport_resume_grace: float | None = None
+    transport_park_capacity: int = 4096
 
     # Super Coordinator
     predictive_coordinator: bool = False
@@ -191,6 +202,17 @@ class GarnetConfig:
             raise ConfigurationError("deployment area must have extent")
         if self.broker_lease_ttl is not None and self.broker_lease_ttl <= 0:
             raise ConfigurationError("broker_lease_ttl must be positive")
+        if (
+            self.transport_resume_grace is not None
+            and self.transport_resume_grace <= 0
+        ):
+            raise ConfigurationError(
+                "transport_resume_grace must be positive or None"
+            )
+        if self.transport_park_capacity < 1:
+            raise ConfigurationError(
+                "transport_park_capacity must be at least 1"
+            )
         if (
             self.session_heartbeat_period is not None
             and self.session_heartbeat_period <= 0

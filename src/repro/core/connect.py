@@ -45,9 +45,16 @@ class ConnectOptions:
     ``name``/``token``/``permissions`` identify the consumer;
     ``heartbeat_period`` and ``broker`` shape a *simulated* session
     (lease heartbeating, cluster homing); ``url`` switches to the live
-    socket transport, whose only extra knobs are ``checksum`` and
-    ``timeout``. :meth:`validate` enforces that the two halves never
-    mix.
+    socket transport, whose extra knobs are ``checksum``, ``timeout``,
+    ``reconnect`` and ``keepalive``. :meth:`validate` enforces that the
+    two halves never mix.
+
+    ``reconnect`` opts a live session into the resilience loop: pass a
+    :class:`~repro.util.backoff.BackoffPolicy` to control the re-dial
+    schedule, or ``True`` for the default policy. Off (``None``, the
+    default) preserves the historical fail-fast behaviour. ``keepalive``
+    is the period in seconds of liveness PINGs (``None`` lets the
+    session pick one when reconnect is enabled, otherwise off).
     """
 
     name: str | None = None
@@ -58,6 +65,8 @@ class ConnectOptions:
     url: str | None = None
     checksum: bool = _DEFAULT_CHECKSUM
     timeout: float = _DEFAULT_TIMEOUT
+    reconnect: Any | None = None
+    keepalive: float | None = None
 
     @property
     def live(self) -> bool:
@@ -93,6 +102,19 @@ class ConnectOptions:
                 raise ConfigurationError(
                     f"connect timeout must be positive, got {self.timeout}"
                 )
+            if self.keepalive is not None and self.keepalive <= 0:
+                raise ConfigurationError(
+                    f"connect keepalive must be positive, got "
+                    f"{self.keepalive}"
+                )
+            if self.reconnect is not None and self.reconnect is not True:
+                from repro.util.backoff import BackoffPolicy
+
+                if not isinstance(self.reconnect, BackoffPolicy):
+                    raise ConfigurationError(
+                        "connect reconnect must be None, True or a "
+                        f"BackoffPolicy, got {self.reconnect!r}"
+                    )
             if self.name is None:
                 raise RegistrationError(
                     "connect(url=...) needs an explicit session name"
@@ -103,6 +125,8 @@ class ConnectOptions:
             for label, given in (
                 ("checksum", self.checksum is not _DEFAULT_CHECKSUM),
                 ("timeout", self.timeout != _DEFAULT_TIMEOUT),
+                ("reconnect", self.reconnect is not None),
+                ("keepalive", self.keepalive is not None),
             )
             if given
         ]
@@ -128,6 +152,8 @@ def open_live_session(options: ConnectOptions):
         options.name,
         checksum=options.checksum,
         timeout=options.timeout,
+        reconnect=options.reconnect,
+        keepalive=options.keepalive,
     )
 
 

@@ -550,6 +550,30 @@ class Garnet:
         """
         return self._publisher_ids.allocate()
 
+    def release_publisher_id(self, value: int) -> None:
+        """Return a virtual-sensor publisher id to the pool.
+
+        Used by the live transport when it reaps a vanished client's
+        session: simulated sessions keep their id for the deployment's
+        lifetime (reuse would let a late frame impersonate a new
+        publisher within one deterministic run), but a reaped live
+        client is gone for good and millions of sessions would otherwise
+        exhaust the virtual range.
+        """
+        self._publisher_ids.release(value)
+
+    def reserve_publisher_id(self, value: int) -> int:
+        """Claim a specific virtual-sensor publisher id.
+
+        The live broker reserves the ids named in a persisted session
+        table at startup so that clients connecting before those
+        sessions resume cannot be handed an id whose streams (and
+        subscriber dedupe state) already exist. Raises
+        :class:`~repro.util.ids.IdExhaustedError` when the id is
+        already taken.
+        """
+        return self._publisher_ids.reserve(value)
+
     def issue_token(
         self, principal: str, permissions: Permission | None = None
     ) -> Token:
@@ -671,6 +695,8 @@ class Garnet:
         url: str | None = None,
         checksum: bool = True,
         timeout: float = 10.0,
+        reconnect: Any | None = None,
+        keepalive: float | None = None,
         options: ConnectOptions | None = None,
     ) -> GarnetSession:
         """Open a :class:`GarnetSession`: the consumer-side front door.
@@ -748,6 +774,8 @@ class Garnet:
                 or url is not None
                 or checksum is not True
                 or timeout != 10.0
+                or reconnect is not None
+                or keepalive is not None
             )
             if explicit:
                 raise ConfigurationError(
@@ -764,6 +792,8 @@ class Garnet:
                 url=url,
                 checksum=checksum,
                 timeout=timeout,
+                reconnect=reconnect,
+                keepalive=keepalive,
             )
         options.validate()
         if options.live:

@@ -388,6 +388,30 @@ class GarnetSession:
             self._publisher_id = self.allocate_publisher_id()
         return self._publisher_id
 
+    def adopt_publisher_id(self, value: int, *, reserved: bool = False) -> int:
+        """Claim a specific publisher id (live-transport session resume).
+
+        A broker restarted with persisted session state must hand a
+        resuming client the id its published streams already carry;
+        reserving it keeps the pool from re-allocating it to anyone
+        else. ``reserved=True`` skips the pool claim for callers that
+        already hold the reservation (the live broker reserves every
+        persisted session's id at startup). Raises
+        :class:`SessionError` when this session already holds a
+        different id.
+        """
+        if self._publisher_id is not None:
+            if self._publisher_id != value:
+                raise SessionError(
+                    f"session {self._name!r} already publishes as "
+                    f"{self._publisher_id}, cannot adopt {value}"
+                )
+            return value
+        if not reserved:
+            self._deployment._publisher_ids.reserve(value)
+        self._publisher_id = value
+        return value
+
     @property
     def publisher_id(self) -> int | None:
         return self._publisher_id

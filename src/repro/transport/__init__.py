@@ -13,7 +13,12 @@ localhost:
   control plane (register/subscribe/discover/advertise), UDP for the
   data plane (codec-framed publishes and deliveries);
 - :class:`LiveSession` is the synchronous client, mirroring the
-  :class:`~repro.core.session.GarnetSession` surface;
+  :class:`~repro.core.session.GarnetSession` surface; with
+  ``reconnect=`` it survives broker loss via resume tokens, gap repair
+  and a backoff-driven re-dial loop (see :mod:`repro.transport.client`);
+- :class:`ChaosProxy` (:mod:`repro.transport.chaos`) injects scripted
+  faults — datagram loss, latency, connection resets, blackholes,
+  broker restarts — between a live session and its broker;
 - ``garnet-broker`` (:mod:`repro.transport.cli`) boots a broker from
   the command line.
 
@@ -35,6 +40,13 @@ _LAZY = {
     "LiveBroker": "repro.transport.broker",
     "LiveSession": "repro.transport.client",
     "connect": "repro.transport.client",
+    "DEFAULT_RECONNECT_POLICY": "repro.transport.client",
+    "ChaosProxy": "repro.transport.chaos",
+    "DatagramLoss": "repro.transport.chaos",
+    "LinkLatency": "repro.transport.chaos",
+    "ConnectionReset": "repro.transport.chaos",
+    "Blackhole": "repro.transport.chaos",
+    "BrokerRestart": "repro.transport.chaos",
 }
 
 
@@ -56,4 +68,11 @@ __all__ = [
     "LiveBroker",
     "LiveSession",
     "connect",
+    "DEFAULT_RECONNECT_POLICY",
+    "ChaosProxy",
+    "DatagramLoss",
+    "LinkLatency",
+    "ConnectionReset",
+    "Blackhole",
+    "BrokerRestart",
 ]

@@ -19,12 +19,34 @@ kernel is pumped to quiescence (``run_until_idle``), which fires any
 resulting deliveries synchronously. The deployment therefore must not
 carry unbounded periodic tasks (the default broker deployment disables
 the location beacon for exactly this reason).
+
+**Resilience (PR 8).** With a ``resume_grace`` window configured
+(``transport_resume_grace`` / ``garnet-broker --resume-grace``), a
+client whose control connection drops *without* a CLOSE is **parked**
+rather than torn down: its server-side session, subscriptions and
+publisher id stay alive for the grace window, deliveries accumulate in
+a bounded parked buffer, and the session token issued at HELLO doubles
+as a **resume token**. A RESUME frame on a fresh connection re-attaches
+the session and replays only what the client missed — store records
+past the client's per-stream cursors plus parked deliveries, deduped so
+each missed record is sent exactly once. NACK frames answer per-stream
+gap-repair requests from the store. When the deployment's broker runs
+leases (``broker_lease_ttl``), a housekeeping task maps the wall clock
+onto the simulation clock so vanished clients (missed keepalive PINGs,
+UDP inactivity) expire their leases and are reaped — their
+subscriptions and publisher ids are freed. A ``sessions_path`` persists
+the resumable-session table so RESUME survives a broker restart.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import json
+import secrets
 import socket
+from collections import deque
+from pathlib import Path
 from typing import Any
 
 from repro.core.dispatching import INBOX as DISPATCH_INBOX
@@ -38,20 +60,28 @@ from repro.transport.framing import (
     DISCOVER,
     HELLO,
     MAX_CONTROL_FRAME,
+    NACK,
     PING,
     QUERY,
     RESPONSE_FLAG,
+    RESUME,
     SUBSCRIBE,
     UNSUBSCRIBE,
     ControlFrameAssembler,
     encode_control_frame,
 )
+from repro.util.ids import sequence_is_newer
 
 #: Ceiling on the hex-encoded record bytes one QUERY response carries;
 #: leaves headroom under MAX_CONTROL_FRAME for the JSON scaffolding.
 #: Responses that would exceed it are cut short with ``truncated: true``
 #: so the client can page with ``start=<last received_at>``.
 _QUERY_RESPONSE_BUDGET = MAX_CONTROL_FRAME // 2
+
+#: A NACK answers at most this many repair records; clients batch their
+#: missing sequences accordingly (the LiveSession caps its batches well
+#: below this).
+_NACK_RESPONSE_BUDGET = _QUERY_RESPONSE_BUDGET
 
 
 def _default_deployment() -> Any:
@@ -63,20 +93,148 @@ def _default_deployment() -> Any:
     return Garnet(config=GarnetConfig(publish_location_stream=False))
 
 
+def _pattern_from_body(body: dict) -> SubscriptionPattern:
+    stream_id = body.get("stream_id")
+    return SubscriptionPattern(
+        stream_id=(
+            StreamId(int(stream_id[0]), int(stream_id[1]))
+            if stream_id is not None
+            else None
+        ),
+        sensor_id=(
+            int(body["sensor_id"])
+            if body.get("sensor_id") is not None
+            else None
+        ),
+        stream_index=(
+            int(body["stream_index"])
+            if body.get("stream_index") is not None
+            else None
+        ),
+        kind=body.get("kind"),
+        derived=body.get("derived"),
+    )
+
+
+def _frame_stream_key(frame: bytes) -> str:
+    """``"sensor:index"`` from a raw §2 data-message frame."""
+    return f"{int.from_bytes(frame[1:4], 'big')}:{frame[4]}"
+
+
+def _frame_sequence(frame: bytes) -> int:
+    return int.from_bytes(frame[5:7], "big")
+
+
+class _SessionState:
+    """The resumable half of one client session.
+
+    Outlives the TCP connection that created it: while no connection is
+    attached (``udp_address is None``) the state is *parked* —
+    deliveries buffer into ``parked`` and the token stays valid until
+    ``deadline``. ``session`` is None only for states reloaded from a
+    persisted sessions file after a broker restart; RESUME revives them.
+    """
+
+    __slots__ = (
+        "token",
+        "name",
+        "udp_port",
+        "keepalive",
+        "session",
+        "publisher_id",
+        "subscriptions",
+        "advertised",
+        "udp_address",
+        "parked",
+        "parked_dropped",
+        "deadline",
+    )
+
+    def __init__(
+        self, token: str, name: str, udp_port: int, park_capacity: int
+    ) -> None:
+        self.token = token
+        self.name = name
+        self.udp_port = udp_port
+        self.keepalive: float | None = None
+        self.session: Any | None = None
+        self.publisher_id: int | None = None
+        self.subscriptions: dict[int, dict] = {}
+        self.advertised: dict[int, tuple[str, bool]] = {}
+        self.udp_address: tuple[str, int] | None = None
+        self.parked: deque[bytes] = deque(maxlen=park_capacity)
+        self.parked_dropped = 0
+        self.deadline: float | None = None
+
+    @property
+    def parked_now(self) -> bool:
+        return self.udp_address is None
+
+    def to_record(self) -> dict:
+        return {
+            "name": self.name,
+            "udp_port": self.udp_port,
+            "publisher_id": self.publisher_id,
+            "subscriptions": {
+                str(sub_id): body
+                for sub_id, body in self.subscriptions.items()
+            },
+            "advertised": {
+                str(index): [kind, encrypted]
+                for index, (kind, encrypted) in self.advertised.items()
+            },
+        }
+
+    @classmethod
+    def from_record(
+        cls, token: str, record: dict, park_capacity: int
+    ) -> "_SessionState":
+        state = cls(
+            token, str(record["name"]), int(record["udp_port"]), park_capacity
+        )
+        raw_pid = record.get("publisher_id")
+        state.publisher_id = int(raw_pid) if raw_pid is not None else None
+        state.subscriptions = {
+            int(sub_id): dict(body)
+            for sub_id, body in record.get("subscriptions", {}).items()
+        }
+        state.advertised = {
+            int(index): (str(kind), bool(encrypted))
+            for index, (kind, encrypted) in record.get(
+                "advertised", {}
+            ).items()
+        }
+        return state
+
+
 class _ClientConnection:
     """Server-side state for one TCP control connection."""
 
     def __init__(self, broker: "LiveBroker", peer_host: str) -> None:
         self.broker = broker
         self.peer_host = peer_host
-        self.session: Any | None = None
-        self.udp_address: tuple[str, int] | None = None
+        self.state: _SessionState | None = None
         self.assembler = ControlFrameAssembler()
+        self.writer: asyncio.StreamWriter | None = None
+        self.closed_cleanly = False
+        self.last_activity = 0.0
+        self.last_renewal = 0.0
+
+    @property
+    def session(self) -> Any | None:
+        return self.state.session if self.state is not None else None
+
+    @property
+    def udp_address(self) -> tuple[str, int] | None:
+        return self.state.udp_address if self.state is not None else None
 
     def close_session(self) -> None:
-        if self.session is not None and not self.session.closed:
-            self.session.close()
-        self.session = None
+        if self.state is not None:
+            session = self.state.session
+            if session is not None and not session.closed:
+                session.close()
+            self.state.session = None
+        self.state = None
 
 
 class _DataPlaneProtocol(asyncio.DatagramProtocol):
@@ -104,6 +262,11 @@ class LiveBroker:
     ``control_port`` / ``data_port`` are the bound ports (resolved after
     :meth:`start` when 0 was requested). ``garnet-broker`` (the CLI) is
     a thin wrapper over this class.
+
+    ``resume_grace`` (default: the deployment config's
+    ``transport_resume_grace``) enables session parking and resume
+    tokens; ``sessions_path`` additionally persists the resumable
+    session table as JSON so RESUME survives a broker restart.
     """
 
     def __init__(
@@ -112,6 +275,8 @@ class LiveBroker:
         host: str | None = None,
         control_port: int | None = None,
         data_port: int | None = None,
+        resume_grace: float | None = None,
+        sessions_path: str | Path | None = None,
     ) -> None:
         self.deployment = (
             deployment if deployment is not None else _default_deployment()
@@ -128,11 +293,29 @@ class LiveBroker:
         )
         self.control_port: int | None = None
         self.data_port: int | None = None
+        self._resume_grace = (
+            resume_grace
+            if resume_grace is not None
+            else config.transport_resume_grace
+        )
+        if self._resume_grace is not None and self._resume_grace <= 0:
+            raise TransportError("resume_grace must be positive or None")
+        self._park_capacity = config.transport_park_capacity
+        self._sessions_path = (
+            Path(sessions_path) if sessions_path is not None else None
+        )
         self._codec = self.deployment.codec
         self._server: asyncio.AbstractServer | None = None
         self._udp: asyncio.DatagramTransport | None = None
         self._closed = asyncio.Event()
         self._connections: set[_ClientConnection] = set()
+        self._serve_tasks: set[asyncio.Task] = set()
+        self._states: dict[str, _SessionState] = {}
+        self._udp_peers: dict[tuple[str, int], _ClientConnection] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped = False
+        self._housekeeper: asyncio.Task | None = None
+        self._started_wall = 0.0
         metrics = self.deployment.metrics()
         self._datagrams_in = metrics.counter(
             "transport.datagrams_in", help="data-plane datagrams received"
@@ -151,12 +334,39 @@ class LiveBroker:
             "transport.unknown_control_frames",
             help="control frames of unknown type refused",
         )
+        self._sessions_parked = metrics.counter(
+            "transport.sessions_parked",
+            help="sessions parked after an unclean disconnect",
+        )
+        self._sessions_resumed = metrics.counter(
+            "transport.sessions_resumed",
+            help="parked sessions re-attached via RESUME",
+        )
+        self._sessions_reaped = metrics.counter(
+            "transport.sessions_reaped",
+            help="sessions torn down by grace expiry or lease reaping",
+        )
+        self._replayed_records = metrics.counter(
+            "transport.replayed_records",
+            help="missed records replayed to resuming clients",
+        )
+        self._parked_dropped = metrics.counter(
+            "transport.parked_deliveries_dropped",
+            help="parked deliveries evicted by the park-capacity bound",
+        )
+        self._nack_records = metrics.counter(
+            "transport.nack_records",
+            help="gap-repair records served from the store",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stopped = False
+        self._started_wall = loop.time()
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self._requested_control_port
         )
@@ -177,11 +387,29 @@ class LiveBroker:
             lambda: _DataPlaneProtocol(self), sock=udp_socket
         )
         self.data_port = self._udp.get_extra_info("sockname")[1]
+        self._load_sessions()
+        if self._resume_grace is not None or self._lease_ttl is not None:
+            self._housekeeper = loop.create_task(self._housekeeping_loop())
 
     async def stop(self) -> None:
+        self._stopped = True
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._housekeeper
+            self._housekeeper = None
+        # Persist the resumable table *before* closing the sessions so a
+        # restarted broker can still honour their tokens.
+        self._persist_sessions()
+        # Abort the client sockets so peers see EOF/RST immediately —
+        # otherwise their next request blocks for a full timeout.
         for connection in list(self._connections):
             connection.close_session()
+            self._abort_connection(connection)
         self._connections.clear()
+        for state in list(self._states.values()):
+            self._drop_state(state, persist=False)
+        self._udp_peers.clear()
         if self._udp is not None:
             self._udp.close()
             self._udp = None
@@ -189,6 +417,10 @@ class LiveBroker:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._serve_tasks:
+            await asyncio.gather(
+                *self._serve_tasks, return_exceptions=True
+            )
         self._pump()
         self._closed.set()
 
@@ -201,15 +433,174 @@ class LiveBroker:
             raise TransportError("broker not started")
         return f"garnet://{self.host}:{self.control_port}"
 
+    @property
+    def resume_grace(self) -> float | None:
+        return self._resume_grace
+
+    @property
+    def _lease_ttl(self) -> float | None:
+        return self.deployment.broker.lease_ttl
+
     def _pump(self) -> None:
         """Drain the simulation kernel after an injected event."""
         self.deployment.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # Session persistence (RESUME across broker restarts)
+    # ------------------------------------------------------------------
+    def _persist_sessions(self) -> None:
+        if self._sessions_path is None:
+            return
+        payload = {
+            token: state.to_record() for token, state in self._states.items()
+        }
+        tmp = self._sessions_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=0, sort_keys=True))
+        tmp.replace(self._sessions_path)
+
+    def _load_sessions(self) -> None:
+        if (
+            self._sessions_path is None
+            or self._resume_grace is None
+            or not self._sessions_path.exists()
+        ):
+            return
+        try:
+            payload = json.loads(self._sessions_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # a torn sessions file costs resumability, not uptime
+        deadline = self._loop.time() + self._resume_grace
+        for token, record in payload.items():
+            try:
+                state = _SessionState.from_record(
+                    token, record, self._park_capacity
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if state.publisher_id is not None:
+                # Hold the id until the session resumes or expires, so
+                # a fresh client cannot be handed an id whose streams
+                # (and subscriber dedupe state) already exist.
+                try:
+                    self.deployment.reserve_publisher_id(
+                        state.publisher_id
+                    )
+                except (GarnetError, ValueError):
+                    continue  # duplicate/garbage entry: not resumable
+            state.deadline = deadline
+            self._states[token] = state
+
+    # ------------------------------------------------------------------
+    # Housekeeping: liveness, leases, park expiry
+    # ------------------------------------------------------------------
+    async def _housekeeping_loop(self) -> None:
+        bounds = [1.0]
+        if self._resume_grace is not None:
+            bounds.append(self._resume_grace / 4)
+        if self._lease_ttl is not None:
+            bounds.append(self._lease_ttl / 4)
+        period = max(0.05, min(bounds))
+        while True:
+            await asyncio.sleep(period)
+            self._housekeeping_tick()
+
+    def _housekeeping_tick(self) -> None:
+        now = self._loop.time()
+        if self._lease_ttl is not None:
+            # Map the wall clock onto the simulation clock so the lease
+            # machinery (granted and reaped in virtual time) tracks real
+            # elapsed time; broker deployments carry no periodic tasks,
+            # so this advances the clock without firing anything else.
+            sim = self.deployment.sim
+            elapsed = now - self._started_wall
+            if elapsed > sim.now:
+                sim.run(until=elapsed)
+            # Parked sessions are the broker's promise: keep their
+            # leases warm for the whole grace window.
+            for state in self._states.values():
+                if state.parked_now and state.session is not None:
+                    state.session.heartbeat()
+            self.deployment.broker.reap_expired_leases()
+            for connection in list(self._connections):
+                session = connection.session
+                if session is None:
+                    continue
+                if (
+                    self.deployment.broker.lease_expiry(session.endpoint)
+                    is None
+                ):
+                    self._reap_connection(connection)
+        # Missed keepalives: a client that declared a PING period and
+        # went silent (blackhole, frozen process) is cut off; the
+        # disconnect path then parks or drops it per resume policy.
+        for connection in list(self._connections):
+            state = connection.state
+            if state is None or not state.keepalive:
+                continue
+            idle_limit = max(3.0 * state.keepalive, 1.0)
+            if now - connection.last_activity > idle_limit:
+                self._abort_connection(connection)
+        for state in list(self._states.values()):
+            if (
+                state.parked_now
+                and state.deadline is not None
+                and now > state.deadline
+            ):
+                self._sessions_reaped.inc()
+                self._drop_state(state)
+        self._pump()
+
+    def _reap_connection(self, connection: _ClientConnection) -> None:
+        """Tear a lease-expired client fully down (no park, no resume)."""
+        state = connection.state
+        connection.state = None
+        connection.closed_cleanly = True  # suppress parking in the finally
+        if state is not None:
+            self._sessions_reaped.inc()
+            self._drop_state(state)
+        self._abort_connection(connection)
+
+    def _abort_connection(self, connection: _ClientConnection) -> None:
+        if connection.writer is not None:
+            transport = connection.writer.transport
+            if transport is not None:
+                transport.abort()
+
+    def _drop_state(
+        self, state: _SessionState, persist: bool = True
+    ) -> None:
+        """Close the server-side session and free everything it held."""
+        self._states.pop(state.token, None)
+        session = state.session
+        state.session = None
+        if session is not None and not session.closed:
+            session.close()
+        if state.publisher_id is not None:
+            try:
+                self.deployment.release_publisher_id(state.publisher_id)
+            except ValueError:
+                pass  # never allocated server-side (revival failed early)
+            state.publisher_id = None
+        if persist:
+            self._persist_sessions()
+
+    def _park_state(self, state: _SessionState) -> None:
+        if state.udp_address is not None:
+            self._udp_peers.pop(state.udp_address, None)
+        state.udp_address = None
+        state.deadline = self._loop.time() + self._resume_grace
+        self._sessions_parked.inc()
+        self._persist_sessions()
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
     def _on_datagram(self, data: bytes, addr) -> None:
         self._datagrams_in.inc()
+        connection = self._udp_peers.get(addr)
+        if connection is not None:
+            connection.last_activity = self._loop.time()
+            self._maybe_renew_lease(connection)
         try:
             message = self._codec.decode(data)
         except GarnetError:
@@ -223,16 +614,30 @@ class LiveBroker:
         self.deployment.network.send(DISPATCH_INBOX, arrival)
         self._pump()
 
-    def _deliver_to_client(
-        self, connection: _ClientConnection, arrival: StreamArrival
+    def _deliver_to_state(
+        self, state: _SessionState, arrival: StreamArrival
     ) -> None:
-        """session.on_data hook: fan one delivery out over UDP."""
-        if self._udp is None or connection.udp_address is None:
+        """session.on_data hook: fan one delivery out over UDP (or park)."""
+        frame = self._codec.encode(arrival.message)
+        if state.udp_address is None:
+            if len(state.parked) == state.parked.maxlen:
+                state.parked_dropped += 1
+                self._parked_dropped.inc()
+            state.parked.append(frame)
             return
-        self._udp.sendto(
-            self._codec.encode(arrival.message), connection.udp_address
-        )
+        if self._udp is None:
+            return
+        self._udp.sendto(frame, state.udp_address)
         self._datagrams_out.inc()
+
+    def _maybe_renew_lease(self, connection: _ClientConnection) -> None:
+        if self._lease_ttl is None or connection.session is None:
+            return
+        now = self._loop.time()
+        if now - connection.last_renewal < min(1.0, self._lease_ttl / 4):
+            return
+        connection.last_renewal = now
+        connection.session.heartbeat()
 
     # ------------------------------------------------------------------
     # Control plane
@@ -242,6 +647,14 @@ class LiveBroker:
     ) -> None:
         peer = writer.get_extra_info("peername")
         connection = _ClientConnection(self, peer[0] if peer else self.host)
+        connection.writer = writer
+        connection.last_activity = (
+            self._loop.time() if self._loop is not None else 0.0
+        )
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
+            task.add_done_callback(self._serve_tasks.discard)
         self._connections.add(connection)
         try:
             while True:
@@ -271,7 +684,19 @@ class LiveBroker:
             pass
         finally:
             self._connections.discard(connection)
-            connection.close_session()
+            state = connection.state
+            connection.state = None
+            if state is not None and not self._stopped:
+                if (
+                    not connection.closed_cleanly
+                    and self._resume_grace is not None
+                    and state.session is not None
+                ):
+                    self._park_state(state)
+                else:
+                    if state.udp_address is not None:
+                        self._udp_peers.pop(state.udp_address, None)
+                    self._drop_state(state)
             self._pump()
             writer.close()
             try:
@@ -283,15 +708,23 @@ class LiveBroker:
         self, connection: _ClientConnection, frame_type: int, body: dict
     ) -> dict:
         self._control_frames.inc()
+        if self._loop is not None:
+            connection.last_activity = self._loop.time()
         try:
             if frame_type == HELLO:
                 return self._on_hello(connection, body)
+            if frame_type == RESUME:
+                return self._on_resume(connection, body)
             if connection.session is None:
                 raise TransportError("HELLO must precede other frames")
+            self._maybe_renew_lease(connection)
             if frame_type == SUBSCRIBE:
                 return self._on_subscribe(connection, body)
             if frame_type == UNSUBSCRIBE:
-                connection.session.unsubscribe(int(body["subscription_id"]))
+                subscription_id = int(body["subscription_id"])
+                connection.session.unsubscribe(subscription_id)
+                connection.state.subscriptions.pop(subscription_id, None)
+                self._persist_sessions()
                 self._pump()
                 return {"ok": True}
             if frame_type == DISCOVER:
@@ -300,10 +733,18 @@ class LiveBroker:
                 return self._on_advertise(connection, body)
             if frame_type == QUERY:
                 return self._on_query(connection, body)
+            if frame_type == NACK:
+                return self._on_nack(connection, body)
             if frame_type == PING:
                 return {"ok": True, "time": self.deployment.sim.now}
             if frame_type == CLOSE:
-                connection.close_session()
+                connection.closed_cleanly = True
+                state = connection.state
+                connection.state = None
+                if state is not None:
+                    if state.udp_address is not None:
+                        self._udp_peers.pop(state.udp_address, None)
+                    self._drop_state(state)
                 self._pump()
                 return {"ok": True}
             self._unknown_control.inc()
@@ -313,54 +754,255 @@ class LiveBroker:
         except (KeyError, TypeError, ValueError) as exc:
             return {"ok": False, "error": f"malformed body: {exc!r}"}
 
+    # ------------------------------------------------------------------
     def _on_hello(self, connection: _ClientConnection, body: dict) -> dict:
-        if connection.session is not None:
+        if connection.state is not None:
             raise TransportError("session already established")
         name = body.get("name")
         if not isinstance(name, str) or not name:
             raise TransportError("HELLO needs a non-empty session name")
         udp_port = int(body["udp_port"])
+        if self._resume_grace is not None:
+            # A re-HELLO with a parked session's name means the client
+            # lost its token; the parked ghost yields to the live one.
+            for state in list(self._states.values()):
+                if state.name == name and state.parked_now:
+                    self._drop_state(state)
         session = self.deployment.connect(name, heartbeat_period=None)
-        connection.session = session
-        connection.udp_address = (connection.peer_host, udp_port)
+        token = secrets.token_hex(16)
+        state = _SessionState(token, name, udp_port, self._park_capacity)
+        state.session = session
+        state.udp_address = (connection.peer_host, udp_port)
+        keepalive = body.get("keepalive")
+        state.keepalive = float(keepalive) if keepalive else None
+        connection.state = state
         session.on_data(
-            lambda arrival, c=connection: self._deliver_to_client(c, arrival)
+            lambda arrival, s=state: self._deliver_to_state(s, arrival)
         )
-        publisher_id = session.ensure_publisher_id()
+        state.publisher_id = session.ensure_publisher_id()
         self._pump()
-        return {
+        response = {
             "ok": True,
-            "publisher_id": publisher_id,
+            "publisher_id": state.publisher_id,
             "data_port": self.data_port,
         }
+        if self._lease_ttl is not None:
+            response["lease_ttl"] = self._lease_ttl
+        self._udp_peers[state.udp_address] = connection
+        if self._resume_grace is not None:
+            self._states[token] = state
+            self._persist_sessions()
+            response["resume_token"] = token
+            response["resume_grace"] = self._resume_grace
+        return response
 
+    # ------------------------------------------------------------------
+    # Resume + gap repair
+    # ------------------------------------------------------------------
+    def _on_resume(self, connection: _ClientConnection, body: dict) -> dict:
+        if connection.state is not None:
+            raise TransportError("session already established")
+        if self._resume_grace is None:
+            raise TransportError("this broker does not issue resume tokens")
+        token = body.get("token")
+        state = self._states.get(token) if isinstance(token, str) else None
+        if state is None:
+            raise TransportError("unknown or expired resume token")
+        if not state.parked_now:
+            # The client re-dialed before this side noticed the old
+            # socket die: the new connection wins, the stale one is
+            # detached and aborted rather than refusing the resume.
+            for stale in list(self._connections):
+                if stale.state is state:
+                    stale.state = None
+                    stale.closed_cleanly = True
+                    self._abort_connection(stale)
+            if state.udp_address is not None:
+                self._udp_peers.pop(state.udp_address, None)
+            state.udp_address = None
+        udp_port = int(body["udp_port"])
+        cursors = self._parse_cursors(body.get("cursors"))
+        restored = state.session is not None
+        if restored:
+            mapping = {
+                sub_id: sub_id for sub_id in state.subscriptions
+            }
+        else:
+            mapping = self._revive_state(state)
+        state.udp_port = udp_port
+        state.udp_address = (connection.peer_host, udp_port)
+        state.deadline = None
+        keepalive = body.get("keepalive")
+        state.keepalive = float(keepalive) if keepalive else None
+        connection.state = state
+        self._udp_peers[state.udp_address] = connection
+        self._sessions_resumed.inc()
+        self._pump()
+        replayed_store, replayed_parked = self._replay_missed(state, cursors)
+        self._persist_sessions()
+        return {
+            "ok": True,
+            "publisher_id": state.publisher_id,
+            "data_port": self.data_port,
+            "resume_token": state.token,
+            "resume_grace": self._resume_grace,
+            "restored": restored,
+            "subscriptions": {
+                str(old): new for old, new in mapping.items()
+            },
+            "replayed": replayed_store + replayed_parked,
+            "replayed_store": replayed_store,
+            "replayed_parked": replayed_parked,
+        }
+
+    @staticmethod
+    def _parse_cursors(raw: Any) -> dict[str, int]:
+        if not isinstance(raw, dict):
+            return {}
+        cursors = {}
+        for key, value in raw.items():
+            sensor, _, index = str(key).partition(":")
+            cursors[f"{int(sensor)}:{int(index)}"] = int(value) & 0xFFFF
+        return cursors
+
+    def _revive_state(self, state: _SessionState) -> dict[int, int]:
+        """Rebuild a persisted session on a freshly restarted broker."""
+        session = self.deployment.connect(state.name, heartbeat_period=None)
+        try:
+            return self._rebuild_session(state, session)
+        except GarnetError:
+            session.close()
+            state.session = None
+            raise
+
+    def _rebuild_session(
+        self, state: _SessionState, session: Any
+    ) -> dict[int, int]:
+        state.session = session
+        if state.publisher_id is not None:
+            session.adopt_publisher_id(state.publisher_id, reserved=True)
+        session.on_data(
+            lambda arrival, s=state: self._deliver_to_state(s, arrival)
+        )
+        for index, (kind, encrypted) in state.advertised.items():
+            try:
+                session.broker.advertise(
+                    session.token,
+                    StreamId(state.publisher_id, index),
+                    kind=kind,
+                    encrypted=encrypted,
+                )
+            except GarnetError:  # pragma: no cover - registry conflict
+                pass
+        mapping: dict[int, int] = {}
+        subscriptions: dict[int, dict] = {}
+        for old_id, body in state.subscriptions.items():
+            new_id = session.subscribe(_pattern_from_body(body))
+            mapping[old_id] = new_id
+            subscriptions[new_id] = body
+        state.subscriptions = subscriptions
+        return mapping
+
+    def _replay_missed(
+        self, state: _SessionState, cursors: dict[str, int]
+    ) -> tuple[int, int]:
+        """Send exactly the records the client missed, exactly once.
+
+        Store records past each per-stream cursor first (gap-free even
+        when the park buffer overflowed), then parked deliveries the
+        store pass did not already cover. Without a store the parked
+        buffer alone is replayed, still filtered by the cursors.
+        """
+        sent: set[tuple[str, int]] = set()
+        replayed_store = 0
+        store = self.deployment.store
+        if store is not None and self._udp is not None:
+            for key, cursor in cursors.items():
+                sensor, _, index = key.partition(":")
+                stream_id = StreamId(int(sensor), int(index))
+                for record in store.read(stream_id):
+                    sequence = _frame_sequence(record.frame)
+                    if not sequence_is_newer(sequence, cursor):
+                        continue
+                    if (key, sequence) in sent:
+                        continue
+                    sent.add((key, sequence))
+                    self._udp.sendto(record.frame, state.udp_address)
+                    self._datagrams_out.inc()
+                    replayed_store += 1
+        replayed_parked = 0
+        if self._udp is not None:
+            for frame in state.parked:
+                key = _frame_stream_key(frame)
+                sequence = _frame_sequence(frame)
+                cursor = cursors.get(key)
+                if cursor is not None and not sequence_is_newer(
+                    sequence, cursor
+                ):
+                    continue
+                if (key, sequence) in sent:
+                    continue
+                sent.add((key, sequence))
+                self._udp.sendto(frame, state.udp_address)
+                self._datagrams_out.inc()
+                replayed_parked += 1
+        state.parked.clear()
+        if replayed_store or replayed_parked:
+            self._replayed_records.inc(replayed_store + replayed_parked)
+        return replayed_store, replayed_parked
+
+    def _on_nack(self, connection: _ClientConnection, body: dict) -> dict:
+        store = self.deployment.store
+        raw_stream = body["stream_id"]
+        stream_id = StreamId(int(raw_stream[0]), int(raw_stream[1]))
+        wanted = {int(sequence) & 0xFFFF for sequence in body["sequences"]}
+        if not wanted:
+            raise TransportError("NACK needs at least one sequence")
+        records: list[str] = []
+        found: set[int] = set()
+        if store is not None:
+            budget = _NACK_RESPONSE_BUDGET
+            for record in store.read(stream_id):
+                sequence = _frame_sequence(record.frame)
+                if sequence not in wanted or sequence in found:
+                    continue
+                hex_frame = record.frame.hex()
+                if len(hex_frame) > budget:
+                    break
+                budget -= len(hex_frame)
+                found.add(sequence)
+                records.append(hex_frame)
+                if found == wanted:
+                    break
+        if found:
+            self._nack_records.inc(len(found))
+        return {
+            "ok": True,
+            "records": records,
+            "missing": sorted(wanted - found),
+        }
+
+    # ------------------------------------------------------------------
     def _on_subscribe(
         self, connection: _ClientConnection, body: dict
     ) -> dict:
-        stream_id = body.get("stream_id")
-        pattern = SubscriptionPattern(
-            stream_id=(
-                StreamId(int(stream_id[0]), int(stream_id[1]))
-                if stream_id is not None
-                else None
-            ),
-            sensor_id=(
-                int(body["sensor_id"])
-                if body.get("sensor_id") is not None
-                else None
-            ),
-            stream_index=(
-                int(body["stream_index"])
-                if body.get("stream_index") is not None
-                else None
-            ),
-            kind=body.get("kind"),
-            derived=body.get("derived"),
-        )
+        pattern = _pattern_from_body(body)
         replay = body.get("replay") or "none"
         subscription_id = connection.session.subscribe(
             pattern, replay=str(replay)
         )
+        ledger_body = {
+            key: body.get(key)
+            for key in (
+                "stream_id",
+                "sensor_id",
+                "stream_index",
+                "kind",
+                "derived",
+            )
+        }
+        connection.state.subscriptions[subscription_id] = ledger_body
+        self._persist_sessions()
         self._pump()
         return {"ok": True, "subscription_id": subscription_id}
 
@@ -432,15 +1074,15 @@ class LiveBroker:
         self, connection: _ClientConnection, body: dict
     ) -> dict:
         session = connection.session
-        stream_id = StreamId(
-            session.ensure_publisher_id(), int(body["stream_index"])
-        )
+        stream_index = int(body["stream_index"])
+        kind = str(body.get("kind", ""))
+        encrypted = bool(body.get("encrypted", False))
+        stream_id = StreamId(session.ensure_publisher_id(), stream_index)
         session.broker.advertise(
-            session.token,
-            stream_id,
-            kind=str(body.get("kind", "")),
-            encrypted=bool(body.get("encrypted", False)),
+            session.token, stream_id, kind=kind, encrypted=encrypted
         )
+        connection.state.advertised[stream_index] = (kind, encrypted)
+        self._persist_sessions()
         self._pump()
         return {
             "ok": True,

@@ -1,0 +1,462 @@
+"""A protocol-aware chaos proxy for the live transport.
+
+:class:`ChaosProxy` sits between a :class:`~repro.transport.client.
+LiveSession` and a :class:`~repro.transport.broker.LiveBroker` and
+injects scripted faults into both planes:
+
+- **TCP control plane** — each client connection is proxied to the
+  upstream broker with control frames parsed in both directions, so the
+  proxy can rewrite the UDP rendezvous: the client's announced
+  ``udp_port`` (HELLO / RESUME requests) is replaced with a
+  per-connection UDP relay port, and the broker's announced
+  ``data_port`` (HELLO / RESUME responses) likewise — which drags the
+  *data plane* through the proxy too, where datagrams can be dropped,
+  delayed or blackholed.
+- **UDP data plane** — one relay socket per control connection. The
+  relay tells directions apart by source address: datagrams from the
+  client's announced UDP port forward to the broker's data port,
+  everything else is broker traffic bound for the client's socket.
+
+Faults are declared as :class:`~repro.faults.plan.FaultEvent`
+subclasses pinned to *wall-clock* seconds after :meth:`ChaosProxy.
+start` (the live transport runs on real time, unlike the simulated
+fault plans):
+
+- :class:`DatagramLoss` — i.i.d. drop of relayed datagrams at ``rate``
+  in ``direction`` (``"to_client"`` / ``"to_broker"`` / ``"both"``),
+  drawn from the proxy's seeded RNG;
+- :class:`LinkLatency` — relayed datagrams delayed by ``delay``
+  seconds (UDP only; control-plane ordering is preserved);
+- :class:`ConnectionReset` — every live proxied TCP connection is
+  aborted at ``at`` (one reset, not a window — ``duration`` is
+  nominal);
+- :class:`Blackhole` — for the window, datagrams vanish in both
+  directions, bytes on existing TCP connections vanish, and new TCP
+  connections are refused: the peer looks frozen, not dead;
+- :class:`BrokerRestart` — a :class:`Blackhole` that additionally
+  invokes the ``on_broker_restart`` callback (on a worker thread) at
+  window start; harnesses use it to actually terminate and relaunch
+  the broker process behind the proxy.
+
+The proxy never interprets payloads beyond the two rewritten handshake
+fields, so everything the real stack does — sequence numbering,
+dedupe, resume, NACK repair — is exercised verbatim through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, TransportError
+from repro.faults.plan import FaultEvent
+from repro.transport.base import parse_garnet_url
+from repro.transport.framing import (
+    HELLO,
+    RESPONSE_FLAG,
+    RESUME,
+    ControlFrameAssembler,
+    encode_control_frame,
+)
+
+_DIRECTIONS = ("to_client", "to_broker", "both")
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class DatagramLoss(FaultEvent):
+    """Drop relayed datagrams i.i.d. at ``rate`` for the window."""
+
+    rate: float
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigurationError(
+                f"loss rate must be in (0, 1]: {self.rate}"
+            )
+        if self.direction not in _DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {_DIRECTIONS}: {self.direction!r}"
+            )
+
+    def applies(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class LinkLatency(FaultEvent):
+    """Delay relayed datagrams by ``delay`` seconds for the window."""
+
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if self.delay <= 0:
+            raise ConfigurationError(
+                f"latency delay must be positive: {self.delay}"
+            )
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ConnectionReset(FaultEvent):
+    """Abort every live proxied TCP connection at ``at``."""
+
+    duration: float = 0.001
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class Blackhole(FaultEvent):
+    """All traffic vanishes for the window; new connections refused."""
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class BrokerRestart(Blackhole):
+    """A blackhole window during which the broker is restarted.
+
+    The proxy calls ``on_broker_restart`` (see :class:`ChaosProxy`) on
+    a worker thread when the window opens; the harness owns actually
+    bouncing the broker process and must bring it back on the same
+    ports before the window closes.
+    """
+
+
+class ChaosProxyStats:
+    """Wall-clock chaos accounting; all counters monotonic."""
+
+    __slots__ = (
+        "datagrams_forwarded",
+        "datagrams_dropped",
+        "datagrams_delayed",
+        "bytes_blackholed",
+        "resets_injected",
+        "connections_refused",
+        "connections_proxied",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+class _RelayProtocol(asyncio.DatagramProtocol):
+    """Per-connection UDP relay between one client and the broker."""
+
+    def __init__(self, proxy: "ChaosProxy") -> None:
+        self.proxy = proxy
+        self.transport: asyncio.DatagramTransport | None = None
+        self.client_address: tuple[str, int] | None = None
+        self.broker_address: tuple[str, int] | None = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover
+        self.transport = transport
+
+    @property
+    def port(self) -> int:
+        return self.transport.get_extra_info("sockname")[1]
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if addr == self.client_address:
+            if self.broker_address is not None:
+                self.proxy._relay(
+                    self, data, self.broker_address, "to_broker"
+                )
+            return
+        # The only other peer on this relay is the broker's data
+        # socket — and its deliveries can start *before* the handshake
+        # response names the data port (resume replay fires during the
+        # RESUME exchange), so learn the address from traffic too.
+        if self.broker_address is None:
+            self.broker_address = addr
+        if self.client_address is not None:
+            self.proxy._relay(self, data, self.client_address, "to_client")
+
+    def send(self, data: bytes, addr: tuple[str, int]) -> None:
+        if self.transport is not None:
+            self.transport.sendto(data, addr)
+
+
+class _ProxiedConnection:
+    """One client TCP connection proxied to the upstream broker."""
+
+    def __init__(self, proxy: "ChaosProxy") -> None:
+        self.proxy = proxy
+        self.client_writer: asyncio.StreamWriter | None = None
+        self.broker_writer: asyncio.StreamWriter | None = None
+        self.relay: _RelayProtocol | None = None
+        self.client_udp_port: int | None = None
+        self.to_broker = ControlFrameAssembler()
+        self.to_client = ControlFrameAssembler()
+
+    def abort(self) -> None:
+        for writer in (self.client_writer, self.broker_writer):
+            if writer is not None and writer.transport is not None:
+                writer.transport.abort()
+
+
+class ChaosProxy:
+    """A fault-injecting proxy in front of a live broker.
+
+    ``upstream`` is the broker's ``garnet://host:port`` URL. ``events``
+    is the scripted fault plan (wall-clock seconds after
+    :meth:`start`). ``seed`` fixes the drop RNG so a chaos run's loss
+    pattern is reproducible. ``on_broker_restart`` is invoked for each
+    :class:`BrokerRestart` event.
+
+    Use from an event loop::
+
+        proxy = ChaosProxy(broker.url, events=[...], seed=7)
+        await proxy.start()
+        session = connect(proxy.url, "app", reconnect=True)
+    """
+
+    def __init__(
+        self,
+        upstream: str,
+        events: tuple[FaultEvent, ...] | list[FaultEvent] = (),
+        host: str | None = None,
+        port: int = 0,
+        seed: int = 0,
+        on_broker_restart: Callable[[], Any] | None = None,
+    ) -> None:
+        self.upstream_host, self.upstream_port = parse_garnet_url(upstream)
+        self.host = host if host is not None else self.upstream_host
+        self._requested_port = port
+        self.port: int | None = None
+        self.events: tuple[FaultEvent, ...] = tuple(events)
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(
+                    f"chaos events must be FaultEvents, got {event!r}"
+                )
+        self._rng = random.Random(seed)
+        self._on_broker_restart = on_broker_restart
+        self.stats = ChaosProxyStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = 0.0
+        self._connections: set[_ProxiedConnection] = set()
+        self._timers: list[asyncio.TimerHandle] = []
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise TransportError("chaos proxy not started")
+        return f"garnet://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._started = self._loop.time()
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for event in self.events:
+            if isinstance(event, ConnectionReset):
+                self._timers.append(
+                    self._loop.call_later(event.at, self._inject_reset)
+                )
+            elif isinstance(event, BrokerRestart):
+                self._timers.append(
+                    self._loop.call_later(
+                        event.at, self._fire_broker_restart
+                    )
+                )
+
+    async def stop(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for connection in list(self._connections):
+            connection.abort()
+            if connection.relay is not None:
+                connection.relay.transport.close()
+        self._connections.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Fault schedule
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> float:
+        return self._loop.time() - self._started
+
+    def _active(self, kind: type) -> list[FaultEvent]:
+        now = self._elapsed()
+        return [
+            event
+            for event in self.events
+            if isinstance(event, kind) and event.at <= now < event.ends_at
+        ]
+
+    def _blackholed(self) -> bool:
+        return bool(self._active(Blackhole))
+
+    def _inject_reset(self) -> None:
+        for connection in list(self._connections):
+            connection.abort()
+            self.stats.resets_injected += 1
+
+    def _fire_broker_restart(self) -> None:
+        if self._on_broker_restart is not None:
+            # The callback bounces a subprocess — keep the loop free.
+            self._loop.run_in_executor(None, self._on_broker_restart)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _relay(
+        self,
+        relay: _RelayProtocol,
+        data: bytes,
+        destination: tuple[str, int],
+        direction: str,
+    ) -> None:
+        if self._blackholed():
+            self.stats.datagrams_dropped += 1
+            return
+        for event in self._active(DatagramLoss):
+            if event.applies(direction) and self._rng.random() < event.rate:
+                self.stats.datagrams_dropped += 1
+                return
+        latency = self._active(LinkLatency)
+        if latency:
+            delay = max(event.delay for event in latency)
+            self.stats.datagrams_delayed += 1
+            self._timers.append(
+                self._loop.call_later(
+                    delay, relay.send, data, destination
+                )
+            )
+        else:
+            relay.send(data, destination)
+        self.stats.datagrams_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    async def _serve_client(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        if self._blackholed():
+            self.stats.connections_refused += 1
+            client_writer.transport.abort()
+            return
+        connection = _ProxiedConnection(self)
+        connection.client_writer = client_writer
+        try:
+            broker_reader, broker_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.transport.abort()
+            return
+        connection.broker_writer = broker_writer
+        relay_transport, relay = await self._loop.create_datagram_endpoint(
+            lambda: _RelayProtocol(self), local_addr=(self.host, 0)
+        )
+        relay.transport = relay_transport
+        connection.relay = relay
+        self._connections.add(connection)
+        self.stats.connections_proxied += 1
+        try:
+            await asyncio.gather(
+                self._pipe(
+                    connection, client_reader, broker_writer, "to_broker"
+                ),
+                self._pipe(
+                    connection, broker_reader, client_writer, "to_client"
+                ),
+            )
+        finally:
+            self._connections.discard(connection)
+            connection.abort()
+            relay_transport.close()
+
+    async def _pipe(
+        self,
+        connection: _ProxiedConnection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+    ) -> None:
+        assembler = (
+            connection.to_broker
+            if direction == "to_broker"
+            else connection.to_client
+        )
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                if self._blackholed():
+                    # The stream is now corrupt for the peer; that is
+                    # the point — a blackholed link loses bytes.
+                    self.stats.bytes_blackholed += len(chunk)
+                    continue
+                try:
+                    frames = assembler.feed(chunk)
+                except TransportError:
+                    break
+                for frame_type, body in frames:
+                    writer.write(
+                        encode_control_frame(
+                            frame_type,
+                            self._rewrite(connection, frame_type, body),
+                        )
+                    )
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if writer.transport is not None:
+                writer.transport.abort()
+
+    def _rewrite(
+        self, connection: _ProxiedConnection, frame_type: int, body: dict
+    ) -> dict:
+        """Swap the UDP rendezvous fields through the relay."""
+        relay = connection.relay
+        if frame_type in (HELLO, RESUME) and "udp_port" in body:
+            connection.client_udp_port = int(body["udp_port"])
+            if relay.client_address is None:
+                # Deliveries may start before the client's first
+                # publish reveals its socket; the HELLO announcement
+                # pins it down.
+                peer = connection.client_writer.get_extra_info("peername")
+                relay.client_address = (
+                    peer[0] if peer else self.host,
+                    connection.client_udp_port,
+                )
+            return {**body, "udp_port": relay.port}
+        if (
+            frame_type in (HELLO | RESPONSE_FLAG, RESUME | RESPONSE_FLAG)
+            and "data_port" in body
+        ):
+            relay.broker_address = (
+                self.upstream_host, int(body["data_port"])
+            )
+            return {**body, "data_port": relay.port}
+        return body
+
+
+__all__ = [
+    "Blackhole",
+    "BrokerRestart",
+    "ChaosProxy",
+    "ChaosProxyStats",
+    "ConnectionReset",
+    "DatagramLoss",
+    "LinkLatency",
+]

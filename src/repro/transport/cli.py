@@ -71,12 +71,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the store as file segments under DIR "
         "(implies --store; default: in-memory segments)",
     )
+    parser.add_argument(
+        "--resume-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="park uncleanly-disconnected sessions for SECONDS and "
+        "issue resume tokens (default: resume off); with --store-dir "
+        "the session table persists as DIR/sessions.json so RESUME "
+        "survives a broker restart",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reap clients that go silent for SECONDS (missed "
+        "keepalives / UDP inactivity) via the broker lease machinery "
+        "(default: no leases)",
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
     deployment = None
-    if args.no_checksum or args.store or args.store_dir:
+    if (
+        args.no_checksum
+        or args.store
+        or args.store_dir
+        or args.resume_grace is not None
+        or args.lease_ttl is not None
+    ):
         from repro.core.config import GarnetConfig
         from repro.core.middleware import Garnet
 
@@ -87,13 +112,21 @@ async def _serve(args: argparse.Namespace) -> None:
                 store_enabled=bool(args.store or args.store_dir),
                 store_backend="file" if args.store_dir else "memory",
                 store_dir=args.store_dir,
+                broker_lease_ttl=args.lease_ttl,
+                transport_resume_grace=args.resume_grace,
             )
         )
+    sessions_path = None
+    if args.resume_grace is not None and args.store_dir:
+        from pathlib import Path
+
+        sessions_path = Path(args.store_dir) / "sessions.json"
     broker = LiveBroker(
         deployment=deployment,
         host=args.host,
         control_port=args.port,
         data_port=args.data_port,
+        sessions_path=sessions_path,
     )
     await broker.start()
     print(

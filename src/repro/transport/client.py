@@ -16,16 +16,46 @@ running :class:`~repro.transport.broker.LiveBroker` (or the
 The client is deliberately synchronous: experiment drivers and tests
 want straight-line code, and the broker end is where the concurrency
 lives.
+
+**Resilience (PR 8).** ``reconnect=`` (a
+:class:`~repro.util.backoff.BackoffPolicy`, or ``True`` for the
+default schedule) opts the session into a supervised lifecycle:
+
+- delivery datagrams are deduplicated per stream through a
+  :class:`~repro.cluster.link.SequenceWindow` and their 16-bit
+  sequences tracked; gaps trigger NACK repair requests answered from
+  the broker's stream store (``gaps_repaired`` /
+  ``gaps_unrepairable``);
+- a housekeeping thread sends keepalive PINGs (period ``keepalive``,
+  default 1s when reconnect is on); a failed PING — or any control
+  request that hits a TCP EOF / timeout — flips the session to
+  ``"reconnecting"`` and starts the backoff-driven re-dial loop;
+- each dial first presents the broker's resume token (RESUME), which
+  re-attaches the parked server-side session and replays only records
+  past the client's per-stream cursors; a refused token falls back to
+  a fresh HELLO plus re-installation of the subscription and
+  advertisement ledgers;
+- publishes during an outage land in a bounded buffer and are flushed
+  on re-attach, behind a resend tail of the most recent pre-outage
+  publishes (at-least-once across the failure window; subscriber-side
+  sequence windows and the broker's store dedupe the overlap);
+- ``on_state`` observers see ``"connected"`` / ``"reconnecting"`` /
+  ``"closed"`` transitions.
+
+With ``reconnect=None`` (the default) nothing above activates and the
+session keeps its historical fail-fast behaviour.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
 from collections.abc import Callable
 from typing import Any
 
+from repro.cluster.link import SequenceWindow
 from repro.core.envelopes import StreamArrival
 from repro.core.message import DataMessage, MessageCodec
 from repro.core.streamid import StreamId
@@ -34,22 +64,105 @@ from repro.transport.base import parse_garnet_url
 from repro.transport.framing import (
     ADVERTISE,
     CLOSE,
+    CONTROL_FRAME_NAMES,
     DISCOVER,
     HELLO,
+    NACK,
     PING,
     QUERY,
     RESPONSE_FLAG,
+    RESUME,
     SUBSCRIBE,
     UNSUBSCRIBE,
     ControlFrameAssembler,
     encode_control_frame,
 )
+from repro.util.backoff import BackoffPolicy
 
 DataCallback = Callable[[StreamArrival], None]
+StateCallback = Callable[[str], None]
 
 #: Ask the kernel for a generous datagram receive buffer: loopback UDP
 #: still drops when a burst outruns the reader thread.
 _RECV_BUFFER = 1 << 22
+
+#: The re-dial schedule ``reconnect=True`` selects.
+DEFAULT_RECONNECT_POLICY = BackoffPolicy(
+    base=0.1, multiplier=2.0, max_delay=2.0, jitter=0.1, max_attempts=8
+)
+
+#: Keepalive PING period adopted when reconnect is enabled but no
+#: explicit ``keepalive`` was given.
+_DEFAULT_KEEPALIVE = 1.0
+
+#: Per-stream dedupe window (entries); matches the store tap's sizing.
+_DEDUPE_WINDOW = 1024
+
+#: A detected gap older than this (seconds) is NACKed for repair.
+_REPAIR_DELAY = 0.2
+
+#: At most this many missing sequences per NACK frame.
+_NACK_BATCH = 64
+
+#: Cap on sequences recorded as missing from one observed jump; a jump
+#: wider than this is treated as a stream restart, not a gap.
+_MAX_GAP_RUN = 512
+
+#: Bounded buffer of publishes made while reconnecting.
+_PUBLISH_BUFFER = 1024
+
+#: Ring of recent publishes re-sent after a resume (the broker may have
+#: died before our last datagrams reached the store).
+_RESEND_TAIL = 256
+
+#: Housekeeping thread tick (seconds).
+_HOUSEKEEPING_TICK = 0.05
+
+
+class LiveSessionStats:
+    """Plain counters for one live session; all monotonic.
+
+    These are the ``live.*`` counters: ``callback_errors`` is
+    ``live.callback_errors`` and so on. They live on the session (not a
+    metrics registry) because a live client runs outside any deployment.
+    """
+
+    __slots__ = (
+        "deliveries",
+        "published",
+        "duplicates_dropped",
+        "callback_errors",
+        "bad_datagrams",
+        "gaps_detected",
+        "gaps_repaired",
+        "gaps_unrepairable",
+        "reconnects",
+        "resumes",
+        "rehellos",
+        "replayed",
+        "buffered_publishes",
+        "buffer_overflows",
+        "tail_resends",
+        "keepalive_failures",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+class _StreamTracker:
+    """Per-stream delivery bookkeeping: dedupe window + gap ledger."""
+
+    __slots__ = ("window", "latest", "missing")
+
+    def __init__(self) -> None:
+        self.window = SequenceWindow(_DEDUPE_WINDOW)
+        self.latest: int | None = None
+        self.missing: dict[int, float] = {}
 
 
 class LiveSession:
@@ -67,23 +180,57 @@ class LiveSession:
         name: str,
         checksum: bool = True,
         timeout: float = 10.0,
+        reconnect: BackoffPolicy | bool | None = None,
+        keepalive: float | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         if not name:
             raise TransportError("session name must be non-empty")
         self._name = name
         self._codec = MessageCodec(checksum=checksum)
+        self._timeout = timeout
         self._callbacks: list[DataCallback] = []
+        self._state_callbacks: list[StateCallback] = []
         self._subscriptions: dict[int, dict] = {}
         self._publish_sequences: dict[int, int] = {}
-        self._advertised: set[int] = set()
+        self._advertised: dict[int, tuple[str, bool]] = {}
         self._closed = False
         self._lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._delivery_lock = threading.Lock()
         self._assembler = ControlFrameAssembler()
-        self.deliveries = 0
-        self.published = 0
+        self.stats = LiveSessionStats()
+        self._trackers: dict[tuple[int, int], _StreamTracker] = {}
 
-        host, port = parse_garnet_url(url)
-        self._tcp = socket.create_connection((host, port), timeout=timeout)
+        if reconnect is True:
+            reconnect = DEFAULT_RECONNECT_POLICY
+        elif reconnect is not None and not isinstance(
+            reconnect, BackoffPolicy
+        ):
+            raise TransportError(
+                "reconnect must be None, True or a BackoffPolicy, got "
+                f"{reconnect!r}"
+            )
+        self._reconnect_policy: BackoffPolicy | None = reconnect
+        if keepalive is not None and keepalive <= 0:
+            raise TransportError(
+                f"keepalive must be positive, got {keepalive}"
+            )
+        if keepalive is None and reconnect is not None:
+            keepalive = _DEFAULT_KEEPALIVE
+        self._keepalive = keepalive
+        self._rng = rng if rng is not None else random.Random()
+        self._state = "connected"
+        self._resume_token: str | None = None
+        self._publish_buffer: list[tuple] = []
+        self._resend_tail: list[tuple] = []
+        self._last_ping = time.monotonic()
+        self._stop = threading.Event()
+
+        self._host, self._port = parse_garnet_url(url)
+        self._tcp = socket.create_connection(
+            (self._host, self._port), timeout=timeout
+        )
         self._tcp.settimeout(timeout)
         self._udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         try:
@@ -97,11 +244,13 @@ class LiveSession:
         self._udp.bind((self._tcp.getsockname()[0], 0))
         self._udp_port = self._udp.getsockname()[1]
 
-        welcome = self._request(
-            HELLO, {"name": name, "udp_port": self._udp_port}
-        )
+        hello: dict[str, Any] = {"name": name, "udp_port": self._udp_port}
+        if self._keepalive is not None:
+            hello["keepalive"] = self._keepalive
+        welcome = self._request(HELLO, hello)
         self._publisher_id = int(welcome["publisher_id"])
-        self._data_address = (host, int(welcome["data_port"]))
+        self._data_address = (self._host, int(welcome["data_port"]))
+        self._resume_token = welcome.get("resume_token")
 
         self._reader = threading.Thread(
             target=self._read_datagrams,
@@ -109,6 +258,14 @@ class LiveSession:
             daemon=True,
         )
         self._reader.start()
+        self._housekeeper: threading.Thread | None = None
+        if self._reconnect_policy is not None or self._keepalive is not None:
+            self._housekeeper = threading.Thread(
+                target=self._housekeeping,
+                name=f"garnet-live-{name}-housekeeping",
+                daemon=True,
+            )
+            self._housekeeper.start()
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +281,24 @@ class LiveSession:
         return self._closed
 
     @property
+    def state(self) -> str:
+        """``"connected"`` / ``"reconnecting"`` / ``"closed"``."""
+        return self._state
+
+    @property
+    def resume_token(self) -> str | None:
+        """The broker-issued resume token (None when resume is off)."""
+        return self._resume_token
+
+    @property
+    def deliveries(self) -> int:
+        return self.stats.deliveries
+
+    @property
+    def published(self) -> int:
+        return self.stats.published
+
+    @property
     def subscription_ids(self) -> tuple[int, ...]:
         return tuple(self._subscriptions)
 
@@ -136,15 +311,51 @@ class LiveSession:
     # ------------------------------------------------------------------
     def _request(self, frame_type: int, body: dict) -> dict:
         """Send one control frame and block for its response."""
-        with self._lock:
-            self._tcp.sendall(encode_control_frame(frame_type, body))
-            while True:
-                chunk = self._tcp.recv(65536)
-                if not chunk:
-                    raise TransportError("broker closed the control channel")
-                frames = self._assembler.feed(chunk)
-                if frames:
-                    break
+        if self._state == "reconnecting":
+            raise TransportError(
+                f"session {self._name!r} is reconnecting; retry shortly"
+            )
+        frame_name = CONTROL_FRAME_NAMES.get(
+            frame_type, f"0x{frame_type:02x}"
+        )
+        try:
+            with self._lock:
+                return self._exchange(
+                    self._tcp, self._assembler, frame_type, body
+                )
+        except socket.timeout as exc:
+            self._connection_lost()
+            raise TransportError(
+                f"{frame_name} request timed out after {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            self._connection_lost()
+            raise TransportError(
+                f"{frame_name} request failed: {exc}"
+            ) from exc
+        except _ChannelLost as exc:
+            self._connection_lost()
+            raise TransportError(
+                f"{frame_name} request failed: "
+                "broker closed the control channel"
+            ) from exc
+
+    def _exchange(
+        self,
+        sock: socket.socket,
+        assembler: ControlFrameAssembler,
+        frame_type: int,
+        body: dict,
+    ) -> dict:
+        """One request/response on an explicit socket (no state checks)."""
+        sock.sendall(encode_control_frame(frame_type, body))
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise _ChannelLost("broker closed the control channel")
+            frames = assembler.feed(chunk)
+            if frames:
+                break
         if len(frames) != 1:
             raise TransportError(
                 f"expected one response, got {len(frames)} frames"
@@ -265,6 +476,16 @@ class LiveSession:
             )
         self._callbacks.append(callback)
 
+    def on_state(self, callback: StateCallback) -> None:
+        """Observe ``"connected"`` / ``"reconnecting"`` / ``"closed"``
+        transitions. Callbacks run on internal threads and are isolated:
+        one raising is counted under ``callback_errors``, not fatal."""
+        if not callable(callback):
+            raise TransportError(
+                f"state callback must be callable: {callback!r}"
+            )
+        self._state_callbacks.append(callback)
+
     def publish(
         self,
         stream_index: int,
@@ -274,22 +495,49 @@ class LiveSession:
         encrypted: bool = False,
         extensions: tuple[tuple[int, bytes], ...] = (),
     ) -> StreamId:
-        """Publish one codec datagram on this session's derived stream."""
+        """Publish one codec datagram on this session's derived stream.
+
+        While the session is reconnecting, publishes land in a bounded
+        buffer (sequence numbers pre-assigned, so ordering and dedupe
+        survive) and are flushed when the broker is back; buffer
+        overflow drops the oldest entry and counts ``buffer_overflows``.
+        """
         self._require_open()
-        stream_id = StreamId(self._publisher_id, stream_index)
-        if stream_index not in self._advertised:
-            self._advertised.add(stream_index)
-            if kind:
-                self._request(
-                    ADVERTISE,
-                    {
-                        "stream_index": stream_index,
-                        "kind": kind,
-                        "encrypted": encrypted,
-                    },
-                )
         sequence = self._publish_sequences.get(stream_index, 0)
         self._publish_sequences[stream_index] = (sequence + 1) % (1 << 16)
+        entry = (
+            stream_index, sequence, payload, kind, fused, encrypted,
+            extensions,
+        )
+        if self._state != "reconnecting":
+            try:
+                return self._send_publish(entry)
+            except TransportError:
+                if self._state != "reconnecting":
+                    raise  # genuine refusal, not a mid-publish outage
+        if len(self._publish_buffer) >= _PUBLISH_BUFFER:
+            self._publish_buffer.pop(0)
+            self.stats.buffer_overflows += 1
+        self._publish_buffer.append(entry)
+        self.stats.buffered_publishes += 1
+        return StreamId(self._publisher_id, stream_index)
+
+    def _send_publish(self, entry: tuple) -> StreamId:
+        (
+            stream_index, sequence, payload, kind, fused, encrypted,
+            extensions,
+        ) = entry
+        stream_id = StreamId(self._publisher_id, stream_index)
+        if kind and stream_index not in self._advertised:
+            self._request(
+                ADVERTISE,
+                {
+                    "stream_index": stream_index,
+                    "kind": kind,
+                    "encrypted": encrypted,
+                },
+            )
+            self._advertised[stream_index] = (kind, encrypted)
         message = DataMessage(
             stream_id=stream_id,
             sequence=sequence,
@@ -299,7 +547,11 @@ class LiveSession:
             extensions=extensions,
         )
         self._udp.sendto(self._codec.encode(message), self._data_address)
-        self.published += 1
+        self.stats.published += 1
+        if self._reconnect_policy is not None:
+            self._resend_tail.append(entry)
+            if len(self._resend_tail) > _RESEND_TAIL:
+                self._resend_tail.pop(0)
         return stream_id
 
     def _read_datagrams(self) -> None:
@@ -308,18 +560,322 @@ class LiveSession:
                 data, _ = self._udp.recvfrom(65536)
             except OSError:
                 return  # socket closed by close()
+            self._handle_datagram(data)
+
+    def _handle_datagram(self, data: bytes) -> None:
+        try:
+            message = self._codec.decode(data)
+        except GarnetError:
+            self.stats.bad_datagrams += 1
+            return
+        with self._delivery_lock:
+            if not self._track_delivery(message):
+                return  # duplicate: dropped before the callbacks
+        arrival = StreamArrival(
+            message=message,
+            received_at=time.time(),
+            receiver_id=-1,
+        )
+        self.stats.deliveries += 1
+        for callback in list(self._callbacks):
             try:
-                message = self._codec.decode(data)
-            except GarnetError:
-                continue
-            arrival = StreamArrival(
-                message=message,
-                received_at=time.time(),
-                receiver_id=-1,
-            )
-            self.deliveries += 1
-            for callback in list(self._callbacks):
                 callback(arrival)
+            except Exception:
+                # One consumer's bug must not kill the reader thread
+                # (or starve the other callbacks).
+                self.stats.callback_errors += 1
+
+    def _track_delivery(self, message: DataMessage) -> bool:
+        """Dedupe + gap bookkeeping; False means drop (duplicate)."""
+        key = (
+            message.stream_id.sensor_id,
+            message.stream_id.stream_index,
+        )
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = self._trackers[key] = _StreamTracker()
+        sequence = message.sequence
+        if not tracker.window.add(sequence):
+            self.stats.duplicates_dropped += 1
+            return False
+        if tracker.missing.pop(sequence, None) is not None:
+            self.stats.gaps_repaired += 1
+        latest = tracker.latest
+        if latest is None:
+            tracker.latest = sequence
+            return True
+        jump = (sequence - latest) % (1 << 16)
+        if 1 < jump < _MAX_GAP_RUN:
+            now = time.monotonic()
+            for offset in range(1, jump):
+                missed = (latest + offset) % (1 << 16)
+                if missed not in tracker.missing:
+                    tracker.missing[missed] = now
+                    self.stats.gaps_detected += 1
+        if jump < (1 << 15):
+            tracker.latest = sequence
+        return True
+
+    # ------------------------------------------------------------------
+    # Housekeeping: keepalive, gap repair, reconnect
+    # ------------------------------------------------------------------
+    def _housekeeping(self) -> None:
+        while not self._stop.wait(_HOUSEKEEPING_TICK):
+            try:
+                state = self._state
+                if state == "connected":
+                    self._keepalive_tick()
+                    if self._state == "connected":
+                        self._repair_tick()
+                elif state == "reconnecting":
+                    self._run_reconnect()
+                else:
+                    return
+            except Exception:  # pragma: no cover - belt and braces
+                if self._closed:
+                    return
+
+    def _keepalive_tick(self) -> None:
+        if self._keepalive is None:
+            return
+        now = time.monotonic()
+        if now - self._last_ping < self._keepalive:
+            return
+        self._last_ping = now
+        try:
+            self._request(PING, {})
+        except TransportError:
+            self.stats.keepalive_failures += 1
+            # _request already flipped the state when the socket died;
+            # a refusal with a healthy socket needs no reconnect.
+
+    def _repair_tick(self) -> None:
+        """NACK sufficiently-aged gaps and inject the repaired records."""
+        now = time.monotonic()
+        for key, tracker in list(self._trackers.items()):
+            with self._delivery_lock:
+                due = sorted(
+                    sequence
+                    for sequence, seen_at in tracker.missing.items()
+                    if now - seen_at >= _REPAIR_DELAY
+                )[:_NACK_BATCH]
+            if not due:
+                continue
+            try:
+                response = self._request(
+                    NACK, {"stream_id": list(key), "sequences": due}
+                )
+            except TransportError:
+                return  # broker unreachable or storeless: try later
+            for hex_frame in response.get("records", ()):
+                self._handle_datagram(bytes.fromhex(hex_frame))
+            unrepairable = response.get("missing", ())
+            with self._delivery_lock:
+                for sequence in unrepairable:
+                    if tracker.missing.pop(int(sequence), None) is not None:
+                        self.stats.gaps_unrepairable += 1
+
+    def _connection_lost(self) -> None:
+        """A control request hit a dead socket: start reconnecting."""
+        if self._reconnect_policy is None or self._closed:
+            return
+        with self._state_lock:
+            if self._state != "connected":
+                return
+            self._state = "reconnecting"
+        try:
+            self._tcp.close()  # broker sees EOF and parks the session
+        except OSError:  # pragma: no cover
+            pass
+        self._notify_state("reconnecting")
+
+    def _notify_state(self, state: str) -> None:
+        for callback in list(self._state_callbacks):
+            try:
+                callback(state)
+            except Exception:
+                self.stats.callback_errors += 1
+
+    def _run_reconnect(self) -> None:
+        policy = self._reconnect_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            if self._closed:
+                return
+            delay = policy.delay(attempt, self._rng)
+            if self._stop.wait(delay):
+                return
+            if self._dial_once():
+                self.stats.reconnects += 1
+                self._notify_state("connected")
+                return
+        # Exhausted the schedule: the session is dead for good.
+        self._give_up()
+
+    def _dial_once(self) -> bool:
+        """One reconnect attempt: RESUME first, fresh HELLO fallback."""
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError:
+            return False
+        sock.settimeout(self._timeout)
+        assembler = ControlFrameAssembler()
+        try:
+            if self._resume_token is not None:
+                try:
+                    response = self._exchange(
+                        sock, assembler, RESUME, self._resume_body()
+                    )
+                except _ChannelLost:
+                    raise
+                except TransportError:
+                    pass  # token refused: same socket, fresh HELLO
+                else:
+                    self._adopt(sock, assembler, response, resumed=True)
+                    return True
+            hello: dict[str, Any] = {
+                "name": self._name,
+                "udp_port": self._udp_port,
+            }
+            if self._keepalive is not None:
+                hello["keepalive"] = self._keepalive
+            response = self._exchange(sock, assembler, HELLO, hello)
+            publisher_id = int(response["publisher_id"])
+            # Reinstall the ledgers before going live: subscriptions
+            # first so no delivery window is missed, then the
+            # advertisement metadata the old session carried.
+            subscriptions: dict[int, dict] = {}
+            for body in self._subscriptions.values():
+                sub_response = self._exchange(
+                    sock, assembler, SUBSCRIBE, body
+                )
+                subscriptions[int(sub_response["subscription_id"])] = body
+            for stream_index, (kind, encrypted) in list(
+                self._advertised.items()
+            ):
+                self._exchange(
+                    sock,
+                    assembler,
+                    ADVERTISE,
+                    {
+                        "stream_index": stream_index,
+                        "kind": kind,
+                        "encrypted": encrypted,
+                    },
+                )
+            self._subscriptions = subscriptions
+            self._publisher_id = publisher_id
+            self.stats.rehellos += 1
+            self._adopt(sock, assembler, response, resumed=False)
+            self._flush_outage_buffers(resend_tail=False)
+            return True
+        except (OSError, TransportError, _ChannelLost, ValueError):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return False
+
+    def _resume_body(self) -> dict:
+        with self._delivery_lock:
+            cursors = {
+                f"{key[0]}:{key[1]}": tracker.latest
+                for key, tracker in self._trackers.items()
+                if tracker.latest is not None
+            }
+        body: dict[str, Any] = {
+            "token": self._resume_token,
+            "udp_port": self._udp_port,
+            "cursors": cursors,
+        }
+        if self._keepalive is not None:
+            body["keepalive"] = self._keepalive
+        return body
+
+    def _adopt(
+        self,
+        sock: socket.socket,
+        assembler: ControlFrameAssembler,
+        response: dict,
+        resumed: bool,
+    ) -> None:
+        """Install a freshly-handshaken control socket as the session's."""
+        with self._lock:
+            try:
+                self._tcp.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._tcp = sock
+            self._assembler = assembler
+            self._data_address = (self._host, int(response["data_port"]))
+            self._resume_token = response.get(
+                "resume_token", self._resume_token if resumed else None
+            )
+        if resumed:
+            self._publisher_id = int(response["publisher_id"])
+            mapping = response.get("subscriptions") or {}
+            remapped = {}
+            for old_id, body in self._subscriptions.items():
+                new_id = int(mapping.get(str(old_id), old_id))
+                remapped[new_id] = body
+            self._subscriptions = remapped
+            self.stats.resumes += 1
+            self.stats.replayed += int(response.get("replayed", 0))
+        with self._state_lock:
+            self._state = "connected"
+        self._last_ping = time.monotonic()
+        if resumed:
+            self._flush_outage_buffers(resend_tail=True)
+
+    def _flush_outage_buffers(self, resend_tail: bool) -> None:
+        if resend_tail and self._resend_tail:
+            # The broker may have died before our freshest publishes
+            # reached its store: resend the tail (at-least-once; the
+            # store tap and subscriber windows dedupe the overlap).
+            tail = list(self._resend_tail)
+            for entry in tail:
+                self._resend_entry(entry)
+                self.stats.tail_resends += 1
+        buffered, self._publish_buffer = self._publish_buffer, []
+        for entry in buffered:
+            try:
+                self._send_publish(entry)
+            except (TransportError, OSError):
+                return  # connection died again; remaining entries drop
+
+    def _resend_entry(self, entry: tuple) -> None:
+        (
+            stream_index, sequence, payload, kind, fused, encrypted,
+            extensions,
+        ) = entry
+        message = DataMessage(
+            stream_id=StreamId(self._publisher_id, stream_index),
+            sequence=sequence,
+            payload=payload,
+            fused=fused,
+            encrypted=encrypted,
+            extensions=extensions,
+        )
+        try:
+            self._udp.sendto(
+                self._codec.encode(message), self._data_address
+            )
+        except OSError:  # pragma: no cover - UDP sends rarely fail
+            pass
+
+    def _give_up(self) -> None:
+        with self._state_lock:
+            if self._state == "closed":
+                return
+            self._state = "closed"
+        self._closed = True
+        self._stop.set()
+        try:
+            self._tcp.close()
+        finally:
+            self._udp.close()
+        self._notify_state("closed")
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -327,15 +883,27 @@ class LiveSession:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._request(CLOSE, {})
-        except (TransportError, OSError):
-            pass  # broker already gone: local teardown still applies
+        self._stop.set()
+        with self._state_lock:
+            was_connected = self._state == "connected"
+            self._state = "closed"
+        if was_connected:
+            try:
+                with self._lock:
+                    self._exchange(self._tcp, self._assembler, CLOSE, {})
+            except (TransportError, _ChannelLost, OSError):
+                pass  # broker already gone: local teardown still applies
         try:
             self._tcp.close()
         finally:
             self._udp.close()
         self._reader.join(timeout=2.0)
+        if (
+            self._housekeeper is not None
+            and self._housekeeper is not threading.current_thread()
+        ):
+            self._housekeeper.join(timeout=2.0)
+        self._notify_state("closed")
 
     def __enter__(self) -> "LiveSession":
         return self
@@ -344,12 +912,18 @@ class LiveSession:
         self.close()
 
 
+class _ChannelLost(Exception):
+    """Internal: the broker closed the TCP control channel mid-request."""
+
+
 def connect(
     url: str,
     name: str | None = None,
     *,
     checksum: bool = True,
     timeout: float = 10.0,
+    reconnect: BackoffPolicy | bool | None = None,
+    keepalive: float | None = None,
 ) -> LiveSession:
     """Open a :class:`LiveSession` against a running broker.
 
@@ -361,9 +935,19 @@ def connect(
     from repro.core.connect import ConnectOptions, open_live_session
 
     options = ConnectOptions(
-        name=name, url=url, checksum=checksum, timeout=timeout
+        name=name,
+        url=url,
+        checksum=checksum,
+        timeout=timeout,
+        reconnect=reconnect,
+        keepalive=keepalive,
     ).validate()
     return open_live_session(options)
 
 
-__all__ = ["LiveSession", "connect"]
+__all__ = [
+    "DEFAULT_RECONNECT_POLICY",
+    "LiveSession",
+    "LiveSessionStats",
+    "connect",
+]

@@ -49,6 +49,8 @@ ADVERTISE = 0x05
 PING = 0x06
 CLOSE = 0x07
 QUERY = 0x08
+RESUME = 0x09
+NACK = 0x0A
 
 CONTROL_FRAME_NAMES: dict[int, str] = {
     HELLO: "HELLO",
@@ -59,6 +61,8 @@ CONTROL_FRAME_NAMES: dict[int, str] = {
     PING: "PING",
     CLOSE: "CLOSE",
     QUERY: "QUERY",
+    RESUME: "RESUME",
+    NACK: "NACK",
 }
 
 
@@ -134,6 +138,8 @@ __all__ = [
     "PING",
     "CLOSE",
     "QUERY",
+    "RESUME",
+    "NACK",
     "CONTROL_FRAME_NAMES",
     "encode_control_frame",
     "ControlFrameAssembler",
