@@ -13,6 +13,10 @@ Sections
 - **broadcast**: `WirelessMedium.broadcast` frames/second with the
   uniform-grid spatial index on vs off (the exhaustive linear scan), at
   several static-listener counts.
+- **broadcast_vector**: `WirelessMedium.broadcast` frames/second with
+  ``vectorized`` on vs off in the *dense* regime (every listener in
+  range, loss model enabled) where the per-listener RSSI + survival
+  loop dominates.
 - **dispatch**: `_compute_route` throughput under bucketed patterned
   subscriptions, and `remove_endpoint` churn (lease-reap shape). No
   kill switch exists for the dispatch indexes, so these are absolute
@@ -30,6 +34,11 @@ Sections
       PYTHONPATH=src python benchmarks/bench_e18_hotpath.py \\
           --e2e-baseline-src .tmp-seed/src
       git worktree remove .tmp-seed
+
+- **e2e_vector**: the dense variant — 1200+ listeners every
+  transmission reaches under a harsh loss model, run with
+  ``wireless_vectorized`` on and off; ``--check`` enforces an absolute
+  speedup floor of ``E2E_VECTOR_MIN_SPEEDUP``.
 
 Usage::
 
@@ -63,10 +72,14 @@ from repro.core.streams import StreamRegistry
 from repro.simnet.fixednet import FixedNetwork
 from repro.simnet.geometry import Point
 from repro.simnet.kernel import Simulator
-from repro.simnet.wireless import WirelessMedium
+from repro.simnet.wireless import LossModel, WirelessMedium
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_e18_hotpath.json"
 REGRESSION_TOLERANCE = 0.7  # fresh ratio must be >= 70% of baseline
+# The vectorized medium must beat the scalar loop end-to-end by at least
+# this factor on the dense (every-listener-in-range) deployment; gated
+# in --check runs so the numpy path cannot silently stop being used.
+E2E_VECTOR_MIN_SPEEDUP = 2.0
 
 
 def _best_rate(fn, items, seconds: float, repeats: int = 3) -> float:
@@ -182,6 +195,64 @@ def bench_broadcast(counts: list[int], seconds: float) -> dict:
             "indexed_per_s": round(indexed),
             "linear_per_s": round(linear),
             "speedup": round(indexed / linear, 2),
+        }
+    return results
+
+
+def _broadcast_rate_dense(
+    listeners: int, vectorized: bool, seconds: float
+) -> float:
+    """Frames/second when *every* listener hears every frame.
+
+    The opposite regime from :func:`_broadcast_rate`: a small field with
+    long radio ranges, the log-distance loss model enabled, so the cost
+    per broadcast is dominated by the per-listener RSSI + survival-draw
+    loop — exactly what ``wireless_vectorized`` turns into array math.
+    """
+    area = 400.0
+    tx_range = 2000.0
+    rng = random.Random(13)
+    sim = Simulator(seed=2)
+    medium = WirelessMedium(
+        sim, loss_model=LossModel(), vectorized=vectorized
+    )
+    for _ in range(listeners):
+        medium.attach(
+            _NullListener(
+                Point(rng.uniform(0, area), rng.uniform(0, area))
+            ),
+            tx_range,
+            static=True,
+        )
+    origins = [
+        Point(rng.uniform(0, area), rng.uniform(0, area)) for _ in range(64)
+    ]
+    payload = b"x" * 24
+
+    best = 0.0
+    for _ in range(3):
+        count = 0
+        elapsed = 0.0
+        while elapsed < seconds:
+            start = time.perf_counter()
+            for origin in origins:
+                medium.broadcast(origin, payload, tx_range)
+            elapsed += time.perf_counter() - start
+            count += len(origins)
+            sim.run()
+        best = max(best, count / elapsed)
+    return best
+
+
+def bench_broadcast_vector(counts: list[int], seconds: float) -> dict:
+    results = {}
+    for count in counts:
+        vector = _broadcast_rate_dense(count, True, seconds)
+        scalar = _broadcast_rate_dense(count, False, seconds)
+        results[str(count)] = {
+            "vector_per_s": round(vector),
+            "scalar_per_s": round(scalar),
+            "speedup": round(vector / scalar, 2),
         }
     return results
 
@@ -345,21 +416,141 @@ def bench_e2e(
     return results
 
 
+# The dense-field variant: 1200 receive-capable sensors whose transmit
+# range spans the whole area, so every transmission fans out to 1200+
+# candidate listeners, under a harsh loss model (most candidates draw a
+# loss). Per-broadcast cost is then dominated by the per-listener
+# RSSI + survival loop — the regime `wireless_vectorized` turns into
+# one numpy pass and a single batched delivery event. The program runs
+# once per flag setting in a fresh subprocess and the driver reports
+# the on/off ratio.
+_E2E_VECTOR_PROGRAM = """\
+import json, sys, time
+from repro.core.config import GarnetConfig
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.middleware import Garnet
+from repro.core.operators import CollectingConsumer
+from repro.core.resource import StreamConfig
+from repro.sensors.node import SensorStreamSpec
+from repro.sensors.sampling import ConstantSampler, SampleCodec
+from repro.simnet.geometry import Point, Rect
+from repro.simnet.wireless import LossModel
+
+duration = float(sys.argv[1])
+vectorized = sys.argv[2] == "on"
+sensors = 1200
+area = Rect(0.0, 0.0, 600.0, 600.0)
+config = GarnetConfig(area=area, receiver_rows=4, receiver_cols=4,
+                      receiver_overlap=6.0,
+                      loss_model=LossModel(base=0.93, edge=0.98,
+                                           good_fraction=0.0),
+                      publish_location_stream=False,
+                      wireless_vectorized=vectorized)
+deployment = Garnet(config=config, seed=1)
+deployment.define_sensor_type("g", {})
+rng = deployment.sim.fork_rng()
+sample_codec = SampleCodec(0.0, 100.0)
+for _ in range(sensors):
+    deployment.add_sensor(
+        "g",
+        [SensorStreamSpec(0, ConstantSampler(42.0), sample_codec,
+                          config=StreamConfig(rate=1.0), kind="scale")],
+        mobility=Point(rng.uniform(0.0, area.x_max),
+                       rng.uniform(0.0, area.y_max)),
+        tx_range=2000.0,
+    )
+for index in range(2):
+    deployment.add_consumer(CollectingConsumer(
+        f"c{index}", SubscriptionPattern(kind="scale"), max_kept=64))
+start = time.perf_counter()
+deployment.run(duration)
+wall = time.perf_counter() - start
+stats = deployment.medium.stats
+print(json.dumps({
+    "sim_s_per_wall_s": round(duration / wall, 2),
+    "events": deployment.sim.events_processed,
+    "listeners": sensors + config.receiver_rows * config.receiver_cols,
+    "transmissions": stats.transmissions,
+    "deliveries": stats.deliveries,
+    "losses": stats.losses,
+}))
+"""
+
+
+def _e2e_vector_once(duration: float, vectorized: bool) -> dict:
+    here = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(here)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _E2E_VECTOR_PROGRAM,
+            str(duration),
+            "on" if vectorized else "off",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_e2e_vector(duration: float, repeats: int = 2) -> dict:
+    """Dense-deployment sim-s/wall-s with the vectorized medium on vs off.
+
+    Both settings run the identical program, interleaved; transmission
+    and out-of-range counts must agree exactly (the flag may only change
+    *which* survival randomness is drawn, never what is attempted).
+    """
+    vector_best: dict = {"sim_s_per_wall_s": 0.0}
+    scalar_best: dict = {"sim_s_per_wall_s": 0.0}
+    for _ in range(repeats):
+        vector_run = _e2e_vector_once(duration, True)
+        if vector_run["sim_s_per_wall_s"] > vector_best["sim_s_per_wall_s"]:
+            vector_best = vector_run
+        scalar_run = _e2e_vector_once(duration, False)
+        if scalar_run["sim_s_per_wall_s"] > scalar_best["sim_s_per_wall_s"]:
+            scalar_best = scalar_run
+    assert vector_best["transmissions"] == scalar_best["transmissions"], (
+        "vector and scalar runs attempted different transmission counts: "
+        f"{vector_best['transmissions']} vs {scalar_best['transmissions']}"
+    )
+    return {
+        "listeners": vector_best["listeners"],
+        "vector_sim_s_per_wall_s": vector_best["sim_s_per_wall_s"],
+        "scalar_sim_s_per_wall_s": scalar_best["sim_s_per_wall_s"],
+        "vector_speedup": round(
+            vector_best["sim_s_per_wall_s"]
+            / scalar_best["sim_s_per_wall_s"],
+            2,
+        ),
+        "transmissions": vector_best["transmissions"],
+        "vector_deliveries": vector_best["deliveries"],
+        "scalar_deliveries": scalar_best["deliveries"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def run_all(quick: bool, e2e_baseline_src: Path | None = None) -> dict:
     seconds = 0.2 if quick else 0.8
     counts = [100, 1000] if quick else [100, 500, 1000, 2000]
+    vector_counts = [1024] if quick else [256, 1024, 4096]
     duration = 5.0 if quick else 30.0
+    vector_duration = 0.5 if quick else 2.0
     repeats = 2 if quick else 3
     return {
         "experiment": "E18 hot-path overhaul",
         "mode": "quick" if quick else "full",
         "codec": bench_codec(seconds),
         "broadcast": bench_broadcast(counts, seconds),
+        "broadcast_vector": bench_broadcast_vector(vector_counts, seconds),
         "dispatch": bench_dispatch(seconds),
         "e2e": bench_e2e(duration, e2e_baseline_src, repeats),
+        "e2e_vector": bench_e2e_vector(vector_duration, repeats),
     }
 
 
@@ -382,6 +573,26 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
                 f"broadcast[{count}].speedup regressed: "
                 f"{new} < {REGRESSION_TOLERANCE} * {old}"
             )
+    for count, entry in fresh.get("broadcast_vector", {}).items():
+        old = (
+            baseline.get("broadcast_vector", {})
+            .get(count, {})
+            .get("speedup")
+        )
+        new = entry["speedup"]
+        if old and new < old * REGRESSION_TOLERANCE:
+            failures.append(
+                f"broadcast_vector[{count}].speedup regressed: "
+                f"{new} < {REGRESSION_TOLERANCE} * {old}"
+            )
+    vector_speedup = fresh.get("e2e_vector", {}).get("vector_speedup")
+    if vector_speedup is not None and vector_speedup < E2E_VECTOR_MIN_SPEEDUP:
+        # Absolute floor, not baseline-relative: the dense deployment
+        # must keep paying for the vectorized medium at all.
+        failures.append(
+            f"e2e_vector.vector_speedup {vector_speedup} < "
+            f"{E2E_VECTOR_MIN_SPEEDUP} (absolute floor)"
+        )
     return failures
 
 
@@ -405,6 +616,11 @@ def main(argv: list[str] | None = None) -> int:
         help="src directory of an older checkout (e.g. a worktree of the "
         "pre-E18 seed commit) to A/B the e2e deployment against",
     )
+    parser.add_argument(
+        "--fresh-output", type=Path, default=None,
+        help="also write the freshly measured numbers here (useful in "
+        "--check runs, which never touch the committed baseline)",
+    )
     args = parser.parse_args(argv)
     if args.e2e_baseline_src is not None and not args.e2e_baseline_src.is_dir():
         parser.error(f"--e2e-baseline-src: no such directory: "
@@ -416,6 +632,9 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh = run_all(args.quick, args.e2e_baseline_src)
     print(json.dumps(fresh, indent=2))
+    if args.fresh_output is not None:
+        args.fresh_output.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {args.fresh_output}")
 
     if baseline is not None:
         failures = check_against_baseline(fresh, baseline)

@@ -36,6 +36,12 @@ class GarnetConfig:
     #: without visiting them. Behaviour-neutral (same seed ⇒ identical
     #: traces); exposed as a kill switch for A/B perf measurement.
     wireless_spatial_index: bool = True
+    #: Compute each broadcast disc as numpy array operations with a
+    #: single RNG call per transmission and batched delivery. NOT
+    #: behaviour-neutral: the RNG draw order changes, so vectorized runs
+    #: are pinned by their own VECTOR_GOLDEN_DIGEST; flag off stays
+    #: byte-identical to the scalar medium. Requires numpy.
+    wireless_vectorized: bool = False
 
     # Fixed network
     message_latency: float = 0.0005
@@ -129,6 +135,12 @@ class GarnetConfig:
     # duplicate deliveries across link/replay paths.
     cluster_enabled: bool = False
     cluster_brokers: int = 2
+    #: Run broker nodes b1..bN in worker *processes* (repro.cluster.mp):
+    #: 0 keeps everything in-process; N > 0 distributes the non-historical
+    #: nodes over N workers with inter-broker frames carried over pipes
+    #: and a conservative sim-time barrier. Delivery sets match the
+    #: in-process run on the same seed.
+    cluster_workers: int = 0
     cluster_virtual_nodes: int = 64
     cluster_failover_check_period: float = 1.0
     cluster_handoff_backlog: int = 64
@@ -283,6 +295,12 @@ class GarnetConfig:
                 raise ConfigurationError("qos_min_rate must be positive")
         if self.cluster_brokers < 1:
             raise ConfigurationError("cluster_brokers must be at least 1")
+        if self.cluster_workers < 0:
+            raise ConfigurationError("cluster_workers must be non-negative")
+        if self.cluster_workers > 0 and not self.cluster_enabled:
+            raise ConfigurationError(
+                "cluster_workers requires cluster_enabled"
+            )
         if self.cluster_enabled:
             if self.cluster_virtual_nodes < 1:
                 raise ConfigurationError(

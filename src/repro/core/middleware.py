@@ -299,6 +299,8 @@ class Garnet:
             loss_model=cfg.loss_model,
             per_hop_latency=cfg.per_hop_latency,
             spatial_index=cfg.wireless_spatial_index,
+            vectorized=cfg.wireless_vectorized,
+            metrics=self._metrics,
         )
         self.registry = StreamRegistry()
         self.auth = AuthService(cfg.deployment_secret)
@@ -970,9 +972,22 @@ class Garnet:
     # Execution & reporting
     # ------------------------------------------------------------------
     def run(self, duration: float) -> None:
-        """Advance the deployment by ``duration`` simulated seconds."""
+        """Advance the deployment by ``duration`` simulated seconds.
+
+        With ``cluster_workers > 0`` the non-primary broker nodes
+        execute in forked worker processes for the duration (see
+        :func:`repro.cluster.mp.run_multiprocess`); delivery sets match
+        the in-process run on the same seed.
+        """
         if duration < 0:
             raise ConfigurationError("duration must be non-negative")
+        if self.config.cluster_workers > 0:
+            from repro.cluster.mp import run_multiprocess
+
+            run_multiprocess(
+                self, duration, workers=self.config.cluster_workers
+            )
+            return
         self.sim.run(until=self.sim.now + duration)
 
     def run_until_idle(self, max_events: int | None = None) -> None:

@@ -118,6 +118,11 @@ class Broker(RpcEndpoint):
     # Liveness (crash faults)
     # ------------------------------------------------------------------
     @property
+    def advertisement_inbox(self) -> str:
+        """The inbox this broker listens on for stream advertisements."""
+        return self._advertisement_inbox
+
+    @property
     def up(self) -> bool:
         """False between :meth:`crash` and :meth:`restart`."""
         return self._up

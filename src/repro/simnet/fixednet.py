@@ -122,6 +122,11 @@ class FixedNetwork(Transport):
         self._dead_letter: DeadLetterHook | None = None
         self._partitioned: set[str] = set()
         self._latency_factor = 1.0
+        #: destination -> outbound hook; installed by the multiprocess
+        #: cluster bridge so sends to inboxes owned by another process
+        #: are shipped over a pipe instead of delivered locally. None
+        #: (the default) keeps send() on its historical fast path.
+        self._remote_routes: dict[str, Callable[[float, str, Any], None]] | None = None
         self._breaker_policy: Any | None = None
         self._breakers: dict[str, Any] | None = None
         registry = self.stats.registry
@@ -297,6 +302,72 @@ class FixedNetwork(Transport):
     def unregister_inbox(self, name: str) -> None:
         self._inboxes.pop(name, None)
 
+    def inbox_names(self) -> list[str]:
+        """Every registered inbox endpoint name (multiprocess routing)."""
+        return list(self._inboxes)
+
+    def set_remote_route(
+        self,
+        destination: str,
+        outbound: Callable[[float, str, Any], None],
+    ) -> None:
+        """Divert sends to ``destination`` through ``outbound``.
+
+        Installed by the multiprocess cluster bridge
+        (:mod:`repro.cluster.mp`): instead of scheduling a local
+        delivery, ``send`` calls ``outbound(arrival_time, destination,
+        message)`` so the process that owns the inbox can
+        :meth:`inject` the delivery at exactly the arrival time this
+        network would have used.
+        """
+        if self._remote_routes is None:
+            self._remote_routes = {}
+        self._remote_routes[destination] = outbound
+
+    def clear_remote_routes(self) -> None:
+        """Drop every remote route; sends become local again."""
+        self._remote_routes = None
+
+    def inject(self, arrival_time: float, destination: str, message: Any) -> None:
+        """Schedule a delivery shipped from another process.
+
+        ``arrival_time`` was computed by the *sending* process's network
+        (send time plus bus latency); the multiprocess barrier protocol
+        guarantees it is still in this process's future, so a
+        :class:`SchedulingError` here means a lookahead violation, not a
+        recoverable condition.
+        """
+        self._sim.schedule_at(
+            arrival_time, self._deliver, destination, message, None
+        )
+
+    def extract_pending_for(
+        self, destinations: "set[str] | frozenset[str]"
+    ) -> list[tuple[float, str, Any]]:
+        """Cancel queued deliveries bound for ``destinations``.
+
+        Returns ``(arrival_time, destination, message)`` triples in
+        schedule order. The multiprocess bridge uses this at activation
+        time: deliveries scheduled while the deployment was being built
+        (interest broadcasts, advertisements) predate the remote routes,
+        so the parent sweeps its queue and ships them to the owning
+        worker, which :meth:`inject`\\ s them at their original times.
+        """
+        deliver = self._deliver
+        matched = []
+        for handle in self._sim.iter_pending():
+            if handle.callback != deliver:
+                continue
+            args = handle.args
+            if args and args[0] in destinations:
+                matched.append(handle)
+        matched.sort(key=lambda handle: (handle.time, handle.seq))
+        extracted = []
+        for handle in matched:
+            handle.cancel()
+            extracted.append((handle.time, handle.args[0], handle.args[1]))
+        return extracted
+
     def has_inbox(self, name: str) -> bool:
         return name in self._inboxes
 
@@ -309,6 +380,21 @@ class FixedNetwork(Transport):
         is installed, in which case the message is retried with backoff
         and dead-lettered only after the policy gives up.
         """
+        routes = self._remote_routes
+        if routes is not None:
+            outbound = routes.get(destination)
+            if outbound is not None:
+                # Ship (arrival_time, destination, message) to the
+                # owning process; it schedules the delivery locally at
+                # exactly the time this send() would have.
+                self._messages_total.inc()
+                outbound(
+                    self._sim.now
+                    + self._message_latency * self._latency_factor,
+                    destination,
+                    message,
+                )
+                return
         self._messages_total.inc()
         span = (
             self._tracer.begin("fixednet.deliver", destination=destination)

@@ -165,6 +165,28 @@ class Simulator:
             heapq.heapify(queue)
             self._cancelled = 0
 
+    def iter_pending(self) -> list[EventHandle]:
+        """Snapshot of the live (non-cancelled) queued events.
+
+        Heap order, not execution order — callers needing execution
+        order must sort on ``(time, seq)``. Used by process-migration
+        sweeps (:meth:`FixedNetwork.extract_pending_for`) and debugging;
+        not a hot path.
+        """
+        return [handle for handle in self._queue if not handle.cancelled]
+
+    def clear_pending(self) -> int:
+        """Drop every queued event; returns how many were discarded.
+
+        Only sensible on a freshly forked worker process that must not
+        replay the parent's timeline (the multiprocess cluster bridge
+        re-seeds the worker's queue with injected deliveries instead).
+        """
+        dropped = len(self._queue) - self._cancelled
+        self._queue.clear()
+        self._cancelled = 0
+        return dropped
+
     def fork_rng(self) -> random.Random:
         """Return an independent RNG derived deterministically from the seed.
 
@@ -261,13 +283,52 @@ class Simulator:
                     break
                 pop(queue)
                 head.owner = None
-                self._now = head.time
-                head.callback(*head.args)
-                executed += 1
-                self._events_processed += 1
-                probe = self._probe
-                if probe is not None:
-                    probe.on_executed(head, len(queue))
+                batch_time = head.time
+                self._now = batch_time
+                if not queue or queue[0].time != batch_time:
+                    # Fast path: a lone event at this instant — skip the
+                    # batch list allocation entirely.
+                    head.callback(*head.args)
+                    executed += 1
+                    self._events_processed += 1
+                    probe = self._probe
+                    if probe is not None:
+                        probe.on_executed(head, len(queue))
+                    continue
+                # Batch path: drain the whole same-instant run in one heap
+                # sweep, then dispatch. Tombstones drop during the drain;
+                # cancel-inside-batch (an earlier callback cancelling a
+                # later same-instant event) is honoured by re-checking the
+                # cancelled flag at dispatch. Events a callback schedules
+                # *at* batch_time land back on the heap with a higher seq
+                # and are picked up by the next iteration, preserving FIFO
+                # order exactly as the one-at-a-time kernel did.
+                batch = [head]
+                append = batch.append
+                budget = None if max_events is None else max_events - executed
+                while queue and queue[0].time == batch_time:
+                    if budget is not None and len(batch) >= budget:
+                        break
+                    nxt = pop(queue)
+                    nxt.owner = None
+                    if nxt.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    append(nxt)
+                remaining = len(batch)
+                for handle in batch:
+                    remaining -= 1
+                    if handle.cancelled:
+                        continue
+                    handle.callback(*handle.args)
+                    executed += 1
+                    self._events_processed += 1
+                    probe = self._probe
+                    if probe is not None:
+                        # Report the depth the one-at-a-time kernel would
+                        # have seen: heap plus the not-yet-dispatched tail
+                        # of this batch.
+                        probe.on_executed(handle, len(queue) + remaining)
             else:
                 if until is not None:
                     self._now = max(self._now, until)

@@ -22,21 +22,39 @@ an RSSI, never the transmitter's coordinates — location must be *inferred*
 from __future__ import annotations
 
 import math
+from bisect import insort
 from collections.abc import Callable
 from dataclasses import dataclass
 from operator import attrgetter
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.errors import ConfigurationError
 from repro.simnet.geometry import Point
 from repro.simnet.kernel import Simulator
 from repro.simnet.spatial import UniformGridIndex
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+try:  # numpy backs the opt-in vectorized broadcast path only.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 _SPEED_OF_LIGHT = 3.0e8  # m/s
 
 #: Below this many static listeners the grid's bookkeeping costs more
 #: than the linear scan it avoids.
 _MIN_INDEXED_LISTENERS = 16
+
+#: Below this many candidates the numpy dispatch overhead costs more
+#: than the scalar loop it replaces; the vectorized medium falls back.
+_MIN_VECTOR_CANDIDATES = 16
+
+#: Static-tier entries whose cached position is re-validated per
+#: broadcast (rotating cursor), bounding staleness detection latency to
+#: ``ceil(len(static) / _STALE_SWEEP_BATCH)`` broadcasts.
+_STALE_SWEEP_BATCH = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +122,23 @@ class LossModel:
         scaled = (excess / span) ** self.exponent if span > 0 else 0.0
         return min(1.0, self.base + (self.edge - self.base) * scaled)
 
+    def loss_probability_array(self, distances, radio_ranges):
+        """Vectorized :meth:`loss_probability` over numpy arrays.
+
+        ``radio_ranges`` entries must be positive (the medium validates
+        ranges at attach time); distances beyond the range map to 1.0
+        exactly like the scalar path.
+        """
+        ratio = distances / radio_ranges
+        span = 1.0 - self.good_fraction
+        if span > 0:
+            excess = _np.maximum(ratio - self.good_fraction, 0.0)
+            scaled = (excess / span) ** self.exponent
+        else:
+            scaled = _np.zeros_like(ratio)
+        p = _np.minimum(1.0, self.base + (self.edge - self.base) * scaled)
+        return _np.where(ratio > 1.0, 1.0, p)
+
 
 def log_distance_rssi(
     distance: float,
@@ -120,6 +155,21 @@ def log_distance_rssi(
     return tx_power_dbm - loss
 
 
+def log_distance_rssi_array(
+    distances,
+    tx_power_dbm: float = 0.0,
+    path_loss_exponent: float = 2.4,
+    reference_distance: float = 1.0,
+    reference_loss_db: float = 40.0,
+):
+    """Vectorized :func:`log_distance_rssi` over a numpy distance array."""
+    d = _np.maximum(distances, reference_distance)
+    loss = reference_loss_db + 10.0 * path_loss_exponent * _np.log10(
+        d / reference_distance
+    )
+    return tx_power_dbm - loss
+
+
 class _Attachment:
     """One ``attach()`` call: a listener plus its radio parameters.
 
@@ -129,7 +179,15 @@ class _Attachment:
     location for static listeners (queried once, at attach time).
     """
 
-    __slots__ = ("listener", "radio_range", "channel", "seq", "static", "position")
+    __slots__ = (
+        "listener",
+        "radio_range",
+        "channel",
+        "seq",
+        "static",
+        "position",
+        "vec_index",
+    )
 
     def __init__(
         self,
@@ -146,6 +204,9 @@ class _Attachment:
         self.seq = seq
         self.static = static
         self.position = position
+        #: Index into the vectorized static-tier arrays; refreshed on
+        #: every array rebuild, meaningless for mobile entries.
+        self.vec_index = -1
 
 
 @dataclass(slots=True)
@@ -160,6 +221,10 @@ class MediumStats:
     bytes_delivered: int = 0
     burst_losses: int = 0
     """Losses that occurred while an injected drop burst was active."""
+    rssi_cache_evicted: int = 0
+    """RSSI memo entries discarded when the cache hit its cap."""
+    spatial_fallbacks: int = 0
+    """Static-tier entries demoted to the linear scan after moving."""
 
 
 class WirelessMedium:
@@ -183,6 +248,19 @@ class WirelessMedium:
         ``broadcast`` prunes out-of-range ones without visiting them.
         Pruning is exact, so disabling the index (the kill switch for
         A/B benchmarking) changes timing only, never results.
+    vectorized:
+        Compute the whole broadcast disc — distances, loss
+        probabilities, RSSI and the survival draws — as numpy array
+        operations with a *single* ``Generator.random(n)`` call per
+        transmission, and deliver all surviving copies through one
+        batched kernel event. The RNG draw order necessarily differs
+        from the scalar path, so vectorized runs are pinned by their own
+        golden digest (``VECTOR_GOLDEN_DIGEST``); with the flag off the
+        medium stays byte-identical to the scalar implementation.
+    metrics:
+        Optional metrics registry; when given, rare-path counters
+        (``wireless.rssi_cache_evicted``, ``wireless.spatial_fallback``)
+        are mirrored into it.
     """
 
     def __init__(
@@ -192,11 +270,17 @@ class WirelessMedium:
         loss_model: LossModel | None = None,
         per_hop_latency: float = 0.001,
         spatial_index: bool = True,
+        vectorized: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if bitrate <= 0:
             raise ConfigurationError(f"bitrate must be positive: {bitrate}")
         if per_hop_latency < 0:
             raise ConfigurationError("per_hop_latency must be non-negative")
+        if vectorized and _np is None:
+            raise ConfigurationError(
+                "wireless vectorization requires numpy, which is not installed"
+            )
         self._sim = sim
         self._bitrate = bitrate
         self._loss_model = loss_model
@@ -212,11 +296,37 @@ class WirelessMedium:
         self._use_spatial_index = spatial_index
         self._grid: UniformGridIndex | None = None
         self._rng = sim.fork_rng()
+        self._vectorized = vectorized
+        self._np_rng = None
+        if vectorized:
+            # Seeded from the medium's own forked stream so the flag
+            # does not consume an extra Simulator.fork_rng() (which
+            # would shift every later fork and change the deployment).
+            self._np_rng = _np.random.Generator(
+                _np.random.PCG64(self._rng.getrandbits(128))
+            )
+        #: Cached static-tier arrays for the vectorized path; rebuilt
+        #: lazily whenever the static tier changes.
+        self._vec_state: tuple | None = None
+        self._vec_dirty = True
+        self._sweep_cursor = 0
         #: distance -> RSSI memo. Static topologies re-broadcast over the
         #: same sensor/listener pairs every sampling round, so the
         #: log-distance computation repeats with identical inputs.
         self._rssi_cache: dict[float, float] = {}
         self.stats = MediumStats()
+        if metrics is not None:
+            self._evicted_counter = metrics.counter(
+                "wireless.rssi_cache_evicted",
+                "RSSI memo entries discarded when the cache hit its cap",
+            )
+            self._fallback_counter = metrics.counter(
+                "wireless.spatial_fallback",
+                "static-tier listeners demoted to the linear scan after moving",
+            )
+        else:
+            self._evicted_counter = None
+            self._fallback_counter = None
         self._snoopers: list[Callable[[bytes, Point], None]] = []
         self._extra_loss = 0.0
 
@@ -286,12 +396,14 @@ class WirelessMedium:
                 self._grid.insert(entry, entry.position)
         else:
             self._mobile.append(entry)
+        self._vec_dirty = True
 
     def detach(self, listener: RadioListener) -> None:
         """Remove a listener; unknown listeners are ignored."""
         self._mobile = [
             entry for entry in self._mobile if entry.listener is not listener
         ]
+        self._vec_dirty = True
         doomed = self._static_by_listener.pop(id(listener), None)
         if not doomed:
             return
@@ -302,6 +414,80 @@ class WirelessMedium:
             self._static_channel_counts[entry.channel] -= 1
             if self._grid is not None:
                 self._grid.remove(entry)
+
+    def notify_moved(self, listener: RadioListener) -> int:
+        """Tell the medium a ``static=True`` listener has moved.
+
+        All of the listener's static-tier entries are demoted to the
+        linear-scan (mobile) tier — their cached position and grid bin
+        are stale, and from now on the listener's live ``position`` is
+        queried per broadcast. Returns how many entries were demoted.
+        Callers that relocate a nominally static listener should invoke
+        this immediately; the per-broadcast staleness sweep will catch a
+        missed move eventually, but only after up to
+        ``len(static) / _STALE_SWEEP_BATCH`` broadcasts.
+        """
+        entries = list(self._static_by_listener.get(id(listener), ()))
+        for entry in entries:
+            self._demote(entry)
+        return len(entries)
+
+    def _demote(self, entry: _Attachment) -> None:
+        """Move a stale static-tier entry onto the linear-scan tier.
+
+        Attach order (``seq``) is preserved across the move, so the
+        candidate walk — and with it the scalar RNG draw order — is
+        exactly what it would have been had the listener been attached
+        mobile from the start.
+        """
+        self._static.remove(entry)
+        key = id(entry.listener)
+        bucket = self._static_by_listener.get(key)
+        if bucket is not None:
+            bucket.remove(entry)
+            if not bucket:
+                del self._static_by_listener[key]
+        self._static_channel_counts[entry.channel] -= 1
+        if self._grid is not None:
+            self._grid.remove(entry)
+        entry.static = False
+        entry.position = None
+        insort(self._mobile, entry, key=_SEQ_KEY)
+        self._vec_dirty = True
+        self.stats.spatial_fallbacks += 1
+        if self._fallback_counter is not None:
+            self._fallback_counter.inc()
+
+    def _sweep_static_positions(self) -> None:
+        """Re-validate a rotating slice of cached static positions.
+
+        Static entries cache the listener's position object at attach
+        time; a listener that moves afterwards would otherwise be heard
+        at its stale coordinates forever (and pruned by a stale grid
+        bin). Every broadcast re-checks up to ``_STALE_SWEEP_BATCH``
+        entries by object identity — all genuinely static listeners
+        return the same ``Point`` instance on every query, so the check
+        costs one attribute load per entry and never perturbs RNG state.
+        """
+        static = self._static
+        count = len(static)
+        if count == 0:
+            return
+        cursor = self._sweep_cursor
+        stale: list[_Attachment] | None = None
+        for _ in range(min(_STALE_SWEEP_BATCH, count)):
+            if cursor >= count:
+                cursor = 0
+            entry = static[cursor]
+            if entry.listener.position is not entry.position:
+                if stale is None:
+                    stale = []
+                stale.append(entry)
+            cursor += 1
+        self._sweep_cursor = cursor
+        if stale is not None:
+            for entry in stale:
+                self._demote(entry)
 
     def add_snooper(self, snooper: Callable[[bytes, Point], None]) -> None:
         """Observe every transmission regardless of range/loss (test hook)."""
@@ -337,6 +523,14 @@ class WirelessMedium:
         for snooper in self._snoopers:
             snooper(payload, origin)
         serialisation = len(payload) * 8.0 / self._bitrate
+        if self._static:
+            self._sweep_static_positions()
+        if self._vectorized and (
+            len(self._static) + len(self._mobile) >= _MIN_VECTOR_CANDIDATES
+        ):
+            return self._broadcast_vector(
+                origin, payload, tx_range, channel, exclude, now, serialisation
+            )
         scheduled = 0
 
         static = self._static
@@ -402,7 +596,11 @@ class WirelessMedium:
                 if len(rssi_cache) >= _RSSI_CACHE_MAX:
                     # Mobile listeners produce ever-fresh distances;
                     # reset rather than grow without bound.
+                    evicted = len(rssi_cache)
                     rssi_cache.clear()
+                    stats.rssi_cache_evicted += evicted
+                    if self._evicted_counter is not None:
+                        self._evicted_counter.inc(evicted)
                 rssi = rssi_cache[distance] = log_distance_rssi(distance)
             # Construct the (frozen, slots) frame without the dataclass
             # __init__ frame; delivery scheduling bypasses the schedule()
@@ -446,6 +644,149 @@ class WirelessMedium:
                 grid.insert(entry, entry.position)
             self._grid = grid
         return grid
+
+    def _vector_state(self) -> tuple:
+        """Static-tier candidate arrays, rebuilt when the tier changes.
+
+        Returns ``(entries, xs, ys, ranges, channels)`` with the numpy
+        arrays aligned to the ``entries`` tuple; each entry's
+        ``vec_index`` is refreshed so ``exclude`` masking is O(1).
+        """
+        state = self._vec_state
+        if state is not None and not self._vec_dirty:
+            return state
+        static = self._static
+        count = len(static)
+        xs = _np.empty(count)
+        ys = _np.empty(count)
+        ranges = _np.empty(count)
+        channels = _np.empty(count, dtype=_np.int64)
+        for index, entry in enumerate(static):
+            position = entry.position
+            xs[index] = position.x
+            ys[index] = position.y
+            ranges[index] = entry.radio_range
+            channels[index] = entry.channel
+            entry.vec_index = index
+        state = (tuple(static), xs, ys, ranges, channels)
+        self._vec_state = state
+        self._vec_dirty = False
+        return state
+
+    def _broadcast_vector(
+        self,
+        origin: Point,
+        payload: bytes,
+        tx_range: float,
+        channel: int,
+        exclude: RadioListener | None,
+        now: float,
+        serialisation: float,
+    ) -> int:
+        """Whole-disc broadcast: one array pass, one RNG call.
+
+        Candidates are ordered static tier first (array order = attach
+        order within the tier), then mobile tier — *not* global attach
+        order, which is why the vectorized medium carries its own golden
+        digest. All surviving copies are delivered by a single kernel
+        event at the latest arrival time; each frame still carries its
+        exact per-link ``received_at`` (propagation skew within a
+        broadcast disc is sub-microsecond, and receivers timestamp from
+        the frame, not the clock).
+        """
+        stats = self.stats
+        entries, xs, ys, ranges, channels = self._vector_state()
+        n_static = len(entries)
+        mobile = self._mobile
+        if mobile:
+            count = len(mobile)
+            mobile_x = _np.empty(count)
+            mobile_y = _np.empty(count)
+            mobile_ranges = _np.empty(count)
+            mobile_channels = _np.empty(count, dtype=_np.int64)
+            for index, entry in enumerate(mobile):
+                position = entry.listener.position
+                mobile_x[index] = position.x
+                mobile_y[index] = position.y
+                mobile_ranges[index] = entry.radio_range
+                mobile_channels[index] = entry.channel
+            all_x = _np.concatenate((xs, mobile_x))
+            all_y = _np.concatenate((ys, mobile_y))
+            all_ranges = _np.concatenate((ranges, mobile_ranges))
+            all_channels = _np.concatenate((channels, mobile_channels))
+            all_entries = entries + tuple(mobile)
+        else:
+            all_x, all_y = xs, ys
+            all_ranges, all_channels = ranges, channels
+            all_entries = entries
+        eligible = all_channels == channel
+        if exclude is not None:
+            for entry in self._static_by_listener.get(id(exclude), ()):
+                eligible[entry.vec_index] = False
+            for index, entry in enumerate(mobile):
+                if entry.listener is exclude:
+                    eligible[n_static + index] = False
+        distances = _np.hypot(all_x - origin.x, all_y - origin.y)
+        reach = _np.minimum(all_ranges, tx_range)
+        hear = eligible & (distances <= reach)
+        candidate_idx = _np.nonzero(hear)[0]
+        stats.out_of_range += int(eligible.sum()) - candidate_idx.size
+        if candidate_idx.size == 0:
+            return 0
+        candidate_dist = distances[candidate_idx]
+        loss_model = self._loss_model
+        extra_loss = self._extra_loss
+        if loss_model is not None:
+            p_loss = loss_model.loss_probability_array(
+                candidate_dist, reach[candidate_idx]
+            )
+            if extra_loss > 0.0:
+                # Independent failure modes: survive both or lose.
+                p_loss = 1.0 - (1.0 - p_loss) * (1.0 - extra_loss)
+            survived = self._np_rng.random(candidate_idx.size) >= p_loss
+        elif extra_loss > 0.0:
+            survived = self._np_rng.random(candidate_idx.size) >= extra_loss
+        else:
+            survived = None
+        if survived is not None:
+            lost = candidate_idx.size - int(survived.sum())
+            if lost:
+                stats.losses += lost
+                if extra_loss > 0.0:
+                    stats.burst_losses += lost
+            candidate_idx = candidate_idx[survived]
+            candidate_dist = candidate_dist[survived]
+            if candidate_idx.size == 0:
+                return 0
+        rssi = log_distance_rssi_array(candidate_dist).tolist()
+        arrivals = (
+            now
+            + self._per_hop_latency
+            + serialisation
+            + candidate_dist / _SPEED_OF_LIGHT
+        ).tolist()
+        batch: list[tuple[RadioListener, RadioFrame]] = []
+        append = batch.append
+        for position, entry_index in enumerate(candidate_idx.tolist()):
+            frame = _NEW_FRAME(RadioFrame)
+            _SET_FRAME_FIELD(frame, "payload", payload)
+            _SET_FRAME_FIELD(frame, "rssi", rssi[position])
+            _SET_FRAME_FIELD(frame, "sent_at", now)
+            _SET_FRAME_FIELD(frame, "received_at", arrivals[position])
+            _SET_FRAME_FIELD(frame, "channel", channel)
+            append((all_entries[entry_index].listener, frame))
+        self._sim.schedule_at(max(arrivals), self._deliver_batch, batch)
+        return len(batch)
+
+    def _deliver_batch(
+        self, batch: list[tuple[RadioListener, RadioFrame]]
+    ) -> None:
+        stats = self.stats
+        stats.deliveries += len(batch)
+        # Every frame in a batch shares one payload object.
+        stats.bytes_delivered += len(batch[0][1].payload) * len(batch)
+        for listener, frame in batch:
+            listener.on_radio_receive(frame)
 
     def _deliver(self, listener: RadioListener, frame: RadioFrame) -> None:
         self.stats.deliveries += 1

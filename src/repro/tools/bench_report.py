@@ -1,0 +1,142 @@
+"""Aggregate committed ``BENCH_*.json`` baselines into one report.
+
+Every experiment that tracks a perf trajectory commits its benchmark
+output as ``BENCH_<experiment>.json`` at the repo root (see e.g.
+``benchmarks/bench_e18_hotpath.py``). This tool collects those files
+and renders a single Markdown document — the repo commits the result as
+``docs/perf_trajectory.md`` so the trajectory is readable without
+re-running anything.
+
+Usage::
+
+    garnet-bench-report                       # repo root -> stdout
+    garnet-bench-report --root . --output docs/perf_trajectory.md
+    python -m repro.tools.bench_report BENCH_e18_hotpath.json ...
+
+Positional arguments name specific JSON files; without them every
+``BENCH_*.json`` under ``--root`` (non-recursive) is included. The
+report flattens each file's nested sections into dotted metric names,
+so it needs no knowledge of individual benchmark shapes and never goes
+stale when one gains a section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Metrics whose name ends with one of these render with extra emphasis:
+#: they are the ratios the benchmarks themselves gate on.
+_HEADLINE_SUFFIXES = ("speedup", "speedup_vs_seed", "speedup_vs_1")
+
+
+def flatten(value: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Yield ``(dotted_name, scalar)`` pairs from nested JSON data.
+
+    Lists of scalars render as one comma-joined value; lists of objects
+    are indexed. Non-scalar leaves (null) are skipped.
+    """
+    if isinstance(value, dict):
+        for key, item in value.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(item, name)
+    elif isinstance(value, list):
+        if all(not isinstance(item, (dict, list)) for item in value):
+            yield prefix, ", ".join(str(item) for item in value)
+        else:
+            for index, item in enumerate(value):
+                yield from flatten(item, f"{prefix}[{index}]")
+    elif isinstance(value, (int, float, str, bool)):
+        yield prefix, value
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_report(files: list[Path]) -> str:
+    """The full Markdown report for the given benchmark JSON files."""
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Aggregated from the committed `BENCH_*.json` baselines by",
+        "`garnet-bench-report`; regenerate with:",
+        "",
+        "```",
+        "PYTHONPATH=src python -m repro.tools.bench_report \\",
+        "    --output docs/perf_trajectory.md",
+        "```",
+        "",
+    ]
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"garnet-bench-report: {path}: {exc}")
+        experiment = data.get("experiment", path.stem)
+        mode = data.get("mode")
+        lines.append(f"## {experiment}")
+        lines.append("")
+        source = f"`{path.name}`"
+        if mode:
+            source += f" (mode: {mode})"
+        lines.append(f"Source: {source}")
+        lines.append("")
+        lines.append("| Metric | Value |")
+        lines.append("| --- | ---: |")
+        for name, value in flatten(data):
+            if name in ("experiment", "mode"):
+                continue
+            rendered = _format(value)
+            if name.endswith(_HEADLINE_SUFFIXES):
+                name = f"**{name}**"
+                rendered = f"**{rendered}**"
+            lines.append(f"| {name} | {rendered} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="benchmark JSON files (default: BENCH_*.json under --root)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="directory scanned for BENCH_*.json when no files are named",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the Markdown here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    files = args.files or sorted(args.root.glob("BENCH_*.json"))
+    if not files:
+        print(
+            f"garnet-bench-report: no BENCH_*.json under {args.root}",
+            file=sys.stderr,
+        )
+        return 1
+    report = render_report(list(files))
+    if args.output is None:
+        print(report)
+    else:
+        args.output.write_text(report + "\n")
+        print(f"wrote {args.output} ({len(files)} benchmark files)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -242,3 +242,138 @@ class TestTombstoneCompaction:
         sim.run()
         assert fired == list(range(10))
         assert sim.pending_events == 0
+
+
+class TestBatchDequeue:
+    """Same-timestamp events are drained and dispatched as one batch."""
+
+    @pytest.fixture
+    def sim(self):
+        return Simulator(seed=0)
+
+    def test_same_timestamp_fifo_order_preserved(self, sim):
+        fired = []
+        for i in range(50):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(50))
+        assert sim.now == 1.0
+
+    def test_interleaved_timestamps_keep_global_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a1")
+        sim.schedule(1.0, fired.append, "a2")
+        sim.schedule(1.5, fired.append, "b")
+        sim.run()
+        assert fired == ["a1", "a2", "b", "c"]
+
+    def test_schedule_at_batch_time_runs_after_batch(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            # call_soon at the batch timestamp must run after the whole
+            # already-queued batch, exactly as the one-at-a-time kernel.
+            sim.call_soon(fired.append, "spawned")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, fired.append, "second")
+        sim.schedule(1.0, fired.append, "third")
+        sim.run()
+        assert fired == ["first", "second", "third", "spawned"]
+
+    def test_cancel_inside_batch_skips_later_member(self, sim):
+        fired = []
+        victim = None
+
+        def assassin():
+            fired.append("assassin")
+            victim.cancel()
+
+        sim.schedule(1.0, assassin)
+        victim = sim.schedule(1.0, fired.append, "victim")
+        sim.schedule(1.0, fired.append, "survivor")
+        sim.run()
+        assert fired == ["assassin", "survivor"]
+        assert sim.events_processed == 2
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_inside_batch_is_idempotent_and_late_safe(self, sim):
+        fired = []
+        handle = None
+
+        def canceller():
+            handle.cancel()
+            handle.cancel()
+
+        sim.schedule(1.0, canceller)
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        assert fired == []
+        # Cancel of an already-drained batch member must not corrupt the
+        # tombstone count (the handle had left the queue).
+        assert sim.cancelled_pending == 0
+        handle.cancel()
+        assert sim.cancelled_pending == 0
+
+    def test_10k_same_tick_stress(self, sim):
+        fired = []
+        for i in range(10_000):
+            sim.schedule(5.0, fired.append, i)
+        executed = sim.run()
+        assert executed == 10_000
+        assert fired == list(range(10_000))
+        assert sim.now == 5.0
+        assert sim.pending_events == 0
+
+    def test_max_events_budget_respected_mid_batch(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        assert sim.run(max_events=4) == 4
+        assert fired == [0, 1, 2, 3]
+        assert sim.pending_events == 6
+        assert sim.run() == 6
+        assert fired == list(range(10))
+
+    def test_step_executes_exactly_one_of_a_batch(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(1.0, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.step() is True
+        assert fired == ["a", "b"]
+        assert sim.step() is False
+
+    def test_probe_depth_matches_one_at_a_time_kernel(self, sim):
+        class Probe:
+            def __init__(self):
+                self.depths = []
+
+            def on_schedule(self, handle, delay):
+                pass
+
+            def on_executed(self, handle, depth):
+                self.depths.append(depth)
+
+        probe = Probe()
+        sim.set_probe(probe)
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        # One-at-a-time kernel depths: 4, 3, 2, 1 (the t=2 event still
+        # queued), then 0 after the final pop.
+        assert probe.depths == [4, 3, 2, 1, 0]
+
+    def test_until_stops_at_batch_boundary(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(1.0, fired.append, "b")
+        sim.schedule(2.0, fired.append, "c")
+        sim.run(until=1.5)
+        assert fired == ["a", "b"]
+        assert sim.now == 1.5

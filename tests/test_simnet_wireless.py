@@ -211,3 +211,284 @@ class TestStatsAndHooks:
 def test_log_distance_rssi_monotone():
     values = [log_distance_rssi(d) for d in (1, 10, 100, 1000)]
     assert values == sorted(values, reverse=True)
+
+
+class TestVectorized:
+    """The numpy whole-disc broadcast path (wireless_vectorized)."""
+
+    def _ring(self, medium, count=20, radius=50.0, rx_range=500.0):
+        import math as _math
+
+        listeners = []
+        for index in range(count):
+            angle = 2 * _math.pi * index / count
+            listener = Listener(
+                Point(radius * _math.cos(angle), radius * _math.sin(angle))
+            )
+            medium.attach(listener, rx_range, static=True)
+            listeners.append(listener)
+        return listeners
+
+    def test_all_in_range_listeners_receive(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        listeners = self._ring(medium)
+        scheduled = medium.broadcast(Point(0, 0), b"vec", tx_range=500.0)
+        sim.run()
+        assert scheduled == len(listeners)
+        assert all(len(listener.frames) == 1 for listener in listeners)
+        assert medium.stats.deliveries == len(listeners)
+        assert medium.stats.bytes_delivered == 3 * len(listeners)
+
+    def test_frames_carry_exact_per_link_arrival(self, sim):
+        import math as _math
+
+        medium = WirelessMedium(
+            sim, bitrate=1000.0, loss_model=None, vectorized=True
+        )
+        listeners = self._ring(medium, radius=90.0)
+        far = Listener(Point(400.0, 0.0))
+        medium.attach(far, 500.0, static=True)
+        medium.broadcast(Point(0, 0), b"t", tx_range=500.0)
+        sim.run()
+        near_frame = listeners[0].frames[0]
+        far_frame = far.frames[0]
+        # Same serialisation + per-hop latency; only propagation differs.
+        assert far_frame.received_at > near_frame.received_at
+        expected = 0.001 + 8.0 / 1000.0 + 400.0 / 3.0e8
+        assert _math.isclose(far_frame.received_at, expected, rel_tol=1e-12)
+
+    def test_exclude_and_channel_masking(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        listeners = self._ring(medium)
+        other_channel = Listener(Point(5.0, 0.0))
+        medium.attach(other_channel, 500.0, channel=1, static=True)
+        scheduled = medium.broadcast(
+            Point(0, 0), b"x", tx_range=500.0, exclude=listeners[3]
+        )
+        sim.run()
+        assert scheduled == len(listeners) - 1
+        assert listeners[3].frames == []
+        assert other_channel.frames == []
+
+    def test_mobile_tier_is_included(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        listeners = self._ring(medium)
+        roamer = Listener(Point(25.0, 25.0))
+        medium.attach(roamer, 500.0)  # mobile tier
+        medium.broadcast(Point(0, 0), b"m", tx_range=500.0)
+        sim.run()
+        assert len(roamer.frames) == 1
+        assert all(len(listener.frames) == 1 for listener in listeners)
+
+    def test_out_of_range_accounting_matches_scalar(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        self._ring(medium, radius=50.0)
+        self._ring(medium, radius=400.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        assert medium.stats.out_of_range == 20
+        assert medium.stats.deliveries == 20
+
+    def test_reach_is_min_of_tx_and_rx_range(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        self._ring(medium, radius=50.0, rx_range=500.0)
+        deaf = Listener(Point(50.0, 1.0))
+        medium.attach(deaf, 10.0, static=True)  # sensitivity < distance
+        medium.broadcast(Point(0, 0), b"x", tx_range=500.0)
+        sim.run()
+        assert deaf.frames == []
+
+    def test_loss_draws_accounted(self, sim):
+        medium = WirelessMedium(
+            sim,
+            loss_model=LossModel(base=0.5, edge=0.5, good_fraction=0.5),
+            vectorized=True,
+        )
+        listeners = self._ring(medium, count=64)
+        for _ in range(20):
+            medium.broadcast(Point(0, 0), b"l", tx_range=500.0)
+        sim.run()
+        stats = medium.stats
+        assert stats.losses > 0
+        assert stats.deliveries > 0
+        assert stats.deliveries + stats.losses == 20 * len(listeners)
+
+    def test_extra_loss_without_loss_model(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        listeners = self._ring(medium, count=64)
+        medium.set_extra_loss(0.5)
+        for _ in range(10):
+            medium.broadcast(Point(0, 0), b"b", tx_range=500.0)
+        sim.run()
+        stats = medium.stats
+        assert stats.losses > 0
+        assert stats.burst_losses == stats.losses
+        assert stats.deliveries + stats.losses == 10 * len(listeners)
+
+    def test_small_broadcasts_use_scalar_fallback(self, sim):
+        # Below the candidate threshold the vectorized medium runs the
+        # scalar loop (numpy dispatch overhead dominates tiny discs).
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        near = Listener(Point(10.0, 0.0))
+        medium.attach(near, 100.0, static=True)
+        medium.broadcast(Point(0, 0), b"s", tx_range=100.0)
+        sim.run()
+        assert len(near.frames) == 1
+
+    def test_vectorized_requires_numpy(self, sim, monkeypatch):
+        import repro.simnet.wireless as wireless_module
+
+        monkeypatch.setattr(wireless_module, "_np", None)
+        with pytest.raises(ConfigurationError):
+            WirelessMedium(sim, vectorized=True)
+
+    def test_detach_invalidates_candidate_arrays(self, sim):
+        medium = WirelessMedium(sim, loss_model=None, vectorized=True)
+        listeners = self._ring(medium)
+        medium.broadcast(Point(0, 0), b"a", tx_range=500.0)
+        medium.detach(listeners[0])
+        scheduled = medium.broadcast(Point(0, 0), b"b", tx_range=500.0)
+        sim.run()
+        assert scheduled == len(listeners) - 1
+        assert len(listeners[0].frames) == 1  # only the first broadcast
+
+
+class TestRssiCacheEviction:
+    def test_eviction_is_counted_and_cache_stays_bounded(
+        self, sim, monkeypatch
+    ):
+        import repro.simnet.wireless as wireless_module
+
+        from repro.obs.registry import MetricsRegistry
+
+        monkeypatch.setattr(wireless_module, "_RSSI_CACHE_MAX", 8)
+        registry = MetricsRegistry()
+        medium = WirelessMedium(sim, loss_model=None, metrics=registry)
+        # Distinct distances per listener -> one memo entry each.
+        for index in range(30):
+            medium.attach(Listener(Point(1.0 + index * 0.37, 0.0)), 100.0)
+        medium.broadcast(Point(0, 0), b"x", tx_range=100.0)
+        sim.run()
+        assert medium.stats.rssi_cache_evicted > 0
+        assert len(medium._rssi_cache) <= 8
+        assert (
+            registry.counter("wireless.rssi_cache_evicted").value
+            == medium.stats.rssi_cache_evicted
+        )
+
+
+class MovingListener:
+    """A listener that (incorrectly) got attached static, then moved."""
+
+    def __init__(self, position: Point):
+        self.position = position
+        self.frames: list[RadioFrame] = []
+
+    def on_radio_receive(self, frame: RadioFrame) -> None:
+        self.frames.append(frame)
+
+
+class TestSpatialStaleness:
+    def _build(self, sim, *, spatial_index: bool, count: int = 24):
+        medium = WirelessMedium(
+            sim, loss_model=None, spatial_index=spatial_index
+        )
+        statics = []
+        for index in range(count):
+            listener = Listener(Point(20.0 * index + 10.0, 0.0))
+            medium.attach(listener, 1000.0, static=True)
+            statics.append(listener)
+        return medium, statics
+
+    def test_notify_moved_demotes_immediately(self, sim):
+        medium, _ = self._build(sim, spatial_index=True)
+        mover = MovingListener(Point(10.0, 10.0))
+        medium.attach(mover, 1000.0, static=True)
+        mover.position = Point(400.0, 0.0)
+        assert medium.notify_moved(mover) == 1
+        assert medium.stats.spatial_fallbacks == 1
+        medium.broadcast(Point(400.0, 0.0), b"x", tx_range=30.0)
+        sim.run()
+        assert len(mover.frames) == 1  # heard at the *new* position
+
+    def test_sweep_detects_silent_movers(self, sim):
+        medium, statics = self._build(sim, spatial_index=True)
+        mover = MovingListener(Point(10.0, 10.0))
+        medium.attach(mover, 1000.0, static=True)
+        mover.position = Point(5000.0, 0.0)  # silently out of the field
+        # The rotating sweep re-validates 8 entries per broadcast, so a
+        # full rotation of the 25-entry tier takes ceil(25/8) = 4
+        # broadcasts at most.
+        for _ in range(4):
+            medium.broadcast(Point(0.0, 0.0), b"w", tx_range=1.0)
+        assert medium.stats.spatial_fallbacks == 1
+        medium.broadcast(Point(5000.0, 0.0), b"x", tx_range=30.0)
+        sim.run()
+        assert any(frame.payload == b"x" for frame in mover.frames)
+
+    def test_mobility_trace_identical_with_index_on_and_off(self):
+        from repro.simnet.geometry import Rect
+        from repro.simnet.kernel import Simulator
+        from repro.simnet.mobility import RandomWaypoint
+
+        def run(spatial_index: bool):
+            sim = Simulator(seed=11)
+            medium = WirelessMedium(
+                sim,
+                loss_model=LossModel(base=0.1, edge=0.8),
+                spatial_index=spatial_index,
+            )
+            statics = []
+            for index in range(24):
+                listener = Listener(
+                    Point(50.0 * (index % 6) + 25.0, 50.0 * (index // 6) + 25.0)
+                )
+                medium.attach(listener, 400.0, static=True)
+                statics.append(listener)
+            # A roamer wrongly attached static: its cached position and
+            # grid bin go stale as the waypoint trace advances.
+            area = Rect(0.0, 0.0, 300.0, 300.0)
+            walk = RandomWaypoint(
+                area,
+                sim.fork_rng(),
+                speed_min=20.0,
+                speed_max=40.0,
+                pause=1.0,
+                start=Point(10.0, 10.0),
+            )
+            roamer = MovingListener(Point(10.0, 10.0))
+            medium.attach(roamer, 400.0, static=True)
+
+            deliveries: list[tuple[float, int, bytes]] = []
+
+            def record(owner_index):
+                def on_receive(frame):
+                    deliveries.append(
+                        (frame.received_at, owner_index, frame.payload)
+                    )
+
+                return on_receive
+
+            for index, listener in enumerate(statics):
+                listener.on_radio_receive = record(index)
+            roamer.on_radio_receive = record(-1)
+
+            def step(tick: int) -> None:
+                roamer.position = walk.position_at(sim.now)
+                medium.broadcast(
+                    Point(150.0, 150.0),
+                    f"t{tick}".encode(),
+                    tx_range=220.0,
+                )
+
+            for tick in range(40):
+                sim.schedule_at(float(tick), step, tick)
+            sim.run()
+            return deliveries, medium.stats.spatial_fallbacks
+
+        on_deliveries, on_fallbacks = run(True)
+        off_deliveries, off_fallbacks = run(False)
+        assert on_deliveries == off_deliveries
+        assert on_fallbacks == off_fallbacks == 1
+        # The roamer must actually be heard somewhere along the trace.
+        assert any(owner == -1 for _, owner, _ in on_deliveries)
