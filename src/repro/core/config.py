@@ -167,6 +167,25 @@ class GarnetConfig:
     store_max_age: float | None = None
     store_dedupe_window: int = 512
 
+    # Hierarchical fan-out (repro.fanout). Default off: no relay
+    # inboxes, no ``fanout.*`` summary keys, and the per-consumer
+    # delivery path is byte-identical to the pre-fanout build (the
+    # golden digests pin this).
+    #
+    # ``fanout_enabled`` stands up the deployment fan-out tree and
+    # installs the dispatcher hook that intercepts tree-root legs:
+    # consumer interest aggregates through ``fanout_levels`` tiers of
+    # relays (each capped at ``fanout_branching`` children), the
+    # dispatcher emits one delivery per subtree, and inter-broker legs
+    # coalesce into DELIVERY_BATCH frames of at most
+    # ``fanout_link_batch`` arrivals. ``fanout_datagram_budget`` bounds
+    # a live-transport batch datagram (protocol.md §7).
+    fanout_enabled: bool = False
+    fanout_branching: int = 64
+    fanout_levels: int = 3
+    fanout_link_batch: int = 128
+    fanout_datagram_budget: int = 60_000
+
     # Live transport (repro.transport): where a LiveBroker binds when
     # this deployment is served over real sockets (``garnet-broker``).
     # Port 0 means "pick a free port and announce it"; the defaults keep
@@ -345,6 +364,23 @@ class GarnetConfig:
             if self.store_dedupe_window < 1:
                 raise ConfigurationError(
                     "store_dedupe_window must be at least 1"
+                )
+        if self.fanout_enabled:
+            if self.fanout_branching < 2:
+                raise ConfigurationError(
+                    "fanout_branching must be at least 2"
+                )
+            if not 1 <= self.fanout_levels <= 8:
+                raise ConfigurationError(
+                    "fanout_levels must be in [1, 8]"
+                )
+            if self.fanout_link_batch < 1:
+                raise ConfigurationError(
+                    "fanout_link_batch must be at least 1"
+                )
+            if not 64 <= self.fanout_datagram_budget <= 65_000:
+                raise ConfigurationError(
+                    "fanout_datagram_budget must be in [64, 65000]"
                 )
         if not self.transport_host:
             raise ConfigurationError("transport_host must be non-empty")

@@ -182,6 +182,10 @@ class DispatchingService:
         # Stream-store write-through tap (repro.store); None unless
         # store_enabled, keeping the data path byte-identical otherwise.
         self._store: Any | None = None
+        # Hierarchical fan-out hook (repro.fanout); None unless
+        # fanout_enabled. Tree-root legs are intercepted in _fan_out and
+        # delivered as one batch per subtree instead of per consumer.
+        self._fanout: Any | None = None
         self.stats = DispatchStats(metrics)
         network.register_inbox(inbox, self.on_arrival)
 
@@ -227,6 +231,17 @@ class DispatchingService:
         owning node already did.
         """
         self._store = tap
+
+    def set_fanout(self, fanout: Any | None) -> None:
+        """Install hierarchical fan-out trees (repro.fanout).
+
+        ``fanout.is_root(endpoint)`` marks subscriptions held by a tree
+        root; ``fanout.deliver_root(endpoint, arrival)`` hands the leg
+        to the tree (one delivery per subtree, fanned to members at the
+        leaves); ``fanout.invalidate(stream_id)`` mirrors route-cache
+        flushes into the per-relay route caches.
+        """
+        self._fanout = fanout
 
     def set_route_guard(
         self, guard: Callable[[str, StreamDescriptor], bool] | None
@@ -341,6 +356,8 @@ class DispatchingService:
             self._route_cache.pop(stream_id, None)
         if self._cluster is not None:
             self._cluster.invalidate(stream_id)
+        if self._fanout is not None:
+            self._fanout.invalidate(stream_id)
 
     # ------------------------------------------------------------------
     # Data path
@@ -453,9 +470,34 @@ class DispatchingService:
     ) -> int:
         delivered_at = self._network.sim.now
         delivered = 0
+        fanout = self._fanout
+        seen_roots: set[str] | None = None
         for subscription_id in route:
             subscription = self._subscriptions.get(subscription_id)
             if subscription is None:
+                continue
+            if fanout is not None and fanout.is_root(subscription.endpoint):
+                # One batch per tree per message: a root holding several
+                # matching patterns still receives a single delivery
+                # (the leaves fan to members by their own patterns).
+                endpoint = subscription.endpoint
+                if seen_roots is None:
+                    seen_roots = {endpoint}
+                elif endpoint in seen_roots:
+                    continue
+                else:
+                    seen_roots.add(endpoint)
+                subscription.delivered += 1
+                self.stats.deliveries += 1
+                delivered += fanout.deliver_root(
+                    endpoint,
+                    StreamArrival(
+                        message=arrival.message,
+                        received_at=arrival.received_at,
+                        receiver_id=arrival.receiver_id,
+                        delivered_at=delivered_at,
+                    ),
+                )
                 continue
             subscription.delivered += 1
             self.stats.deliveries += 1

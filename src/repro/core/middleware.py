@@ -498,6 +498,18 @@ class Garnet:
             else:
                 self.dispatcher.set_store(self.store_tap)
 
+        # Hierarchical fan-out (repro.fanout): relay trees aggregate
+        # consumer interest so the dispatcher emits one delivery per
+        # subtree, with inter-broker legs batched per link. Off by
+        # default — the module is never imported, no relay inboxes
+        # exist, and the per-consumer path is byte-identical (the
+        # golden digests pin this).
+        self.fanout: Any = None
+        if cfg.fanout_enabled:
+            from repro.fanout import FanoutRuntime
+
+            self.fanout = FanoutRuntime(self)
+
         self._sensor_ids = IdPool(0, VIRTUAL_SENSOR_FLOOR - 1)
         self._publisher_ids = IdPool(VIRTUAL_SENSOR_FLOOR, MAX_SENSOR_ID)
         self._sensors: dict[int, SensorNode] = {}
@@ -1095,6 +1107,15 @@ class Garnet:
                 f"{store.records_replayed} replayed, "
                 f"{store.queries} queries"
             )
+        if self.fanout is not None:
+            fanout = self.fanout.stats
+            lines.append(
+                f"  fanout   : {self.fanout.session_count()} sessions on "
+                f"{self.fanout.relay_count()} relays, "
+                f"{fanout.root_batches} root batches -> "
+                f"{fanout.leaf_deliveries} member deliveries "
+                f"({fanout.link_batches} link batches)"
+            )
         return "\n".join(lines)
 
     def summary(self) -> dict[str, float]:
@@ -1140,6 +1161,22 @@ class Garnet:
             summary["store.records_replayed"] = float(store.records_replayed)
             summary["store.queries"] = float(store.queries)
             summary["store.truncated_tail"] = float(store.truncated_tail)
+        if self.fanout is not None:
+            # ``fanout.*`` keys appear only when fan-out is enabled, so
+            # the flat-delivery golden digests stay byte-identical.
+            fanout = self.fanout.stats
+            summary["fanout.sessions"] = float(self.fanout.session_count())
+            summary["fanout.relays"] = float(self.fanout.relay_count())
+            summary["fanout.root_batches"] = float(fanout.root_batches)
+            summary["fanout.relay_forwards"] = float(fanout.relay_forwards)
+            summary["fanout.leaf_deliveries"] = float(fanout.leaf_deliveries)
+            summary["fanout.quarantine_diverted"] = float(
+                fanout.quarantine_diverted
+            )
+            summary["fanout.link_batches"] = float(fanout.link_batches)
+            summary["fanout.link_batched_arrivals"] = float(
+                fanout.link_batched_arrivals
+            )
         return summary
 
     def _base_summary(self) -> dict[str, float]:

@@ -1,0 +1,121 @@
+"""The ``DELIVERY_BATCH`` frame, in both of its transports.
+
+One batch carries many messages and/or reaches many recipients in a
+single send (protocol.md §7). It exists in two shapes:
+
+- :class:`DeliveryBatch` — the fixed-network frame. Fan-out trees send
+  one per subtree hop (one arrival, shared by every subscriber below
+  the receiving relay) and the inter-broker link batcher sends one per
+  link per tick (many arrivals, one link crossing). The ``arrivals``
+  tuple is immutable and the *same* frame object is handed to every
+  recipient inbox — sharing, not copying, is the point.
+- The **UDP batch datagram** — the live-transport shape. Many already
+  encoded §2 codec frames are packed length-prefixed behind a 4-byte
+  magic. The magic's first byte (0xFB) can never begin a bare codec
+  frame: a §2 frame starts with ``version << 5 | flags`` and the
+  3-bit version field caps that byte at 0x7F with version 1 frames
+  occupying 0x20–0x3F, so receivers may sniff batches with a single
+  prefix comparison (:func:`is_batch_datagram`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.envelopes import StreamArrival
+from repro.errors import TransportError
+
+#: UDP batch datagram prefix: 0xFB magic, "GB" (Garnet Batch), format 1.
+BATCH_MAGIC = b"\xfbGB\x01"
+#: Magic (4) + frame count (2, big-endian).
+BATCH_HEADER_SIZE = 6
+#: Per-frame overhead: a 2-byte big-endian length prefix.
+_FRAME_PREFIX = 2
+#: Default payload budget per datagram; safely under the 65,507-byte
+#: UDP maximum while leaving headroom for tunnelled transports.
+MAX_BATCH_DATAGRAM = 60_000
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class DeliveryBatch:
+    """Many arrivals and/or many recipients behind one fixednet send."""
+
+    origin: str
+    arrivals: tuple[StreamArrival, ...]
+
+
+def is_batch_datagram(data: bytes) -> bool:
+    """True when ``data`` is a §7 batch datagram (vs a bare §2 frame)."""
+    return data[:4] == BATCH_MAGIC
+
+
+def encode_batch_datagrams(
+    frames: Sequence[bytes], budget: int = MAX_BATCH_DATAGRAM
+) -> list[bytes]:
+    """Pack encoded codec frames into as few batch datagrams as fit.
+
+    Frames never split across datagrams; a frame larger than the budget
+    gets a datagram of its own (the socket layer, not this codec, is
+    the arbiter of what actually fits on the wire).
+    """
+    datagrams: list[bytes] = []
+    body = bytearray()
+    count = 0
+    for frame in frames:
+        if len(frame) > 0xFFFF:
+            raise TransportError(
+                f"frame of {len(frame)} bytes exceeds the 16-bit batch "
+                "length prefix"
+            )
+        entry_size = _FRAME_PREFIX + len(frame)
+        if count and BATCH_HEADER_SIZE + len(body) + entry_size > budget:
+            datagrams.append(_seal(body, count))
+            body = bytearray()
+            count = 0
+        body += len(frame).to_bytes(2, "big")
+        body += frame
+        count += 1
+    if count:
+        datagrams.append(_seal(body, count))
+    return datagrams
+
+
+def _seal(body: bytearray, count: int) -> bytes:
+    return BATCH_MAGIC + count.to_bytes(2, "big") + bytes(body)
+
+
+def decode_batch_datagram(data: bytes) -> list[bytes]:
+    """The encoded codec frames packed in one batch datagram.
+
+    Raises :class:`TransportError` on anything malformed — a bad magic,
+    a truncated frame, trailing garbage — so receivers can count the
+    datagram as bad instead of silently mis-parsing it.
+    """
+    if not is_batch_datagram(data):
+        raise TransportError("not a batch datagram (bad magic)")
+    if len(data) < BATCH_HEADER_SIZE:
+        raise TransportError("batch datagram truncated before frame count")
+    count = int.from_bytes(data[4:6], "big")
+    frames: list[bytes] = []
+    offset = BATCH_HEADER_SIZE
+    for _ in range(count):
+        if offset + _FRAME_PREFIX > len(data):
+            raise TransportError("batch datagram truncated in length prefix")
+        length = int.from_bytes(data[offset : offset + _FRAME_PREFIX], "big")
+        offset += _FRAME_PREFIX
+        if offset + length > len(data):
+            raise TransportError("batch datagram truncated inside a frame")
+        frames.append(data[offset : offset + length])
+        offset += length
+    if offset != len(data):
+        raise TransportError(
+            f"{len(data) - offset} trailing bytes after the last batch frame"
+        )
+    return frames
+
+
+def iter_frames(datagrams: Iterable[bytes]) -> Iterable[bytes]:
+    """Flatten a sequence of batch datagrams back into codec frames."""
+    for datagram in datagrams:
+        yield from decode_batch_datagram(datagram)

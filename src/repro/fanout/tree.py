@@ -1,0 +1,414 @@
+"""Hierarchical fan-out trees: one dispatch delivery serves a subtree.
+
+The flat delivery path walks one fan-out leg per subscription per
+message — per-consumer state in the dispatcher, per-consumer sends on
+the fixed network. A :class:`FanoutTree` restructures that into the
+hierarchy the E10 experiments and the cluster link already use in
+miniature: consumers attach as *members* of leaf relays, their interest
+patterns aggregate upward through refcounted tables (exactly the
+cluster link's per-origin interest scheme, applied per relay), and the
+Dispatching Service holds **one subscription per distinct pattern** —
+the tree root's — no matter how many members share it.
+
+Delivery then flows root → inner relays → leaves as
+:class:`~repro.fanout.frames.DeliveryBatch` frames. Every hop sends the
+*same* frozen frame object to each interested child, and each leaf
+builds a **single** re-stamped :class:`StreamArrival` shared by all of
+its members (zero-copy fan-out). When the QoS
+:class:`~repro.qos.quarantine.DeliveryManager` is installed, member
+legs ride it (per-endpoint queues, network-ordered), so one slow
+consumer inside a batch parks only its own copy while the others
+deliver; without it, members are invoked directly — zero events per
+member, which is what the 100k-session benchmark measures.
+
+Tree shape: ``levels`` relay tiers (root at the top, leaves at the
+bottom), every relay but the root capped at ``branching`` children.
+Members fill the current leaf left-to-right; the root's degree grows
+unbounded (≈ N / branching^(levels-1) children at N members). Detached
+member slots are not back-filled — attachment order stays the growth
+order, which keeps the structure deterministic under churn.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Iterable
+
+from repro.core.dispatching import DispatchingService, SubscriptionPattern
+from repro.core.envelopes import StreamArrival
+from repro.core.streamid import StreamId
+from repro.core.streams import StreamRegistry
+from repro.errors import SubscriptionError
+from repro.fanout.frames import DeliveryBatch
+from repro.simnet.fixednet import FixedNetwork
+
+#: Relay inboxes are ``garnet.fanout.<tree>.r<id>``; member inboxes
+#: (registered only when a DeliveryManager may need to replay to them)
+#: are ``garnet.fanout.<tree>.m<id>``.
+RELAY_INBOX_PREFIX = "garnet.fanout."
+
+
+class FanoutMember:
+    """One attached consumer: its patterns and its delivery callback."""
+
+    __slots__ = ("member_id", "name", "patterns", "on_data", "inbox", "delivered")
+
+    def __init__(
+        self,
+        member_id: int,
+        name: str,
+        patterns: tuple[SubscriptionPattern, ...],
+        on_data: Callable[[StreamArrival], None],
+        inbox: str,
+    ) -> None:
+        self.member_id = member_id
+        self.name = name
+        self.patterns = patterns
+        self.on_data = on_data
+        self.inbox = inbox
+        self.delivered = 0
+
+
+class FanoutSession:
+    """The handle :meth:`FanoutTree.attach` returns; detach through it."""
+
+    __slots__ = ("_tree", "member", "_closed")
+
+    def __init__(self, tree: "FanoutTree", member: FanoutMember) -> None:
+        self._tree = tree
+        self.member = member
+        self._closed = False
+
+    @property
+    def delivered(self) -> int:
+        return self.member.delivered
+
+    def detach(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tree._detach(self.member)
+
+
+class _Relay:
+    __slots__ = (
+        "relay_id",
+        "inbox",
+        "level",
+        "parent",
+        "children",
+        "members",
+        "interest",
+        "route_cache",
+    )
+
+    def __init__(self, relay_id: int, inbox: str, level: int, parent) -> None:
+        self.relay_id = relay_id
+        self.inbox = inbox
+        self.level = level
+        self.parent: _Relay | None = parent
+        self.children: list[_Relay] = []
+        self.members: dict[int, FanoutMember] = {}
+        # pattern -> refcount over this relay's whole subtree; the same
+        # aggregation the cluster link keeps per origin broker.
+        self.interest: dict[SubscriptionPattern, int] = {}
+        # stream -> interested children (inner) or members (leaf).
+        self.route_cache: dict[StreamId, tuple] = {}
+
+
+class FanoutTree:
+    """A relay hierarchy multiplexing many consumers onto one route leg."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        network: FixedNetwork,
+        dispatcher: DispatchingService,
+        registry: StreamRegistry,
+        branching: int = 64,
+        levels: int = 3,
+        delivery: Any | None = None,
+        stats: Any | None = None,
+        relays_gauge: Any | None = None,
+        sessions_gauge: Any | None = None,
+    ) -> None:
+        if branching < 2:
+            raise SubscriptionError("fanout branching must be at least 2")
+        if levels < 1:
+            raise SubscriptionError("fanout trees need at least one level")
+        self.name = name
+        self._network = network
+        self._dispatcher = dispatcher
+        self._registry = registry
+        self._branching = branching
+        self._levels = levels
+        self._delivery = delivery
+        self._stats = stats
+        self._relays_gauge = relays_gauge
+        self._sessions_gauge = sessions_gauge
+        self._relays: list[_Relay] = []
+        self._next_relay = 0
+        self._next_member = 0
+        self._members: dict[int, tuple[FanoutMember, _Relay]] = {}
+        # Rightmost open relay per inner level, and the open leaf.
+        self._open_parent: dict[int, _Relay] = {}
+        self._open_leaf: _Relay | None = None
+        # root-held dispatcher subscriptions, one per distinct pattern.
+        self._root_subs: dict[SubscriptionPattern, int] = {}
+        self._root = self._new_relay(levels - 1, parent=None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root_inbox(self) -> str:
+        return self._root.inbox
+
+    def session_count(self) -> int:
+        return len(self._members)
+
+    def relay_count(self) -> int:
+        return len(self._relays)
+
+    def root_subscription_count(self) -> int:
+        return len(self._root_subs)
+
+    def describe(self) -> dict[str, int]:
+        per_level: dict[str, int] = {}
+        for relay in self._relays:
+            key = f"level_{relay.level}"
+            per_level[key] = per_level.get(key, 0) + 1
+        return {
+            "sessions": len(self._members),
+            "relays": len(self._relays),
+            "levels": self._levels,
+            "branching": self._branching,
+            "root_subscriptions": len(self._root_subs),
+            **per_level,
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _new_relay(self, level: int, parent: _Relay | None) -> _Relay:
+        relay_id = self._next_relay
+        self._next_relay += 1
+        inbox = f"{RELAY_INBOX_PREFIX}{self.name}.r{relay_id}"
+        relay = _Relay(relay_id, inbox, level, parent)
+        self._relays.append(relay)
+        if self._relays_gauge is not None:
+            self._relays_gauge.inc()
+        if parent is None:
+            # The root inbox backs the dispatcher subscriptions (the
+            # dispatcher intercepts them before any network hop, but a
+            # deployment without the hook must still deliver, and
+            # add_subscription requires the inbox to exist).
+            self._network.register_inbox(inbox, self._on_root_inbox)
+        else:
+            self._network.register_inbox(inbox, partial(self._on_batch, relay))
+        return relay
+
+    def _leaf_for_attach(self) -> _Relay:
+        if self._levels == 1:
+            return self._root  # a degenerate tree: the root is the leaf
+        leaf = self._open_leaf
+        if leaf is None or len(leaf.members) >= self._branching:
+            leaf = self._grow(0)
+            self._open_leaf = leaf
+        return leaf
+
+    def _grow(self, level: int) -> _Relay:
+        """A fresh relay at ``level``, hung under an open parent."""
+        parent_level = level + 1
+        if parent_level == self._levels - 1:
+            parent = self._root
+        else:
+            parent = self._open_parent.get(parent_level)
+            if parent is None or len(parent.children) >= self._branching:
+                parent = self._grow(parent_level)
+                self._open_parent[parent_level] = parent
+        relay = self._new_relay(level, parent)
+        parent.children.append(relay)
+        return relay
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        name: str,
+        patterns: SubscriptionPattern | Iterable[SubscriptionPattern],
+        on_data: Callable[[StreamArrival], None],
+    ) -> FanoutSession:
+        """Join the tree; interest aggregates up to the root."""
+        if isinstance(patterns, SubscriptionPattern):
+            wanted: tuple[SubscriptionPattern, ...] = (patterns,)
+        else:
+            wanted = tuple(dict.fromkeys(patterns))
+        if not wanted:
+            raise SubscriptionError("a fan-out member needs at least one pattern")
+        member_id = self._next_member
+        self._next_member += 1
+        inbox = f"{RELAY_INBOX_PREFIX}{self.name}.m{member_id}"
+        member = FanoutMember(member_id, name, wanted, on_data, inbox)
+        leaf = self._leaf_for_attach()
+        leaf.members[member_id] = member
+        self._members[member_id] = (member, leaf)
+        if self._delivery is not None:
+            # Quarantine replay reaches members over the fixed network,
+            # so tracked deployments give each member a real inbox.
+            self._network.register_inbox(inbox, member.on_data)
+        for pattern in wanted:
+            self._add_interest(leaf, pattern)
+        if self._sessions_gauge is not None:
+            self._sessions_gauge.inc()
+        if self._stats is not None:
+            self._stats.attached += 1
+        return FanoutSession(self, member)
+
+    def _add_interest(self, leaf: _Relay, pattern: SubscriptionPattern) -> None:
+        relay: _Relay | None = leaf
+        while relay is not None:
+            relay.interest[pattern] = relay.interest.get(pattern, 0) + 1
+            relay.route_cache.clear()
+            relay = relay.parent
+        if pattern not in self._root_subs:
+            self._root_subs[pattern] = self._dispatcher.add_subscription(
+                self._root.inbox, pattern
+            )
+
+    def _detach(self, member: FanoutMember) -> None:
+        entry = self._members.pop(member.member_id, None)
+        if entry is None:
+            return
+        _, leaf = entry
+        leaf.members.pop(member.member_id, None)
+        for pattern in member.patterns:
+            self._drop_interest(leaf, pattern)
+        if self._delivery is not None:
+            self._delivery.release(member.inbox)
+            if self._network.has_inbox(member.inbox):
+                self._network.unregister_inbox(member.inbox)
+        if self._sessions_gauge is not None:
+            self._sessions_gauge.dec()
+        if self._stats is not None:
+            self._stats.detached += 1
+
+    def _drop_interest(self, leaf: _Relay, pattern: SubscriptionPattern) -> None:
+        relay: _Relay | None = leaf
+        while relay is not None:
+            count = relay.interest.get(pattern, 0)
+            if count <= 1:
+                relay.interest.pop(pattern, None)
+            else:
+                relay.interest[pattern] = count - 1
+            relay.route_cache.clear()
+            relay = relay.parent
+        if pattern not in self._root.interest:
+            subscription_id = self._root_subs.pop(pattern, None)
+            if subscription_id is not None:
+                self._dispatcher.remove_subscription(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def deliver_root(self, arrival: StreamArrival) -> int:
+        """One dispatch leg enters the tree; returns member deliveries."""
+        if self._stats is not None:
+            self._stats.root_batches += 1
+        batch = DeliveryBatch(origin=self.name, arrivals=(arrival,))
+        return self._forward(self._root, batch)
+
+    def _on_root_inbox(self, frame: Any) -> None:
+        # Fallback path: a dispatcher without the fanout hook (or a
+        # direct network send) delivered a bare arrival to the root.
+        if isinstance(frame, DeliveryBatch):
+            self._forward(self._root, frame)
+        else:
+            self.deliver_root(frame)
+
+    def _on_batch(self, relay: _Relay, batch: DeliveryBatch) -> None:
+        self._forward(relay, batch)
+
+    def _forward(self, relay: _Relay, batch: DeliveryBatch) -> int:
+        if relay.level == 0 or not relay.children:
+            return self._deliver_members(relay, batch)
+        send = self._network.send
+        forwards = 0
+        for arrival in batch.arrivals:
+            # The same frozen frame object goes to every interested
+            # child: sharing on the inner hops, copies never.
+            for child in self._relay_targets(relay, arrival.message.stream_id):
+                send(child.inbox, batch)
+                forwards += 1
+        if self._stats is not None:
+            self._stats.relay_forwards += forwards
+        return forwards
+
+    def _relay_targets(self, relay: _Relay, stream_id: StreamId) -> tuple:
+        cached = relay.route_cache.get(stream_id)
+        if cached is None:
+            descriptor = self._registry.detect(stream_id)
+            cached = tuple(
+                child
+                for child in relay.children
+                if any(p.matches(descriptor) for p in child.interest)
+            )
+            relay.route_cache[stream_id] = cached
+        return cached
+
+    def _leaf_targets(self, leaf: _Relay, stream_id: StreamId) -> tuple:
+        cached = leaf.route_cache.get(stream_id)
+        if cached is None:
+            descriptor = self._registry.detect(stream_id)
+            cached = tuple(
+                member
+                for member in leaf.members.values()
+                if any(p.matches(descriptor) for p in member.patterns)
+            )
+            leaf.route_cache[stream_id] = cached
+        return cached
+
+    def _deliver_members(self, leaf: _Relay, batch: DeliveryBatch) -> int:
+        now = self._network.sim.now
+        delivery = self._delivery
+        stats = self._stats
+        delivered = 0
+        for arrival in batch.arrivals:
+            members = self._leaf_targets(leaf, arrival.message.stream_id)
+            if not members:
+                continue
+            # One re-stamped arrival per leaf per message, shared by all
+            # of its members — the single-encode/zero-copy edge.
+            edge = StreamArrival(
+                message=arrival.message,
+                received_at=arrival.received_at,
+                receiver_id=arrival.receiver_id,
+                delivered_at=now,
+            )
+            for member in members:
+                member.delivered += 1
+                if delivery is not None:
+                    # Every member leg rides the DeliveryManager so a
+                    # stalled/quarantined member parks only its own copy
+                    # while healthy members keep the flat path's
+                    # network-ordered delivery (a direct call here could
+                    # overtake an in-flight resume replay).
+                    if stats is not None and delivery.intercepts(member.inbox):
+                        stats.quarantine_diverted += 1
+                    delivery.deliver(member.inbox, edge)
+                else:
+                    member.on_data(edge)
+                delivered += 1
+        if stats is not None:
+            stats.leaf_deliveries += delivered
+        return delivered
+
+    def invalidate(self, stream_id: StreamId | None = None) -> None:
+        """Flush memoised relay routes (stream metadata changed)."""
+        if stream_id is None:
+            for relay in self._relays:
+                relay.route_cache.clear()
+        else:
+            for relay in self._relays:
+                relay.route_cache.pop(stream_id, None)

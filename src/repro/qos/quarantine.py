@@ -115,6 +115,15 @@ class DeliveryManager:
             if state.quarantined
         )
 
+    def intercepts(self, endpoint: str) -> bool:
+        """True when deliveries to ``endpoint`` are being buffered.
+
+        Only stalled/quarantined endpoints carry state; the fan-out
+        tree's leaf edge uses this to count quarantine diversions
+        inside a DELIVERY_BATCH without paying for untracked members.
+        """
+        return endpoint in self._states
+
     def backlog_size(self, endpoint: str) -> int:
         state = self._states.get(endpoint)
         if state is None:

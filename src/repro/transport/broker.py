@@ -54,6 +54,7 @@ from repro.core.dispatching import SubscriptionPattern
 from repro.core.envelopes import StreamArrival
 from repro.core.streamid import StreamId
 from repro.errors import GarnetError, TransportError
+from repro.fanout.frames import encode_batch_datagrams
 from repro.transport.framing import (
     ADVERTISE,
     CLOSE,
@@ -82,6 +83,11 @@ _QUERY_RESPONSE_BUDGET = MAX_CONTROL_FRAME // 2
 #: missing sequences accordingly (the LiveSession caps its batches well
 #: below this).
 _NACK_RESPONSE_BUDGET = _QUERY_RESPONSE_BUDGET
+
+#: Single-encode cache entries kept alive; eviction is FIFO. A pump
+#: rarely fans more than a handful of distinct messages, so this mostly
+#: bounds memory on brokers that park frames for absent recipients.
+_ENCODE_CACHE_CAPACITY = 256
 
 
 def _default_deployment() -> Any:
@@ -148,6 +154,8 @@ class _SessionState:
         "parked",
         "parked_dropped",
         "deadline",
+        "batch",
+        "outbox",
     )
 
     def __init__(
@@ -165,6 +173,11 @@ class _SessionState:
         self.parked: deque[bytes] = deque(maxlen=park_capacity)
         self.parked_dropped = 0
         self.deadline: float | None = None
+        # True when the client announced batch_datagrams support on a
+        # batching broker (fanout_enabled): same-pump deliveries pack
+        # into one §7 batch datagram instead of one datagram each.
+        self.batch = False
+        self.outbox: list[bytes] = []
 
     @property
     def parked_now(self) -> bool:
@@ -358,6 +371,27 @@ class LiveBroker:
             "transport.nack_records",
             help="gap-repair records served from the store",
         )
+        # Single-encode fan-out: one codec encode per published message,
+        # the bytes object shared by every recipient. Keyed by message
+        # identity (the cached message reference keeps the id stable);
+        # bounded FIFO so a quiet broker holds no stale frames.
+        self._encode_cache: dict[int, tuple[Any, bytes]] = {}
+        self._encode_order: deque[int] = deque()
+        self._encode_reuse = metrics.counter(
+            "transport.encode_reuse",
+            help="deliveries served from the single-encode frame cache",
+        )
+        self._batching = bool(config.fanout_enabled)
+        self._batch_budget = config.fanout_datagram_budget
+        self._batch_pending: dict[str, _SessionState] = {}
+        self._batch_datagrams = metrics.counter(
+            "transport.batch_datagrams",
+            help="§7 batch datagrams sent on the data plane",
+        )
+        self._batched_frames = metrics.counter(
+            "transport.batched_frames",
+            help="data frames carried inside batch datagrams",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -444,6 +478,8 @@ class LiveBroker:
     def _pump(self) -> None:
         """Drain the simulation kernel after an injected event."""
         self.deployment.run_until_idle()
+        if self._batch_pending:
+            self._flush_outboxes()
 
     # ------------------------------------------------------------------
     # Session persistence (RESUME across broker restarts)
@@ -571,6 +607,8 @@ class LiveBroker:
     ) -> None:
         """Close the server-side session and free everything it held."""
         self._states.pop(state.token, None)
+        self._batch_pending.pop(state.token, None)
+        state.outbox = []
         session = state.session
         state.session = None
         if session is not None and not session.closed:
@@ -588,6 +626,16 @@ class LiveBroker:
         if state.udp_address is not None:
             self._udp_peers.pop(state.udp_address, None)
         state.udp_address = None
+        if state.outbox:
+            # Unflushed batched deliveries must survive the park window
+            # like any other in-flight delivery.
+            self._batch_pending.pop(state.token, None)
+            for frame in state.outbox:
+                if len(state.parked) == state.parked.maxlen:
+                    state.parked_dropped += 1
+                    self._parked_dropped.inc()
+                state.parked.append(frame)
+            state.outbox = []
         state.deadline = self._loop.time() + self._resume_grace
         self._sessions_parked.inc()
         self._persist_sessions()
@@ -614,11 +662,32 @@ class LiveBroker:
         self.deployment.network.send(DISPATCH_INBOX, arrival)
         self._pump()
 
+    def _encode_shared(self, message: Any) -> bytes:
+        """One codec encode per message, shared by every recipient.
+
+        Messages fanning out to N subscribers used to encode N times;
+        the immutable frame is cached by message identity (the cached
+        reference keeps the id stable for the entry's lifetime) and
+        every hit counts under ``transport.encode_reuse``.
+        """
+        key = id(message)
+        entry = self._encode_cache.get(key)
+        if entry is not None and entry[0] is message:
+            self._encode_reuse.inc()
+            return entry[1]
+        frame = self._codec.encode(message)
+        if entry is None:
+            if len(self._encode_order) >= _ENCODE_CACHE_CAPACITY:
+                self._encode_cache.pop(self._encode_order.popleft(), None)
+            self._encode_order.append(key)
+        self._encode_cache[key] = (message, frame)
+        return frame
+
     def _deliver_to_state(
         self, state: _SessionState, arrival: StreamArrival
     ) -> None:
         """session.on_data hook: fan one delivery out over UDP (or park)."""
-        frame = self._codec.encode(arrival.message)
+        frame = self._encode_shared(arrival.message)
         if state.udp_address is None:
             if len(state.parked) == state.parked.maxlen:
                 state.parked_dropped += 1
@@ -627,8 +696,41 @@ class LiveBroker:
             return
         if self._udp is None:
             return
+        if state.batch:
+            # Collect until the pump drains; one datagram per flush.
+            state.outbox.append(frame)
+            self._batch_pending[state.token] = state
+            return
         self._udp.sendto(frame, state.udp_address)
         self._datagrams_out.inc()
+
+    def _flush_outboxes(self) -> None:
+        pending, self._batch_pending = self._batch_pending, {}
+        for state in pending.values():
+            frames, state.outbox = state.outbox, []
+            if not frames or state.udp_address is None or self._udp is None:
+                continue
+            self._send_frames(state, frames)
+
+    def _send_frames(
+        self, state: _SessionState, frames: list[bytes]
+    ) -> None:
+        """Send encoded frames to a live recipient, batching when it may.
+
+        A single frame keeps the historical bare-datagram shape; two or
+        more pack into §7 batch datagrams (``fanout_datagram_budget``
+        bytes each).
+        """
+        if len(frames) == 1 or not state.batch:
+            for frame in frames:
+                self._udp.sendto(frame, state.udp_address)
+                self._datagrams_out.inc()
+            return
+        for datagram in encode_batch_datagrams(frames, self._batch_budget):
+            self._udp.sendto(datagram, state.udp_address)
+            self._datagrams_out.inc()
+            self._batch_datagrams.inc()
+        self._batched_frames.inc(len(frames))
 
     def _maybe_renew_lease(self, connection: _ClientConnection) -> None:
         if self._lease_ttl is None or connection.session is None:
@@ -775,6 +877,7 @@ class LiveBroker:
         state.udp_address = (connection.peer_host, udp_port)
         keepalive = body.get("keepalive")
         state.keepalive = float(keepalive) if keepalive else None
+        state.batch = self._batching and bool(body.get("batch_datagrams"))
         connection.state = state
         session.on_data(
             lambda arrival, s=state: self._deliver_to_state(s, arrival)
@@ -785,6 +888,7 @@ class LiveBroker:
             "ok": True,
             "publisher_id": state.publisher_id,
             "data_port": self.data_port,
+            "batch_datagrams": state.batch,
         }
         if self._lease_ttl is not None:
             response["lease_ttl"] = self._lease_ttl
@@ -834,6 +938,7 @@ class LiveBroker:
         state.deadline = None
         keepalive = body.get("keepalive")
         state.keepalive = float(keepalive) if keepalive else None
+        state.batch = self._batching and bool(body.get("batch_datagrams"))
         connection.state = state
         self._udp_peers[state.udp_address] = connection
         self._sessions_resumed.inc()
@@ -914,6 +1019,7 @@ class LiveBroker:
         buffer alone is replayed, still filtered by the cursors.
         """
         sent: set[tuple[str, int]] = set()
+        to_send: list[bytes] = []
         replayed_store = 0
         store = self.deployment.store
         if store is not None and self._udp is not None:
@@ -927,8 +1033,7 @@ class LiveBroker:
                     if (key, sequence) in sent:
                         continue
                     sent.add((key, sequence))
-                    self._udp.sendto(record.frame, state.udp_address)
-                    self._datagrams_out.inc()
+                    to_send.append(record.frame)
                     replayed_store += 1
         replayed_parked = 0
         if self._udp is not None:
@@ -943,9 +1048,12 @@ class LiveBroker:
                 if (key, sequence) in sent:
                     continue
                 sent.add((key, sequence))
-                self._udp.sendto(frame, state.udp_address)
-                self._datagrams_out.inc()
+                to_send.append(frame)
                 replayed_parked += 1
+        if to_send:
+            # Batching clients take the whole catch-up span as §7 batch
+            # datagrams; everyone else gets the per-record replay.
+            self._send_frames(state, to_send)
         state.parked.clear()
         if replayed_store or replayed_parked:
             self._replayed_records.inc(replayed_store + replayed_parked)

@@ -60,6 +60,7 @@ from repro.core.envelopes import StreamArrival
 from repro.core.message import DataMessage, MessageCodec
 from repro.core.streamid import StreamId
 from repro.errors import GarnetError, TransportError
+from repro.fanout.frames import decode_batch_datagram, is_batch_datagram
 from repro.transport.base import parse_garnet_url
 from repro.transport.framing import (
     ADVERTISE,
@@ -133,6 +134,8 @@ class LiveSessionStats:
         "duplicates_dropped",
         "callback_errors",
         "bad_datagrams",
+        "batch_datagrams",
+        "batched_frames",
         "gaps_detected",
         "gaps_repaired",
         "gaps_unrepairable",
@@ -244,7 +247,13 @@ class LiveSession:
         self._udp.bind((self._tcp.getsockname()[0], 0))
         self._udp_port = self._udp.getsockname()[1]
 
-        hello: dict[str, Any] = {"name": name, "udp_port": self._udp_port}
+        hello: dict[str, Any] = {
+            "name": name,
+            "udp_port": self._udp_port,
+            # §7 batch datagrams are always understood; the broker only
+            # sends them when its deployment enables fan-out batching.
+            "batch_datagrams": True,
+        }
         if self._keepalive is not None:
             hello["keepalive"] = self._keepalive
         welcome = self._request(HELLO, hello)
@@ -563,6 +572,22 @@ class LiveSession:
             self._handle_datagram(data)
 
     def _handle_datagram(self, data: bytes) -> None:
+        if is_batch_datagram(data):
+            # A §7 batch: many codec frames in one datagram. Unpack and
+            # run each through the ordinary dedupe/gap/callback path.
+            try:
+                frames = decode_batch_datagram(data)
+            except GarnetError:
+                self.stats.bad_datagrams += 1
+                return
+            self.stats.batch_datagrams += 1
+            self.stats.batched_frames += len(frames)
+            for frame in frames:
+                self._handle_frame(frame)
+            return
+        self._handle_frame(data)
+
+    def _handle_frame(self, data: bytes) -> None:
         try:
             message = self._codec.decode(data)
         except GarnetError:
@@ -737,6 +762,7 @@ class LiveSession:
             hello: dict[str, Any] = {
                 "name": self._name,
                 "udp_port": self._udp_port,
+                "batch_datagrams": True,
             }
             if self._keepalive is not None:
                 hello["keepalive"] = self._keepalive
@@ -788,6 +814,7 @@ class LiveSession:
             "token": self._resume_token,
             "udp_port": self._udp_port,
             "cursors": cursors,
+            "batch_datagrams": True,
         }
         if self._keepalive is not None:
             body["keepalive"] = self._keepalive

@@ -51,6 +51,11 @@ EXPECTED_MARKERS = {
         "owner b1 crashed mid-stream",
         "gap-free delivery : True (no duplicates: True)",
     ],
+    "fanout_tree.py": [
+        "3-level tree",
+        "dispatcher subscriptions: 1",
+        "delivered to 100,000/100,000 sessions (exactly once: True)",
+    ],
 }
 
 

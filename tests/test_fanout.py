@@ -1,0 +1,450 @@
+"""repro.fanout: hierarchical fan-out trees and batched delivery.
+
+Covers the subsystem's core guarantees:
+
+- config validation gated on ``fanout_enabled`` (the kill switch);
+- deterministic tree growth (branching/levels), interest aggregation to
+  **one** dispatcher subscription per distinct pattern, refcounted
+  teardown on detach;
+- delivery correctness: every member sees every matching message exactly
+  once and in order, however many relays sit between it and the root;
+- zero-copy sharing: one message object, one re-stamped arrival per
+  leaf, shared by all of the leaf's members;
+- quarantine isolation inside a batch (a slow member parks only its own
+  copy; resume replays in order);
+- cluster link batching: same-tick remote legs coalesce into one
+  DeliveryBatch per link without breaking the dedupe windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GarnetConfig
+from repro.core.dispatching import SubscriptionPattern
+from repro.core.middleware import Garnet
+from repro.core.streamid import StreamId
+from repro.errors import ConfigurationError, SubscriptionError
+
+
+def fanout_deployment(seed: int = 7, **overrides) -> Garnet:
+    defaults = dict(
+        publish_location_stream=False,
+        fanout_enabled=True,
+        fanout_branching=4,
+        fanout_levels=3,
+    )
+    defaults.update(overrides)
+    return Garnet(config=GarnetConfig(**defaults), seed=seed)
+
+
+def collector():
+    received: list = []
+    return received, received.append
+
+
+def sequences(arrivals) -> list[int]:
+    return [a.message.sequence for a in arrivals]
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_fanout_defaults_off(self):
+        config = GarnetConfig()
+        assert config.fanout_enabled is False
+        deployment = Garnet(config=config)
+        assert deployment.fanout is None
+        assert "fanout.sessions" not in deployment.summary()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"fanout_branching": 1},
+            {"fanout_levels": 0},
+            {"fanout_levels": 9},
+            {"fanout_link_batch": 0},
+            {"fanout_datagram_budget": 63},
+            {"fanout_datagram_budget": 65_001},
+        ],
+    )
+    def test_enabled_validates_knobs(self, overrides):
+        with pytest.raises(ConfigurationError):
+            GarnetConfig(fanout_enabled=True, **overrides).validate()
+        # The same values are inert while the subsystem is off.
+        GarnetConfig(fanout_enabled=False, **overrides).validate()
+
+    def test_enabled_deployment_reports_fanout(self):
+        deployment = fanout_deployment()
+        assert deployment.fanout is not None
+        summary = deployment.summary()
+        assert summary["fanout.sessions"] == 0
+        assert "fanout" in deployment.report()
+
+
+# ----------------------------------------------------------------------
+# Tree structure
+# ----------------------------------------------------------------------
+class TestTreeShape:
+    def test_growth_fills_leaves_then_parents(self):
+        deployment = fanout_deployment()
+        tree = deployment.fanout.new_tree("shape", branching=2, levels=3)
+        on_data = lambda arrival: None  # noqa: E731
+        pattern = SubscriptionPattern(kind="temp")
+        # First member: root + one level-1 relay + one leaf.
+        tree.attach("m0", pattern, on_data)
+        assert tree.relay_count() == 3
+        # Second fills the open leaf; third opens a sibling leaf.
+        tree.attach("m1", pattern, on_data)
+        assert tree.relay_count() == 3
+        tree.attach("m2", pattern, on_data)
+        assert tree.relay_count() == 4
+        # Fifth member exhausts the first level-1 subtree (2 leaves x 2
+        # members) and opens a fresh level-1 relay under the root.
+        tree.attach("m3", pattern, on_data)
+        tree.attach("m4", pattern, on_data)
+        assert tree.relay_count() == 6
+        shape = tree.describe()
+        assert shape["sessions"] == 5
+        assert shape["level_2"] == 1  # the root
+        assert shape["level_1"] == 2
+        assert shape["level_0"] == 3
+
+    def test_single_level_tree_root_is_leaf(self):
+        deployment = fanout_deployment()
+        tree = deployment.fanout.new_tree("flat", branching=2, levels=1)
+        received, on_data = collector()
+        tree.attach("m0", SubscriptionPattern(kind="temp"), on_data)
+        assert tree.relay_count() == 1
+        publisher = deployment.connect("pub")
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run_until_idle()
+        assert sequences(received) == [0]
+
+    def test_bad_shapes_rejected(self):
+        deployment = fanout_deployment()
+        with pytest.raises(SubscriptionError):
+            deployment.fanout.new_tree("bad", branching=1)
+        with pytest.raises(SubscriptionError):
+            deployment.fanout.new_tree("bad", levels=0)
+        with pytest.raises(ConfigurationError):
+            deployment.fanout.new_tree("t0")  # the default tree's name
+        with pytest.raises(SubscriptionError):
+            deployment.fanout.attach("m", (), lambda a: None)
+
+    def test_shared_pattern_holds_one_root_subscription(self):
+        deployment = fanout_deployment()
+        tree = deployment.fanout.tree
+        dispatcher = deployment.dispatcher
+        baseline = dispatcher.subscription_count()
+        pattern = SubscriptionPattern(kind="temp")
+        sessions = [
+            tree.attach(f"m{i}", pattern, lambda a: None) for i in range(50)
+        ]
+        assert tree.session_count() == 50
+        assert tree.root_subscription_count() == 1
+        assert dispatcher.subscription_count() == baseline + 1
+        # Refcounted teardown: the subscription survives until the last
+        # interested member detaches.
+        for session in sessions[:-1]:
+            session.detach()
+        assert tree.root_subscription_count() == 1
+        sessions[-1].detach()
+        assert tree.root_subscription_count() == 0
+        assert dispatcher.subscription_count() == baseline
+        assert tree.session_count() == 0
+
+    def test_gauges_track_membership(self):
+        deployment = fanout_deployment()
+        registry = deployment.metrics()
+        session = deployment.fanout.attach(
+            "m0", SubscriptionPattern(kind="temp"), lambda a: None
+        )
+        assert registry.value("fanout.sessions_active") == 1.0
+        assert registry.value("fanout.relays") >= 1.0
+        session.detach()
+        assert registry.value("fanout.sessions_active") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Delivery
+# ----------------------------------------------------------------------
+class TestDelivery:
+    def test_every_member_gets_every_message_once_in_order(self):
+        deployment = fanout_deployment(fanout_branching=2, fanout_levels=3)
+        boxes = []
+        for index in range(10):
+            received, on_data = collector()
+            boxes.append(received)
+            deployment.fanout.attach(
+                f"m{index}", SubscriptionPattern(kind="temp"), on_data
+            )
+        publisher = deployment.connect("pub")
+        for sequence in range(5):
+            publisher.publish(0, bytes([sequence]), kind="temp")
+        deployment.run_until_idle()
+        for received in boxes:
+            assert sequences(received) == [0, 1, 2, 3, 4]
+        stats = deployment.fanout.stats
+        assert stats.root_batches == 5
+        assert stats.leaf_deliveries == 50
+
+    def test_one_dispatcher_delivery_per_message_per_tree(self):
+        deployment = fanout_deployment()
+        for index in range(20):
+            deployment.fanout.attach(
+                f"m{index}", SubscriptionPattern(kind="temp"), lambda a: None
+            )
+        publisher = deployment.connect("pub")
+        before = deployment.dispatcher.stats.deliveries
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run_until_idle()
+        # 20 members, one root leg: the dispatcher walked ONE delivery.
+        assert deployment.dispatcher.stats.deliveries == before + 1
+
+    def test_zero_copy_sharing_across_members(self):
+        deployment = fanout_deployment(fanout_branching=8, fanout_levels=2)
+        boxes = []
+        for index in range(6):
+            received, on_data = collector()
+            boxes.append(received)
+            deployment.fanout.attach(
+                f"m{index}", SubscriptionPattern(kind="temp"), on_data
+            )
+        publisher = deployment.connect("pub")
+        publisher.publish(0, b"\x2a", kind="temp")
+        deployment.run_until_idle()
+        arrivals = [received[0] for received in boxes]
+        # One DataMessage object across every member of the tree, and
+        # one StreamArrival per leaf shared by all its members (all six
+        # fit in a single leaf at branching=8).
+        assert len({id(a.message) for a in arrivals}) == 1
+        assert len({id(a) for a in arrivals}) == 1
+        assert arrivals[0].delivered_at == deployment.sim.now
+
+    def test_multi_pattern_member_delivered_once(self):
+        deployment = fanout_deployment()
+        received, on_data = collector()
+        publisher = deployment.connect("pub")
+        stream_id = publisher.publish(0, b"\x00", kind="temp")
+        deployment.run_until_idle()
+        # Two root subscriptions (kind + exact stream) both match: the
+        # dispatcher dedupes the root leg, so one delivery per message.
+        deployment.fanout.attach(
+            "m0",
+            (
+                SubscriptionPattern(kind="temp"),
+                SubscriptionPattern(stream_id=stream_id),
+            ),
+            on_data,
+        )
+        assert deployment.fanout.tree.root_subscription_count() == 2
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run_until_idle()
+        assert sequences(received) == [1]
+
+    def test_fanout_and_flat_subscribers_coexist(self):
+        deployment = fanout_deployment()
+        tree_received, tree_on_data = collector()
+        deployment.fanout.attach(
+            "member", SubscriptionPattern(kind="temp"), tree_on_data
+        )
+        flat = deployment.connect("flat")
+        flat_received = []
+        flat.on_data(flat_received.append)
+        flat.subscribe(kind="temp")
+        publisher = deployment.connect("pub")
+        publisher.publish(0, b"\x07", kind="temp")
+        deployment.run_until_idle()
+        assert sequences(tree_received) == [0]
+        assert sequences(flat_received) == [0]
+
+    def test_detach_stops_delivery(self):
+        deployment = fanout_deployment()
+        received, on_data = collector()
+        session = deployment.fanout.attach(
+            "m0", SubscriptionPattern(kind="temp"), on_data
+        )
+        publisher = deployment.connect("pub")
+        publisher.publish(0, b"\x00", kind="temp")
+        deployment.run_until_idle()
+        session.detach()
+        session.detach()  # idempotent
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run_until_idle()
+        assert sequences(received) == [0]
+        assert session.delivered == 1
+
+    def test_late_member_sees_only_later_messages(self):
+        # Route caches are memoised per stream; a mid-stream attach must
+        # invalidate them so the new member joins the fan-out.
+        deployment = fanout_deployment()
+        first, first_on_data = collector()
+        deployment.fanout.attach(
+            "early", SubscriptionPattern(kind="temp"), first_on_data
+        )
+        publisher = deployment.connect("pub")
+        publisher.publish(0, b"\x00", kind="temp")
+        deployment.run_until_idle()
+        second, second_on_data = collector()
+        deployment.fanout.attach(
+            "late", SubscriptionPattern(kind="temp"), second_on_data
+        )
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run_until_idle()
+        assert sequences(first) == [0, 1]
+        assert sequences(second) == [1]
+
+
+# ----------------------------------------------------------------------
+# Quarantine isolation inside a batch
+# ----------------------------------------------------------------------
+class TestQuarantineInBatch:
+    def wired(self):
+        deployment = fanout_deployment(
+            qos_consumer_queue=2, qos_quarantine_after=1.0
+        )
+        boxes = {}
+        members = {}
+        for name in ("a", "b", "c"):
+            received, on_data = collector()
+            boxes[name] = received
+            members[name] = deployment.fanout.attach(
+                name, SubscriptionPattern(kind="temp"), on_data
+            )
+        publisher = deployment.connect("pub")
+        return deployment, boxes, members, publisher
+
+    def test_slow_member_parks_only_its_own_copy(self):
+        deployment, boxes, members, publisher = self.wired()
+        delivery = deployment.qos.delivery
+        slow_inbox = members["b"].member.inbox
+        delivery.stall(slow_inbox)
+        for sequence in range(2):
+            publisher.publish(0, bytes([sequence]), kind="temp")
+        deployment.run_until_idle()
+        deployment.run(2.0)  # saturated past the window: quarantined
+        assert delivery.is_quarantined(slow_inbox)
+        publisher.publish(0, b"\x02", kind="temp")
+        publisher.publish(0, b"\x03", kind="temp")
+        deployment.run_until_idle()
+        # Healthy members in the same batch kept delivering the whole
+        # time; the quarantined member parked its copies and got nothing.
+        assert sequences(boxes["a"]) == [0, 1, 2, 3]
+        assert sequences(boxes["c"]) == [0, 1, 2, 3]
+        assert boxes["b"] == []
+        assert delivery.backlog_size(slow_inbox) == 4
+        assert deployment.fanout.stats.quarantine_diverted >= 1
+
+    def test_resume_replays_in_order_then_flows_directly(self):
+        deployment, boxes, members, publisher = self.wired()
+        delivery = deployment.qos.delivery
+        slow_inbox = members["b"].member.inbox
+        delivery.stall(slow_inbox)
+        for sequence in range(2):
+            publisher.publish(0, bytes([sequence]), kind="temp")
+        deployment.run_until_idle()
+        deployment.run(2.0)
+        assert delivery.is_quarantined(slow_inbox)
+        publisher.publish(0, b"\x02", kind="temp")  # parks
+        deployment.run_until_idle()
+        replayed = delivery.resume(slow_inbox)
+        deployment.run_until_idle()
+        assert replayed == 3
+        publisher.publish(0, b"\x03", kind="temp")
+        deployment.run_until_idle()
+        # The backlog replays in arrival order and fresh batched traffic
+        # lands strictly after it.
+        assert sequences(boxes["b"]) == [0, 1, 2, 3]
+        assert sequences(boxes["a"]) == [0, 1, 2, 3]
+
+    def test_detach_releases_quarantine_state(self):
+        deployment, boxes, members, publisher = self.wired()
+        delivery = deployment.qos.delivery
+        slow_inbox = members["b"].member.inbox
+        delivery.stall(slow_inbox)
+        publisher.publish(0, b"\x00", kind="temp")
+        deployment.run_until_idle()
+        assert delivery.backlog_size(slow_inbox) == 1
+        members["b"].detach()
+        assert delivery.backlog_size(slow_inbox) == 0
+        assert not delivery.intercepts(slow_inbox)
+
+
+# ----------------------------------------------------------------------
+# Cluster link batching
+# ----------------------------------------------------------------------
+class TestClusterLinkBatching:
+    def clustered(self, **overrides):
+        config = GarnetConfig(
+            cluster_enabled=True,
+            cluster_brokers=3,
+            publish_location_stream=False,
+            fanout_enabled=True,
+            **overrides,
+        )
+        return Garnet(config=config, seed=11)
+
+    def test_remote_legs_ride_one_batch_per_link(self):
+        deployment = self.clustered()
+        publisher = deployment.connect("pub", broker="b0")
+        received = []
+        subscriber = deployment.connect("sub", broker="b2")
+        subscriber.on_data(received.append)
+        subscriber.subscribe(kind="temp")
+        for sequence in range(5):
+            publisher.publish(0, bytes([sequence]), kind="temp")
+            deployment.run(0.2)
+        assert sequences(received) == [0, 1, 2, 3, 4]
+        stats = deployment.fanout.stats
+        assert stats.link_batches >= 1
+        assert stats.link_batched_arrivals == 5
+        # Nothing left buffered once the kernel drains.
+        assert deployment.fanout.link_batcher.pending_count() == 0
+
+    def test_same_tick_legs_coalesce(self):
+        deployment = self.clustered()
+        publisher = deployment.connect("pub", broker="b0")
+        received = []
+        subscriber = deployment.connect("sub", broker="b2")
+        subscriber.on_data(received.append)
+        subscriber.subscribe(kind="temp")
+        # Two messages published back-to-back at the same virtual time
+        # traverse identical hops, so their remote legs reach the link
+        # batcher in the same tick and flush as ONE DeliveryBatch.
+        before = deployment.fanout.stats.link_batches
+        publisher.publish(0, b"\x00", kind="temp")
+        publisher.publish(0, b"\x01", kind="temp")
+        deployment.run(0.5)
+        assert len(received) == 2
+        stats = deployment.fanout.stats
+        assert stats.link_batched_arrivals == 2
+        assert stats.link_batches == before + 1
+
+    def test_batched_frames_keep_dedupe_windows(self):
+        deployment = self.clustered()
+        publisher = deployment.connect("pub", broker="b0")
+        received = []
+        subscriber = deployment.connect("sub", broker="b2")
+        subscriber.on_data(received.append)
+        subscriber.subscribe(kind="temp")
+        publisher.publish(0, b"\x00", kind="temp")
+        deployment.run(0.5)
+        # Replay the identical batch frame straight at b2's link inbox:
+        # the per-stream SequenceWindow drops every duplicate arrival.
+        from repro.cluster.link import LINK_INBOX_PREFIX
+        from repro.fanout.frames import DeliveryBatch
+        from repro.core.envelopes import StreamArrival
+
+        duplicate = StreamArrival(
+            message=received[0].message,
+            received_at=received[0].received_at,
+            receiver_id=received[0].receiver_id,
+        )
+        deployment.network.send(
+            LINK_INBOX_PREFIX + "b2",
+            DeliveryBatch(origin="b0", arrivals=(duplicate, duplicate)),
+        )
+        deployment.run(0.5)
+        assert sequences(received) == [0]

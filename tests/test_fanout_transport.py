@@ -1,0 +1,229 @@
+"""Live-transport legs of repro.fanout.
+
+- the §7 batch-datagram codec (roundtrip, packing, malformed input,
+  magic/§2 non-collision);
+- the broker's single-encode path: one codec encode per published
+  message regardless of subscriber count (``transport.encode_reuse``);
+- end-to-end batched delivery: a fanout-enabled broker packs same-pump
+  deliveries to a consenting client into one batch datagram, and the
+  client unpacks it through the ordinary dedupe path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GarnetConfig
+from repro.core.message import DataMessage, MessageCodec
+from repro.core.middleware import Garnet
+from repro.core.streamid import StreamId
+from repro.errors import TransportError
+from repro.fanout.frames import (
+    BATCH_HEADER_SIZE,
+    BATCH_MAGIC,
+    decode_batch_datagram,
+    encode_batch_datagrams,
+    is_batch_datagram,
+    iter_frames,
+)
+from repro.transport import connect
+
+from tests.test_transport_live import BrokerHarness, poll_until
+
+
+# ----------------------------------------------------------------------
+# Batch datagram codec
+# ----------------------------------------------------------------------
+class TestBatchDatagramCodec:
+    def frames(self, count: int = 5) -> list[bytes]:
+        codec = MessageCodec()
+        return [
+            codec.encode(
+                DataMessage(
+                    stream_id=StreamId(1, 0),
+                    sequence=sequence,
+                    payload=bytes([sequence]) * 8,
+                )
+            )
+            for sequence in range(count)
+        ]
+
+    def test_roundtrip_preserves_frames_and_order(self):
+        frames = self.frames()
+        datagrams = encode_batch_datagrams(frames)
+        assert len(datagrams) == 1
+        assert is_batch_datagram(datagrams[0])
+        assert decode_batch_datagram(datagrams[0]) == frames
+
+    def test_budget_splits_never_frames(self):
+        frames = self.frames(8)
+        # A budget that fits roughly two frames per datagram.
+        budget = BATCH_HEADER_SIZE + 2 * (2 + len(frames[0]))
+        datagrams = encode_batch_datagrams(frames, budget)
+        assert len(datagrams) == 4
+        assert all(len(d) <= budget for d in datagrams)
+        assert list(iter_frames(datagrams)) == frames
+
+    def test_oversize_frame_gets_its_own_datagram(self):
+        # A frame bigger than the budget still ships (the budget guides
+        # packing; the socket decides what fits on the wire).
+        big = b"\x20" + b"x" * 200
+        datagrams = encode_batch_datagrams([big], budget=64)
+        assert len(datagrams) == 1
+        assert decode_batch_datagram(datagrams[0]) == [big]
+
+    def test_frame_over_length_prefix_rejected(self):
+        with pytest.raises(TransportError):
+            encode_batch_datagrams([b"x" * 0x10000])
+
+    def test_empty_input_yields_no_datagrams(self):
+        assert encode_batch_datagrams([]) == []
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda d: b"\x20" + d[1:],  # bad magic
+            lambda d: d[:5],  # truncated before the count
+            lambda d: d[:-1],  # truncated inside the last frame
+            lambda d: d + b"\x00",  # trailing garbage
+            lambda d: d[:4] + (99).to_bytes(2, "big") + d[6:],  # count lies
+        ],
+    )
+    def test_malformed_datagrams_rejected(self, mangle):
+        datagram = encode_batch_datagrams(self.frames(2))[0]
+        with pytest.raises(TransportError):
+            decode_batch_datagram(mangle(datagram))
+
+    def test_magic_cannot_collide_with_codec_frames(self):
+        # A §2 frame's first byte is version << 5 | flags: the 3-bit
+        # version keeps it under 0x80, so 0xFB can only open a batch.
+        assert BATCH_MAGIC[0] == 0xFB
+        for frame in self.frames():
+            assert frame[0] < 0x80
+            assert not is_batch_datagram(frame)
+
+
+# ----------------------------------------------------------------------
+# Single-encode path (the encode-reuse regression)
+# ----------------------------------------------------------------------
+class _CountingCodec:
+    """Wrap a MessageCodec, counting every encode."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.encodes = 0
+
+    def encode(self, message):
+        self.encodes += 1
+        return self._inner.encode(message)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestSingleEncode:
+    def test_one_encode_per_message_any_subscriber_count(self):
+        harness = BrokerHarness()
+        counting = _CountingCodec(harness.broker._codec)
+        harness.broker._codec = counting
+        subscribers = []
+        received: list[int] = []
+        try:
+            publisher = connect(harness.url, "pub")
+            for index in range(8):
+                session = connect(harness.url, f"sub{index}")
+                session.on_data(
+                    lambda arrival: received.append(arrival.message.sequence)
+                )
+                session.subscribe(kind="temp")
+                subscribers.append(session)
+            counting.encodes = 0
+            for sequence in range(3):
+                publisher.publish(0, bytes([sequence]), kind="temp")
+            assert poll_until(lambda: len(received) == 24)
+            # 8 subscribers, 3 messages: 24 deliveries, THREE encodes.
+            assert counting.encodes == 3
+            registry = harness.broker.deployment.metrics()
+            assert registry.value("transport.encode_reuse") == 21.0
+            publisher.close()
+        finally:
+            for session in subscribers:
+                session.close()
+            harness.stop()
+
+
+# ----------------------------------------------------------------------
+# End-to-end batched delivery over UDP
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fanout_harness():
+    deployment = Garnet(
+        config=GarnetConfig(
+            publish_location_stream=False, fanout_enabled=True
+        )
+    )
+    h = BrokerHarness(deployment=deployment)
+    yield h
+    h.stop()
+
+
+class TestLiveBatchDelivery:
+    def test_same_pump_deliveries_pack_into_one_datagram(self, fanout_harness):
+        harness = fanout_harness
+        with connect(harness.url, "pub") as publisher, connect(
+            harness.url, "sub"
+        ) as subscriber:
+            received = []
+            subscriber.on_data(
+                lambda arrival: received.append(arrival.message.sequence)
+            )
+            # Two overlapping subscriptions: one publish, two server-side
+            # deliveries in the same pump -> one batch datagram.
+            subscriber.subscribe(kind="temp")
+            subscriber.subscribe(kind="te*")
+            publisher.publish(0, b"\x2a", kind="temp")
+            assert poll_until(lambda: subscriber.stats.batch_datagrams >= 1)
+            assert subscriber.stats.batched_frames == 2
+            # The duplicate leg dies in the client's dedupe window.
+            assert poll_until(lambda: received == [0])
+            assert subscriber.stats.duplicates_dropped == 1
+            registry = harness.broker.deployment.metrics()
+            assert registry.value("transport.batch_datagrams") == 1.0
+            assert registry.value("transport.batched_frames") == 2.0
+
+    def test_single_frame_keeps_bare_datagram_shape(self, fanout_harness):
+        harness = fanout_harness
+        with connect(harness.url, "pub") as publisher, connect(
+            harness.url, "sub"
+        ) as subscriber:
+            received = []
+            subscriber.on_data(
+                lambda arrival: received.append(arrival.message.sequence)
+            )
+            subscriber.subscribe(kind="temp")
+            publisher.publish(0, b"\x01", kind="temp")
+            assert poll_until(lambda: received == [0])
+            # One delivery per pump: no batch framing on the wire.
+            assert subscriber.stats.batch_datagrams == 0
+            registry = harness.broker.deployment.metrics()
+            assert registry.value("transport.batch_datagrams") == 0.0
+
+    def test_plain_broker_never_batches(self):
+        harness = BrokerHarness()  # default deployment: fanout off
+        try:
+            with connect(harness.url, "pub") as publisher, connect(
+                harness.url, "sub"
+            ) as subscriber:
+                received = []
+                subscriber.on_data(
+                    lambda arrival: received.append(arrival.message.sequence)
+                )
+                subscriber.subscribe(kind="temp")
+                subscriber.subscribe(kind="te*")
+                publisher.publish(0, b"\x2a", kind="temp")
+                assert poll_until(
+                    lambda: subscriber.stats.duplicates_dropped == 1
+                )
+                assert subscriber.stats.batch_datagrams == 0
+        finally:
+            harness.stop()

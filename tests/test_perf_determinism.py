@@ -74,6 +74,7 @@ def build_deployment(
     cluster: bool = False,
     store: bool = False,
     vectorized: bool = False,
+    fanout: bool = False,
 ) -> tuple[Garnet, list[CollectingConsumer]]:
     area = Rect(0.0, 0.0, 1200.0, 1200.0)
     config = GarnetConfig(
@@ -88,6 +89,7 @@ def build_deployment(
         cluster_enabled=cluster,
         cluster_brokers=2,
         store_enabled=store,
+        fanout_enabled=fanout,
     )
     deployment = Garnet(config=config, seed=seed)
     deployment.define_sensor_type("g", {})
@@ -129,6 +131,7 @@ def run_digest(
     cluster: bool = False,
     store: bool = False,
     vectorized: bool = False,
+    fanout: bool = False,
     trace_only: bool = False,
 ) -> str:
     deployment, consumers = build_deployment(
@@ -137,6 +140,7 @@ def run_digest(
         cluster=cluster,
         store=store,
         vectorized=vectorized,
+        fanout=fanout,
     )
     deployment.run(DURATION)
     hasher = hashlib.sha256()
@@ -215,6 +219,32 @@ def test_store_enabled_leaves_the_delivery_trace_untouched():
 
 def test_store_enabled_is_deterministic():
     assert run_digest(SEED, store=True) == run_digest(SEED, store=True)
+
+
+def test_fanout_disabled_is_byte_identical():
+    # The fanout kill switch: fanout_* config fields exist but
+    # fanout_enabled=False must not perturb a single event, RNG draw or
+    # metric relative to the pre-fanout build — the module is never
+    # even imported.
+    assert run_digest(SEED, fanout=False) == GOLDEN_DIGEST
+    assert (
+        run_digest(SEED, fanout=False, cluster=True)
+        == CLUSTER_GOLDEN_DIGEST
+    )
+
+
+def test_fanout_enabled_leaves_flat_delivery_trace_untouched():
+    # With no members attached, an enabled fanout subsystem adds relay
+    # state and summary keys but zero events on the flat delivery path:
+    # with the fanout.* summary keys excluded, the fanout-on run is
+    # byte-identical to the golden trace.
+    assert run_digest(SEED, fanout=True, trace_only=True) == run_digest(
+        SEED, trace_only=True
+    )
+
+
+def test_fanout_enabled_is_deterministic():
+    assert run_digest(SEED, fanout=True) == run_digest(SEED, fanout=True)
 
 
 def test_vectorized_disabled_is_byte_identical():

@@ -126,3 +126,39 @@ def test_garnet_url_scheme_matches_doc():
 
     assert URL_SCHEME == "garnet"
     assert "`garnet://host:port`" in DOC
+
+
+def test_delivery_batch_frame_fields_match_doc():
+    from repro.fanout import DeliveryBatch
+
+    fields = ", ".join(f.name for f in dataclasses.fields(DeliveryBatch))
+    assert f"**DeliveryBatch** `({fields})`" in DOC
+
+
+def test_batch_datagram_magic_matches_doc():
+    from repro.fanout import BATCH_MAGIC
+
+    assert BATCH_MAGIC == b"\xfbGB\x01"
+    documented = " ".join(f"{byte:02X}" for byte in BATCH_MAGIC)
+    assert f"magic {documented}" in DOC
+
+
+def test_batch_magic_cannot_open_a_data_message():
+    # §7's classification claim: byte 0 of a §2 frame is
+    # version << 5 | flags, capped below 0x80 by the 3-bit version
+    # field, so the 0xFB magic is unreachable as a frame opener.
+    from repro.fanout import BATCH_MAGIC, is_batch_datagram
+
+    assert BATCH_MAGIC[0] >= 0x80
+    wire = MessageCodec().encode(
+        DataMessage(stream_id=StreamId(1, 0), sequence=0, payload=b"x")
+    )
+    assert wire[0] < 0x80
+    assert not is_batch_datagram(wire)
+
+
+def test_fanout_inbox_prefix_matches_doc():
+    from repro.fanout import RELAY_INBOX_PREFIX
+
+    assert RELAY_INBOX_PREFIX == "garnet.fanout."
+    assert "`garnet.fanout.<tree>.r<id>`" in DOC
